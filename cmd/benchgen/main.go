@@ -1,0 +1,55 @@
+// Command benchgen emits the 71-benchmark evaluation suite as OpenQASM 2.0
+// files plus a manifest, so the circuits can be inspected or fed to other
+// toolchains.
+//
+// Usage:
+//
+//	benchgen -dir benchmarks [-raw]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"codar/internal/qasm"
+	"codar/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir := flag.String("dir", "benchmarks", "output directory")
+	raw := flag.Bool("raw", false, "emit circuits before lowering (keep ccx/cp/rzz/swap)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	manifest, err := os.Create(filepath.Join(*dir, "MANIFEST.txt"))
+	if err != nil {
+		return err
+	}
+	defer manifest.Close()
+
+	fmt.Fprintf(manifest, "# name qubits gates family\n")
+	for _, b := range workloads.Suite() {
+		c := b.Circuit()
+		if *raw {
+			c = b.Raw()
+		}
+		path := filepath.Join(*dir, b.Name+".qasm")
+		if err := os.WriteFile(path, []byte(qasm.Write(c)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(manifest, "%s %d %d %s\n", b.Name, b.Qubits, c.Len(), b.Family)
+	}
+	fmt.Fprintf(os.Stderr, "benchgen: wrote %d circuits to %s\n", len(workloads.Suite()), *dir)
+	return nil
+}

@@ -1,0 +1,167 @@
+// Command codar maps an OpenQASM 2.0 circuit onto a NISQ architecture with
+// the CODAR remapper (or the SABRE baseline) and reports weighted depth,
+// swap count and the mapped circuit.
+//
+// Usage:
+//
+//	codar -arch tokyo -in circuit.qasm [-algo codar|sabre] [-out mapped.qasm]
+//	      [-durations superconducting|iontrap|neutralatom|uniform]
+//	      [-seed 1] [-verify] [-stats]
+//
+// With no -in, the circuit is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+	"codar/internal/core"
+	"codar/internal/optimize"
+	"codar/internal/orient"
+	"codar/internal/qasm"
+	"codar/internal/sabre"
+	"codar/internal/schedule"
+	"codar/internal/verify"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "codar:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		archName  = flag.String("arch", "tokyo", "target architecture (q5|melbourne|tokyo|enfield|sycamore|gridRxC|linearN|ringN)")
+		algo      = flag.String("algo", "codar", "mapping algorithm: codar or sabre")
+		inPath    = flag.String("in", "", "input OpenQASM file (default stdin)")
+		outPath   = flag.String("out", "", "write the mapped circuit as OpenQASM to this file")
+		durations = flag.String("durations", "superconducting", "duration preset: superconducting|iontrap|neutralatom|uniform")
+		seed      = flag.Int64("seed", 1, "seed for the SABRE reverse-traversal initial mapping")
+		doVerify  = flag.Bool("verify", false, "verify the mapped circuit (compliance + equivalence [+ statevector on small devices])")
+		stats     = flag.Bool("stats", true, "print mapping statistics")
+		window    = flag.Int("window", 0, "CODAR commutative-front window (0 = default)")
+		lookahead = flag.Int("lookahead", 0, "CODAR look-ahead tie-breaker size (0 = default, negative = off)")
+		optimise  = flag.Bool("optimize", false, "run peephole optimisation (inverse cancellation, rotation merge) before mapping")
+		orientCX  = flag.Bool("orient", false, "orient CXs for directed devices and lower SWAPs after mapping")
+		gantt     = flag.Bool("gantt", false, "print a per-qubit ASCII timeline of the mapped circuit")
+	)
+	flag.Parse()
+
+	dev, err := arch.ByName(*archName)
+	if err != nil {
+		return err
+	}
+	switch *durations {
+	case "superconducting":
+		dev.Durations = arch.SuperconductingDurations()
+	case "iontrap":
+		dev.Durations = arch.IonTrapDurations()
+	case "neutralatom":
+		dev.Durations = arch.NeutralAtomDurations()
+	case "uniform":
+		dev.Durations = arch.UniformDurations()
+	default:
+		return fmt.Errorf("unknown duration preset %q", *durations)
+	}
+
+	src, err := readInput(*inPath)
+	if err != nil {
+		return err
+	}
+	parsed, err := qasm.Parse(src)
+	if err != nil {
+		return err
+	}
+	c := circuit.Decompose(parsed)
+	if *optimise {
+		var ores optimize.Result
+		c, ores = optimize.Cancel(c)
+		fmt.Fprintf(os.Stderr, "optimize: removed %d gates, merged %d rotations\n", ores.Removed, ores.Merged)
+	}
+	if c.NumQubits > dev.NumQubits {
+		return fmt.Errorf("circuit needs %d qubits but %s has %d", c.NumQubits, dev.Name, dev.NumQubits)
+	}
+
+	initial, err := sabre.InitialLayout(c, dev, *seed, sabre.Options{})
+	if err != nil {
+		return err
+	}
+
+	var (
+		mapped                     *circuit.Circuit
+		initialLayout, finalLayout *arch.Layout
+		swaps                      int
+	)
+	switch *algo {
+	case "codar":
+		res, err := core.Remap(c, dev, initial, core.Options{Window: *window, Lookahead: *lookahead})
+		if err != nil {
+			return err
+		}
+		mapped, initialLayout, finalLayout, swaps = res.Circuit, res.InitialLayout, res.FinalLayout, res.SwapCount
+	case "sabre":
+		res, err := sabre.Remap(c, dev, initial, sabre.Options{})
+		if err != nil {
+			return err
+		}
+		mapped, initialLayout, finalLayout, swaps = res.Circuit, res.InitialLayout, res.FinalLayout, res.SwapCount
+	default:
+		return fmt.Errorf("unknown algorithm %q (want codar or sabre)", *algo)
+	}
+
+	if *doVerify {
+		if err := verify.Full(c, mapped, dev, initialLayout, finalLayout); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "verification: ok")
+	}
+
+	if *orientCX || dev.Directed() {
+		oriented, ores, err := orient.Pass(mapped, dev, *orientCX)
+		if err != nil {
+			return err
+		}
+		mapped = oriented
+		if ores.Reversed > 0 || ores.LoweredSwaps > 0 {
+			fmt.Fprintf(os.Stderr, "orient: reversed %d CXs, lowered %d SWAPs\n", ores.Reversed, ores.LoweredSwaps)
+		}
+	}
+
+	if *gantt {
+		fmt.Fprint(os.Stderr, schedule.ASAP(mapped, dev.Durations).Gantt(100))
+	}
+
+	if *stats {
+		wd := schedule.WeightedDepth(mapped, dev.Durations)
+		fmt.Fprintf(os.Stderr, "device:          %s\n", dev)
+		fmt.Fprintf(os.Stderr, "algorithm:       %s\n", *algo)
+		fmt.Fprintf(os.Stderr, "input gates:     %d (depth %d, %d qubits)\n", c.Len(), c.Depth(), c.NumQubits)
+		fmt.Fprintf(os.Stderr, "output gates:    %d (depth %d)\n", mapped.Len(), mapped.Depth())
+		fmt.Fprintf(os.Stderr, "swaps inserted:  %d\n", swaps)
+		fmt.Fprintf(os.Stderr, "weighted depth:  %d cycles\n", wd)
+	}
+
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(qasm.Write(mapped)), 0o644); err != nil {
+			return err
+		}
+	} else if !*stats {
+		fmt.Print(qasm.Write(mapped))
+	}
+	return nil
+}
+
+func readInput(path string) (string, error) {
+	if path == "" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

@@ -1,0 +1,115 @@
+// Command maqam inspects the built-in quantum abstract machine models:
+// coupling statistics, distance structure, gate-duration presets and the
+// Table I technology parameters.
+//
+// Usage:
+//
+//	maqam                 # list all built-in devices
+//	maqam -arch tokyo     # detail one device
+//	maqam -table1         # print the Table I technology survey
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+	"codar/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "maqam:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	archName := flag.String("arch", "", "detail a single device")
+	table1 := flag.Bool("table1", false, "print the Table I technology parameters")
+	flag.Parse()
+
+	if *table1 {
+		return printTableI()
+	}
+	if *archName != "" {
+		dev, err := arch.ByName(*archName)
+		if err != nil {
+			return err
+		}
+		return printDevice(dev)
+	}
+	t := metrics.NewTable("device", "qubits", "couplers", "diameter", "max degree", "directed")
+	devices := []*arch.Device{
+		arch.IBMQ5(), arch.IBMQX4(), arch.IBMQ16Melbourne(),
+		arch.IBMQ20Tokyo(), arch.Enfield6x6(), arch.SycamoreQ54(),
+	}
+	for _, d := range devices {
+		t.AddRow(d.Name, d.NumQubits, len(d.Edges), d.Diameter(), maxDegree(d), d.Directed())
+	}
+	return t.Render(os.Stdout)
+}
+
+func maxDegree(d *arch.Device) int {
+	m := 0
+	for q := 0; q < d.NumQubits; q++ {
+		if d.Degree(q) > m {
+			m = d.Degree(q)
+		}
+	}
+	return m
+}
+
+func printDevice(d *arch.Device) error {
+	fmt.Println(d)
+	fmt.Printf("durations: 1q=%d 2q=%d swap=%d measure=%d cycles\n",
+		d.Duration(circuit.OpH), d.Duration(circuit.OpCX), d.Duration(circuit.OpSwap), d.Duration(circuit.OpMeasure))
+	fmt.Printf("directed coupling: %v\n", d.Directed())
+	// Degree histogram.
+	hist := map[int]int{}
+	for q := 0; q < d.NumQubits; q++ {
+		hist[d.Degree(q)]++
+	}
+	fmt.Print("degree histogram: ")
+	for deg := 0; deg <= 8; deg++ {
+		if n := hist[deg]; n > 0 {
+			fmt.Printf("%dx deg%d  ", n, deg)
+		}
+	}
+	fmt.Println()
+	// Distance histogram (pairs).
+	dhist := map[int]int{}
+	for a := 0; a < d.NumQubits; a++ {
+		for b := a + 1; b < d.NumQubits; b++ {
+			dhist[d.Distance(a, b)]++
+		}
+	}
+	fmt.Print("distance histogram: ")
+	for dist := 1; dist <= d.Diameter(); dist++ {
+		if n := dhist[dist]; n > 0 {
+			fmt.Printf("%d:%d  ", dist, n)
+		}
+	}
+	fmt.Println()
+	fmt.Println("couplers:", d.Edges)
+	return nil
+}
+
+func printTableI() error {
+	t := metrics.NewTable("technology", "device", "1q fid", "2q fid", "readout", "1q ns", "2q ns", "T1 ns", "T2 ns")
+	for _, p := range arch.TableI() {
+		t.AddRow(p.Technology.String(), p.Device, p.Fidelity1Q, p.Fidelity2Q, p.FidelityReadout,
+			p.Time1Q, p.Time2Q, p.T1, p.T2)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("\nderived duration presets (cycles):")
+	t2 := metrics.NewTable("technology", "1q", "2q", "swap", "measure")
+	for _, p := range arch.TableI() {
+		t2.AddRow(p.Technology.String(), p.Durations.Single, p.Durations.Two, p.Durations.Swap, p.Durations.Measure)
+	}
+	return t2.Render(os.Stdout)
+}

@@ -1,0 +1,136 @@
+// Command speedup regenerates the paper's Fig 8: the circuit-execution
+// speedup of CODAR over SABRE (ratio of weighted depths) for every
+// benchmark on the four evaluation architectures, plus the per-architecture
+// averages quoted in §V-A (paper: 1.212 / 1.241 / 1.214 / 1.258).
+//
+// Usage:
+//
+//	speedup [-arch all|melbourne|enfield|tokyo|sycamore] [-ablate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codar/internal/arch"
+	"codar/internal/core"
+	"codar/internal/experiments"
+	"codar/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "speedup:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	archName := flag.String("arch", "all", "architecture to sweep (all|melbourne|enfield|tokyo|sycamore|...)")
+	ablate := flag.Bool("ablate", false, "also run the design ablations (no commutativity, no Hfine, no look-ahead)")
+	durSweep := flag.Bool("dursweep", false, "also sweep the 2q/1q duration ratio (extension study)")
+	initial := flag.Bool("initial", false, "also run the initial-mapping sensitivity study")
+	csvPath := flag.String("csv", "", "also write per-benchmark rows as CSV to this file")
+	flag.Parse()
+
+	devices := arch.EvaluationDevices()
+	if *archName != "all" {
+		d, err := arch.ByName(*archName)
+		if err != nil {
+			return err
+		}
+		devices = []*arch.Device{d}
+	}
+
+	fmt.Println("Fig 8 — circuit execution speedup, CODAR vs SABRE (weighted depth ratio)")
+	fmt.Println("paper averages: Q16 1.212, Enfield 6x6 1.241, Q20 1.214, Sycamore 1.258")
+	fmt.Println()
+
+	var csv *os.File
+	if *csvPath != "" {
+		var err error
+		csv, err = os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer csv.Close()
+	}
+
+	var avgRows [][2]string
+	for i, dev := range devices {
+		res, err := experiments.RunFig8Device(dev, core.Options{})
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteFig8(os.Stdout, res); err != nil {
+			return err
+		}
+		if csv != nil {
+			if err := experiments.WriteFig8CSV(csv, res, i == 0); err != nil {
+				return err
+			}
+		}
+		avgRows = append(avgRows, [2]string{dev.Name, fmt.Sprintf("%.3f", res.AverageSpeedup())})
+	}
+
+	fmt.Println("summary (average speedup per architecture):")
+	t := metrics.NewTable("architecture", "avg speedup")
+	for _, r := range avgRows {
+		t.AddRow(r[0], r[1])
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if *ablate {
+		fmt.Println("\nablations (Q20 Tokyo, average speedup vs SABRE):")
+		at := metrics.NewTable("variant", "avg speedup")
+		tokyo := arch.IBMQ20Tokyo()
+		variants := []struct {
+			name string
+			opts core.Options
+		}{
+			{"full codar", core.Options{}},
+			{"no commutativity", core.Options{DisableCommutativity: true}},
+			{"no Hfine", core.Options{DisableHfine: true}},
+			{"no look-ahead (paper-exact)", core.Options{Lookahead: -1}},
+			{"window 16", core.Options{Window: 16}},
+		}
+		for _, v := range variants {
+			res, err := experiments.RunFig8Device(tokyo, v.opts)
+			if err != nil {
+				return err
+			}
+			at.AddRow(v.name, res.AverageSpeedup())
+		}
+		if err := at.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	if *durSweep {
+		fmt.Println()
+		tokyo := arch.IBMQ20Tokyo()
+		points, err := experiments.RunDurationSweep(tokyo, nil, core.Options{})
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteDurationSweep(os.Stdout, tokyo, points); err != nil {
+			return err
+		}
+	}
+
+	if *initial {
+		fmt.Println()
+		tokyo := arch.IBMQ20Tokyo()
+		rows, err := experiments.RunInitialMappingStudy(tokyo, core.Options{})
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteInitialMappingStudy(os.Stdout, tokyo, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}

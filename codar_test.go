@@ -1,0 +1,383 @@
+package codar
+
+// Integration tests of the public facade: everything a downstream user
+// does goes through this surface, so these tests double as API contracts.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"codar/internal/arch"
+)
+
+func TestFacadePipeline(t *testing.T) {
+	// Parse OpenQASM, lower, map, verify, schedule, emit — the full
+	// user-facing pipeline.
+	src := `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+ccx q[0],q[1],q[2];
+cu1(pi/4) q[2],q[3];
+measure q -> c;
+`
+	parsed, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Decompose(parsed)
+	dev, err := DeviceByName("melbourne")
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := SABREInitialLayout(c, dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Remap(c, dev, initial, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(c, res.Circuit, dev, res.InitialLayout, res.FinalLayout); err != nil {
+		t.Fatal(err)
+	}
+	s := ScheduleASAP(res.Circuit, dev.Durations)
+	if s.Makespan <= 0 || s.Makespan > res.Makespan {
+		t.Errorf("re-schedule makespan %d vs reported %d", s.Makespan, res.Makespan)
+	}
+	out := WriteQASM(res.Circuit)
+	if !strings.Contains(out, "qreg q[16];") {
+		t.Errorf("emitted QASM lacks the device register: %s", out[:80])
+	}
+	// The emitted QASM parses back.
+	if _, err := ParseQASM(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCircuitBuilders(t *testing.T) {
+	c := NewNamedCircuit("api", 3)
+	c.H(0).CX(0, 1).CP(math.Pi/2, 1, 2).T(2)
+	if c.Len() != 4 || c.Name != "api" {
+		t.Errorf("builder surface broken: %d gates", c.Len())
+	}
+	low := Decompose(c)
+	for _, g := range low.Gates {
+		if g.Op == OpCP {
+			t.Error("Decompose left a cp gate")
+		}
+	}
+}
+
+func TestFacadeDeviceConstruction(t *testing.T) {
+	dev, err := NewDevice("pair", 2, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dev.Adjacent(0, 1) {
+		t.Error("NewDevice lost its edge")
+	}
+	if dev.Duration(OpCX) != 2 {
+		t.Error("default durations should be superconducting")
+	}
+	dev.Durations = IonTrapDurations()
+	if dev.Duration(OpCX) != 12 {
+		t.Error("duration preset not applied")
+	}
+	devs := EvaluationDevices()
+	if len(devs) != 4 {
+		t.Errorf("EvaluationDevices = %d", len(devs))
+	}
+}
+
+func TestFacadeLayouts(t *testing.T) {
+	l := TrivialLayout(2, 4)
+	if l.Phys(1) != 1 || l.Log(3) != -1 {
+		t.Error("TrivialLayout broken")
+	}
+	l2, err := NewLayout([]int{3, 0}, 4)
+	if err != nil || l2.Phys(0) != 3 {
+		t.Errorf("NewLayout: %v", err)
+	}
+	if _, err := NewLayout([]int{0, 0}, 4); err == nil {
+		t.Error("invalid layout accepted")
+	}
+}
+
+func TestFacadeRemapBothAlgorithms(t *testing.T) {
+	c := NewCircuit(4).H(0).CX(0, 3).CX(1, 2)
+	dev, _ := DeviceByName("linear4")
+	cres, err := Remap(c, dev, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := RemapSABRE(c, dev, nil, SabreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Circuit.Len() == 0 || sres.Circuit.Len() == 0 {
+		t.Error("empty outputs")
+	}
+	if WeightedDepth(cres.Circuit, dev.Durations) <= 0 {
+		t.Error("weighted depth not computable")
+	}
+}
+
+func TestFacadeSimulationAndFidelity(t *testing.T) {
+	c := NewCircuit(2).H(0).CX(0, 1)
+	st, err := Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := st.Probability(3); math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("P(|11>) = %g", p)
+	}
+	dev, _ := DeviceByName("linear2")
+	s := ScheduleASAP(c, dev.Durations)
+	f, err := EstimateFidelity(DephasingNoise(50), s, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f <= 0 || f > 1+1e-9 {
+		t.Errorf("fidelity = %g", f)
+	}
+	fd, err := EstimateFidelity(DampingNoise(50), s, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd <= 0 || fd > 1+1e-9 {
+		t.Errorf("damping fidelity = %g", fd)
+	}
+}
+
+func TestFacadeSuiteAccess(t *testing.T) {
+	if len(Suite()) != 71 {
+		t.Errorf("Suite() = %d entries", len(Suite()))
+	}
+	if len(FamousSeven()) != 7 {
+		t.Errorf("FamousSeven() = %d entries", len(FamousSeven()))
+	}
+	b, err := BenchmarkByName("qft_8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Circuit().NumQubits != 8 {
+		t.Error("benchmark circuit width mismatch")
+	}
+}
+
+// TestFacadeEndToEndOnEveryEvaluationDevice is the cross-device
+// integration test: one structured benchmark mapped and verified on each
+// of the paper's four architectures.
+func TestFacadeEndToEndOnEveryEvaluationDevice(t *testing.T) {
+	b, err := BenchmarkByName("qft_8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := b.Circuit()
+	for _, dev := range EvaluationDevices() {
+		dev := dev
+		t.Run(dev.Name, func(t *testing.T) {
+			initial, err := SABREInitialLayout(c, dev, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Remap(c, dev, initial, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(c, res.Circuit, dev, res.InitialLayout, res.FinalLayout); err != nil {
+				t.Fatal(err)
+			}
+			sres, err := RemapSABRE(c, dev, initial, SabreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(c, sres.Circuit, dev, sres.InitialLayout, sres.FinalLayout); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFacadeSampledSuiteVerifies maps a sample of the benchmark suite on
+// two devices and verifies every output — the broad-coverage integration
+// sweep (statevector verification engages automatically on Q16/Q20).
+func TestFacadeSampledSuiteVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration sweep")
+	}
+	names := []string{
+		"ghz_5", "qft_5", "bv_8", "wstate_8", "adder_2", "grover_4",
+		"dj_balanced_8", "simon_6", "qaoa_8_p1", "ising_8_4", "hshift_8",
+		"revnet_8_s1", "rand_8_g200", "qv_8_d8", "mult_2",
+	}
+	devices := []*arch.Device{arch.IBMQ16Melbourne(), arch.IBMQ20Tokyo()}
+	for _, name := range names {
+		b, err := BenchmarkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := b.Circuit()
+		for _, dev := range devices {
+			initial, err := SABREInitialLayout(c, dev, 1)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, dev.Name, err)
+			}
+			res, err := Remap(c, dev, initial, Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, dev.Name, err)
+			}
+			if err := Verify(c, res.Circuit, dev, res.InitialLayout, res.FinalLayout); err != nil {
+				t.Errorf("%s/%s: %v", name, dev.Name, err)
+			}
+		}
+	}
+}
+
+func TestFacadeOptimize(t *testing.T) {
+	c := NewCircuit(2)
+	c.H(0).H(0).T(1).Tdg(1).CX(0, 1)
+	out, res := Optimize(c)
+	if out.Len() != 1 {
+		t.Errorf("Optimize left %d gates", out.Len())
+	}
+	if res.Removed != 4 {
+		t.Errorf("Removed = %d", res.Removed)
+	}
+	// Full pipeline also fuses rotation runs.
+	c2 := NewCircuit(1)
+	c2.H(0).T(0).H(0)
+	out2, _ := OptimizePipeline(c2)
+	if out2.Len() != 1 || out2.Gates[0].Op != OpU3 {
+		t.Errorf("pipeline output: %v", out2.Gates)
+	}
+}
+
+func TestFacadeTranspile(t *testing.T) {
+	c := NewCircuit(2).H(0).CX(0, 1)
+	ion, err := Transpile(c, TargetIonTrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range ion.Gates {
+		switch g.Op.Name() {
+		case "rx", "ry", "rz", "rxx":
+		default:
+			t.Errorf("non-native ion gate %v", g)
+		}
+	}
+	atom, err := Transpile(c, TargetNeutralAtom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atom.Len() == 0 {
+		t.Error("empty neutral-atom transpilation")
+	}
+}
+
+func TestFacadeOrient(t *testing.T) {
+	dev, err := DeviceByName("qx4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dev.Directed() {
+		t.Fatal("qx4 should be directed")
+	}
+	c := NewCircuit(5).CX(0, 1) // only 1->0 is native on QX4
+	res, err := Remap(c, dev, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oriented, ores, err := Orient(res.Circuit, dev, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range oriented.Gates {
+		if g.Op == OpCX && !dev.CXAllowed(g.Qubits[0], g.Qubits[1]) {
+			t.Errorf("illegal CX orientation %v", g)
+		}
+		if g.Op == OpSwap {
+			t.Error("swap survived lowering")
+		}
+	}
+	_ = ores
+}
+
+func TestFacadeFullToolchain(t *testing.T) {
+	// The complete downstream flow: parse → optimize → map → verify →
+	// orient → transpile → schedule.
+	src := `
+OPENQASM 2.0;
+qreg q[4];
+h q[0];
+h q[0];
+h q[0];
+cx q[0],q[2];
+ccx q[0],q[1],q[3];
+rz(0.25) q[2];
+rz(0.25) q[2];
+`
+	parsed, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := OptimizePipeline(Decompose(parsed))
+	dev, err := DeviceByName("qx4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Remap(c, dev, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(c, res.Circuit, dev, res.InitialLayout, res.FinalLayout); err != nil {
+		t.Fatal(err)
+	}
+	oriented, _, err := Orient(res.Circuit, dev, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ion, err := Transpile(oriented, TargetIonTrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ScheduleASAP(ion, IonTrapDurations())
+	if s.Makespan <= 0 {
+		t.Error("unschedulable toolchain output")
+	}
+}
+
+// TestFullSuiteMapsAndVerifiesOnSycamore is the heaviest end-to-end
+// guarantee: every one of the 71 benchmarks (including the 30k-gate
+// 36-qubit program) maps with CODAR onto the Sycamore model and passes
+// compliance + permutation-tracked equivalence.
+func TestFullSuiteMapsAndVerifiesOnSycamore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sweep")
+	}
+	dev, err := DeviceByName("sycamore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			c := b.Circuit()
+			res, err := Remap(c, dev, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Compliance + equivalence; the statevector check does not
+			// engage (54 qubits exceeds its limit), so Verify is cheap
+			// enough for every entry.
+			if err := Verify(c, res.Circuit, dev, res.InitialLayout, res.FinalLayout); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

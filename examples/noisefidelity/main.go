@@ -1,0 +1,65 @@
+// Noise fidelity: map a Grover instance with CODAR and SABRE, then compare
+// their end-to-end fidelity under the two Fig 9 noise regimes (dephasing-
+// dominant and damping-dominant) on the trajectory simulator that stands in
+// for the OriginQ noisy QVM.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"codar"
+)
+
+func main() {
+	bench, err := codar.BenchmarkByName("grover_4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := bench.Circuit()
+
+	dev, err := codar.DeviceByName("grid3x3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark: %s (%d qubits) on %s\n\n", bench.Name, bench.Qubits, dev.Name)
+
+	initial, err := codar.SABREInitialLayout(c, dev, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cres, err := codar.Remap(c, dev, initial, codar.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sres, err := codar.RemapSABRE(c, dev, initial, codar.SabreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cSched := codar.ScheduleASAP(cres.Circuit, dev.Durations)
+	sSched := codar.ScheduleASAP(sres.Circuit, dev.Durations)
+	fmt.Printf("weighted depth: CODAR %d cycles, SABRE %d cycles\n\n", cSched.Makespan, sSched.Makespan)
+
+	const trajectories = 60
+	regimes := []struct {
+		name  string
+		model codar.NoiseModel
+	}{
+		{"dephasing-dominant (T2 = 1500 cycles)", codar.DephasingNoise(1500)},
+		{"damping-dominant   (T1 = 1500 cycles)", codar.DampingNoise(1500)},
+	}
+	for _, reg := range regimes {
+		cf, err := codar.EstimateFidelity(reg.model, cSched, trajectories, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sf, err := codar.EstimateFidelity(reg.model, sSched, trajectories, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n  CODAR fidelity: %.4f\n  SABRE fidelity: %.4f\n\n", reg.name, cf, sf)
+	}
+	fmt.Println("shorter weighted depth means less decoherence exposure — the mechanism")
+	fmt.Println("behind the paper's claim that CODAR maintains fidelity while speeding up.")
+}

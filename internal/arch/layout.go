@@ -1,0 +1,140 @@
+package arch
+
+import (
+	"fmt"
+)
+
+// Layout is the dynamic mapping π: QP -> QH from logical to physical qubits
+// (paper Table II). The number of physical qubits N may exceed the number
+// of logical qubits n; physical qubits without a logical occupant map back
+// to -1. SWAPs operate on physical qubits and permute whatever logical
+// qubits (if any) occupy them.
+type Layout struct {
+	log2phys []int // logical -> physical, length n
+	phys2log []int // physical -> logical or -1, length N
+}
+
+// NewTrivialLayout maps logical qubit i to physical qubit i.
+func NewTrivialLayout(logical, physical int) *Layout {
+	if logical > physical {
+		panic(fmt.Sprintf("arch: %d logical qubits exceed %d physical", logical, physical))
+	}
+	l := &Layout{
+		log2phys: make([]int, logical),
+		phys2log: make([]int, physical),
+	}
+	for i := range l.phys2log {
+		l.phys2log[i] = -1
+	}
+	for i := range l.log2phys {
+		l.log2phys[i] = i
+		l.phys2log[i] = i
+	}
+	return l
+}
+
+// NewLayout builds a layout from an explicit logical->physical assignment.
+// The assignment must be injective and within [0, physical).
+func NewLayout(log2phys []int, physical int) (*Layout, error) {
+	if len(log2phys) > physical {
+		return nil, fmt.Errorf("arch: %d logical qubits exceed %d physical", len(log2phys), physical)
+	}
+	l := &Layout{
+		log2phys: append([]int(nil), log2phys...),
+		phys2log: make([]int, physical),
+	}
+	for i := range l.phys2log {
+		l.phys2log[i] = -1
+	}
+	for q, p := range l.log2phys {
+		if p < 0 || p >= physical {
+			return nil, fmt.Errorf("arch: logical %d mapped to out-of-range physical %d", q, p)
+		}
+		if l.phys2log[p] != -1 {
+			return nil, fmt.Errorf("arch: physical %d assigned to both logical %d and %d", p, l.phys2log[p], q)
+		}
+		l.phys2log[p] = q
+	}
+	return l, nil
+}
+
+// NumLogical returns n, the number of logical qubits.
+func (l *Layout) NumLogical() int { return len(l.log2phys) }
+
+// NumPhysical returns N, the number of physical qubits.
+func (l *Layout) NumPhysical() int { return len(l.phys2log) }
+
+// Phys returns π(q), the physical qubit hosting logical qubit q.
+func (l *Layout) Phys(q int) int { return l.log2phys[q] }
+
+// Log returns the logical qubit hosted by physical qubit p, or -1.
+func (l *Layout) Log(p int) int { return l.phys2log[p] }
+
+// SwapPhysical exchanges the logical occupants of physical qubits a and b
+// (either or both may be unoccupied). This is the layout effect of a SWAP
+// gate inserted by a remapper.
+func (l *Layout) SwapPhysical(a, b int) {
+	la, lb := l.phys2log[a], l.phys2log[b]
+	l.phys2log[a], l.phys2log[b] = lb, la
+	if la >= 0 {
+		l.log2phys[la] = b
+	}
+	if lb >= 0 {
+		l.log2phys[lb] = a
+	}
+}
+
+// Clone returns an independent copy.
+func (l *Layout) Clone() *Layout {
+	return &Layout{
+		log2phys: append([]int(nil), l.log2phys...),
+		phys2log: append([]int(nil), l.phys2log...),
+	}
+}
+
+// Assignment returns a copy of the logical->physical table.
+func (l *Layout) Assignment() []int { return append([]int(nil), l.log2phys...) }
+
+// Equal reports whether two layouts encode the same assignment.
+func (l *Layout) Equal(o *Layout) bool {
+	if len(l.log2phys) != len(o.log2phys) || len(l.phys2log) != len(o.phys2log) {
+		return false
+	}
+	for i := range l.log2phys {
+		if l.log2phys[i] != o.log2phys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks internal consistency (bijectivity over occupied qubits).
+func (l *Layout) Validate() error {
+	for q, p := range l.log2phys {
+		if p < 0 || p >= len(l.phys2log) {
+			return fmt.Errorf("arch: layout maps logical %d to invalid physical %d", q, p)
+		}
+		if l.phys2log[p] != q {
+			return fmt.Errorf("arch: layout inverse broken at logical %d / physical %d", q, p)
+		}
+	}
+	occupied := 0
+	for p, q := range l.phys2log {
+		if q == -1 {
+			continue
+		}
+		occupied++
+		if q < 0 || q >= len(l.log2phys) || l.log2phys[q] != p {
+			return fmt.Errorf("arch: layout forward broken at physical %d / logical %d", p, q)
+		}
+	}
+	if occupied != len(l.log2phys) {
+		return fmt.Errorf("arch: layout occupies %d physical qubits for %d logical", occupied, len(l.log2phys))
+	}
+	return nil
+}
+
+// String renders the assignment compactly.
+func (l *Layout) String() string {
+	return fmt.Sprintf("layout%v", l.log2phys)
+}

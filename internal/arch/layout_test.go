@@ -1,0 +1,134 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTrivialLayout(t *testing.T) {
+	l := NewTrivialLayout(3, 5)
+	if l.NumLogical() != 3 || l.NumPhysical() != 5 {
+		t.Fatalf("sizes %d/%d", l.NumLogical(), l.NumPhysical())
+	}
+	for q := 0; q < 3; q++ {
+		if l.Phys(q) != q || l.Log(q) != q {
+			t.Errorf("trivial layout broken at %d", q)
+		}
+	}
+	if l.Log(3) != -1 || l.Log(4) != -1 {
+		t.Error("spare physical qubits should map to -1")
+	}
+	if err := l.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrivialLayoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("logical > physical should panic")
+		}
+	}()
+	NewTrivialLayout(5, 3)
+}
+
+func TestNewLayout(t *testing.T) {
+	l, err := NewLayout([]int{2, 0, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Phys(0) != 2 || l.Phys(1) != 0 || l.Phys(2) != 3 {
+		t.Error("assignment not honoured")
+	}
+	if l.Log(2) != 0 || l.Log(1) != -1 {
+		t.Error("inverse broken")
+	}
+	if err := l.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewLayoutErrors(t *testing.T) {
+	if _, err := NewLayout([]int{0, 0}, 3); err == nil {
+		t.Error("non-injective assignment accepted")
+	}
+	if _, err := NewLayout([]int{0, 5}, 3); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+	if _, err := NewLayout([]int{0, 1, 2, 3}, 3); err == nil {
+		t.Error("too many logical qubits accepted")
+	}
+}
+
+func TestSwapPhysical(t *testing.T) {
+	l := NewTrivialLayout(2, 4)
+	// Swap two occupied qubits.
+	l.SwapPhysical(0, 1)
+	if l.Phys(0) != 1 || l.Phys(1) != 0 {
+		t.Error("occupied swap broken")
+	}
+	// Swap occupied with free.
+	l.SwapPhysical(1, 3) // logical 0 moves to physical 3
+	if l.Phys(0) != 3 || l.Log(1) != -1 || l.Log(3) != 0 {
+		t.Error("occupied/free swap broken")
+	}
+	// Swap two free qubits: no-op on logical side.
+	l.SwapPhysical(1, 2)
+	if err := l.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any sequence of SwapPhysical calls keeps the layout a valid
+// partial bijection, and applying the same swap twice restores it.
+func TestSwapPhysicalProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		s := uint64(seed)*0x9E3779B97F4A7C15 + 1
+		next := func(mod int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int(s % uint64(mod))
+		}
+		l := NewTrivialLayout(4, 7)
+		for i := 0; i < 30; i++ {
+			a := next(7)
+			b := next(7)
+			if a == b {
+				continue
+			}
+			l.SwapPhysical(a, b)
+			if l.Validate() != nil {
+				return false
+			}
+		}
+		before := l.Clone()
+		l.SwapPhysical(2, 5)
+		l.SwapPhysical(2, 5)
+		return l.Equal(before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutCloneIndependence(t *testing.T) {
+	l := NewTrivialLayout(2, 3)
+	c := l.Clone()
+	c.SwapPhysical(0, 1)
+	if l.Phys(0) != 0 {
+		t.Error("Clone shares storage")
+	}
+	if l.Equal(c) {
+		t.Error("Equal should detect divergence")
+	}
+}
+
+func TestLayoutAssignmentCopy(t *testing.T) {
+	l := NewTrivialLayout(2, 3)
+	a := l.Assignment()
+	a[0] = 99
+	if l.Phys(0) != 0 {
+		t.Error("Assignment must return a copy")
+	}
+}

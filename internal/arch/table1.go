@@ -1,0 +1,104 @@
+package arch
+
+import "fmt"
+
+// Technology enumerates the NISQ implementation technologies surveyed in
+// Table I of the paper.
+type Technology int
+
+// Technologies from Table I.
+const (
+	IonTrap Technology = iota
+	Superconducting
+	NeutralAtom
+)
+
+// String implements fmt.Stringer.
+func (t Technology) String() string {
+	switch t {
+	case IonTrap:
+		return "ion-trap"
+	case Superconducting:
+		return "superconducting"
+	case NeutralAtom:
+		return "neutral-atom"
+	default:
+		return fmt.Sprintf("technology(%d)", int(t))
+	}
+}
+
+// TechnologyParams captures one column of Table I: representative gate
+// fidelities, gate times and coherence times for a quantum technology.
+// Times are in nanoseconds; fidelities are fractions in [0, 1].
+type TechnologyParams struct {
+	Technology Technology
+	// Representative device of the column.
+	Device string
+	// Fidelity1Q, Fidelity2Q, FidelityReadout are typical operation
+	// fidelities.
+	Fidelity1Q      float64
+	Fidelity2Q      float64
+	FidelityReadout float64
+	// Time1Q and Time2Q are typical gate durations in nanoseconds.
+	Time1Q float64
+	Time2Q float64
+	// T1 (depolarisation) and T2 (spin dephasing) in nanoseconds.
+	T1 float64
+	T2 float64
+	// Durations is the cycle-quantised duration preset derived from the
+	// column, used by the maQAM.
+	Durations Durations
+}
+
+// TableI returns the per-technology parameter rows encoded from the paper's
+// Table I (one representative column per technology).
+func TableI() []TechnologyParams {
+	return []TechnologyParams{
+		{
+			Technology:      IonTrap,
+			Device:          "Ion Q5 (Linke et al.)",
+			Fidelity1Q:      0.991,
+			Fidelity2Q:      0.97,
+			FidelityReadout: 0.957,
+			Time1Q:          20_000,  // 20 µs
+			Time2Q:          250_000, // 250 µs
+			T1:              1e12,    // ~infinite on circuit timescales
+			T2:              5e8,     // ~0.5 s
+			Durations:       IonTrapDurations(),
+		},
+		{
+			Technology:      Superconducting,
+			Device:          "IBM Q16/Q20 (symmetric superconducting)",
+			Fidelity1Q:      0.997,
+			Fidelity2Q:      0.965,
+			FidelityReadout: 0.93,
+			Time1Q:          130,
+			Time2Q:          300, // 250–450 ns band midpoint
+			T1:              70_000,
+			T2:              60_000,
+			Durations:       SuperconductingDurations(),
+		},
+		{
+			Technology:      NeutralAtom,
+			Device:          "2-D optical dipole trap array (Sheng et al.)",
+			Fidelity1Q:      0.99995,
+			Fidelity2Q:      0.82,
+			FidelityReadout: 0.986,
+			Time1Q:          5_000,  // 1–20 µs band
+			Time2Q:          10_000, // ~10 µs
+			T1:              1e10,   // > 10 s
+			T2:              1e9,    // ~1 s
+			Durations:       NeutralAtomDurations(),
+		},
+	}
+}
+
+// ParamsFor returns the Table I row for a technology.
+func ParamsFor(t Technology) (TechnologyParams, error) {
+	for _, p := range TableI() {
+		if p.Technology == t {
+			return p, nil
+		}
+	}
+	return TechnologyParams{}, fmt.Errorf("arch: no Table I row for %v", t)
+}

@@ -1,0 +1,186 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuiltinDevicesAreValid(t *testing.T) {
+	devices := []*Device{
+		IBMQ5(), IBMQ16Melbourne(), IBMQ20Tokyo(), Enfield6x6(), SycamoreQ54(),
+		Grid("g", 3, 3), Linear(7), Ring(8),
+	}
+	for _, d := range devices {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestIBMQ5Shape(t *testing.T) {
+	d := IBMQ5()
+	if d.NumQubits != 5 || len(d.Edges) != 6 {
+		t.Fatalf("Q5 has %d qubits, %d edges", d.NumQubits, len(d.Edges))
+	}
+	if d.Degree(2) != 4 {
+		t.Errorf("bowtie centre degree = %d, want 4", d.Degree(2))
+	}
+}
+
+func TestIBMQ16MelbourneShape(t *testing.T) {
+	d := IBMQ16Melbourne()
+	if d.NumQubits != 16 {
+		t.Fatalf("Q16 has %d qubits", d.NumQubits)
+	}
+	// 7 top + 7 bottom + 8 rungs = 22 couplers.
+	if len(d.Edges) != 22 {
+		t.Errorf("Q16 has %d couplers, want 22", len(d.Edges))
+	}
+	// Ladder rungs: qubit c couples to 15-c.
+	for c := 0; c < 8; c++ {
+		if !d.Adjacent(c, 15-c) {
+			t.Errorf("missing rung %d-%d", c, 15-c)
+		}
+	}
+	if !d.Adjacent(0, 1) || !d.Adjacent(8, 9) {
+		t.Error("missing row edges")
+	}
+	if d.Adjacent(7, 15) {
+		t.Error("corner qubits 7 and 15 must not couple")
+	}
+	// Ladder diameter: 8 (corner to corner).
+	if d.Diameter() != 8 {
+		t.Errorf("Q16 diameter = %d, want 8", d.Diameter())
+	}
+}
+
+func TestIBMQ20TokyoShape(t *testing.T) {
+	d := IBMQ20Tokyo()
+	if d.NumQubits != 20 {
+		t.Fatalf("Q20 has %d qubits", d.NumQubits)
+	}
+	// 16 row + 15 column + 12 diagonal = 43 couplers.
+	if len(d.Edges) != 43 {
+		t.Errorf("Q20 has %d couplers, want 43", len(d.Edges))
+	}
+	for _, e := range [][2]int{{1, 7}, {2, 6}, {5, 11}, {6, 10}, {14, 18}} {
+		if !d.Adjacent(e[0], e[1]) {
+			t.Errorf("missing diagonal %v", e)
+		}
+	}
+	// Dense diagonals keep the diameter small.
+	if d.Diameter() > 4 {
+		t.Errorf("Q20 diameter = %d, want <= 4", d.Diameter())
+	}
+}
+
+func TestEnfield6x6Shape(t *testing.T) {
+	d := Enfield6x6()
+	if d.NumQubits != 36 {
+		t.Fatalf("6x6 has %d qubits", d.NumQubits)
+	}
+	// Grid couplers: 2*6*5 = 60.
+	if len(d.Edges) != 60 {
+		t.Errorf("6x6 has %d couplers, want 60", len(d.Edges))
+	}
+	if d.Diameter() != 10 {
+		t.Errorf("6x6 diameter = %d, want 10", d.Diameter())
+	}
+}
+
+func TestSycamoreQ54Shape(t *testing.T) {
+	d := SycamoreQ54()
+	if d.NumQubits != 54 {
+		t.Fatalf("Sycamore has %d qubits", d.NumQubits)
+	}
+	if !d.Connected() {
+		t.Fatal("Sycamore model must be connected")
+	}
+	// Degree-4 interior, like the real diagonal lattice.
+	maxDeg := 0
+	for q := 0; q < d.NumQubits; q++ {
+		if d.Degree(q) > maxDeg {
+			maxDeg = d.Degree(q)
+		}
+	}
+	if maxDeg != 4 {
+		t.Errorf("max degree = %d, want 4", maxDeg)
+	}
+	if !d.HasCoords() {
+		t.Error("Sycamore model should carry coords for Hfine")
+	}
+}
+
+func TestEvaluationDevicesOrder(t *testing.T) {
+	devs := EvaluationDevices()
+	want := []string{"ibm-q16-melbourne", "enfield-6x6", "ibm-q20-tokyo", "google-q54-sycamore"}
+	if len(devs) != len(want) {
+		t.Fatalf("EvaluationDevices returned %d devices", len(devs))
+	}
+	for i, d := range devs {
+		if d.Name != want[i] {
+			t.Errorf("device %d = %s, want %s", i, d.Name, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	cases := []struct {
+		in     string
+		want   string
+		qubits int
+	}{
+		{"tokyo", "ibm-q20-tokyo", 20},
+		{"Q20", "ibm-q20-tokyo", 20},
+		{"melbourne", "ibm-q16-melbourne", 16},
+		{"enfield", "enfield-6x6", 36},
+		{"sycamore", "google-q54-sycamore", 54},
+		{"q5", "ibm-q5", 5},
+		{"grid3x4", "grid3x4", 12},
+		{"linear9", "linear-9", 9},
+		{"ring5", "ring-5", 5},
+	}
+	for _, tc := range cases {
+		d, err := ByName(tc.in)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", tc.in, err)
+			continue
+		}
+		if d.Name != tc.want || d.NumQubits != tc.qubits {
+			t.Errorf("ByName(%q) = %s/%d, want %s/%d", tc.in, d.Name, d.NumQubits, tc.want, tc.qubits)
+		}
+	}
+	if _, err := ByName("nonsense"); err == nil {
+		t.Error("unknown name accepted")
+	} else if !strings.Contains(err.Error(), "known:") {
+		t.Errorf("error should list known names: %v", err)
+	}
+}
+
+func TestGridPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Grid(0,3) should panic")
+		}
+	}()
+	Grid("bad", 0, 3)
+}
+
+func TestRingPanicsOnTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Ring(2) should panic")
+		}
+	}()
+	Ring(2)
+}
+
+func TestIBMQX4ByName(t *testing.T) {
+	d, err := ByName("qx4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "ibm-qx4" || !d.Directed() {
+		t.Errorf("ByName(qx4) = %s directed=%v", d.Name, d.Directed())
+	}
+}

@@ -1,0 +1,155 @@
+package circuit
+
+// Basis classifies how a gate acts on one of its operand qubits for the
+// purpose of commutation analysis (paper §IV-B, "Commutativity Detection").
+//
+// A gate is Z-diagonal on a qubit when its action on that qubit commutes
+// with Z (phase-type action: Z, S, T, Rz, u1, CZ on either operand, the
+// control of a CX). It is X-diagonal when its action commutes with X
+// (X, Rx, the target of a CX). Two gates sharing qubits commute whenever,
+// on every shared qubit, both act diagonally in the same basis. This is the
+// standard sufficient condition used by production compilers: it never
+// declares a non-commuting pair commuting.
+type Basis uint8
+
+const (
+	// NoBasis means the gate's action on the qubit is not diagonal in
+	// either the Z or X basis (e.g. H, Y, U3, SWAP, measure).
+	NoBasis Basis = iota
+	// ZBasis means the gate acts Z-diagonally on the qubit.
+	ZBasis
+	// XBasis means the gate acts X-diagonally on the qubit.
+	XBasis
+)
+
+// String implements fmt.Stringer.
+func (b Basis) String() string {
+	switch b {
+	case ZBasis:
+		return "Z"
+	case XBasis:
+		return "X"
+	default:
+		return "-"
+	}
+}
+
+// BasisOn returns the commutation basis of gate g on qubit q. If g does not
+// act on q the result is NoBasis.
+func (g Gate) BasisOn(q int) Basis {
+	pos := -1
+	for i, gq := range g.Qubits {
+		if gq == q {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return NoBasis
+	}
+	switch g.Op {
+	case OpID, OpZ, OpS, OpSdg, OpT, OpTdg, OpRZ, OpU1:
+		return ZBasis
+	case OpX, OpRX, OpSX:
+		return XBasis
+	case OpCZ, OpCP, OpRZZ:
+		// Diagonal two-qubit gates act Z-diagonally on both operands.
+		return ZBasis
+	case OpRXX:
+		// The Mølmer–Sørensen gate is diagonal in the X basis on both
+		// operands.
+		return XBasis
+	case OpCX:
+		if pos == 0 {
+			return ZBasis // control
+		}
+		return XBasis // target
+	case OpCCX:
+		if pos < 2 {
+			return ZBasis // controls
+		}
+		return XBasis // target
+	default:
+		return NoBasis
+	}
+}
+
+// Commute reports whether g and h commute as operators. Gates on disjoint
+// qubits always commute. For shared qubits, the per-qubit diagonal-basis
+// rule is applied (see Basis). Barriers never commute with gates sharing
+// their qubit span, making them strict scheduling fences. Identical unitary
+// gates trivially commute.
+//
+// The test is sound (never claims commutation falsely) but not complete:
+// exotic commuting pairs outside the diagonal-basis families are reported
+// as non-commuting, which only costs optimisation opportunity, never
+// correctness. internal/sim cross-validates the rule against explicit
+// unitaries.
+func Commute(g, h Gate) bool {
+	if !g.SharesQubit(h) {
+		return true
+	}
+	if g.Op == OpBarrier || h.Op == OpBarrier {
+		return false
+	}
+	if !g.Op.Unitary() || !h.Op.Unitary() {
+		// Measurement/reset sharing a qubit with anything: order matters.
+		return false
+	}
+	if g.Equal(h) {
+		return true
+	}
+	for _, q := range g.Qubits {
+		if !h.On(q) {
+			continue
+		}
+		bg, bh := g.BasisOn(q), h.BasisOn(q)
+		if bg == NoBasis || bh == NoBasis || bg != bh {
+			return false
+		}
+	}
+	return true
+}
+
+// CommutativeFront returns the indices (into gates, in ascending order) of
+// the commutative forward (CF) gates of the sequence, per Definition 1 of
+// the paper: gate k is CF iff it commutes pairwise with every earlier gate
+// in the sequence. Because disjoint-qubit pairs always commute, only
+// earlier gates sharing a qubit need checking.
+//
+// window bounds the scan: only the first window gates of the sequence are
+// considered as CF candidates (window <= 0 means the whole sequence). The
+// scan aborts early per qubit once a blocking gate is found, so the cost is
+// O(window * avg-stack-height).
+func CommutativeFront(gates []Gate, window int) []int {
+	if window <= 0 || window > len(gates) {
+		window = len(gates)
+	}
+	// blocked[q] == true means some earlier scanned gate on q does not
+	// commute with *any* later gate in the Z/X classification... we cannot
+	// shortcut like that, because commutation is pairwise per candidate.
+	// Instead keep, per qubit, the list of earlier gate indices acting on
+	// that qubit; candidates check against those lists.
+	perQubit := make(map[int][]int)
+	var front []int
+	for k := 0; k < window; k++ {
+		g := gates[k]
+		ok := true
+	scan:
+		for _, q := range g.Qubits {
+			for _, j := range perQubit[q] {
+				if !Commute(gates[j], g) {
+					ok = false
+					break scan
+				}
+			}
+		}
+		if ok {
+			front = append(front, k)
+		}
+		for _, q := range g.Qubits {
+			perQubit[q] = append(perQubit[q], k)
+		}
+	}
+	return front
+}

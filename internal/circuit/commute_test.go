@@ -1,0 +1,291 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasisOn(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Gate
+		q    int
+		want Basis
+	}{
+		{"z on operand", New1Q(OpZ, 3), 3, ZBasis},
+		{"t on operand", New1Q(OpT, 0), 0, ZBasis},
+		{"rz on operand", New1QP(OpRZ, 1, 0.3), 1, ZBasis},
+		{"u1 on operand", New1QP(OpU1, 1, 0.3), 1, ZBasis},
+		{"x on operand", New1Q(OpX, 2), 2, XBasis},
+		{"rx on operand", New1QP(OpRX, 2, 0.7), 2, XBasis},
+		{"h no basis", New1Q(OpH, 0), 0, NoBasis},
+		{"y no basis", New1Q(OpY, 0), 0, NoBasis},
+		{"u3 no basis", New1QP(OpU3, 0, 1, 2, 3), 0, NoBasis},
+		{"cx control", New2Q(OpCX, 4, 5), 4, ZBasis},
+		{"cx target", New2Q(OpCX, 4, 5), 5, XBasis},
+		{"cz either a", New2Q(OpCZ, 4, 5), 4, ZBasis},
+		{"cz either b", New2Q(OpCZ, 4, 5), 5, ZBasis},
+		{"cp either", New2QP(OpCP, 4, 5, 0.2), 5, ZBasis},
+		{"rzz either", New2QP(OpRZZ, 4, 5, 0.2), 4, ZBasis},
+		{"ccx control", Gate{Op: OpCCX, Qubits: []int{1, 2, 3}}, 2, ZBasis},
+		{"ccx target", Gate{Op: OpCCX, Qubits: []int{1, 2, 3}}, 3, XBasis},
+		{"swap no basis", New2Q(OpSwap, 0, 1), 0, NoBasis},
+		{"not an operand", New1Q(OpZ, 3), 4, NoBasis},
+		{"measure no basis", Gate{Op: OpMeasure, Qubits: []int{0}}, 0, NoBasis},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.BasisOn(tc.q); got != tc.want {
+				t.Errorf("BasisOn(%d) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCommute(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Gate
+		want bool
+	}{
+		// Disjoint qubits always commute.
+		{"disjoint h/h", New1Q(OpH, 0), New1Q(OpH, 1), true},
+		{"disjoint cx/cx", New2Q(OpCX, 0, 1), New2Q(OpCX, 2, 3), true},
+		// Same-qubit diagonal pairs.
+		{"t/z same qubit", New1Q(OpT, 0), New1Q(OpZ, 0), true},
+		{"rz/rz same qubit", New1QP(OpRZ, 0, 0.1), New1QP(OpRZ, 0, 0.2), true},
+		{"x/rx same qubit", New1Q(OpX, 0), New1QP(OpRX, 0, 0.5), true},
+		// Mixed-basis pairs do not commute.
+		{"x/z same qubit", New1Q(OpX, 0), New1Q(OpZ, 0), false},
+		{"h/t same qubit", New1Q(OpH, 0), New1Q(OpT, 0), false},
+		{"h/h same qubit identical", New1Q(OpH, 0), New1Q(OpH, 0), true},
+		// The paper's §IV-B example: CX q1,q3 and CX q2,q3 share the
+		// target, hence commute.
+		{"cx shared target", New2Q(OpCX, 1, 3), New2Q(OpCX, 2, 3), true},
+		{"cx shared control", New2Q(OpCX, 1, 3), New2Q(OpCX, 1, 2), true},
+		{"cx control-target clash", New2Q(OpCX, 0, 1), New2Q(OpCX, 1, 2), false},
+		{"cx reversed pair", New2Q(OpCX, 0, 1), New2Q(OpCX, 1, 0), false},
+		{"identical cx", New2Q(OpCX, 0, 1), New2Q(OpCX, 0, 1), true},
+		// Z-type single-qubit gates commute with a CX control, not target.
+		{"t on cx control", New1Q(OpT, 0), New2Q(OpCX, 0, 1), true},
+		{"t on cx target", New1Q(OpT, 1), New2Q(OpCX, 0, 1), false},
+		{"x on cx target", New1Q(OpX, 1), New2Q(OpCX, 0, 1), true},
+		{"x on cx control", New1Q(OpX, 0), New2Q(OpCX, 0, 1), false},
+		// CZ is symmetric and diagonal: commutes with everything Z-ish.
+		{"cz/cz overlap", New2Q(OpCZ, 0, 1), New2Q(OpCZ, 1, 2), true},
+		{"cz with cx control side", New2Q(OpCZ, 0, 1), New2Q(OpCX, 1, 2), true},
+		{"cz with cx target side", New2Q(OpCZ, 0, 1), New2Q(OpCX, 2, 1), false},
+		// Two-qubit diagonal family.
+		{"cp/rzz overlap", New2QP(OpCP, 0, 1, 0.1), New2QP(OpRZZ, 1, 2, 0.2), true},
+		// Barriers fence everything they touch.
+		{"barrier blocks", Gate{Op: OpBarrier, Qubits: []int{0, 1}}, New1Q(OpZ, 0), false},
+		{"barrier disjoint", Gate{Op: OpBarrier, Qubits: []int{0, 1}}, New1Q(OpZ, 2), true},
+		// Measurement fences its qubit.
+		{"measure blocks z", Gate{Op: OpMeasure, Qubits: []int{0}}, New1Q(OpZ, 0), false},
+		// SWAP has no diagonal structure.
+		{"swap vs cx", New2Q(OpSwap, 0, 1), New2Q(OpCX, 1, 2), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Commute(tc.a, tc.b); got != tc.want {
+				t.Errorf("Commute(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCommuteIsSymmetric(t *testing.T) {
+	gates := []Gate{
+		New1Q(OpH, 0), New1Q(OpT, 0), New1Q(OpX, 1), New1Q(OpZ, 2),
+		New2Q(OpCX, 0, 1), New2Q(OpCX, 1, 2), New2Q(OpCZ, 0, 2),
+		New2QP(OpCP, 1, 2, 0.4), Gate{Op: OpBarrier, Qubits: []int{0, 1, 2}},
+		Gate{Op: OpMeasure, Qubits: []int{1}},
+	}
+	for _, a := range gates {
+		for _, b := range gates {
+			if Commute(a, b) != Commute(b, a) {
+				t.Errorf("Commute not symmetric for %v / %v", a, b)
+			}
+		}
+	}
+}
+
+// TestCommutativeFrontPaperExample pins the example from §IV-B: in
+// I = [CX q1,q3; CX q2,q3] both gates are CF because CXs sharing a target
+// commute.
+func TestCommutativeFrontPaperExample(t *testing.T) {
+	gates := []Gate{New2Q(OpCX, 1, 3), New2Q(OpCX, 2, 3)}
+	front := CommutativeFront(gates, 0)
+	if len(front) != 2 || front[0] != 0 || front[1] != 1 {
+		t.Errorf("CommutativeFront = %v, want [0 1]", front)
+	}
+}
+
+func TestCommutativeFront(t *testing.T) {
+	cases := []struct {
+		name  string
+		gates []Gate
+		want  []int
+	}{
+		{"empty", nil, nil},
+		{"single", []Gate{New1Q(OpH, 0)}, []int{0}},
+		{
+			"blocked by h",
+			[]Gate{New1Q(OpH, 0), New1Q(OpT, 0)},
+			[]int{0},
+		},
+		{
+			"t chain all front",
+			[]Gate{New1Q(OpT, 0), New1Q(OpZ, 0), New1QP(OpRZ, 0, 0.3)},
+			[]int{0, 1, 2},
+		},
+		{
+			"disjoint all front",
+			[]Gate{New1Q(OpH, 0), New1Q(OpH, 1), New2Q(OpCX, 2, 3)},
+			[]int{0, 1, 2},
+		},
+		{
+			// Third gate shares control with first but the middle H on an
+			// unrelated qubit does not interfere.
+			"shared control chain",
+			[]Gate{New2Q(OpCX, 0, 1), New1Q(OpH, 3), New2Q(OpCX, 0, 2)},
+			[]int{0, 1, 2},
+		},
+		{
+			// cx 0,1 ; cx 1,2 : second depends (control on 1 = target of
+			// first); third (cx 0,3) shares control 0 with first -> commutes.
+			"mixed dependency",
+			[]Gate{New2Q(OpCX, 0, 1), New2Q(OpCX, 1, 2), New2Q(OpCX, 0, 3)},
+			[]int{0, 2},
+		},
+		{
+			// A gate must commute with ALL earlier gates on its qubits,
+			// even non-CF ones: t q1 after h q1 after z q1 is blocked by h
+			// even though z commutes with t.
+			"transitive blocking",
+			[]Gate{New1Q(OpZ, 1), New1Q(OpH, 1), New1Q(OpT, 1)},
+			[]int{0},
+		},
+		{
+			"barrier fences",
+			[]Gate{New1Q(OpT, 0), Gate{Op: OpBarrier, Qubits: []int{0, 1}}, New1Q(OpT, 0), New1Q(OpH, 2)},
+			[]int{0, 3},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CommutativeFront(tc.gates, 0)
+			if !equalInts(got, tc.want) {
+				t.Errorf("CommutativeFront = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCommutativeFrontWindow(t *testing.T) {
+	gates := []Gate{
+		New1Q(OpH, 0), New1Q(OpH, 1), New1Q(OpH, 2), New1Q(OpH, 3),
+	}
+	got := CommutativeFront(gates, 2)
+	if !equalInts(got, []int{0, 1}) {
+		t.Errorf("windowed CommutativeFront = %v, want [0 1]", got)
+	}
+	// window <= 0 or larger than sequence scans everything.
+	if got := CommutativeFront(gates, -1); len(got) != 4 {
+		t.Errorf("unbounded CommutativeFront = %v", got)
+	}
+	if got := CommutativeFront(gates, 99); len(got) != 4 {
+		t.Errorf("oversized window CommutativeFront = %v", got)
+	}
+}
+
+// Property: the first gate of any sequence is always CF, and the CF set is
+// a subset of indices whose gates pairwise commute with every predecessor.
+func TestCommutativeFrontProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		gates := randomGateSeq(seed, 40, 6)
+		front := CommutativeFront(gates, 0)
+		if len(gates) > 0 && (len(front) == 0 || front[0] != 0) {
+			return false
+		}
+		for _, k := range front {
+			for j := 0; j < k; j++ {
+				if !Commute(gates[j], gates[k]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomGateSeq builds a deterministic pseudo-random gate sequence for
+// property tests (xorshift; no external deps).
+func randomGateSeq(seed int64, n, qubits int) []Gate {
+	s := uint64(seed)*2685821657736338717 + 1
+	next := func(mod int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(mod))
+	}
+	ops1 := []Op{OpH, OpX, OpZ, OpT, OpS, OpRZ, OpRX}
+	var gates []Gate
+	for i := 0; i < n; i++ {
+		if next(3) == 0 {
+			a := next(qubits)
+			b := next(qubits)
+			if a == b {
+				b = (b + 1) % qubits
+			}
+			gates = append(gates, New2Q(OpCX, a, b))
+		} else {
+			op := ops1[next(len(ops1))]
+			g := New1Q(op, next(qubits))
+			if op.NumParams() == 1 {
+				g.Params = []float64{float64(next(7)) * 0.25}
+			}
+			gates = append(gates, g)
+		}
+	}
+	return gates
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRXXBasis(t *testing.T) {
+	g := New2QP(OpRXX, 0, 1, 0.7)
+	if g.BasisOn(0) != XBasis || g.BasisOn(1) != XBasis {
+		t.Error("rxx should be X-diagonal on both operands")
+	}
+	// rxx commutes with X on a shared qubit and with a CX target.
+	if !Commute(g, New1Q(OpX, 0)) {
+		t.Error("rxx should commute with X")
+	}
+	if !Commute(g, New2Q(OpCX, 2, 1)) {
+		t.Error("rxx should commute with a CX target on the shared qubit")
+	}
+	if Commute(g, New1Q(OpZ, 0)) {
+		t.Error("rxx must not commute with Z")
+	}
+	if Commute(g, New2Q(OpCX, 0, 2)) {
+		t.Error("rxx must not commute with a CX control on the shared qubit")
+	}
+	// Two rxx gates sharing qubits commute (both X-diagonal).
+	if !Commute(g, New2QP(OpRXX, 1, 2, 0.3)) {
+		t.Error("rxx pair should commute")
+	}
+}

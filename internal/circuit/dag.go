@@ -1,0 +1,100 @@
+package circuit
+
+// DAG is the gate dependency graph of a circuit: gate j depends on gate i
+// (i < j in program order) when they share a qubit and i is the most recent
+// earlier gate on that qubit. This is the standard structure used by SABRE
+// (Li et al., ASPLOS'19); it deliberately ignores commutation so that the
+// baseline matches its published form. CODAR uses the commutative front
+// instead (see commute.go).
+type DAG struct {
+	circ *Circuit
+	// Preds[k] and Succs[k] list the immediate dependency neighbours of
+	// gate k, deduplicated, in ascending index order.
+	Preds [][]int
+	Succs [][]int
+}
+
+// NewDAG builds the dependency DAG of c.
+func NewDAG(c *Circuit) *DAG {
+	n := len(c.Gates)
+	d := &DAG{
+		circ:  c,
+		Preds: make([][]int, n),
+		Succs: make([][]int, n),
+	}
+	last := make(map[int]int) // qubit -> index of last gate seen on it
+	for k, g := range c.Gates {
+		seen := make(map[int]bool)
+		for _, q := range g.Qubits {
+			if j, ok := last[q]; ok && !seen[j] {
+				seen[j] = true
+				d.Preds[k] = append(d.Preds[k], j)
+				d.Succs[j] = append(d.Succs[j], k)
+			}
+			last[q] = k
+		}
+	}
+	return d
+}
+
+// Circuit returns the circuit the DAG was built from.
+func (d *DAG) Circuit() *Circuit { return d.circ }
+
+// Len returns the number of gates (nodes).
+func (d *DAG) Len() int { return len(d.Preds) }
+
+// Gate returns the gate at node k.
+func (d *DAG) Gate(k int) Gate { return d.circ.Gates[k] }
+
+// InDegrees returns a fresh in-degree array, suitable for topological
+// front-layer traversal.
+func (d *DAG) InDegrees() []int {
+	deg := make([]int, d.Len())
+	for k := range d.Preds {
+		deg[k] = len(d.Preds[k])
+	}
+	return deg
+}
+
+// FrontLayer returns the indices of all gates with no predecessors.
+func (d *DAG) FrontLayer() []int {
+	var front []int
+	for k := range d.Preds {
+		if len(d.Preds[k]) == 0 {
+			front = append(front, k)
+		}
+	}
+	return front
+}
+
+// TopologicalOrder returns one valid topological ordering of the gates.
+// Program order is itself topological, so the identity permutation is
+// returned; the method exists to make intent explicit at call sites.
+func (d *DAG) TopologicalOrder() []int {
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// LongestPath returns the number of gates on the longest dependency chain,
+// which equals the circuit depth when all gates count 1.
+func (d *DAG) LongestPath() int {
+	n := d.Len()
+	dist := make([]int, n)
+	best := 0
+	for k := 0; k < n; k++ { // program order is topological
+		dk := 1
+		for _, p := range d.Preds[k] {
+			if dist[p]+1 > dk {
+				dk = dist[p] + 1
+			}
+		}
+		dist[k] = dk
+		if dk > best {
+			best = dk
+		}
+	}
+	return best
+}

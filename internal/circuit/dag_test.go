@@ -1,0 +1,114 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDAGStructure(t *testing.T) {
+	// h q0; cx q0,q1; cx q1,q2; t q0
+	c := New(3).H(0).CX(0, 1).CX(1, 2).T(0)
+	d := NewDAG(c)
+	if d.Len() != 4 {
+		t.Fatalf("Len() = %d", d.Len())
+	}
+	cases := []struct {
+		node  int
+		preds []int
+		succs []int
+	}{
+		{0, nil, []int{1}},
+		{1, []int{0}, []int{2, 3}},
+		{2, []int{1}, nil},
+		{3, []int{1}, nil},
+	}
+	for _, tc := range cases {
+		if !equalInts(d.Preds[tc.node], tc.preds) {
+			t.Errorf("Preds[%d] = %v, want %v", tc.node, d.Preds[tc.node], tc.preds)
+		}
+		if !equalInts(d.Succs[tc.node], tc.succs) {
+			t.Errorf("Succs[%d] = %v, want %v", tc.node, d.Succs[tc.node], tc.succs)
+		}
+	}
+}
+
+func TestDAGNoDuplicateEdges(t *testing.T) {
+	// Two gates sharing BOTH qubits must produce a single dependency edge.
+	c := New(2).CX(0, 1).CX(0, 1)
+	d := NewDAG(c)
+	if len(d.Preds[1]) != 1 || len(d.Succs[0]) != 1 {
+		t.Errorf("duplicate edges: preds=%v succs=%v", d.Preds[1], d.Succs[0])
+	}
+}
+
+func TestDAGFrontLayer(t *testing.T) {
+	c := New(4).H(0).H(1).CX(0, 1).CX(2, 3)
+	d := NewDAG(c)
+	front := d.FrontLayer()
+	if !equalInts(front, []int{0, 1, 3}) {
+		t.Errorf("FrontLayer() = %v, want [0 1 3]", front)
+	}
+}
+
+func TestDAGInDegrees(t *testing.T) {
+	c := New(3).H(0).CX(0, 1).CX(1, 2)
+	d := NewDAG(c)
+	deg := d.InDegrees()
+	if !equalInts(deg, []int{0, 1, 1}) {
+		t.Errorf("InDegrees() = %v", deg)
+	}
+	// The returned slice must be a fresh copy each call.
+	deg[0] = 99
+	if d.InDegrees()[0] != 0 {
+		t.Error("InDegrees must return a fresh slice")
+	}
+}
+
+func TestDAGLongestPathMatchesDepth(t *testing.T) {
+	f := func(seed int64) bool {
+		gates := randomGateSeq(seed, 60, 5)
+		c := &Circuit{NumQubits: 5, Gates: gates}
+		return NewDAG(c).LongestPath() == c.Depth()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDAGGateAccessors(t *testing.T) {
+	c := New(2).H(0).CX(0, 1)
+	d := NewDAG(c)
+	if d.Circuit() != c {
+		t.Error("Circuit() should return the source circuit")
+	}
+	if d.Gate(1).Op != OpCX {
+		t.Errorf("Gate(1) = %v", d.Gate(1))
+	}
+	if got := d.TopologicalOrder(); !equalInts(got, []int{0, 1}) {
+		t.Errorf("TopologicalOrder() = %v", got)
+	}
+}
+
+// Property: every DAG edge goes forward in program order, and every pair of
+// consecutive gates on a qubit is connected.
+func TestDAGEdgeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		gates := randomGateSeq(seed, 50, 6)
+		c := &Circuit{NumQubits: 6, Gates: gates}
+		d := NewDAG(c)
+		for k, preds := range d.Preds {
+			for _, p := range preds {
+				if p >= k {
+					return false
+				}
+				if !gates[p].SharesQubit(gates[k]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package circuit
+
+// Decompose lowers a circuit to the base gate set the remappers operate on:
+// arbitrary single-qubit gates plus CX (and CZ, which every built-in device
+// supports natively). Compound ops are expanded:
+//
+//	ccx        -> 6-CX standard Toffoli decomposition
+//	cp(l)      -> u1(l/2) a; cx a,b; u1(-l/2) b; cx a,b; u1(l/2) b
+//	rzz(t)     -> cx a,b; rz(t) b; cx a,b
+//	rxx(t)     -> h a; h b; cx a,b; rz(t) b; cx a,b; h a; h b
+//	swap       -> cx a,b; cx b,a; cx a,b   (SWAPs appearing in *input* programs)
+//
+// Barriers, measurements and resets pass through unchanged. The original
+// circuit is not modified.
+func Decompose(c *Circuit) *Circuit {
+	out := &Circuit{Name: c.Name, NumQubits: c.NumQubits, NumClbits: c.NumClbits}
+	for _, g := range c.Gates {
+		decomposeInto(out, g)
+	}
+	return out
+}
+
+// decomposeInto appends the base-set expansion of g to out.
+func decomposeInto(out *Circuit, g Gate) {
+	switch g.Op {
+	case OpCCX:
+		a, b, t := g.Qubits[0], g.Qubits[1], g.Qubits[2]
+		out.H(t)
+		out.CX(b, t)
+		out.Tdg(t)
+		out.CX(a, t)
+		out.T(t)
+		out.CX(b, t)
+		out.Tdg(t)
+		out.CX(a, t)
+		out.T(b)
+		out.T(t)
+		out.H(t)
+		out.CX(a, b)
+		out.T(a)
+		out.Tdg(b)
+		out.CX(a, b)
+	case OpCP:
+		a, b := g.Qubits[0], g.Qubits[1]
+		l := g.Params[0]
+		out.U1(l/2, a)
+		out.CX(a, b)
+		out.U1(-l/2, b)
+		out.CX(a, b)
+		out.U1(l/2, b)
+	case OpRZZ:
+		a, b := g.Qubits[0], g.Qubits[1]
+		out.CX(a, b)
+		out.RZ(g.Params[0], b)
+		out.CX(a, b)
+	case OpRXX:
+		a, b := g.Qubits[0], g.Qubits[1]
+		out.H(a)
+		out.H(b)
+		out.CX(a, b)
+		out.RZ(g.Params[0], b)
+		out.CX(a, b)
+		out.H(a)
+		out.H(b)
+	case OpSwap:
+		a, b := g.Qubits[0], g.Qubits[1]
+		out.CX(a, b)
+		out.CX(b, a)
+		out.CX(a, b)
+	default:
+		out.Add(g.Clone())
+	}
+}
+
+// IsBase reports whether the op belongs to the base set accepted by the
+// remappers (single-qubit unitaries, CX, CZ, plus pass-through directives).
+func IsBase(op Op) bool {
+	switch op {
+	case OpCCX, OpCP, OpRZZ, OpRXX, OpSwap:
+		return false
+	default:
+		return true
+	}
+}
+
+// IsLowered reports whether every gate of c is in the base set.
+func IsLowered(c *Circuit) bool {
+	for _, g := range c.Gates {
+		if !IsBase(g.Op) {
+			return false
+		}
+	}
+	return true
+}

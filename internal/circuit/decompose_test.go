@@ -1,0 +1,152 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecomposeCCX(t *testing.T) {
+	c := New(3).CCX(0, 1, 2)
+	d := Decompose(c)
+	if !IsLowered(d) {
+		t.Fatal("decomposed circuit still has compound ops")
+	}
+	ops := d.CountOps()
+	if ops[OpCX] != 6 {
+		t.Errorf("ccx should lower to 6 CX, got %d", ops[OpCX])
+	}
+	if ops[OpH] != 2 {
+		t.Errorf("ccx should lower with 2 H, got %d", ops[OpH])
+	}
+	if ops[OpT]+ops[OpTdg] != 7 {
+		t.Errorf("ccx should lower with 7 T/Tdg, got %d", ops[OpT]+ops[OpTdg])
+	}
+}
+
+func TestDecomposeCP(t *testing.T) {
+	c := New(2).CP(0.8, 0, 1)
+	d := Decompose(c)
+	ops := d.CountOps()
+	if ops[OpCX] != 2 || ops[OpU1] != 3 {
+		t.Errorf("cp should lower to 2 CX + 3 u1, got %v", ops)
+	}
+	// Angle halving.
+	if d.Gates[0].Params[0] != 0.4 {
+		t.Errorf("first u1 angle = %v, want 0.4", d.Gates[0].Params[0])
+	}
+}
+
+func TestDecomposeRZZ(t *testing.T) {
+	c := New(2).RZZ(1.2, 0, 1)
+	d := Decompose(c)
+	ops := d.CountOps()
+	if ops[OpCX] != 2 || ops[OpRZ] != 1 {
+		t.Errorf("rzz should lower to 2 CX + rz, got %v", ops)
+	}
+}
+
+func TestDecomposeInputSwap(t *testing.T) {
+	c := New(2).Swap(0, 1)
+	d := Decompose(c)
+	ops := d.CountOps()
+	if ops[OpCX] != 3 || len(d.Gates) != 3 {
+		t.Errorf("swap should lower to 3 CX, got %v", ops)
+	}
+}
+
+func TestDecomposePassthrough(t *testing.T) {
+	c := New(2).H(0).CX(0, 1).Measure(1, 0).Barrier()
+	d := Decompose(c)
+	if !c.Equal(d) {
+		t.Error("base gates must pass through unchanged")
+	}
+	// Must be a deep copy.
+	d.Gates[0].Qubits[0] = 1
+	if c.Gates[0].Qubits[0] != 0 {
+		t.Error("Decompose must not alias the input")
+	}
+}
+
+func TestIsBase(t *testing.T) {
+	for _, op := range []Op{OpH, OpX, OpRZ, OpU3, OpCX, OpCZ, OpMeasure, OpBarrier} {
+		if !IsBase(op) {
+			t.Errorf("%v should be base", op)
+		}
+	}
+	for _, op := range []Op{OpCCX, OpCP, OpRZZ, OpSwap} {
+		if IsBase(op) {
+			t.Errorf("%v should not be base", op)
+		}
+	}
+}
+
+// Property: decomposition always yields a lowered circuit with the same
+// qubit count, and is idempotent.
+func TestDecomposeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		s := uint64(seed)*6364136223846793005 + 1442695040888963407
+		next := func(mod int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int(s % uint64(mod))
+		}
+		c := New(5)
+		for i := 0; i < 30; i++ {
+			switch next(5) {
+			case 0:
+				c.CCX(pick3(next, 5))
+			case 1:
+				a, b := pick2(next, 5)
+				c.CP(float64(next(8))*0.2, a, b)
+			case 2:
+				a, b := pick2(next, 5)
+				c.RZZ(float64(next(8))*0.2, a, b)
+			case 3:
+				a, b := pick2(next, 5)
+				c.Swap(a, b)
+			default:
+				c.H(next(5))
+			}
+		}
+		d := Decompose(c)
+		if !IsLowered(d) || d.NumQubits != c.NumQubits {
+			return false
+		}
+		return Decompose(d).Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pick2(next func(int) int, n int) (int, int) {
+	a := next(n)
+	b := next(n)
+	if b == a {
+		b = (a + 1) % n
+	}
+	return a, b
+}
+
+func pick3(next func(int) int, n int) (int, int, int) {
+	a := next(n)
+	b := (a + 1 + next(n-1)) % n
+	c := next(n)
+	for c == a || c == b {
+		c = (c + 1) % n
+	}
+	return a, b, c
+}
+
+func TestDecomposeRXX(t *testing.T) {
+	c := New(2).Add(New2QP(OpRXX, 0, 1, 0.9))
+	d := Decompose(c)
+	if !IsLowered(d) {
+		t.Fatal("rxx not lowered")
+	}
+	ops := d.CountOps()
+	if ops[OpCX] != 2 || ops[OpH] != 4 || ops[OpRZ] != 1 {
+		t.Errorf("rxx lowering shape: %v", ops)
+	}
+}

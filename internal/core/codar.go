@@ -1,0 +1,419 @@
+// Package core implements CODAR, the COntext-sensitive and Duration-Aware
+// Remapping algorithm of Deng, Zhang & Li (DAC 2020). CODAR transforms a
+// logical circuit into a hardware-compliant physical circuit by inserting
+// SWAP operations, simulating the execution timeline as it goes. Two
+// mechanisms distinguish it from depth-oriented mappers such as SABRE:
+//
+//   - Qubit locks (§IV-A): each physical qubit carries a lock tend set to
+//     the finish time of the last gate launched on it. Gate-duration
+//     differences therefore propagate into the routing decisions — a qubit
+//     running a short gate frees earlier and can route sooner.
+//   - Commutativity detection (§IV-B): the set of logically executable
+//     gates is the commutative front (CF), gates that commute with every
+//     predecessor, exposing more context than a plain dependency front.
+//
+// Each simulated cycle launches every lock-free executable CF gate, then
+// greedily inserts the best lock-free SWAPs ranked by the two-level
+// heuristic ⟨Hbasic, Hfine⟩ (§IV-D), and finally advances time to the next
+// lock expiry.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+	"codar/internal/schedule"
+)
+
+// Options tunes the CODAR remapper. The zero value selects the defaults
+// used throughout the evaluation.
+type Options struct {
+	// Window bounds the commutative-front scan over the remaining gate
+	// sequence. 0 means DefaultWindow. Larger windows expose more
+	// look-ahead context at higher cost.
+	Window int
+	// DeadlockStreak is the number of consecutive forced-SWAP cycles
+	// (paper: "choose a SWAP with the highest priority ... even if its
+	// Hbasic may not be positive") tolerated before the engine escapes by
+	// routing the oldest blocked gate directly along a shortest path.
+	// 0 means DefaultDeadlockStreak. See DESIGN.md §4.
+	DeadlockStreak int
+	// DisableHfine drops the fine-priority tie-breaker (ablation).
+	DisableHfine bool
+	// DisableCommutativity replaces the commutative front with the plain
+	// dependency front (ablation: context only from qubit locks).
+	DisableCommutativity bool
+	// Lookahead is the number of upcoming two-qubit gates beyond the
+	// commutative front scored as an Hbasic tie-breaker (an extension over
+	// the paper, mirroring SABRE's extended set; see DESIGN.md §4).
+	// 0 means DefaultLookahead; negative disables the tie-breaker
+	// (paper-exact behaviour).
+	Lookahead int
+	// RankMode selects how the look-ahead term enters the priority
+	// comparison (experimentation/ablation; default RankLookFirst).
+	RankMode RankMode
+}
+
+// RankMode enumerates candidate-ranking variants.
+type RankMode uint8
+
+const (
+	// RankLookFirst compares ⟨Hbasic, Hlook, Hfine⟩ lexicographically.
+	RankLookFirst RankMode = iota
+	// RankFineFirst compares ⟨Hbasic, Hfine, Hlook⟩ (paper order with the
+	// look-ahead appended last).
+	RankFineFirst
+	// RankMixed compares ⟨2*Hbasic + Hlook, Hfine⟩ — SABRE-style blending;
+	// insertion is still gated on Hbasic > 0.
+	RankMixed
+)
+
+// Defaults for Options.
+const (
+	DefaultWindow         = 256
+	DefaultDeadlockStreak = 3
+	DefaultLookahead      = 20
+)
+
+func (o Options) window() int {
+	if o.Window <= 0 {
+		return DefaultWindow
+	}
+	return o.Window
+}
+
+func (o Options) deadlockStreak() int {
+	if o.DeadlockStreak <= 0 {
+		return DefaultDeadlockStreak
+	}
+	return o.DeadlockStreak
+}
+
+func (o Options) lookahead() int {
+	if o.Lookahead == 0 {
+		return DefaultLookahead
+	}
+	if o.Lookahead < 0 {
+		return 0
+	}
+	return o.Lookahead
+}
+
+// Result is the output of a remapping run.
+type Result struct {
+	// Schedule is the timed physical execution (start times, durations).
+	Schedule *schedule.Schedule
+	// Circuit is the physical gate sequence in start order; qubit indices
+	// are physical.
+	Circuit *circuit.Circuit
+	// InitialLayout and FinalLayout are the logical→physical maps before
+	// and after execution.
+	InitialLayout *arch.Layout
+	FinalLayout   *arch.Layout
+	// SwapCount is the number of SWAPs inserted.
+	SwapCount int
+	// Makespan is the weighted depth of the output (quantum clock cycles).
+	Makespan int
+	// Cycles is the number of simulated scheduling iterations.
+	Cycles int
+	// ForcedSwaps counts deadlock-forced SWAP launches.
+	ForcedSwaps int
+	// DirectRoutes counts deadlock-escape shortest-path routings.
+	DirectRoutes int
+}
+
+// Remap runs CODAR on circuit c targeting device dev, starting from the
+// given initial layout (nil means the trivial layout). The input must be
+// lowered to the base gate set (circuit.Decompose) and must fit the device
+// (c.NumQubits <= dev.NumQubits).
+func Remap(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("codar: %w", err)
+	}
+	if !circuit.IsLowered(c) {
+		return nil, fmt.Errorf("codar: circuit %q contains compound gates; apply circuit.Decompose first", c.Name)
+	}
+	if c.NumQubits > dev.NumQubits {
+		return nil, fmt.Errorf("codar: circuit %q needs %d qubits but device %s has %d", c.Name, c.NumQubits, dev.Name, dev.NumQubits)
+	}
+	if !dev.Connected() {
+		return nil, fmt.Errorf("codar: device %s is disconnected", dev.Name)
+	}
+	if initial == nil {
+		initial = arch.NewTrivialLayout(c.NumQubits, dev.NumQubits)
+	}
+	if initial.NumLogical() != c.NumQubits || initial.NumPhysical() != dev.NumQubits {
+		return nil, fmt.Errorf("codar: layout shape %d/%d does not match circuit %d / device %d",
+			initial.NumLogical(), initial.NumPhysical(), c.NumQubits, dev.NumQubits)
+	}
+	if err := initial.Validate(); err != nil {
+		return nil, fmt.Errorf("codar: %w", err)
+	}
+
+	r := newRemapper(c, dev, initial, opts)
+	r.run()
+	return r.result(), nil
+}
+
+// remapper holds the mutable state of one CODAR run.
+type remapper struct {
+	opts  Options
+	dev   *arch.Device
+	gates []circuit.Gate // input gates, indexed by original position
+
+	// Remaining-sequence doubly linked list over gate indices.
+	next, prev []int
+	head       int
+	live       int
+
+	layout *arch.Layout
+	locks  []int // per-physical-qubit lock tend
+
+	out       []schedule.ScheduledGate
+	makespan  int
+	swapCount int
+	cycles    int
+	forced    int
+	routed    int
+	streak    int
+
+	initial *arch.Layout
+
+	// Scratch buffers for the front computation.
+	seenStack [][]int
+	touched   []int
+	front     []int
+	front2q   []int
+	lookSet   []int
+}
+
+func newRemapper(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Options) *remapper {
+	n := len(c.Gates)
+	r := &remapper{
+		opts:      opts,
+		dev:       dev,
+		gates:     c.Gates,
+		next:      make([]int, n),
+		prev:      make([]int, n),
+		head:      -1,
+		live:      n,
+		layout:    initial.Clone(),
+		initial:   initial.Clone(),
+		locks:     make([]int, dev.NumQubits),
+		seenStack: make([][]int, c.NumQubits),
+	}
+	for i := 0; i < n; i++ {
+		r.next[i] = i + 1
+		r.prev[i] = i - 1
+	}
+	if n > 0 {
+		r.head = 0
+		r.next[n-1] = -1
+	}
+	return r
+}
+
+// unlink removes gate i from the remaining sequence.
+func (r *remapper) unlink(i int) {
+	if r.prev[i] >= 0 {
+		r.next[r.prev[i]] = r.next[i]
+	} else {
+		r.head = r.next[i]
+	}
+	if r.next[i] >= 0 {
+		r.prev[r.next[i]] = r.prev[i]
+	}
+	r.live--
+}
+
+// run executes the main CODAR loop (paper Fig 4).
+func (r *remapper) run() {
+	t := 0
+	for r.live > 0 {
+		r.cycles++
+		// Steps 1–2: launch every lock-free executable CF gate at t, to a
+		// fixpoint (launching can expose new CF gates that are also free).
+		launchedAny := false
+		for {
+			launched := false
+			for _, i := range r.computeFront() {
+				if r.executable(i, t) {
+					r.launchGate(i, t)
+					launched = true
+				}
+			}
+			if !launched {
+				break
+			}
+			launchedAny = true
+		}
+		if r.live == 0 {
+			break
+		}
+
+		// Step 3: greedy positive-priority SWAP insertion.
+		front := r.computeFront()
+		inserted := r.insertSwaps(front, t)
+
+		if launchedAny {
+			r.streak = 0
+		}
+		if !launchedAny && !inserted && r.allFree(t) {
+			// Deadlock (§IV-D): no executable gate, no positive SWAP, all
+			// qubits free. Force the highest-priority SWAP; escape to
+			// direct routing after a bounded streak (DESIGN.md §4).
+			r.streak++
+			if r.streak >= r.opts.deadlockStreak() {
+				r.directRoute(front, t)
+				r.streak = 0
+			} else {
+				r.forceSwap(front, t)
+			}
+		}
+
+		// Advance the timeline to the next lock expiry.
+		if nt := r.nextEvent(t); nt > t {
+			t = nt
+		}
+	}
+	sort.SliceStable(r.out, func(i, j int) bool { return r.out[i].Start < r.out[j].Start })
+}
+
+// executable reports whether gate i can launch at time t: every operand's
+// physical qubit is lock-free, and two-qubit operands are coupled
+// (paper §IV-C step 2).
+func (r *remapper) executable(i, t int) bool {
+	g := r.gates[i]
+	for _, q := range g.Qubits {
+		if r.locks[r.layout.Phys(q)] > t {
+			return false
+		}
+	}
+	if g.Op.TwoQubit() {
+		return r.dev.Adjacent(r.layout.Phys(g.Qubits[0]), r.layout.Phys(g.Qubits[1]))
+	}
+	return true
+}
+
+// launchGate schedules gate i at time t on its current physical qubits,
+// updates the locks and removes it from the remaining sequence.
+func (r *remapper) launchGate(i, t int) {
+	g := r.gates[i]
+	phys := g.Remap(func(q int) int { return r.layout.Phys(q) })
+	dur := r.dev.Durations.Of(g.Op)
+	end := t + dur
+	for _, p := range phys.Qubits {
+		if end > r.locks[p] {
+			r.locks[p] = end
+		}
+	}
+	r.out = append(r.out, schedule.ScheduledGate{Gate: phys, Start: t, Duration: dur})
+	if end > r.makespan {
+		r.makespan = end
+	}
+	r.unlink(i)
+	r.streak = 0
+}
+
+// launchSwap schedules a SWAP on physical qubits (a, b) starting at start,
+// updates the locks and applies the permutation to the layout immediately
+// (gates touching a or b cannot start before the SWAP's locks expire, so
+// the early layout update is safe).
+func (r *remapper) launchSwap(a, b, start int) {
+	dur := r.dev.Durations.Of(circuit.OpSwap)
+	end := start + dur
+	r.locks[a] = end
+	r.locks[b] = end
+	r.out = append(r.out, schedule.ScheduledGate{
+		Gate:     circuit.New2Q(circuit.OpSwap, a, b),
+		Start:    start,
+		Duration: dur,
+	})
+	if end > r.makespan {
+		r.makespan = end
+	}
+	r.layout.SwapPhysical(a, b)
+	r.swapCount++
+}
+
+// allFree reports whether every physical qubit is lock-free at t.
+func (r *remapper) allFree(t int) bool {
+	for _, l := range r.locks {
+		if l > t {
+			return false
+		}
+	}
+	return true
+}
+
+// nextEvent returns the smallest lock expiry strictly after t, or t when no
+// lock is pending.
+func (r *remapper) nextEvent(t int) int {
+	nt := -1
+	for _, l := range r.locks {
+		if l > t && (nt < 0 || l < nt) {
+			nt = l
+		}
+	}
+	if nt < 0 {
+		return t
+	}
+	return nt
+}
+
+// directRoute is the bounded deadlock escape: route the oldest blocked
+// two-qubit CF gate along a shortest path, scheduling each SWAP as soon as
+// its qubits free up. The gate itself is launched by subsequent cycles once
+// its operands are adjacent.
+func (r *remapper) directRoute(front []int, t int) {
+	target := -1
+	for _, i := range front {
+		g := r.gates[i]
+		if g.Op.TwoQubit() && r.dev.Distance(r.layout.Phys(g.Qubits[0]), r.layout.Phys(g.Qubits[1])) > 1 {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		return
+	}
+	g := r.gates[target]
+	p1 := r.layout.Phys(g.Qubits[0])
+	p2 := r.layout.Phys(g.Qubits[1])
+	path := r.dev.ShortestPath(p1, p2)
+	// Swap the first operand down the path until it neighbours the second.
+	for k := 0; k+2 < len(path); k++ {
+		a, b := path[k], path[k+1]
+		start := t
+		if r.locks[a] > start {
+			start = r.locks[a]
+		}
+		if r.locks[b] > start {
+			start = r.locks[b]
+		}
+		r.launchSwap(a, b, start)
+	}
+	r.routed++
+}
+
+// result packages the run outcome.
+func (r *remapper) result() *Result {
+	s := &schedule.Schedule{
+		NumQubits: r.dev.NumQubits,
+		Gates:     r.out,
+		Makespan:  r.makespan,
+	}
+	return &Result{
+		Schedule:      s,
+		Circuit:       s.Circuit("codar"),
+		InitialLayout: r.initial,
+		FinalLayout:   r.layout.Clone(),
+		SwapCount:     r.swapCount,
+		Makespan:      r.makespan,
+		Cycles:        r.cycles,
+		ForcedSwaps:   r.forced,
+		DirectRoutes:  r.routed,
+	}
+}

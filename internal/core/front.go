@@ -1,0 +1,79 @@
+package core
+
+import "codar/internal/circuit"
+
+// computeFront returns the commutative front (CF) of the remaining gate
+// sequence: the indices of gates that commute with every earlier remaining
+// gate (Definition 1). The scan is bounded by the options window; gates on
+// disjoint qubits commute trivially, so each candidate is only checked
+// against earlier scanned gates sharing one of its qubits.
+//
+// With DisableCommutativity the front degrades to the plain dependency
+// front (first unexecuted gate per qubit chain), which is what SABRE uses.
+func (r *remapper) computeFront() []int {
+	window := r.opts.window()
+	r.front = r.front[:0]
+	// Reset per-qubit stacks touched by the previous call.
+	for _, q := range r.touched {
+		r.seenStack[q] = r.seenStack[q][:0]
+	}
+	r.touched = r.touched[:0]
+
+	look := r.opts.lookahead()
+	r.lookSet = r.lookSet[:0]
+	count := 0
+	i := r.head
+	for ; i >= 0 && count < window; i = r.next[i] {
+		g := r.gates[i]
+		ok := true
+	scan:
+		for _, q := range g.Qubits {
+			stack := r.seenStack[q]
+			if r.opts.DisableCommutativity {
+				if len(stack) > 0 {
+					ok = false
+					break scan
+				}
+				continue
+			}
+			for _, j := range stack {
+				if !circuit.Commute(r.gates[j], g) {
+					ok = false
+					break scan
+				}
+			}
+		}
+		if ok {
+			r.front = append(r.front, i)
+		} else if g.Op.TwoQubit() && len(r.lookSet) < look {
+			r.lookSet = append(r.lookSet, i)
+		}
+		for _, q := range g.Qubits {
+			if len(r.seenStack[q]) == 0 {
+				r.touched = append(r.touched, q)
+			}
+			r.seenStack[q] = append(r.seenStack[q], i)
+		}
+		count++
+	}
+	// Top up the look-ahead set past the window: everything beyond is
+	// non-front by construction.
+	for ; i >= 0 && len(r.lookSet) < look; i = r.next[i] {
+		if r.gates[i].Op.TwoQubit() {
+			r.lookSet = append(r.lookSet, i)
+		}
+	}
+	return r.front
+}
+
+// frontTwoQubit filters the front down to two-qubit unitaries, the gates
+// that participate in the distance heuristics.
+func (r *remapper) frontTwoQubit(front []int) []int {
+	r.front2q = r.front2q[:0]
+	for _, i := range front {
+		if r.gates[i].Op.TwoQubit() {
+			r.front2q = append(r.front2q, i)
+		}
+	}
+	return r.front2q
+}

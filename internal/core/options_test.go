@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+	"codar/internal/schedule"
+)
+
+// TestOptionDefaults pins the default resolution logic.
+func TestOptionDefaults(t *testing.T) {
+	var o Options
+	if o.window() != DefaultWindow {
+		t.Errorf("window() = %d", o.window())
+	}
+	if o.deadlockStreak() != DefaultDeadlockStreak {
+		t.Errorf("deadlockStreak() = %d", o.deadlockStreak())
+	}
+	if o.lookahead() != DefaultLookahead {
+		t.Errorf("lookahead() = %d", o.lookahead())
+	}
+	o = Options{Window: 7, DeadlockStreak: 2, Lookahead: 11}
+	if o.window() != 7 || o.deadlockStreak() != 2 || o.lookahead() != 11 {
+		t.Error("explicit options ignored")
+	}
+	o = Options{Lookahead: -1}
+	if o.lookahead() != 0 {
+		t.Errorf("negative lookahead should disable: %d", o.lookahead())
+	}
+}
+
+// TestAllOptionCombinationsStayCorrect sweeps the option matrix over a
+// structured circuit and requires every variant to produce a complete,
+// compliant, valid-schedule output.
+func TestAllOptionCombinationsStayCorrect(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	c := randCircuit(99, 8, 120)
+	variants := []Options{
+		{},
+		{DisableHfine: true},
+		{DisableCommutativity: true},
+		{Lookahead: -1},
+		{Lookahead: 5},
+		{Window: 4},
+		{Window: 1024},
+		{RankMode: RankFineFirst},
+		{RankMode: RankMixed},
+		{DeadlockStreak: 1},
+		{DisableHfine: true, DisableCommutativity: true, Lookahead: -1, Window: 2},
+		{RankMode: RankMixed, Lookahead: 40, Window: 512},
+	}
+	for i, opts := range variants {
+		res, err := Remap(c, dev, nil, opts)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if err := res.Schedule.Validate(dev.Durations); err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		nonSwap := 0
+		for _, sg := range res.Schedule.Gates {
+			g := sg.Gate
+			if g.Op.TwoQubit() && !dev.Adjacent(g.Qubits[0], g.Qubits[1]) {
+				t.Fatalf("variant %d: non-compliant %v", i, g)
+			}
+			if g.Op != circuit.OpSwap {
+				nonSwap++
+			}
+		}
+		if nonSwap != c.Len() {
+			t.Fatalf("variant %d: %d gates out, want %d", i, nonSwap, c.Len())
+		}
+	}
+}
+
+// TestLookaheadReducesSwapsOnSerialChain demonstrates what the tie-breaker
+// buys: on a serial GHZ chain the look-ahead variant needs no more (and
+// typically fewer) swaps than the paper-exact variant.
+func TestLookaheadReducesSwapsOnSerialChain(t *testing.T) {
+	dev := arch.IBMQ16Melbourne()
+	c := circuit.New(16)
+	c.H(0)
+	for i := 0; i+1 < 16; i++ {
+		c.CX(i, i+1)
+	}
+	with, err := Remap(c, dev, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Remap(c, dev, nil, Options{Lookahead: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.SwapCount > without.SwapCount {
+		t.Errorf("lookahead increased swaps: %d vs %d", with.SwapCount, without.SwapCount)
+	}
+}
+
+// TestRankModesDiffer: the ranking variants are genuinely different
+// policies (at least one benchmark distinguishes them) yet all remain
+// semantically complete (covered by the matrix test above).
+func TestRankModesDiffer(t *testing.T) {
+	dev := arch.Grid("g44", 4, 4)
+	c := randCircuit(1234, 10, 200)
+	out := map[RankMode]int{}
+	for _, m := range []RankMode{RankLookFirst, RankFineFirst, RankMixed} {
+		res, err := Remap(c, dev, nil, Options{RankMode: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[m] = res.Makespan
+	}
+	if out[RankLookFirst] == out[RankFineFirst] && out[RankFineFirst] == out[RankMixed] {
+		t.Log("all rank modes coincided on this input (not an error, but unexpected)")
+	}
+}
+
+// TestDisableCommutativityIsMoreConservative: without commutativity the
+// front is a subset, so the mapper cannot launch reordered gates; its
+// output un-maps to the exact input order.
+func TestDisableCommutativityPreservesOrder(t *testing.T) {
+	dev := arch.Linear(5)
+	c := randCircuit(7, 5, 40)
+	res, err := Remap(c, dev, nil, Options{DisableCommutativity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.InitialLayout.Clone()
+	i := 0
+	for _, sg := range res.Schedule.Gates {
+		g := sg.Gate
+		if g.Op == circuit.OpSwap {
+			l.SwapPhysical(g.Qubits[0], g.Qubits[1])
+			continue
+		}
+		lg := g.Remap(func(p int) int { return l.Log(p) })
+		// Gates on disjoint qubits may still launch in the same cycle and
+		// appear reordered in the flat sequence; only same-qubit order is
+		// guaranteed. Check per-qubit order instead of global order.
+		_ = lg
+		i++
+	}
+	if i != c.Len() {
+		t.Fatalf("gates out = %d, want %d", i, c.Len())
+	}
+	// Per-qubit projection of the recovered sequence must match the
+	// input's per-qubit projection exactly.
+	perQubitIn := project(c.Gates, c.NumQubits)
+	recovered := recoverLogical(res, c.NumQubits)
+	perQubitOut := project(recovered, c.NumQubits)
+	for q := range perQubitIn {
+		if len(perQubitIn[q]) != len(perQubitOut[q]) {
+			t.Fatalf("qubit %d: %d vs %d gates", q, len(perQubitIn[q]), len(perQubitOut[q]))
+		}
+		for k := range perQubitIn[q] {
+			if !perQubitIn[q][k].Equal(perQubitOut[q][k]) {
+				t.Fatalf("qubit %d: order broken at %d: %v vs %v", q, k, perQubitIn[q][k], perQubitOut[q][k])
+			}
+		}
+	}
+}
+
+func project(gates []circuit.Gate, n int) [][]circuit.Gate {
+	out := make([][]circuit.Gate, n)
+	for _, g := range gates {
+		for _, q := range g.Qubits {
+			out[q] = append(out[q], g)
+		}
+	}
+	return out
+}
+
+func recoverLogical(res *Result, n int) []circuit.Gate {
+	l := res.InitialLayout.Clone()
+	var out []circuit.Gate
+	for _, sg := range res.Schedule.Gates {
+		g := sg.Gate
+		if g.Op == circuit.OpSwap {
+			l.SwapPhysical(g.Qubits[0], g.Qubits[1])
+			continue
+		}
+		out = append(out, g.Remap(func(p int) int { return l.Log(p) }))
+	}
+	return out
+}
+
+// TestDeadlockStreakEscape forces the direct-routing hatch by making the
+// streak threshold minimal on a topology prone to negative-Hbasic fronts.
+func TestDeadlockStreakEscape(t *testing.T) {
+	dev := arch.Ring(8)
+	c := circuit.New(8)
+	// Antipodal pairs: every routing step for one gate drags another
+	// gate's qubits the wrong way.
+	c.CX(0, 4)
+	c.CX(1, 5)
+	c.CX(2, 6)
+	c.CX(3, 7)
+	res, err := Remap(c, dev, nil, Options{DeadlockStreak: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCX := 0
+	for _, sg := range res.Schedule.Gates {
+		if sg.Gate.Op == circuit.OpCX {
+			nCX++
+		}
+	}
+	if nCX != 4 {
+		t.Errorf("CX out = %d, want 4", nCX)
+	}
+}
+
+// TestWeightedDepthNeverWorseThanSerial sanity-bounds CODAR's output: the
+// makespan is at most the serial sum of all gate durations.
+func TestWeightedDepthNeverWorseThanSerial(t *testing.T) {
+	dev := arch.IBMQ16Melbourne()
+	c := randCircuit(31, 8, 80)
+	res, err := Remap(c, dev, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := 0
+	for _, sg := range res.Schedule.Gates {
+		serial += sg.Duration
+	}
+	if res.Makespan > serial {
+		t.Errorf("makespan %d exceeds serial bound %d", res.Makespan, serial)
+	}
+	re := schedule.ASAP(res.Circuit, dev.Durations)
+	if re.Makespan > res.Makespan {
+		t.Errorf("re-schedule worsened makespan: %d > %d", re.Makespan, res.Makespan)
+	}
+}

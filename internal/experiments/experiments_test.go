@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"codar/internal/arch"
+	"codar/internal/core"
+	"codar/internal/verify"
+	"codar/internal/workloads"
+)
+
+func TestCompareOnProducesVerifiedOutputs(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	b, err := workloads.ByName("qft_8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := CompareOn(b, dev, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.CodarWD <= 0 || row.SabreWD <= 0 {
+		t.Errorf("weighted depths %d/%d", row.CodarWD, row.SabreWD)
+	}
+	if row.Speedup <= 0 {
+		t.Errorf("speedup %g", row.Speedup)
+	}
+	if row.Gates == 0 || row.Qubits != 8 {
+		t.Errorf("row metadata: %+v", row)
+	}
+}
+
+func TestCompareOnDeterministic(t *testing.T) {
+	dev := arch.IBMQ16Melbourne()
+	b, _ := workloads.ByName("rand_8_g200")
+	r1, err := CompareOn(b, dev, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := CompareOn(b, dev, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("non-deterministic comparison: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestFig8SubsetShape runs a small subset of the Fig 8 sweep and checks the
+// headline shape: CODAR achieves an average speedup >= 1 over SABRE on
+// weighted depth.
+func TestFig8SubsetShape(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	names := []string{"qft_10", "qft_13", "rand_10_g300", "rand_12_g500", "qv_8_d8", "revnet_10_s1", "ising_8_4", "dj_balanced_12"}
+	var sum float64
+	for _, name := range names {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := CompareOn(b, dev, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += row.Speedup
+	}
+	avg := sum / float64(len(names))
+	if avg < 1.0 {
+		t.Errorf("average speedup on subset = %.3f, want >= 1.0 (paper: 1.214 on Q20)", avg)
+	}
+}
+
+func TestRunFig8DeviceFiltersOversized(t *testing.T) {
+	// On the 16-qubit Melbourne, only the 68 small benchmarks run.
+	dev := arch.IBMQ16Melbourne()
+	// Use a cheap subset by filtering the suite through the real function
+	// is too slow for -short runs; here we only check the filter logic via
+	// benchmark counting on a fast fake: filter is inside RunFig8Device,
+	// so run it with a tiny option set but... the full device run is
+	// long. Approximate: count eligible benchmarks directly.
+	n := 0
+	for _, b := range workloads.Suite() {
+		if b.Qubits > 16 && dev.NumQubits < 54 {
+			continue
+		}
+		if b.Qubits > dev.NumQubits {
+			continue
+		}
+		n++
+	}
+	if n != 68 {
+		t.Errorf("eligible benchmarks on Q16 = %d, want 68", n)
+	}
+	// Sycamore takes all 71.
+	syc := arch.SycamoreQ54()
+	n = 0
+	for _, b := range workloads.Suite() {
+		if b.Qubits > syc.NumQubits {
+			continue
+		}
+		n++
+	}
+	if n != 71 {
+		t.Errorf("eligible benchmarks on Sycamore = %d, want 71", n)
+	}
+}
+
+// TestFig9SmallRun exercises the fidelity harness end to end with few
+// trajectories and checks the paper's qualitative claims: fidelities are
+// valid probabilities and CODAR does not collapse relative to SABRE.
+func TestFig9SmallRun(t *testing.T) {
+	rows, err := RunFig9(6, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 { // 7 algorithms x 2 regimes
+		t.Fatalf("rows = %d, want 14", len(rows))
+	}
+	var cSum, sSum float64
+	for _, r := range rows {
+		if r.CodarFidelity < 0 || r.CodarFidelity > 1+1e-9 || r.SabreFidelity < 0 || r.SabreFidelity > 1+1e-9 {
+			t.Errorf("%s/%s: fidelities out of range: %+v", r.Benchmark, r.Regime, r)
+		}
+		cSum += r.CodarFidelity
+		sSum += r.SabreFidelity
+	}
+	// Fidelity maintenance: CODAR's mean fidelity within 5% of SABRE's.
+	if cSum < sSum*0.95 {
+		t.Errorf("CODAR mean fidelity %.4f collapsed vs SABRE %.4f", cSum/14, sSum/14)
+	}
+}
+
+func TestWriteFig8Renders(t *testing.T) {
+	dev := arch.Linear(6)
+	b, _ := workloads.ByName("ghz_5")
+	row, err := CompareOn(b, dev, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteFig8(&sb, Fig8Result{Device: dev, Rows: []SpeedupRow{row}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"benchmark", "speedup", "avg speedup", "ghz_5"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("WriteFig8 output missing %q", want)
+		}
+	}
+}
+
+func TestWriteFig9Renders(t *testing.T) {
+	rows := []FidelityRow{{Benchmark: "qft_5", Regime: "dephasing", CodarWD: 10, SabreWD: 12, CodarFidelity: 0.9, SabreFidelity: 0.85}}
+	var sb strings.Builder
+	if err := WriteFig9(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"algorithm", "regime", "qft_5", "mean fidelity"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("WriteFig9 output missing %q", want)
+		}
+	}
+}
+
+// TestMappedOutputsStayVerified spot-checks that the harness's mapped
+// circuits remain semantically faithful (the harness itself skips
+// verification for speed; this pins it for a sample).
+func TestMappedOutputsStayVerified(t *testing.T) {
+	dev := FidelityDevice()
+	for _, name := range []string{"qft_5", "ghz_6", "simon_6"} {
+		var b workloads.Benchmark
+		found := false
+		for _, cand := range workloads.FamousSeven() {
+			if cand.Name == name {
+				b, found = cand, true
+			}
+		}
+		if !found {
+			t.Fatalf("%s not in FamousSeven", name)
+		}
+		c := b.Circuit()
+		res, err := core.Remap(c, dev, nil, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.Full(c, res.Circuit, dev, res.InitialLayout, res.FinalLayout); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGateErrorStudy(t *testing.T) {
+	rows, err := RunGateErrorStudy(5, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	for _, r := range rows {
+		if r.CodarFidelity < 0 || r.CodarFidelity > 1+1e-9 {
+			t.Errorf("%s: codar fidelity %g", r.Benchmark, r.CodarFidelity)
+		}
+		if r.CodarWD <= 0 || r.SabreWD <= 0 {
+			t.Errorf("%s: missing weighted depths", r.Benchmark)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteGateErrorStudy(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mean fidelity with gate errors") {
+		t.Error("study output missing summary")
+	}
+}
+
+func TestDurationSweep(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	before := dev.Durations
+	points, err := RunDurationSweep(dev, []int{1, 2}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Ratio != 1 || points[1].Ratio != 2 {
+		t.Fatalf("points = %+v", points)
+	}
+	for _, p := range points {
+		if p.AvgSpeedup <= 0 || p.GeoMean <= 0 {
+			t.Errorf("ratio %d: non-positive speedups %+v", p.Ratio, p)
+		}
+	}
+	// The device's durations must be restored after the sweep.
+	if dev.Durations.Two != before.Two || dev.Durations.Swap != before.Swap {
+		t.Error("sweep leaked duration mutation")
+	}
+	if _, err := RunDurationSweep(dev, []int{0}, core.Options{}); err == nil {
+		t.Error("non-positive ratio accepted")
+	}
+	var sb strings.Builder
+	if err := WriteDurationSweep(&sb, dev, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2q/1q ratio") {
+		t.Error("sweep output missing header")
+	}
+}
+
+func TestWriteFig8CSV(t *testing.T) {
+	dev := arch.Linear(6)
+	b, _ := workloads.ByName("ghz_5")
+	row, err := CompareOn(b, dev, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Fig8Result{Device: dev, Rows: []SpeedupRow{row}}
+	var sb strings.Builder
+	if err := WriteFig8CSV(&sb, res, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "device,benchmark") {
+		t.Errorf("CSV shape wrong: %q", sb.String())
+	}
+	if !strings.Contains(lines[1], "ghz_5") {
+		t.Errorf("CSV row missing data: %q", lines[1])
+	}
+	// Without header.
+	var sb2 strings.Builder
+	if err := WriteFig8CSV(&sb2, res, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb2.String(), "device,benchmark") {
+		t.Error("header written when suppressed")
+	}
+}
+
+func TestRunFig8DeviceParallelDeterminism(t *testing.T) {
+	// The parallel fan-out must not perturb results or ordering.
+	dev := arch.IBMQ5()
+	r1, err := RunFig8Device(dev, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunFig8Device(dev, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rows) != len(r2.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(r1.Rows), len(r2.Rows))
+	}
+	for i := range r1.Rows {
+		if r1.Rows[i] != r2.Rows[i] {
+			t.Fatalf("row %d differs across runs: %+v vs %+v", i, r1.Rows[i], r2.Rows[i])
+		}
+	}
+}
+
+func TestInitialMappingStudy(t *testing.T) {
+	// Use the small Q5 device implicitly via a trimmed run on Tokyo with
+	// the standard subset; just validate structure and sanity.
+	dev := arch.IBMQ20Tokyo()
+	rows, err := RunInitialMappingStudy(dev, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if len(r.WD) != 4 {
+			t.Errorf("%s: %d methods, want 4", r.Benchmark, len(r.WD))
+		}
+		for m, wd := range r.WD {
+			if wd <= 0 {
+				t.Errorf("%s/%s: weighted depth %d", r.Benchmark, m, wd)
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := WriteInitialMappingStudy(&sb, dev, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trivial", "random", "dense", "sabre-reverse", "baseline"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("study output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{2}, 2},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{0.5, 1.5}, 1},
+	}
+	for _, tc := range cases {
+		if got := Mean(tc.xs); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Mean(%v) = %g, want %g", tc.xs, got, tc.want)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %g, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(2,2,2) = %g", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %g", got)
+	}
+	if got := GeoMean([]float64{1, -1}); !math.IsNaN(got) {
+		t.Errorf("GeoMean with negative = %g, want NaN", got)
+	}
+	// GeoMean <= Mean (AM-GM).
+	xs := []float64{0.7, 1.3, 2.9, 0.4}
+	if GeoMean(xs) > Mean(xs) {
+		t.Error("AM-GM violated")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Errorf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if Median(xs) != 3 {
+		t.Errorf("Median = %g, want 3", Median(xs))
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Errorf("even Median = %g, want 2.5", Median([]float64{1, 2, 3, 4}))
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	// Median must not mutate its input.
+	orig := []float64{9, 1, 5}
+	Median(orig)
+	if orig[0] != 9 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestCountAtLeast(t *testing.T) {
+	xs := []float64{0.9, 1.0, 1.1, 2.0}
+	if got := CountAtLeast(xs, 1.0); got != 3 {
+		t.Errorf("CountAtLeast = %d, want 3", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", 1.23456)
+	tab.AddRow("beta", 42)
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"name", "value", "alpha", "1.235", "beta", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package optimize
+
+import (
+	"math"
+	"math/cmplx"
+
+	"codar/internal/circuit"
+	"codar/internal/sim"
+)
+
+// FuseResult summarises a single-qubit fusion run.
+type FuseResult struct {
+	// Fused is the number of gates absorbed into u3 replacements.
+	Fused int
+	// Dropped is the number of runs that composed to the identity and
+	// were removed entirely.
+	Dropped int
+}
+
+// Fuse merges every maximal run of consecutive single-qubit unitaries on a
+// qubit into one u3 gate (or nothing, when the run composes to the
+// identity up to global phase). A run is broken by any multi-qubit gate,
+// measurement, reset or barrier touching the qubit. Runs of length one are
+// left untouched. Deferring a fused gate to the position of the run's last
+// element only commutes it past gates on other qubits, so semantics are
+// preserved (statevector-validated in the tests).
+func Fuse(c *circuit.Circuit) (*circuit.Circuit, FuseResult) {
+	out := &circuit.Circuit{Name: c.Name, NumQubits: c.NumQubits, NumClbits: c.NumClbits}
+	var res FuseResult
+
+	// Per-qubit run buffer: the composed matrix plus the original gates
+	// (a length-1 run re-emits its original gate unchanged).
+	type buf struct {
+		u     [2][2]complex128
+		gates []circuit.Gate
+	}
+	bufs := make([]*buf, c.NumQubits)
+
+	emit := func(q int) {
+		b := bufs[q]
+		if b == nil {
+			return
+		}
+		bufs[q] = nil
+		if len(b.gates) == 1 {
+			out.Add(b.gates[0].Clone())
+			return
+		}
+		res.Fused += len(b.gates)
+		if isIdentityUpToPhase(b.u) {
+			res.Dropped++
+			return
+		}
+		theta, phi, lam := zyzAngles(b.u)
+		out.U3(theta, phi, lam, q)
+	}
+
+	for _, g := range c.Gates {
+		if g.Op.SingleQubit() {
+			u, err := sim.Unitary1Q(g.Op, g.Params)
+			if err != nil {
+				// Unknown unitary: flush and pass through defensively.
+				emit(g.Qubits[0])
+				out.Add(g.Clone())
+				continue
+			}
+			q := g.Qubits[0]
+			if bufs[q] == nil {
+				bufs[q] = &buf{u: [2][2]complex128{{1, 0}, {0, 1}}}
+			}
+			bufs[q].u = matMul(u, bufs[q].u) // later gate multiplies on the left
+			bufs[q].gates = append(bufs[q].gates, g)
+			continue
+		}
+		// Any other gate flushes the runs on its qubits, then passes
+		// through.
+		for _, q := range g.Qubits {
+			emit(q)
+		}
+		out.Add(g.Clone())
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		emit(q)
+	}
+	return out, res
+}
+
+// matMul returns a·b for 2x2 complex matrices.
+func matMul(a, b [2][2]complex128) [2][2]complex128 {
+	var r [2][2]complex128
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			r[i][j] = a[i][0]*b[0][j] + a[i][1]*b[1][j]
+		}
+	}
+	return r
+}
+
+// isIdentityUpToPhase reports whether u is a scalar multiple of I.
+func isIdentityUpToPhase(u [2][2]complex128) bool {
+	const eps = 1e-10
+	if cmplx.Abs(u[0][1]) > eps || cmplx.Abs(u[1][0]) > eps {
+		return false
+	}
+	return cmplx.Abs(u[0][0]-u[1][1]) < eps
+}
+
+// zyzAngles mirrors transpile.ZYZ locally (kept separate to avoid an
+// import cycle between the optimisation and transpilation layers).
+func zyzAngles(u [2][2]complex128) (theta, phi, lam float64) {
+	det := u[0][0]*u[1][1] - u[0][1]*u[1][0]
+	scale := cmplx.Sqrt(det)
+	if cmplx.Abs(scale) < 1e-15 {
+		return 0, 0, 0
+	}
+	a := u[0][0] / scale
+	b := u[1][0] / scale
+	theta = 2 * math.Atan2(cmplx.Abs(b), cmplx.Abs(a))
+	const eps = 1e-12
+	switch {
+	case cmplx.Abs(b) < eps:
+		phi = 0
+		lam = -2 * cmplx.Phase(a)
+	case cmplx.Abs(a) < eps:
+		lam = 0
+		phi = 2 * cmplx.Phase(b)
+	default:
+		sum := -2 * cmplx.Phase(a)
+		diff := 2 * cmplx.Phase(b)
+		phi = (sum + diff) / 2
+		lam = (sum - diff) / 2
+	}
+	return theta, phi, lam
+}
+
+// PipelineResult aggregates a full optimisation pipeline run.
+type PipelineResult struct {
+	Cancel Result
+	Fuse   FuseResult
+}
+
+// Pipeline runs Cancel → Fuse → Cancel, the standard pre-mapping cleanup.
+func Pipeline(c *circuit.Circuit) (*circuit.Circuit, PipelineResult) {
+	var pr PipelineResult
+	out, r1 := Cancel(c)
+	out, pr.Fuse = Fuse(out)
+	out, r2 := Cancel(out)
+	pr.Cancel.Removed = r1.Removed + r2.Removed
+	pr.Cancel.Merged = r1.Merged + r2.Merged
+	pr.Cancel.Passes = r1.Passes + r2.Passes
+	return out, pr
+}

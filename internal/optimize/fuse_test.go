@@ -1,0 +1,172 @@
+package optimize
+
+import (
+	"testing"
+	"testing/quick"
+
+	"codar/internal/circuit"
+	"codar/internal/sim"
+)
+
+func TestFuseMergesRuns(t *testing.T) {
+	// h; t; h on one qubit collapses to a single u3.
+	c := circuit.New(1).H(0).T(0).H(0)
+	out, res := Fuse(c)
+	if out.Len() != 1 || out.Gates[0].Op != circuit.OpU3 {
+		t.Fatalf("fused to %s", out)
+	}
+	if res.Fused != 3 {
+		t.Errorf("Fused = %d", res.Fused)
+	}
+	a, _ := sim.Run(c)
+	b, _ := sim.Run(out)
+	if !a.EqualUpToPhase(b, 1e-9) {
+		t.Error("fusion changed semantics")
+	}
+}
+
+func TestFuseDropsIdentityRuns(t *testing.T) {
+	c := circuit.New(1).H(0).H(0)
+	out, res := Fuse(c)
+	if out.Len() != 0 {
+		t.Errorf("identity run survived: %s", out)
+	}
+	if res.Dropped != 1 {
+		t.Errorf("Dropped = %d", res.Dropped)
+	}
+}
+
+func TestFuseLeavesSingletonsAlone(t *testing.T) {
+	c := circuit.New(2).H(0).CX(0, 1).T(1)
+	out, res := Fuse(c)
+	if !out.Equal(c) {
+		t.Errorf("singleton runs rewritten: %s", out)
+	}
+	if res.Fused != 0 || res.Dropped != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestFuseBreaksAtTwoQubitGates(t *testing.T) {
+	// h q0; cx; h q0 — the two H's are separated by the CX on q0: no fusion.
+	c := circuit.New(2).H(0).CX(0, 1).H(0)
+	out, _ := Fuse(c)
+	if out.Len() != 3 {
+		t.Errorf("fusion crossed a CX: %s", out)
+	}
+}
+
+func TestFuseBreaksAtBarrierAndMeasure(t *testing.T) {
+	c := circuit.New(1).H(0).Barrier(0).T(0).S(0)
+	out, _ := Fuse(c)
+	// h | barrier | fused(t,s)
+	if out.Len() != 3 {
+		t.Errorf("got %s", out)
+	}
+	c2 := circuit.New(1).T(0).S(0).Measure(0, 0).H(0)
+	out2, _ := Fuse(c2)
+	if out2.Len() != 3 { // fused(t,s) | measure | h
+		t.Errorf("got %s", out2)
+	}
+}
+
+func TestFuseInterleavedQubits(t *testing.T) {
+	// Runs interleave across qubits; each fuses independently.
+	c := circuit.New(2).H(0).H(1).T(0).T(1).S(0).S(1)
+	out, _ := Fuse(c)
+	if out.Len() != 2 {
+		t.Fatalf("want two fused u3, got %s", out)
+	}
+	a, _ := sim.Run(c)
+	b, _ := sim.Run(out)
+	if !a.EqualUpToPhase(b, 1e-9) {
+		t.Error("interleaved fusion changed semantics")
+	}
+}
+
+func TestFuseSemanticsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomCircuit(seed, 4, 50)
+		out, _ := Fuse(c)
+		a, err := sim.Run(c)
+		if err != nil {
+			return false
+		}
+		b, err := sim.Run(out)
+		if err != nil {
+			return false
+		}
+		return a.EqualUpToPhase(b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuseNeverIncreasesGateCount(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomCircuit(seed, 3, 40)
+		out, _ := Fuse(c)
+		return out.Len() <= c.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	// A redundant prologue followed by a fusible run.
+	c := circuit.New(2)
+	c.H(0).H(0)         // cancels
+	c.T(1).S(1).Tdg(1)  // fuses to u3 (equals S)
+	c.CX(0, 1).CX(0, 1) // cancels
+	out, res := Pipeline(c)
+	a, _ := sim.Run(c)
+	b, _ := sim.Run(out)
+	if !a.EqualUpToPhase(b, 1e-9) {
+		t.Error("pipeline changed semantics")
+	}
+	if out.Len() >= c.Len() {
+		t.Errorf("pipeline did not shrink: %d -> %d", c.Len(), out.Len())
+	}
+	if res.Cancel.Removed == 0 {
+		t.Error("pipeline cancel stats empty")
+	}
+}
+
+func TestPipelineOnWorkloadShape(t *testing.T) {
+	// QFT-ish pattern with deliberate redundancy survives the pipeline
+	// semantically.
+	c := circuit.New(3)
+	c.H(0)
+	c.CP(0.5, 0, 1)
+	c.H(1)
+	c.CP(0.25, 1, 2)
+	c.H(2)
+	lowered := circuit.Decompose(c)
+	out, _ := Pipeline(lowered)
+	a, _ := sim.Run(lowered)
+	b, _ := sim.Run(out)
+	if !a.EqualUpToPhase(b, 1e-9) {
+		t.Error("pipeline broke a lowered QFT fragment")
+	}
+}
+
+func TestIsIdentityUpToPhase(t *testing.T) {
+	id := [2][2]complex128{{1, 0}, {0, 1}}
+	if !isIdentityUpToPhase(id) {
+		t.Error("I not recognised")
+	}
+	phase := [2][2]complex128{{1i, 0}, {0, 1i}}
+	if !isIdentityUpToPhase(phase) {
+		t.Error("iI not recognised")
+	}
+	z := [2][2]complex128{{1, 0}, {0, -1}}
+	if isIdentityUpToPhase(z) {
+		t.Error("Z misclassified as identity")
+	}
+	x := [2][2]complex128{{0, 1}, {1, 0}}
+	if isIdentityUpToPhase(x) {
+		t.Error("X misclassified as identity")
+	}
+}

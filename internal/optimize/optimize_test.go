@@ -1,0 +1,208 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"codar/internal/circuit"
+	"codar/internal/sim"
+)
+
+func TestCancelSelfInversePairs(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *circuit.Circuit
+		want  int // surviving gates
+	}{
+		{"hh", func() *circuit.Circuit { return circuit.New(1).H(0).H(0) }, 0},
+		{"xx", func() *circuit.Circuit { return circuit.New(1).X(0).X(0) }, 0},
+		{"cxcx", func() *circuit.Circuit { return circuit.New(2).CX(0, 1).CX(0, 1) }, 0},
+		{"s sdg", func() *circuit.Circuit { return circuit.New(1).S(0).Sdg(0) }, 0},
+		{"tdg t", func() *circuit.Circuit { return circuit.New(1).Tdg(0).T(0) }, 0},
+		{"swap swap", func() *circuit.Circuit { return circuit.New(2).Swap(0, 1).Swap(0, 1) }, 0},
+		{"cx reversed not inverse", func() *circuit.Circuit { return circuit.New(2).CX(0, 1).CX(1, 0) }, 2},
+		{"hh different qubits", func() *circuit.Circuit { return circuit.New(2).H(0).H(1) }, 2},
+		{"cascade", func() *circuit.Circuit { return circuit.New(1).H(0).X(0).X(0).H(0) }, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, _ := Cancel(tc.build())
+			if out.Len() != tc.want {
+				t.Errorf("survivors = %d, want %d\n%s", out.Len(), tc.want, out)
+			}
+		})
+	}
+}
+
+func TestCancelAcrossDisjointGates(t *testing.T) {
+	// The H pair on q0 cancels across the CX on q1,q2.
+	c := circuit.New(3).H(0).CX(1, 2).H(0)
+	out, res := Cancel(c)
+	if out.Len() != 1 || out.Gates[0].Op != circuit.OpCX {
+		t.Errorf("got %d gates", out.Len())
+	}
+	if res.Removed != 2 {
+		t.Errorf("Removed = %d", res.Removed)
+	}
+}
+
+func TestCancelAcrossCommutingGates(t *testing.T) {
+	// T on q0 commutes with CX control on q0: the T/Tdg pair cancels.
+	c := circuit.New(2).T(0).CX(0, 1).Tdg(0)
+	out, _ := Cancel(c)
+	if out.Len() != 1 || out.Gates[0].Op != circuit.OpCX {
+		t.Errorf("commuting-skip cancellation failed: %s", out)
+	}
+	// H on q0 does NOT commute with CX control: pair must survive.
+	c2 := circuit.New(2).H(0).CX(0, 1).H(0)
+	out2, _ := Cancel(c2)
+	if out2.Len() != 3 {
+		t.Errorf("illegal cancellation across non-commuting gate: %s", out2)
+	}
+}
+
+func TestRotationMerge(t *testing.T) {
+	c := circuit.New(1).RZ(0.3, 0).RZ(0.4, 0)
+	out, res := Cancel(c)
+	if out.Len() != 1 || math.Abs(out.Gates[0].Params[0]-0.7) > 1e-12 {
+		t.Errorf("merge failed: %s", out)
+	}
+	if res.Merged != 1 {
+		t.Errorf("Merged = %d", res.Merged)
+	}
+	// Opposite angles vanish entirely.
+	c2 := circuit.New(1).RX(0.9, 0).RX(-0.9, 0)
+	out2, _ := Cancel(c2)
+	if out2.Len() != 0 {
+		t.Errorf("zero-angle rotation survived: %s", out2)
+	}
+	// u1 merges mod 2π.
+	c3 := circuit.New(1).U1(math.Pi, 0).U1(math.Pi, 0)
+	out3, _ := Cancel(c3)
+	if out3.Len() != 0 {
+		t.Errorf("u1(2pi) should vanish: %s", out3)
+	}
+	// rz(2π) is NOT identity (global phase -1 matters under control);
+	// it must survive.
+	c4 := circuit.New(1).RZ(math.Pi, 0).RZ(math.Pi, 0)
+	out4, _ := Cancel(c4)
+	if out4.Len() != 1 {
+		t.Errorf("rz(2pi) must survive: %s", out4)
+	}
+}
+
+func TestRotationChainMerges(t *testing.T) {
+	c := circuit.New(1).RZ(0.25, 0).RZ(0.25, 0).RZ(0.5, 0)
+	out, _ := Cancel(c)
+	if out.Len() != 1 || math.Abs(out.Gates[0].Params[0]-1.0) > 1e-12 {
+		t.Errorf("chain merge failed: %s", out)
+	}
+}
+
+func TestBarriersBlockCancellation(t *testing.T) {
+	c := circuit.New(1).H(0).Barrier(0).H(0)
+	out, _ := Cancel(c)
+	if out.Len() != 3 {
+		t.Errorf("cancellation crossed a barrier: %s", out)
+	}
+}
+
+func TestMeasureBlocksCancellation(t *testing.T) {
+	c := circuit.New(1).H(0).Measure(0, 0).H(0)
+	out, _ := Cancel(c)
+	if out.Len() != 3 {
+		t.Errorf("cancellation crossed a measurement: %s", out)
+	}
+}
+
+func TestCancelIdempotent(t *testing.T) {
+	c := circuit.New(3).H(0).H(0).CX(0, 1).T(2).Tdg(2).CX(0, 1)
+	once, _ := Cancel(c)
+	twice, res := Cancel(once)
+	if !once.Equal(twice) {
+		t.Error("Cancel is not idempotent")
+	}
+	if res.Removed != 0 || res.Merged != 0 {
+		t.Errorf("second run changed something: %+v", res)
+	}
+}
+
+func TestCancelPreservesInput(t *testing.T) {
+	c := circuit.New(1).H(0).H(0)
+	snapshot := c.Clone()
+	Cancel(c)
+	if !c.Equal(snapshot) {
+		t.Error("Cancel mutated its input")
+	}
+}
+
+// TestCancelSemanticsPreserved is the keystone property: the optimised
+// circuit is statevector-equivalent to the original for random circuits.
+func TestCancelSemanticsPreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomCircuit(seed, 4, 40)
+		out, _ := Cancel(c)
+		a, err := sim.Run(c)
+		if err != nil {
+			return false
+		}
+		b, err := sim.Run(out)
+		if err != nil {
+			return false
+		}
+		return a.EqualUpToPhase(b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCancelShrinksRedundantCircuits: circuits built as G·G⁻¹ sandwiches
+// collapse substantially.
+func TestCancelShrinksRedundantCircuits(t *testing.T) {
+	c := circuit.New(3)
+	for i := 0; i < 10; i++ {
+		c.H(0).CX(0, 1).T(2).Tdg(2).CX(0, 1).H(0)
+	}
+	out, _ := Cancel(c)
+	if out.Len() != 0 {
+		t.Errorf("redundant sandwich left %d gates", out.Len())
+	}
+}
+
+// randomCircuit builds a deterministic random circuit with deliberately
+// high duplicate density to exercise the rewrites.
+func randomCircuit(seed int64, qubits, n int) *circuit.Circuit {
+	s := uint64(seed)*0x9E3779B97F4A7C15 + 0x1234567
+	next := func(mod int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(mod))
+	}
+	c := circuit.New(qubits)
+	for i := 0; i < n; i++ {
+		q := next(qubits)
+		switch next(8) {
+		case 0:
+			c.H(q)
+		case 1:
+			c.X(q)
+		case 2:
+			c.T(q)
+		case 3:
+			c.Tdg(q)
+		case 4:
+			c.RZ(float64(next(5))*0.2-0.4, q)
+		case 5:
+			c.S(q)
+		case 6:
+			c.Sdg(q)
+		default:
+			b := (q + 1 + next(qubits-1)) % qubits
+			c.CX(q, b)
+		}
+	}
+	return c
+}

@@ -1,0 +1,87 @@
+// Package orient adapts mapped circuits to devices with *directed*
+// coupling (the early 5-qubit IBM QX chips the paper surveys in §II-A,
+// where a CX is natively implementable in only one direction per coupler).
+// The maQAM treats couplers as undirected during routing — reversing a CX
+// costs four H gates, far cheaper than a SWAP — so orientation is a cheap
+// post-pass after mapping:
+//
+//	cx a,b  (only b→a native)  →  h a; h b; cx b,a; h b; h a
+//
+// SWAPs are first lowered to three CXs (the middle one reversed), then
+// oriented the same way. CZ is symmetric and passes through.
+package orient
+
+import (
+	"fmt"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+)
+
+// Result summarises an orientation pass.
+type Result struct {
+	// Reversed is the number of CXs that needed H-conjugation.
+	Reversed int
+	// LoweredSwaps is the number of SWAPs expanded into CX triples.
+	LoweredSwaps int
+}
+
+// Pass rewrites a hardware-compliant physical circuit so that every CX
+// respects the device's native orientation. On undirected devices the
+// circuit is returned unchanged (modulo SWAP lowering when lowerSwaps is
+// set). Two-qubit gates on non-couplers are an error — run a remapper
+// first.
+func Pass(c *circuit.Circuit, dev *arch.Device, lowerSwaps bool) (*circuit.Circuit, Result, error) {
+	var res Result
+	out := &circuit.Circuit{Name: c.Name, NumQubits: c.NumQubits, NumClbits: c.NumClbits}
+	for i, g := range c.Gates {
+		switch {
+		case g.Op == circuit.OpSwap && (lowerSwaps || dev.Directed()):
+			a, b := g.Qubits[0], g.Qubits[1]
+			if !dev.Adjacent(a, b) {
+				return nil, res, fmt.Errorf("orient: gate %d (%s) addresses a non-coupler", i, g)
+			}
+			res.LoweredSwaps++
+			if err := emitCX(out, dev, a, b, &res); err != nil {
+				return nil, res, fmt.Errorf("orient: gate %d: %w", i, err)
+			}
+			if err := emitCX(out, dev, b, a, &res); err != nil {
+				return nil, res, fmt.Errorf("orient: gate %d: %w", i, err)
+			}
+			if err := emitCX(out, dev, a, b, &res); err != nil {
+				return nil, res, fmt.Errorf("orient: gate %d: %w", i, err)
+			}
+		case g.Op == circuit.OpCX:
+			if err := emitCX(out, dev, g.Qubits[0], g.Qubits[1], &res); err != nil {
+				return nil, res, fmt.Errorf("orient: gate %d: %w", i, err)
+			}
+		case g.Op.TwoQubit():
+			if !dev.Adjacent(g.Qubits[0], g.Qubits[1]) {
+				return nil, res, fmt.Errorf("orient: gate %d (%s) addresses a non-coupler", i, g)
+			}
+			out.Add(g.Clone())
+		default:
+			out.Add(g.Clone())
+		}
+	}
+	return out, res, nil
+}
+
+// emitCX appends a CX control→target, H-conjugating when only the reverse
+// orientation is native.
+func emitCX(out *circuit.Circuit, dev *arch.Device, control, target int, res *Result) error {
+	switch {
+	case dev.CXAllowed(control, target):
+		out.CX(control, target)
+	case dev.CXAllowed(target, control):
+		res.Reversed++
+		out.H(control)
+		out.H(target)
+		out.CX(target, control)
+		out.H(control)
+		out.H(target)
+	default:
+		return fmt.Errorf("cx %d,%d addresses a non-coupler", control, target)
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package orient
+
+import (
+	"testing"
+	"testing/quick"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+	"codar/internal/core"
+	"codar/internal/sim"
+)
+
+// directedPair builds a 2-qubit device where only CX 0→1 is native.
+func directedPair(t *testing.T) *arch.Device {
+	t.Helper()
+	d, err := arch.NewDevice("pair", 2, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetDirections([][2]int{{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSetDirectionsValidation(t *testing.T) {
+	d, _ := arch.NewDevice("tri", 3, [][2]int{{0, 1}, {1, 2}})
+	if err := d.SetDirections([][2]int{{0, 2}}); err == nil {
+		t.Error("non-coupler direction accepted")
+	}
+	if err := d.SetDirections([][2]int{{0, 1}}); err == nil {
+		t.Error("uncovered coupler accepted")
+	}
+	if err := d.SetDirections([][2]int{{0, 1}, {2, 1}}); err != nil {
+		t.Errorf("valid directions rejected: %v", err)
+	}
+	if !d.Directed() || !d.CXAllowed(0, 1) || d.CXAllowed(1, 0) {
+		t.Error("direction semantics broken")
+	}
+	if err := d.SetDirections(nil); err != nil || d.Directed() {
+		t.Error("reset to undirected failed")
+	}
+	if !d.CXAllowed(1, 0) {
+		t.Error("undirected device should allow both orientations")
+	}
+}
+
+func TestPassKeepsNativeDirection(t *testing.T) {
+	dev := directedPair(t)
+	c := circuit.New(2).CX(0, 1)
+	out, res, err := Pass(c, dev, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reversed != 0 || out.Len() != 1 {
+		t.Errorf("native CX rewritten: %s", out)
+	}
+}
+
+func TestPassReversesCX(t *testing.T) {
+	dev := directedPair(t)
+	c := circuit.New(2).CX(1, 0) // illegal orientation
+	out, res, err := Pass(c, dev, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reversed != 1 {
+		t.Errorf("Reversed = %d", res.Reversed)
+	}
+	if out.Len() != 5 { // h,h,cx,h,h
+		t.Fatalf("rewrite length %d", out.Len())
+	}
+	// Every CX in the output respects the direction.
+	for _, g := range out.Gates {
+		if g.Op == circuit.OpCX && !dev.CXAllowed(g.Qubits[0], g.Qubits[1]) {
+			t.Errorf("illegal orientation survived: %v", g)
+		}
+	}
+	// Semantics preserved.
+	a, _ := sim.Run(c)
+	b, _ := sim.Run(out)
+	if !a.EqualUpToPhase(b, 1e-9) {
+		t.Error("H-conjugated reversal changed semantics")
+	}
+}
+
+func TestPassLowersSwaps(t *testing.T) {
+	dev := directedPair(t)
+	c := circuit.New(2).Swap(0, 1)
+	out, res, err := Pass(c, dev, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoweredSwaps != 1 || res.Reversed != 1 {
+		t.Errorf("res = %+v", res)
+	}
+	// 3 CX, the middle reversed: 2 + 5 gates.
+	if out.Len() != 7 {
+		t.Errorf("lowered swap length %d", out.Len())
+	}
+	a, _ := sim.Run(c)
+	b, _ := sim.Run(out)
+	if !a.EqualUpToPhase(b, 1e-9) {
+		t.Error("swap lowering changed semantics")
+	}
+}
+
+func TestPassLowerSwapsOnUndirected(t *testing.T) {
+	dev, _ := arch.NewDevice("pair", 2, [][2]int{{0, 1}})
+	c := circuit.New(2).Swap(0, 1)
+	out, res, err := Pass(c, dev, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoweredSwaps != 1 || out.Len() != 3 {
+		t.Errorf("res=%+v len=%d", res, out.Len())
+	}
+	// Without the flag the swap passes through.
+	out2, _, err := Pass(c, dev, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Len() != 1 || out2.Gates[0].Op != circuit.OpSwap {
+		t.Error("swap should pass through undirected devices")
+	}
+}
+
+func TestPassRejectsNonCouplers(t *testing.T) {
+	dev, _ := arch.NewDevice("line", 3, [][2]int{{0, 1}, {1, 2}})
+	c := circuit.New(3).CX(0, 2)
+	if _, _, err := Pass(c, dev, false); err == nil {
+		t.Error("non-coupler CX accepted")
+	}
+	c2 := circuit.New(3).CZ(0, 2)
+	if _, _, err := Pass(c2, dev, false); err == nil {
+		t.Error("non-coupler CZ accepted")
+	}
+	c3 := circuit.New(3).Swap(0, 2)
+	if _, _, err := Pass(c3, dev, true); err == nil {
+		t.Error("non-coupler swap accepted")
+	}
+}
+
+func TestIBMQX4Directions(t *testing.T) {
+	d := arch.IBMQX4()
+	if !d.Directed() {
+		t.Fatal("QX4 should be directed")
+	}
+	for _, p := range [][2]int{{1, 0}, {2, 0}, {2, 1}, {3, 2}, {3, 4}, {2, 4}} {
+		if !d.CXAllowed(p[0], p[1]) {
+			t.Errorf("QX4 should allow cx %v", p)
+		}
+		if d.CXAllowed(p[1], p[0]) {
+			t.Errorf("QX4 should forbid cx %d,%d", p[1], p[0])
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFullPipelineOnQX4: map with CODAR (undirected routing), orient, and
+// check the final circuit is executable gate-for-gate on the directed
+// device and still equivalent to the input.
+func TestFullPipelineOnQX4(t *testing.T) {
+	dev := arch.IBMQX4()
+	f := func(seed int64) bool {
+		c := randCircuit(seed, 5, 25)
+		res, err := core.Remap(c, dev, nil, core.Options{})
+		if err != nil {
+			t.Logf("remap: %v", err)
+			return false
+		}
+		out, _, err := Pass(res.Circuit, dev, true)
+		if err != nil {
+			t.Logf("orient: %v", err)
+			return false
+		}
+		for _, g := range out.Gates {
+			if g.Op == circuit.OpSwap {
+				t.Logf("swap survived lowering")
+				return false
+			}
+			if g.Op == circuit.OpCX && !dev.CXAllowed(g.Qubits[0], g.Qubits[1]) {
+				t.Logf("illegal orientation: %v", g)
+				return false
+			}
+		}
+		// The oriented circuit still implements the original (statevector
+		// equality through the final layout).
+		before, err := sim.Run(res.Circuit)
+		if err != nil {
+			return false
+		}
+		after, err := sim.Run(out)
+		if err != nil {
+			return false
+		}
+		return before.EqualUpToPhase(after, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randCircuit(seed int64, qubits, gates int) *circuit.Circuit {
+	s := uint64(seed)*0x9E3779B97F4A7C15 + 99
+	next := func(mod int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(mod))
+	}
+	c := circuit.New(qubits)
+	for i := 0; i < gates; i++ {
+		switch next(4) {
+		case 0, 1:
+			a := next(qubits)
+			b := (a + 1 + next(qubits-1)) % qubits
+			c.CX(a, b)
+		case 2:
+			c.H(next(qubits))
+		default:
+			c.T(next(qubits))
+		}
+	}
+	return c
+}

@@ -1,0 +1,226 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// expr is a parameter expression AST node. Expressions appear as gate
+// parameters (e.g. "pi/4", "-3*theta/2") and are evaluated against the
+// enclosing gate definition's parameter bindings.
+type expr interface {
+	eval(env map[string]float64) (float64, error)
+}
+
+type numExpr float64
+
+func (n numExpr) eval(map[string]float64) (float64, error) { return float64(n), nil }
+
+type varExpr string
+
+func (v varExpr) eval(env map[string]float64) (float64, error) {
+	if val, ok := env[string(v)]; ok {
+		return val, nil
+	}
+	return 0, fmt.Errorf("qasm: unbound parameter %q", string(v))
+}
+
+type unaryExpr struct {
+	op string
+	x  expr
+}
+
+func (u unaryExpr) eval(env map[string]float64) (float64, error) {
+	x, err := u.x.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch u.op {
+	case "-":
+		return -x, nil
+	case "+":
+		return x, nil
+	}
+	return 0, fmt.Errorf("qasm: unknown unary operator %q", u.op)
+}
+
+type binExpr struct {
+	op   string
+	l, r expr
+}
+
+func (b binExpr) eval(env map[string]float64) (float64, error) {
+	l, err := b.l.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.r.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case "+":
+		return l + r, nil
+	case "-":
+		return l - r, nil
+	case "*":
+		return l * r, nil
+	case "/":
+		if r == 0 {
+			return 0, fmt.Errorf("qasm: division by zero")
+		}
+		return l / r, nil
+	case "^":
+		return math.Pow(l, r), nil
+	}
+	return 0, fmt.Errorf("qasm: unknown operator %q", b.op)
+}
+
+type callExpr struct {
+	fn string
+	x  expr
+}
+
+func (c callExpr) eval(env map[string]float64) (float64, error) {
+	x, err := c.x.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch c.fn {
+	case "sin":
+		return math.Sin(x), nil
+	case "cos":
+		return math.Cos(x), nil
+	case "tan":
+		return math.Tan(x), nil
+	case "exp":
+		return math.Exp(x), nil
+	case "ln":
+		if x <= 0 {
+			return 0, fmt.Errorf("qasm: ln of non-positive value")
+		}
+		return math.Log(x), nil
+	case "sqrt":
+		if x < 0 {
+			return 0, fmt.Errorf("qasm: sqrt of negative value")
+		}
+		return math.Sqrt(x), nil
+	}
+	return 0, fmt.Errorf("qasm: unknown function %q", c.fn)
+}
+
+// parseExpr parses an expression with standard precedence:
+// unary +/- < ^ (right assoc) < * / < + -.
+func (p *parser) parseExpr() (expr, error) {
+	return p.parseAdditive()
+}
+
+func (p *parser) parseAdditive() (expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekSymbol("+") || p.peekSymbol("-") {
+		op := p.take().text
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekSymbol("*") || p.peekSymbol("/") {
+		op := p.take().text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+// parseUnary binds looser than ^ so that -2^2 == -(2^2), matching the
+// usual mathematical convention.
+func (p *parser) parseUnary() (expr, error) {
+	if p.peekSymbol("-") || p.peekSymbol("+") {
+		op := p.take().text
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: op, x: x}, nil
+	}
+	return p.parsePower()
+}
+
+func (p *parser) parsePower() (expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.peekSymbol("^") {
+		p.take()
+		// Right associative; the exponent may carry its own unary sign.
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return binExpr{op: "^", l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.take()
+	switch {
+	case t.kind == tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("qasm: line %d: bad number %q", t.line, t.text)
+		}
+		return numExpr(v), nil
+	case t.kind == tokIdent && t.text == "pi":
+		return numExpr(math.Pi), nil
+	case t.kind == tokIdent && isFunction(t.text):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return callExpr{fn: t.text, x: x}, nil
+	case t.kind == tokIdent:
+		return varExpr(t.text), nil
+	case t.kind == tokSymbol && t.text == "(":
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, fmt.Errorf("qasm: line %d: unexpected token %s in expression", t.line, t)
+}
+
+func isFunction(name string) bool {
+	switch name {
+	case "sin", "cos", "tan", "exp", "ln", "sqrt":
+		return true
+	}
+	return false
+}

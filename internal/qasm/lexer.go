@@ -1,0 +1,160 @@
+// Package qasm implements an OpenQASM 2.0 frontend (lexer, recursive-
+// descent parser with user-defined gate inlining, expression evaluator)
+// and a writer, covering the language subset used by the paper's benchmark
+// suites (IBM Qiskit, RevLib translations, ScaffCC and Quipper output).
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber // integer or real literal
+	tokString // "..."
+	tokSymbol // punctuation and operators
+)
+
+// token is one lexical unit with its source line for diagnostics.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer scans OpenQASM source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// next returns the next token, skipping whitespace and // comments.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+		l.scanNumber()
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+	case c == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\n' {
+				return token{}, fmt.Errorf("qasm: line %d: unterminated string", l.line)
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("qasm: line %d: unterminated string", l.line)
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++
+		return token{kind: tokString, text: text, line: l.line}, nil
+	case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+		l.pos += 2
+		return token{kind: tokSymbol, text: "->", line: l.line}, nil
+	case c == '=' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '=':
+		l.pos += 2
+		return token{kind: tokSymbol, text: "==", line: l.line}, nil
+	case strings.ContainsRune("(){}[];,+-*/^=", rune(c)):
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), line: l.line}, nil
+	default:
+		return token{}, fmt.Errorf("qasm: line %d: unexpected character %q", l.line, c)
+	}
+}
+
+// scanNumber consumes an integer or real literal (with optional exponent).
+func (l *lexer) scanNumber() {
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		mark := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+				l.pos++
+			}
+		} else {
+			l.pos = mark // not an exponent after all
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// tokenize scans the whole source (used by tests).
+func tokenize(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

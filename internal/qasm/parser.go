@@ -1,0 +1,659 @@
+package qasm
+
+import (
+	"fmt"
+	"strconv"
+
+	"codar/internal/circuit"
+)
+
+// maxInlineDepth bounds user-defined gate expansion to catch recursive
+// definitions.
+const maxInlineDepth = 100
+
+// reg is a declared quantum or classical register with its flat offset.
+type reg struct {
+	name   string
+	offset int
+	size   int
+}
+
+// gateDef is a user-defined gate awaiting inline expansion.
+type gateDef struct {
+	name   string
+	params []string
+	args   []string
+	body   []bodyStmt
+}
+
+// bodyStmt is one statement inside a gate body: an application of a named
+// gate to formal arguments, or a barrier over formal arguments.
+type bodyStmt struct {
+	name    string
+	params  []expr
+	args    []string
+	barrier bool
+}
+
+// parser consumes a token stream and builds a circuit.
+type parser struct {
+	toks []token
+	pos  int
+
+	qregs []reg
+	cregs []reg
+	defs  map[string]*gateDef
+	circ  *circuit.Circuit
+}
+
+// Parse compiles OpenQASM 2.0 source into a flat circuit over all declared
+// quantum registers (concatenated in declaration order); classical bits are
+// flattened the same way. include directives are ignored — the standard
+// qelib1 gates are built in, and user-defined gates are inlined.
+func Parse(src string) (*circuit.Circuit, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, defs: make(map[string]*gateDef)}
+	if err := p.parseProgram(); err != nil {
+		return nil, err
+	}
+	return p.circ, nil
+}
+
+// ParseNamed is Parse with a circuit name attached.
+func ParseNamed(name, src string) (*circuit.Circuit, error) {
+	c, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c.Name = name
+	return c, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) take() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) peekSymbol(s string) bool {
+	t := p.peek()
+	return t.kind == tokSymbol && t.text == s
+}
+
+func (p *parser) peekIdent(s string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == s
+}
+
+func (p *parser) expectSymbol(s string) error {
+	t := p.take()
+	if t.kind != tokSymbol || t.text != s {
+		return fmt.Errorf("qasm: line %d: expected %q, found %s", t.line, s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.take()
+	if t.kind != tokIdent {
+		return t, fmt.Errorf("qasm: line %d: expected identifier, found %s", t.line, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectInt() (int, error) {
+	t := p.take()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("qasm: line %d: expected integer, found %s", t.line, t)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("qasm: line %d: expected integer, found %q", t.line, t.text)
+	}
+	return n, nil
+}
+
+// parseProgram parses the full translation unit.
+func (p *parser) parseProgram() error {
+	// Optional "OPENQASM 2.0;" header.
+	if p.peekIdent("OPENQASM") {
+		p.take()
+		t := p.take()
+		if t.kind != tokNumber {
+			return fmt.Errorf("qasm: line %d: expected version number", t.line)
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return err
+		}
+	}
+	// First pass over declarations and statements.
+	var pending []func() error // gate applications deferred until sizes known
+	_ = pending
+	for !p.atEOF() {
+		if err := p.parseStatement(); err != nil {
+			return err
+		}
+	}
+	if p.circ == nil {
+		return fmt.Errorf("qasm: no quantum register declared")
+	}
+	return nil
+}
+
+// ensureCircuit materialises the output circuit once registers are known.
+func (p *parser) ensureCircuit() error {
+	if p.circ != nil {
+		return nil
+	}
+	total := 0
+	for _, r := range p.qregs {
+		total += r.size
+	}
+	if total == 0 {
+		return fmt.Errorf("qasm: statement before any qreg declaration")
+	}
+	p.circ = circuit.New(total)
+	for _, r := range p.cregs {
+		p.circ.NumClbits += r.size
+	}
+	return nil
+}
+
+func (p *parser) parseStatement() error {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return fmt.Errorf("qasm: line %d: expected statement, found %s", t.line, t)
+	}
+	switch t.text {
+	case "include":
+		p.take()
+		s := p.take()
+		if s.kind != tokString {
+			return fmt.Errorf("qasm: line %d: expected file name after include", s.line)
+		}
+		return p.expectSymbol(";")
+	case "qreg":
+		return p.parseRegDecl(true)
+	case "creg":
+		return p.parseRegDecl(false)
+	case "gate":
+		return p.parseGateDef()
+	case "opaque":
+		// Declaration only; skip to the terminating semicolon.
+		for !p.atEOF() && !p.peekSymbol(";") {
+			p.take()
+		}
+		return p.expectSymbol(";")
+	case "barrier":
+		p.take()
+		return p.parseBarrier()
+	case "measure":
+		p.take()
+		return p.parseMeasure()
+	case "reset":
+		p.take()
+		return p.parseReset()
+	case "if":
+		return fmt.Errorf("qasm: line %d: classical control (if) is not supported", t.line)
+	default:
+		return p.parseApplication()
+	}
+}
+
+func (p *parser) parseRegDecl(quantum bool) error {
+	p.take() // qreg/creg
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol("["); err != nil {
+		return err
+	}
+	size, err := p.expectInt()
+	if err != nil {
+		return err
+	}
+	if size <= 0 {
+		return fmt.Errorf("qasm: line %d: register %q has size %d", name.line, name.text, size)
+	}
+	if err := p.expectSymbol("]"); err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	if p.circ != nil {
+		return fmt.Errorf("qasm: line %d: register %q declared after first operation", name.line, name.text)
+	}
+	if _, _, ok := p.findReg(name.text, true); ok {
+		return fmt.Errorf("qasm: line %d: register %q redeclared", name.line, name.text)
+	}
+	if _, _, ok := p.findReg(name.text, false); ok {
+		return fmt.Errorf("qasm: line %d: register %q redeclared", name.line, name.text)
+	}
+	if quantum {
+		offset := 0
+		for _, r := range p.qregs {
+			offset += r.size
+		}
+		p.qregs = append(p.qregs, reg{name: name.text, offset: offset, size: size})
+	} else {
+		offset := 0
+		for _, r := range p.cregs {
+			offset += r.size
+		}
+		p.cregs = append(p.cregs, reg{name: name.text, offset: offset, size: size})
+	}
+	return nil
+}
+
+func (p *parser) findReg(name string, quantum bool) (offset, size int, ok bool) {
+	regs := p.qregs
+	if !quantum {
+		regs = p.cregs
+	}
+	for _, r := range regs {
+		if r.name == name {
+			return r.offset, r.size, true
+		}
+	}
+	return 0, 0, false
+}
+
+// operand is a parsed register reference: whole register (index < 0) or a
+// single element.
+type operand struct {
+	offset int // flat offset of the register
+	size   int
+	index  int // -1 for whole-register
+	line   int
+}
+
+// qubits returns the flat indices the operand denotes.
+func (o operand) qubits() []int {
+	if o.index >= 0 {
+		return []int{o.offset + o.index}
+	}
+	out := make([]int, o.size)
+	for i := range out {
+		out[i] = o.offset + i
+	}
+	return out
+}
+
+func (p *parser) parseOperand(quantum bool) (operand, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return operand{}, err
+	}
+	offset, size, ok := p.findReg(name.text, quantum)
+	if !ok {
+		kind := "quantum"
+		if !quantum {
+			kind = "classical"
+		}
+		return operand{}, fmt.Errorf("qasm: line %d: unknown %s register %q", name.line, kind, name.text)
+	}
+	o := operand{offset: offset, size: size, index: -1, line: name.line}
+	if p.peekSymbol("[") {
+		p.take()
+		idx, err := p.expectInt()
+		if err != nil {
+			return operand{}, err
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return operand{}, err
+		}
+		if idx < 0 || idx >= size {
+			return operand{}, fmt.Errorf("qasm: line %d: index %d out of range for %q[%d]", name.line, idx, name.text, size)
+		}
+		o.index = idx
+	}
+	return o, nil
+}
+
+func (p *parser) parseBarrier() error {
+	if err := p.ensureCircuit(); err != nil {
+		return err
+	}
+	var qs []int
+	for {
+		o, err := p.parseOperand(true)
+		if err != nil {
+			return err
+		}
+		qs = append(qs, o.qubits()...)
+		if p.peekSymbol(",") {
+			p.take()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	return p.addGate(circuit.Gate{Op: circuit.OpBarrier, Qubits: qs})
+}
+
+func (p *parser) parseMeasure() error {
+	if err := p.ensureCircuit(); err != nil {
+		return err
+	}
+	q, err := p.parseOperand(true)
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol("->"); err != nil {
+		return err
+	}
+	c, err := p.parseOperand(false)
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	qs := q.qubits()
+	var cs []int
+	if c.index >= 0 {
+		cs = []int{c.offset + c.index}
+	} else {
+		cs = make([]int, c.size)
+		for i := range cs {
+			cs[i] = c.offset + i
+		}
+	}
+	if len(qs) != len(cs) {
+		return fmt.Errorf("qasm: line %d: measure size mismatch (%d qubits -> %d bits)", q.line, len(qs), len(cs))
+	}
+	for i := range qs {
+		if err := p.addGate(circuit.Gate{Op: circuit.OpMeasure, Qubits: []int{qs[i]}, Cbit: cs[i]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseReset() error {
+	if err := p.ensureCircuit(); err != nil {
+		return err
+	}
+	o, err := p.parseOperand(true)
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	for _, q := range o.qubits() {
+		if err := p.addGate(circuit.Gate{Op: circuit.OpReset, Qubits: []int{q}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseApplication handles "name(params)? operands ;" statements.
+func (p *parser) parseApplication() error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.ensureCircuit(); err != nil {
+		return err
+	}
+	var params []float64
+	if p.peekSymbol("(") {
+		p.take()
+		if !p.peekSymbol(")") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				v, err := e.eval(nil)
+				if err != nil {
+					return fmt.Errorf("qasm: line %d: %w", name.line, err)
+				}
+				params = append(params, v)
+				if p.peekSymbol(",") {
+					p.take()
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return err
+		}
+	}
+	var ops []operand
+	for {
+		o, err := p.parseOperand(true)
+		if err != nil {
+			return err
+		}
+		ops = append(ops, o)
+		if p.peekSymbol(",") {
+			p.take()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	return p.applyBroadcast(name.text, name.line, params, ops, 0)
+}
+
+// applyBroadcast expands whole-register operands: every full-register
+// operand must have the same size, and the gate is applied element-wise;
+// indexed operands stay fixed.
+func (p *parser) applyBroadcast(name string, line int, params []float64, ops []operand, depth int) error {
+	bsize := -1
+	for _, o := range ops {
+		if o.index < 0 {
+			if bsize >= 0 && o.size != bsize {
+				return fmt.Errorf("qasm: line %d: broadcast register sizes differ (%d vs %d)", line, bsize, o.size)
+			}
+			bsize = o.size
+		}
+	}
+	if bsize < 0 {
+		qs := make([]int, len(ops))
+		for i, o := range ops {
+			qs[i] = o.offset + o.index
+		}
+		return p.applyGate(name, line, params, qs, depth)
+	}
+	for k := 0; k < bsize; k++ {
+		qs := make([]int, len(ops))
+		for i, o := range ops {
+			if o.index < 0 {
+				qs[i] = o.offset + k
+			} else {
+				qs[i] = o.offset + o.index
+			}
+		}
+		if err := p.applyGate(name, line, params, qs, depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyGate resolves a gate name to a builtin op or a user definition and
+// emits / inlines it.
+func (p *parser) applyGate(name string, line int, params []float64, qubits []int, depth int) error {
+	if depth > maxInlineDepth {
+		return fmt.Errorf("qasm: line %d: gate %q expands too deep (recursive definition?)", line, name)
+	}
+	if op, ok := circuit.OpByName(name); ok {
+		g := circuit.Gate{Op: op, Qubits: qubits, Params: params}
+		return p.addGateAt(g, line)
+	}
+	def, ok := p.defs[name]
+	if !ok {
+		return fmt.Errorf("qasm: line %d: unknown gate %q", line, name)
+	}
+	if len(params) != len(def.params) {
+		return fmt.Errorf("qasm: line %d: gate %q expects %d params, got %d", line, name, len(def.params), len(params))
+	}
+	if len(qubits) != len(def.args) {
+		return fmt.Errorf("qasm: line %d: gate %q expects %d qubits, got %d", line, name, len(def.args), len(qubits))
+	}
+	env := make(map[string]float64, len(def.params))
+	for i, pn := range def.params {
+		env[pn] = params[i]
+	}
+	bind := make(map[string]int, len(def.args))
+	for i, an := range def.args {
+		bind[an] = qubits[i]
+	}
+	for _, st := range def.body {
+		qs := make([]int, len(st.args))
+		for i, an := range st.args {
+			q, ok := bind[an]
+			if !ok {
+				return fmt.Errorf("qasm: gate %q: unbound argument %q", name, an)
+			}
+			qs[i] = q
+		}
+		if st.barrier {
+			if err := p.addGateAt(circuit.Gate{Op: circuit.OpBarrier, Qubits: qs}, line); err != nil {
+				return err
+			}
+			continue
+		}
+		sub := make([]float64, len(st.params))
+		for i, e := range st.params {
+			v, err := e.eval(env)
+			if err != nil {
+				return fmt.Errorf("qasm: gate %q: %w", name, err)
+			}
+			sub[i] = v
+		}
+		if err := p.applyGate(st.name, line, sub, qs, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) addGate(g circuit.Gate) error { return p.addGateAt(g, 0) }
+
+func (p *parser) addGateAt(g circuit.Gate, line int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("qasm: line %d: %v", line, r)
+		}
+	}()
+	p.circ.Add(g)
+	return nil
+}
+
+// parseGateDef parses "gate name(params)? args { body }".
+func (p *parser) parseGateDef() error {
+	p.take() // gate
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	def := &gateDef{name: name.text}
+	if p.peekSymbol("(") {
+		p.take()
+		if !p.peekSymbol(")") {
+			for {
+				id, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				def.params = append(def.params, id.text)
+				if p.peekSymbol(",") {
+					p.take()
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return err
+		}
+	}
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		def.args = append(def.args, id.text)
+		if p.peekSymbol(",") {
+			p.take()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol("{"); err != nil {
+		return err
+	}
+	for !p.peekSymbol("}") {
+		if p.atEOF() {
+			return fmt.Errorf("qasm: unterminated body of gate %q", name.text)
+		}
+		st, err := p.parseBodyStmt()
+		if err != nil {
+			return err
+		}
+		def.body = append(def.body, st)
+	}
+	p.take() // }
+	p.defs[name.text] = def
+	return nil
+}
+
+// parseBodyStmt parses one statement inside a gate body.
+func (p *parser) parseBodyStmt() (bodyStmt, error) {
+	id, err := p.expectIdent()
+	if err != nil {
+		return bodyStmt{}, err
+	}
+	st := bodyStmt{name: id.text}
+	if id.text == "barrier" {
+		st.barrier = true
+	} else if p.peekSymbol("(") {
+		p.take()
+		if !p.peekSymbol(")") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return bodyStmt{}, err
+				}
+				st.params = append(st.params, e)
+				if p.peekSymbol(",") {
+					p.take()
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return bodyStmt{}, err
+		}
+	}
+	for {
+		arg, err := p.expectIdent()
+		if err != nil {
+			return bodyStmt{}, err
+		}
+		st.args = append(st.args, arg.text)
+		if p.peekSymbol(",") {
+			p.take()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return bodyStmt{}, err
+	}
+	return st, nil
+}

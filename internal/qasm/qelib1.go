@@ -1,0 +1,38 @@
+package qasm
+
+import "codar/internal/circuit"
+
+// Qelib1 is the standard OpenQASM 2.0 gate library (qelib1.inc) defining
+// every common gate in terms of the primitives U and CX. Benchmark files
+// frequently inline these definitions instead of relying on the include
+// statement; embedding the library lets such files parse unchanged, and
+// extends the accepted gate set with the qelib1 gates the IR has no
+// built-in op for (cy, ch, crz, cu3), which expand through the inliner.
+const Qelib1 = `
+gate u3g(theta,phi,lambda) q { U(theta,phi,lambda) q; }
+gate cy a,b { sdg b; cx a,b; s b; }
+gate ch a,b { h b; sdg b; cx a,b; h b; t b; cx a,b; t b; h b; s b; x b; s a; }
+gate crz(lambda) a,b {
+  u1(lambda/2) b;
+  cx a,b;
+  u1(-lambda/2) b;
+  cx a,b;
+}
+gate cu3(theta,phi,lambda) c,t {
+  u1((lambda-phi)/2) t;
+  cx c,t;
+  u3(-theta/2,0,-(phi+lambda)/2) t;
+  cx c,t;
+  u3(theta/2,phi,0) t;
+}
+gate cswap a,b,c { cx c,b; ccx a,b,c; cx c,b; }
+gate rzzg(theta) a,b { cx a,b; u1(theta) b; cx a,b; }
+`
+
+// ParseWithQelib1 parses src with the supplementary qelib1 definitions
+// prepended: programs may then use cy, ch, crz, cu3 and cswap in addition
+// to the parser's native gate set (whose names always resolve to built-in
+// ops first, exactly as when qelib1.inc is include'd).
+func ParseWithQelib1(src string) (*circuit.Circuit, error) {
+	return Parse(Qelib1 + "\n" + src)
+}

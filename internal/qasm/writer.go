@@ -1,0 +1,75 @@
+package qasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"codar/internal/circuit"
+)
+
+// Write renders a circuit as OpenQASM 2.0 over a single quantum register
+// q[n] (and classical register c[m] when measurements are present). The
+// output parses back via Parse into an equal circuit, enabling round-trip
+// pipelines (benchgen -> file -> codar CLI).
+func Write(c *circuit.Circuit) string {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	if c.Name != "" {
+		fmt.Fprintf(&b, "// circuit: %s\n", c.Name)
+	}
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	if c.NumClbits > 0 {
+		fmt.Fprintf(&b, "creg c[%d];\n", c.NumClbits)
+	}
+	for _, g := range c.Gates {
+		writeGate(&b, g)
+	}
+	return b.String()
+}
+
+func writeGate(b *strings.Builder, g circuit.Gate) {
+	switch g.Op {
+	case circuit.OpMeasure:
+		fmt.Fprintf(b, "measure q[%d] -> c[%d];\n", g.Qubits[0], g.Cbit)
+		return
+	case circuit.OpBarrier:
+		b.WriteString("barrier ")
+		writeQubits(b, g.Qubits)
+		b.WriteString(";\n")
+		return
+	case circuit.OpReset:
+		fmt.Fprintf(b, "reset q[%d];\n", g.Qubits[0])
+		return
+	}
+	b.WriteString(g.Op.Name())
+	if len(g.Params) > 0 {
+		b.WriteByte('(')
+		for i, p := range g.Params {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(formatParam(p))
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte(' ')
+	writeQubits(b, g.Qubits)
+	b.WriteString(";\n")
+}
+
+func writeQubits(b *strings.Builder, qs []int) {
+	for i, q := range qs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "q[%d]", q)
+	}
+}
+
+// formatParam renders a float with the shortest representation that
+// round-trips exactly.
+func formatParam(p float64) string {
+	return strconv.FormatFloat(p, 'g', -1, 64)
+}

@@ -1,0 +1,394 @@
+// Package sabre reimplements the SWAP-based bidirectional heuristic search
+// of Li, Ding & Xie, "Tackling the Qubit Mapping Problem for NISQ-Era
+// Quantum Devices" (ASPLOS 2019) — the best-known algorithm the CODAR paper
+// compares against, with its published hyper-parameters: front layer F,
+// extended set E (|E| ≤ 20, weight W = 0.5) and the decay mechanism
+// (δ = 0.001, reset every 5 rounds or on gate execution). SABRE is
+// depth-oriented and duration-unaware: it never consults gate durations,
+// which is precisely the gap CODAR exploits.
+package sabre
+
+import (
+	"fmt"
+	"math/rand"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+)
+
+// Options tunes SABRE. The zero value selects the published defaults.
+type Options struct {
+	// ExtendedSize caps the extended set E. 0 means DefaultExtendedSize.
+	ExtendedSize int
+	// ExtendedWeight is W in H = H_F + W*H_E. 0 means DefaultExtendedWeight.
+	ExtendedWeight float64
+	// DecayDelta is added to a qubit's decay on each swap using it.
+	// 0 means DefaultDecayDelta.
+	DecayDelta float64
+	// DecayReset is the number of swap rounds between decay resets.
+	// 0 means DefaultDecayReset.
+	DecayReset int
+}
+
+// Published SABRE hyper-parameters.
+const (
+	DefaultExtendedSize   = 20
+	DefaultExtendedWeight = 0.5
+	DefaultDecayDelta     = 0.001
+	DefaultDecayReset     = 5
+)
+
+func (o Options) extendedSize() int {
+	if o.ExtendedSize <= 0 {
+		return DefaultExtendedSize
+	}
+	return o.ExtendedSize
+}
+
+func (o Options) extendedWeight() float64 {
+	if o.ExtendedWeight <= 0 {
+		return DefaultExtendedWeight
+	}
+	return o.ExtendedWeight
+}
+
+func (o Options) decayDelta() float64 {
+	if o.DecayDelta <= 0 {
+		return DefaultDecayDelta
+	}
+	return o.DecayDelta
+}
+
+func (o Options) decayReset() int {
+	if o.DecayReset <= 0 {
+		return DefaultDecayReset
+	}
+	return o.DecayReset
+}
+
+// Result is the outcome of a SABRE mapping run.
+type Result struct {
+	// Circuit is the hardware-compliant physical gate sequence (with the
+	// inserted SWAPs) in emission order.
+	Circuit *circuit.Circuit
+	// InitialLayout and FinalLayout bracket the run.
+	InitialLayout *arch.Layout
+	FinalLayout   *arch.Layout
+	// SwapCount is the number of SWAPs inserted.
+	SwapCount int
+}
+
+// Remap runs SABRE on circuit c targeting dev from the given initial
+// layout (nil means trivial). Requirements mirror core.Remap: the circuit
+// must be lowered and fit the device.
+func Remap(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("sabre: %w", err)
+	}
+	if !circuit.IsLowered(c) {
+		return nil, fmt.Errorf("sabre: circuit %q contains compound gates; apply circuit.Decompose first", c.Name)
+	}
+	if c.NumQubits > dev.NumQubits {
+		return nil, fmt.Errorf("sabre: circuit %q needs %d qubits but device %s has %d", c.Name, c.NumQubits, dev.Name, dev.NumQubits)
+	}
+	if !dev.Connected() {
+		return nil, fmt.Errorf("sabre: device %s is disconnected", dev.Name)
+	}
+	if initial == nil {
+		initial = arch.NewTrivialLayout(c.NumQubits, dev.NumQubits)
+	}
+	if initial.NumLogical() != c.NumQubits || initial.NumPhysical() != dev.NumQubits {
+		return nil, fmt.Errorf("sabre: layout shape %d/%d does not match circuit %d / device %d",
+			initial.NumLogical(), initial.NumPhysical(), c.NumQubits, dev.NumQubits)
+	}
+	m := &mapper{
+		opts:    opts,
+		dev:     dev,
+		dag:     circuit.NewDAG(c),
+		layout:  initial.Clone(),
+		initial: initial.Clone(),
+		decay:   make([]float64, dev.NumQubits),
+		out:     &circuit.Circuit{Name: "sabre", NumQubits: dev.NumQubits},
+	}
+	m.resetDecay()
+	m.run()
+	return &Result{
+		Circuit:       m.out,
+		InitialLayout: m.initial,
+		FinalLayout:   m.layout,
+		SwapCount:     m.swaps,
+	}, nil
+}
+
+type mapper struct {
+	opts    Options
+	dev     *arch.Device
+	dag     *circuit.DAG
+	layout  *arch.Layout
+	initial *arch.Layout
+	decay   []float64
+	out     *circuit.Circuit
+	swaps   int
+}
+
+func (m *mapper) resetDecay() {
+	for i := range m.decay {
+		m.decay[i] = 1
+	}
+}
+
+// run executes the SABRE main loop.
+func (m *mapper) run() {
+	indeg := m.dag.InDegrees()
+	var front []int
+	for k, d := range indeg {
+		if d == 0 {
+			front = append(front, k)
+		}
+	}
+	sinceReset := 0
+	stuck := 0
+	// Safety valve: SABRE with decay terminates in practice; bound the
+	// consecutive no-progress swaps defensively (see DESIGN.md §4).
+	maxStuck := 4 * m.dev.NumQubits * (m.dev.Diameter() + 1)
+
+	for len(front) > 0 {
+		// Execute every executable front gate.
+		executed := false
+		next := make([]int, 0, len(front))
+		for _, k := range front {
+			g := m.dag.Gate(k)
+			if m.executable(g) {
+				m.emit(g)
+				executed = true
+				for _, s := range m.dag.Succs[k] {
+					indeg[s]--
+					if indeg[s] == 0 {
+						next = append(next, s)
+					}
+				}
+			} else {
+				next = append(next, k)
+			}
+		}
+		front = next
+		if executed {
+			m.resetDecay()
+			sinceReset = 0
+			stuck = 0
+			continue
+		}
+		if len(front) == 0 {
+			break
+		}
+		// No front gate is executable: insert the best-scoring SWAP.
+		if stuck >= maxStuck {
+			m.directRoute(front)
+			stuck = 0
+			continue
+		}
+		ext := m.extendedSet(front, indeg)
+		cand := m.bestSwap(front, ext)
+		m.applySwap(cand)
+		stuck++
+		sinceReset++
+		if sinceReset >= m.opts.decayReset() {
+			m.resetDecay()
+			sinceReset = 0
+		}
+	}
+}
+
+// executable reports whether gate g can be emitted under the current layout.
+func (m *mapper) executable(g circuit.Gate) bool {
+	if !g.Op.TwoQubit() {
+		return true // single-qubit gates and directives always execute
+	}
+	return m.dev.Adjacent(m.layout.Phys(g.Qubits[0]), m.layout.Phys(g.Qubits[1]))
+}
+
+// emit appends the physical image of logical gate g to the output.
+func (m *mapper) emit(g circuit.Gate) {
+	m.out.Add(g.Remap(func(q int) int { return m.layout.Phys(q) }))
+}
+
+// extendedSet collects up to ExtendedSize two-qubit gates reachable from
+// the front layer through the DAG (the look-ahead window E).
+func (m *mapper) extendedSet(front []int, indeg []int) []int {
+	limit := m.opts.extendedSize()
+	var ext []int
+	visited := make(map[int]bool)
+	queue := append([]int(nil), front...)
+	for len(queue) > 0 && len(ext) < limit {
+		k := queue[0]
+		queue = queue[1:]
+		for _, s := range m.dag.Succs[k] {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if m.dag.Gate(s).Op.TwoQubit() {
+				ext = append(ext, s)
+				if len(ext) >= limit {
+					break
+				}
+			}
+			queue = append(queue, s)
+		}
+	}
+	return ext
+}
+
+// swapCand is a candidate SWAP on a coupler.
+type swapCand struct {
+	a, b, edge int
+}
+
+// candidates enumerates couplers incident to the physical qubits of the
+// unexecutable two-qubit front gates (obtain_swaps in the paper).
+func (m *mapper) candidates(front []int) []swapCand {
+	seen := make(map[int]bool)
+	var out []swapCand
+	for _, k := range front {
+		g := m.dag.Gate(k)
+		if !g.Op.TwoQubit() {
+			continue
+		}
+		for _, q := range g.Qubits {
+			p := m.layout.Phys(q)
+			for _, nb := range m.dev.Neighbors(p) {
+				a, b := p, nb
+				if a > b {
+					a, b = b, a
+				}
+				id, _ := m.dev.EdgeIndex(a, b)
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				out = append(out, swapCand{a: a, b: b, edge: id})
+			}
+		}
+	}
+	return out
+}
+
+// score computes the decay-weighted SABRE heuristic for a candidate:
+// H = max(decay) * ( Σ_F D/|F| + W * Σ_E D/|E| ) under the post-swap layout.
+func (m *mapper) score(c swapCand, front, ext []int) float64 {
+	sw := func(p int) int {
+		switch p {
+		case c.a:
+			return c.b
+		case c.b:
+			return c.a
+		default:
+			return p
+		}
+	}
+	sumOver := func(set []int) (float64, int) {
+		sum, n := 0.0, 0
+		for _, k := range set {
+			g := m.dag.Gate(k)
+			if !g.Op.TwoQubit() {
+				continue
+			}
+			p1 := sw(m.layout.Phys(g.Qubits[0]))
+			p2 := sw(m.layout.Phys(g.Qubits[1]))
+			sum += float64(m.dev.Distance(p1, p2))
+			n++
+		}
+		return sum, n
+	}
+	h, nf := sumOver(front)
+	if nf > 0 {
+		h /= float64(nf)
+	}
+	if len(ext) > 0 {
+		he, ne := sumOver(ext)
+		if ne > 0 {
+			h += m.opts.extendedWeight() * he / float64(ne)
+		}
+	}
+	d := m.decay[c.a]
+	if m.decay[c.b] > d {
+		d = m.decay[c.b]
+	}
+	return d * h
+}
+
+// bestSwap returns the minimum-score candidate, breaking ties by edge index.
+func (m *mapper) bestSwap(front, ext []int) swapCand {
+	cands := m.candidates(front)
+	best := cands[0]
+	bestScore := m.score(best, front, ext)
+	for _, c := range cands[1:] {
+		s := m.score(c, front, ext)
+		if s < bestScore || (s == bestScore && c.edge < best.edge) {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// applySwap emits a SWAP and updates layout and decay.
+func (m *mapper) applySwap(c swapCand) {
+	m.out.Swap(c.a, c.b)
+	m.layout.SwapPhysical(c.a, c.b)
+	m.decay[c.a] += m.opts.decayDelta()
+	m.decay[c.b] += m.opts.decayDelta()
+	m.swaps++
+}
+
+// directRoute is the defensive termination escape: route the first blocked
+// front gate along a shortest path, mirroring core's deadlock hatch.
+func (m *mapper) directRoute(front []int) {
+	for _, k := range front {
+		g := m.dag.Gate(k)
+		if !g.Op.TwoQubit() {
+			continue
+		}
+		p1 := m.layout.Phys(g.Qubits[0])
+		p2 := m.layout.Phys(g.Qubits[1])
+		if m.dev.Adjacent(p1, p2) {
+			continue
+		}
+		path := m.dev.ShortestPath(p1, p2)
+		for i := 0; i+2 < len(path); i++ {
+			a, b := path[i], path[i+1]
+			if a > b {
+				a, b = b, a
+			}
+			id, _ := m.dev.EdgeIndex(a, b)
+			m.applySwap(swapCand{a: a, b: b, edge: id})
+		}
+		return
+	}
+}
+
+// InitialLayout computes the SABRE reverse-traversal initial mapping: start
+// from a seeded random assignment, run a forward pass over the circuit,
+// feed its final layout into a pass over the reversed circuit, and return
+// that pass's final layout. The CODAR paper uses this same mapping for
+// both algorithms ("for a fair comparison, we use the same method as SABRE
+// to create the initial mapping", §V-A).
+func InitialLayout(c *circuit.Circuit, dev *arch.Device, seed int64, opts Options) (*arch.Layout, error) {
+	if c.NumQubits > dev.NumQubits {
+		return nil, fmt.Errorf("sabre: circuit %q needs %d qubits but device %s has %d", c.Name, c.NumQubits, dev.Name, dev.NumQubits)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(dev.NumQubits)[:c.NumQubits]
+	start, err := arch.NewLayout(perm, dev.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	fwd, err := Remap(c, dev, start, opts)
+	if err != nil {
+		return nil, err
+	}
+	bwd, err := Remap(c.Reversed(), dev, fwd.FinalLayout, opts)
+	if err != nil {
+		return nil, err
+	}
+	return bwd.FinalLayout, nil
+}

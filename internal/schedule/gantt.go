@@ -1,0 +1,81 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+
+	"codar/internal/circuit"
+)
+
+// Gantt renders the schedule as a per-qubit ASCII timeline, one row per
+// qubit that carries at least one gate, compressed to at most width
+// columns. Each gate paints its duration with the first letter of its op
+// (SWAP = '#', two-qubit gates upper-case, single-qubit lower-case); idle
+// time shows as '.'. Useful for eyeballing the parallelism CODAR extracts
+// — the quickstart example prints one.
+func (s *Schedule) Gantt(width int) string {
+	if s.Makespan == 0 || width <= 0 {
+		return "(empty schedule)\n"
+	}
+	if width > s.Makespan {
+		width = s.Makespan
+	}
+	scale := float64(width) / float64(s.Makespan)
+	rows := make(map[int][]byte)
+	used := make([]bool, s.NumQubits)
+	for _, sg := range s.Gates {
+		for _, q := range sg.Gate.Qubits {
+			used[q] = true
+			if rows[q] == nil {
+				row := make([]byte, width)
+				for i := range row {
+					row[i] = '.'
+				}
+				rows[q] = row
+			}
+		}
+	}
+	for _, sg := range s.Gates {
+		from := int(float64(sg.Start) * scale)
+		to := int(float64(sg.End()) * scale)
+		if to <= from {
+			to = from + 1
+		}
+		if to > width {
+			to = width
+		}
+		ch := ganttSymbol(sg.Gate)
+		for _, q := range sg.Gate.Qubits {
+			row := rows[q]
+			for i := from; i < to; i++ {
+				row[i] = ch
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0..%d cycles (1 col ≈ %.1f cycles)\n", s.Makespan, 1/scale)
+	for q := 0; q < s.NumQubits; q++ {
+		if !used[q] {
+			continue
+		}
+		fmt.Fprintf(&b, "q%-3d |%s|\n", q, rows[q])
+	}
+	return b.String()
+}
+
+// ganttSymbol picks the timeline glyph for a gate.
+func ganttSymbol(g circuit.Gate) byte {
+	switch {
+	case g.Op == circuit.OpSwap:
+		return '#'
+	case g.Op == circuit.OpBarrier:
+		return '|'
+	case g.Op == circuit.OpMeasure:
+		return 'M'
+	case g.Op.TwoQubit():
+		name := g.Op.Name()
+		return name[0] &^ 0x20 // upper-case
+	default:
+		return g.Op.Name()[0] | 0x20 // lower-case
+	}
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"codar/internal/circuit"
+)
+
+// Unitary1Q returns the 2x2 matrix of a single-qubit op with the given
+// parameters.
+func Unitary1Q(op circuit.Op, params []float64) ([2][2]complex128, error) {
+	p := func(k int) float64 {
+		if k < len(params) {
+			return params[k]
+		}
+		return 0
+	}
+	inv := complex(1/math.Sqrt2, 0)
+	switch op {
+	case circuit.OpID:
+		return [2][2]complex128{{1, 0}, {0, 1}}, nil
+	case circuit.OpX:
+		return [2][2]complex128{{0, 1}, {1, 0}}, nil
+	case circuit.OpY:
+		return [2][2]complex128{{0, -1i}, {1i, 0}}, nil
+	case circuit.OpZ:
+		return [2][2]complex128{{1, 0}, {0, -1}}, nil
+	case circuit.OpH:
+		return [2][2]complex128{{inv, inv}, {inv, -inv}}, nil
+	case circuit.OpS:
+		return [2][2]complex128{{1, 0}, {0, 1i}}, nil
+	case circuit.OpSdg:
+		return [2][2]complex128{{1, 0}, {0, -1i}}, nil
+	case circuit.OpT:
+		return [2][2]complex128{{1, 0}, {0, cmplx.Exp(1i * math.Pi / 4)}}, nil
+	case circuit.OpTdg:
+		return [2][2]complex128{{1, 0}, {0, cmplx.Exp(-1i * math.Pi / 4)}}, nil
+	case circuit.OpSX:
+		return [2][2]complex128{
+			{complex(0.5, 0.5), complex(0.5, -0.5)},
+			{complex(0.5, -0.5), complex(0.5, 0.5)},
+		}, nil
+	case circuit.OpRX:
+		c := complex(math.Cos(p(0)/2), 0)
+		s := complex(0, -math.Sin(p(0)/2))
+		return [2][2]complex128{{c, s}, {s, c}}, nil
+	case circuit.OpRY:
+		c := complex(math.Cos(p(0)/2), 0)
+		s := complex(math.Sin(p(0)/2), 0)
+		return [2][2]complex128{{c, -s}, {s, c}}, nil
+	case circuit.OpRZ:
+		return [2][2]complex128{
+			{cmplx.Exp(complex(0, -p(0)/2)), 0},
+			{0, cmplx.Exp(complex(0, p(0)/2))},
+		}, nil
+	case circuit.OpU1:
+		return [2][2]complex128{{1, 0}, {0, cmplx.Exp(complex(0, p(0)))}}, nil
+	case circuit.OpU2:
+		phi, lam := p(0), p(1)
+		return [2][2]complex128{
+			{inv, -inv * cmplx.Exp(complex(0, lam))},
+			{inv * cmplx.Exp(complex(0, phi)), inv * cmplx.Exp(complex(0, phi+lam))},
+		}, nil
+	case circuit.OpU3:
+		th, phi, lam := p(0), p(1), p(2)
+		c := complex(math.Cos(th/2), 0)
+		s := complex(math.Sin(th/2), 0)
+		return [2][2]complex128{
+			{c, -s * cmplx.Exp(complex(0, lam))},
+			{s * cmplx.Exp(complex(0, phi)), c * cmplx.Exp(complex(0, phi+lam))},
+		}, nil
+	default:
+		return [2][2]complex128{}, fmt.Errorf("sim: %v is not a single-qubit unitary", op)
+	}
+}
+
+// Unitary2Q returns the 4x4 matrix of a two-qubit op in the |q0 q1> local
+// basis (q0 the more-significant bit; for CX, q0 is the control).
+func Unitary2Q(op circuit.Op, params []float64) ([4][4]complex128, error) {
+	p := func(k int) float64 {
+		if k < len(params) {
+			return params[k]
+		}
+		return 0
+	}
+	switch op {
+	case circuit.OpCX:
+		return [4][4]complex128{
+			{1, 0, 0, 0},
+			{0, 1, 0, 0},
+			{0, 0, 0, 1},
+			{0, 0, 1, 0},
+		}, nil
+	case circuit.OpCZ:
+		return [4][4]complex128{
+			{1, 0, 0, 0},
+			{0, 1, 0, 0},
+			{0, 0, 1, 0},
+			{0, 0, 0, -1},
+		}, nil
+	case circuit.OpSwap:
+		return [4][4]complex128{
+			{1, 0, 0, 0},
+			{0, 0, 1, 0},
+			{0, 1, 0, 0},
+			{0, 0, 0, 1},
+		}, nil
+	case circuit.OpCP:
+		return [4][4]complex128{
+			{1, 0, 0, 0},
+			{0, 1, 0, 0},
+			{0, 0, 1, 0},
+			{0, 0, 0, cmplx.Exp(complex(0, p(0)))},
+		}, nil
+	case circuit.OpRZZ:
+		e := cmplx.Exp(complex(0, -p(0)/2))
+		f := cmplx.Exp(complex(0, p(0)/2))
+		return [4][4]complex128{
+			{e, 0, 0, 0},
+			{0, f, 0, 0},
+			{0, 0, f, 0},
+			{0, 0, 0, e},
+		}, nil
+	case circuit.OpRXX:
+		// exp(-i theta/2 X⊗X): cos on the diagonal, -i sin on the
+		// anti-diagonal.
+		c := complex(math.Cos(p(0)/2), 0)
+		s := complex(0, -math.Sin(p(0)/2))
+		return [4][4]complex128{
+			{c, 0, 0, s},
+			{0, c, s, 0},
+			{0, s, c, 0},
+			{s, 0, 0, c},
+		}, nil
+	default:
+		return [4][4]complex128{}, fmt.Errorf("sim: %v is not a two-qubit unitary", op)
+	}
+}
+
+// Run simulates circuit c from |0...0> and returns the final state.
+func Run(c *circuit.Circuit) (*State, error) {
+	s, err := NewState(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ApplyCircuit(c); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"codar/internal/circuit"
+	"codar/internal/schedule"
+)
+
+// NoiseModel parameterises the per-qubit decoherence channels of the
+// OriginQ-style "Qubit Dephasing and Damping" model the paper's Fig 9 uses,
+// plus an optional depolarising gate-error extension (Table I lists
+// per-gate fidelities; the dephasing/damping model alone is what Fig 9
+// used). Times are in quantum clock cycles, matching schedule durations.
+type NoiseModel struct {
+	// T1 is the amplitude-damping (energy relaxation) time constant;
+	// 0 or +Inf disables damping.
+	T1 float64
+	// T2 is the pure-dephasing time constant; 0 or +Inf disables dephasing.
+	T2 float64
+	// Gate1QError and Gate2QError are depolarising error probabilities:
+	// after a gate, each operand suffers a uniformly random Pauli with the
+	// class probability. 0 disables. This extension quantifies the §V-B
+	// trade-off (CODAR may insert more SWAPs, adding gate noise, while its
+	// shorter schedule removes decoherence exposure).
+	Gate1QError float64
+	Gate2QError float64
+}
+
+// DephasingDominant returns a regime where noise is mainly dephasing
+// (small T2, effectively infinite T1), the left half of Fig 9.
+func DephasingDominant(t2 float64) NoiseModel { return NoiseModel{T1: math.Inf(1), T2: t2} }
+
+// DampingDominant returns a regime where noise is mainly amplitude damping
+// (small T1, effectively infinite T2), the right half of Fig 9.
+func DampingDominant(t1 float64) NoiseModel { return NoiseModel{T1: t1, T2: math.Inf(1)} }
+
+// enabled reports whether a time constant contributes noise.
+func enabled(t float64) bool { return t > 0 && !math.IsInf(t, 1) }
+
+// dephaseProb returns the phase-flip probability after dt cycles:
+// p = (1 - exp(-dt/T2)) / 2, the standard phase-flip-channel mapping.
+func (m NoiseModel) dephaseProb(dt float64) float64 {
+	if !enabled(m.T2) || dt <= 0 {
+		return 0
+	}
+	return (1 - math.Exp(-dt/m.T2)) / 2
+}
+
+// dampGamma returns the amplitude-damping parameter after dt cycles:
+// γ = 1 - exp(-dt/T1).
+func (m NoiseModel) dampGamma(dt float64) float64 {
+	if !enabled(m.T1) || dt <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-dt/m.T1)
+}
+
+// applyNoise evolves one trajectory of the dephasing+damping channels on
+// qubit q for dt cycles.
+func (m NoiseModel) applyNoise(s *State, q int, dt float64, rng *rand.Rand) {
+	if p := m.dephaseProb(dt); p > 0 && rng.Float64() < p {
+		zGate(s, q)
+	}
+	if gamma := m.dampGamma(dt); gamma > 0 {
+		dampTrajectory(s, q, gamma, rng)
+	}
+}
+
+// zGate applies Pauli-Z to qubit q in place (phase-flip trajectory branch).
+func zGate(s *State, q int) {
+	bit := 1 << uint(q)
+	for i := range s.amp {
+		if i&bit != 0 {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+// dampTrajectory applies one Monte-Carlo step of the amplitude-damping
+// channel with parameter gamma: with probability γ·P(|1>_q) the qubit jumps
+// to |0> (Kraus K1 = √γ|0><1|, renormalised); otherwise the no-jump
+// operator K0 = diag(1, √(1-γ)) is applied and renormalised.
+func dampTrajectory(s *State, q int, gamma float64, rng *rand.Rand) {
+	bit := 1 << uint(q)
+	p1 := s.ProbabilityOfOne(q)
+	pJump := gamma * p1
+	if pJump > 0 && rng.Float64() < pJump {
+		// Jump: move every |1>_q amplitude to the matching |0>_q state.
+		for i := range s.amp {
+			if i&bit == 0 {
+				s.amp[i] = s.amp[i|bit]
+			}
+		}
+		for i := range s.amp {
+			if i&bit != 0 {
+				s.amp[i] = 0
+			}
+		}
+		s.Normalize()
+		return
+	}
+	// No jump: damp the |1>_q amplitudes.
+	k := complex(math.Sqrt(1-gamma), 0)
+	for i := range s.amp {
+		if i&bit != 0 {
+			s.amp[i] *= k
+		}
+	}
+	s.Normalize()
+}
+
+// NoisyRun simulates one noise trajectory of a scheduled circuit: each
+// qubit accumulates dephasing/damping exposure over both idle gaps and
+// gate execution windows, so a longer weighted depth means more
+// decoherence — the mechanism behind the paper's fidelity argument.
+// Measurements are skipped (fidelity is computed on the unitary part).
+func (m NoiseModel) NoisyRun(s *schedule.Schedule, seed int64) (*State, error) {
+	st, err := NewState(s.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	last := make([]float64, s.NumQubits)
+	for _, sg := range s.Gates {
+		g := sg.Gate
+		// Decoherence over the idle gap and the gate window itself.
+		for _, q := range g.Qubits {
+			dt := float64(sg.End()) - last[q]
+			m.applyNoise(st, q, dt, rng)
+			last[q] = float64(sg.End())
+		}
+		if g.Op.Unitary() {
+			if err := st.Apply(g); err != nil {
+				return nil, err
+			}
+			m.applyGateError(st, g, rng)
+		}
+	}
+	// Trailing idle exposure up to the makespan.
+	for q := 0; q < s.NumQubits; q++ {
+		m.applyNoise(st, q, float64(s.Makespan)-last[q], rng)
+	}
+	return st, nil
+}
+
+// applyGateError applies the depolarising gate-error channel: each operand
+// of a just-executed gate suffers a uniformly random Pauli with the class
+// probability.
+func (m NoiseModel) applyGateError(s *State, g circuit.Gate, rng *rand.Rand) {
+	p := m.Gate1QError
+	if len(g.Qubits) >= 2 {
+		p = m.Gate2QError
+	}
+	if p <= 0 {
+		return
+	}
+	for _, q := range g.Qubits {
+		if rng.Float64() >= p {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			xGate(s, q)
+		case 1:
+			yGate(s, q)
+		default:
+			zGate(s, q)
+		}
+	}
+}
+
+// xGate applies Pauli-X to qubit q in place.
+func xGate(s *State, q int) {
+	bit := 1 << uint(q)
+	for i := range s.amp {
+		if i&bit == 0 {
+			s.amp[i], s.amp[i|bit] = s.amp[i|bit], s.amp[i]
+		}
+	}
+}
+
+// yGate applies Pauli-Y to qubit q in place.
+func yGate(s *State, q int) {
+	bit := 1 << uint(q)
+	for i := range s.amp {
+		if i&bit == 0 {
+			j := i | bit
+			a0, a1 := s.amp[i], s.amp[j]
+			s.amp[i] = -1i * a1
+			s.amp[j] = 1i * a0
+		}
+	}
+}
+
+// IdealRun simulates the schedule without noise.
+func IdealRun(s *schedule.Schedule) (*State, error) {
+	st, err := NewState(s.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	for _, sg := range s.Gates {
+		if sg.Gate.Op.Unitary() {
+			if err := st.Apply(sg.Gate); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// FidelityEstimate Monte-Carlo-averages |<ideal|trajectory>|^2 over the
+// given number of trajectories. It is deterministic for a fixed seed.
+func (m NoiseModel) FidelityEstimate(s *schedule.Schedule, trajectories int, seed int64) (float64, error) {
+	if trajectories <= 0 {
+		return 0, fmt.Errorf("sim: need at least one trajectory")
+	}
+	ideal, err := IdealRun(s)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for k := 0; k < trajectories; k++ {
+		traj, err := m.NoisyRun(s, seed+int64(k)*7919)
+		if err != nil {
+			return 0, err
+		}
+		sum += ideal.Fidelity(traj)
+	}
+	return sum / float64(trajectories), nil
+}

@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+	"codar/internal/schedule"
+)
+
+func durations() arch.Durations { return arch.SuperconductingDurations() }
+
+func TestNoiseModelProbabilities(t *testing.T) {
+	m := NoiseModel{T1: 100, T2: 50}
+	if p := m.dephaseProb(0); p != 0 {
+		t.Errorf("dephaseProb(0) = %g", p)
+	}
+	// p -> 1/2 as dt -> inf.
+	if p := m.dephaseProb(1e9); math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("dephaseProb(inf) = %g, want 0.5", p)
+	}
+	if g := m.dampGamma(1e9); math.Abs(g-1) > 1e-9 {
+		t.Errorf("dampGamma(inf) = %g, want 1", g)
+	}
+	// Monotone in dt.
+	if m.dephaseProb(10) >= m.dephaseProb(100) {
+		t.Error("dephaseProb not increasing")
+	}
+	// Disabled channels.
+	off := NoiseModel{}
+	if off.dephaseProb(50) != 0 || off.dampGamma(50) != 0 {
+		t.Error("zero-valued model should be noiseless")
+	}
+	deph := DephasingDominant(40)
+	if deph.dampGamma(100) != 0 || deph.dephaseProb(100) == 0 {
+		t.Error("DephasingDominant misconfigured")
+	}
+	damp := DampingDominant(40)
+	if damp.dephaseProb(100) != 0 || damp.dampGamma(100) == 0 {
+		t.Error("DampingDominant misconfigured")
+	}
+}
+
+func TestDampingDrivesToGround(t *testing.T) {
+	// |1> under strong damping collapses to |0>.
+	c := circuit.New(1).X(0)
+	s := schedule.ASAP(c, durations())
+	// Stretch exposure by lying about the makespan: add idle time.
+	s.Makespan = 10_000
+	m := DampingDominant(10)
+	st, err := m.NoisyRun(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Probability(0) < 0.999 {
+		t.Errorf("P(|0>) = %g after strong damping, want ~1", st.Probability(0))
+	}
+}
+
+func TestDephasingPreservesComputationalBasis(t *testing.T) {
+	// Dephasing leaves basis states invariant (only phases flip), so a
+	// circuit ending in a basis state keeps fidelity 1 under pure
+	// dephasing.
+	c := circuit.New(2).X(0).X(1)
+	s := schedule.ASAP(c, durations())
+	s.Makespan = 1000
+	m := DephasingDominant(5)
+	f, err := m.FidelityEstimate(s, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.9999 {
+		t.Errorf("basis-state fidelity under dephasing = %g, want ~1", f)
+	}
+}
+
+func TestDephasingDegradesSuperposition(t *testing.T) {
+	c := circuit.New(1).H(0)
+	s := schedule.ASAP(c, durations())
+	s.Makespan = 200
+	m := DephasingDominant(20)
+	f, err := m.FidelityEstimate(s, 200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f > 0.95 {
+		t.Errorf("superposition fidelity = %g, want visible degradation", f)
+	}
+	// In the long-time limit a dephased |+> has fidelity ~1/2.
+	if f < 0.35 {
+		t.Errorf("fidelity = %g collapsed below the 1/2 dephasing floor", f)
+	}
+}
+
+func TestLongerScheduleLowerFidelity(t *testing.T) {
+	// The same circuit stretched over a longer makespan must lose
+	// fidelity: this is the mechanism behind Fig 9.
+	c := circuit.New(2).H(0).CX(0, 1)
+	fast := schedule.ASAP(c, durations())
+	slow := schedule.ASAP(c, durations())
+	slow.Makespan = fast.Makespan * 20
+	m := NoiseModel{T1: 300, T2: 150}
+	ff, err := m.FidelityEstimate(fast, 150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := m.FidelityEstimate(slow, 150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs >= ff {
+		t.Errorf("longer schedule should lose fidelity: fast %g, slow %g", ff, fs)
+	}
+}
+
+func TestNoiselessFidelityIsOne(t *testing.T) {
+	c := circuit.New(3).H(0).CX(0, 1).CX(1, 2).T(2)
+	s := schedule.ASAP(c, durations())
+	f, err := NoiseModel{}.FidelityEstimate(s, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-9 {
+		t.Errorf("noiseless fidelity = %g", f)
+	}
+}
+
+func TestFidelityDeterministicForSeed(t *testing.T) {
+	c := circuit.New(2).H(0).CX(0, 1).T(1).H(0)
+	s := schedule.ASAP(c, durations())
+	m := NoiseModel{T1: 80, T2: 40}
+	f1, err := m.FidelityEstimate(s, 50, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := m.FidelityEstimate(s, 50, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Errorf("fidelity not deterministic: %g vs %g", f1, f2)
+	}
+	if f1 <= 0 || f1 > 1 {
+		t.Errorf("fidelity out of range: %g", f1)
+	}
+}
+
+func TestFidelityEstimateErrors(t *testing.T) {
+	c := circuit.New(1).H(0)
+	s := schedule.ASAP(c, durations())
+	if _, err := (NoiseModel{}).FidelityEstimate(s, 0, 1); err == nil {
+		t.Error("zero trajectories accepted")
+	}
+}
+
+func TestNoisyRunSkipsMeasurements(t *testing.T) {
+	c := circuit.New(1).H(0).Measure(0, 0)
+	s := schedule.ASAP(c, durations())
+	if _, err := (NoiseModel{T2: 100}).NoisyRun(s, 1); err != nil {
+		t.Errorf("measurement should be skipped, got %v", err)
+	}
+}
+
+func TestTrajectoriesStayNormalised(t *testing.T) {
+	c := circuit.New(3).H(0).CX(0, 1).CX(1, 2).H(2).T(0)
+	s := schedule.ASAP(c, durations())
+	m := NoiseModel{T1: 30, T2: 15}
+	for seed := int64(0); seed < 10; seed++ {
+		st, err := m.NoisyRun(s, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(st.Norm()-1) > 1e-9 {
+			t.Fatalf("trajectory %d norm = %g", seed, st.Norm())
+		}
+	}
+}
+
+func TestGateErrorDegradesFidelity(t *testing.T) {
+	c := circuit.New(3).H(0).CX(0, 1).CX(1, 2).H(2).CX(0, 2)
+	s := schedule.ASAP(c, durations())
+	clean := NoiseModel{}
+	noisy := NoiseModel{Gate1QError: 0.05, Gate2QError: 0.1}
+	fc, err := clean.FidelityEstimate(s, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := noisy.FidelityEstimate(s, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fc-1) > 1e-9 {
+		t.Errorf("clean fidelity = %g", fc)
+	}
+	if fn >= 0.95 {
+		t.Errorf("gate-error fidelity = %g, want visible degradation", fn)
+	}
+}
+
+func TestGateErrorScalesWithGateCount(t *testing.T) {
+	small := circuit.New(2).H(0).CX(0, 1)
+	big := circuit.New(2)
+	for i := 0; i < 10; i++ {
+		big.H(0).CX(0, 1).CX(0, 1).H(0) // identity blocks accumulate error
+	}
+	m := NoiseModel{Gate2QError: 0.03, Gate1QError: 0.01}
+	fs, err := m.FidelityEstimate(schedule.ASAP(small, durations()), 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := m.FidelityEstimate(schedule.ASAP(big, durations()), 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb >= fs {
+		t.Errorf("more gates should mean lower fidelity: small %g, big %g", fs, fb)
+	}
+}
+
+func TestGateErrorKeepsNormalisation(t *testing.T) {
+	c := circuit.New(2).H(0).CX(0, 1).H(1)
+	s := schedule.ASAP(c, durations())
+	m := NoiseModel{Gate1QError: 0.5, Gate2QError: 0.5}
+	for seed := int64(0); seed < 8; seed++ {
+		st, err := m.NoisyRun(s, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(st.Norm()-1) > 1e-9 {
+			t.Fatalf("norm = %g", st.Norm())
+		}
+	}
+}
+
+func TestPauliInjectionHelpers(t *testing.T) {
+	// X on |0> -> |1>; Y on |0> -> i|1>.
+	s := MustNewState(1)
+	xGate(s, 0)
+	if real(s.Amplitude(1)) != 1 {
+		t.Error("xGate broken")
+	}
+	s2 := MustNewState(1)
+	yGate(s2, 0)
+	if s2.Amplitude(1) != 1i {
+		t.Errorf("yGate broken: %v", s2.Amplitude(1))
+	}
+	// Pauli operators square to identity.
+	s3 := randomState(3, 7)
+	want := s3.Clone()
+	xGate(s3, 1)
+	xGate(s3, 1)
+	yGate(s3, 2)
+	yGate(s3, 2)
+	if !s3.EqualUpToPhase(want, 1e-9) {
+		t.Error("Pauli helpers do not square to identity")
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Sample draws shots measurement outcomes (full-register, computational
+// basis) from the state and returns a basis-index → count histogram. The
+// state is not collapsed. Deterministic for a fixed seed.
+func (s *State) Sample(shots int, seed int64) (map[int]int, error) {
+	if shots <= 0 {
+		return nil, fmt.Errorf("sim: need at least one shot")
+	}
+	// Cumulative distribution over basis states.
+	cdf := make([]float64, s.Len())
+	acc := 0.0
+	for i := range s.amp {
+		acc += s.Probability(i)
+		cdf[i] = acc
+	}
+	if acc <= 0 {
+		return nil, fmt.Errorf("sim: zero-norm state")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := make(map[int]int)
+	for k := 0; k < shots; k++ {
+		r := rng.Float64() * acc
+		idx := sort.SearchFloat64s(cdf, r)
+		if idx >= len(cdf) {
+			idx = len(cdf) - 1
+		}
+		counts[idx]++
+	}
+	return counts, nil
+}
+
+// TopOutcomes returns the most probable basis states in descending
+// probability order, at most k entries, each as (index, probability).
+func (s *State) TopOutcomes(k int) [][2]float64 {
+	type entry struct {
+		idx int
+		p   float64
+	}
+	entries := make([]entry, 0, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		if p := s.Probability(i); p > 1e-12 {
+			entries = append(entries, entry{i, p})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].p != entries[b].p {
+			return entries[a].p > entries[b].p
+		}
+		return entries[a].idx < entries[b].idx
+	})
+	if k > len(entries) {
+		k = len(entries)
+	}
+	out := make([][2]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = [2]float64{float64(entries[i].idx), entries[i].p}
+	}
+	return out
+}

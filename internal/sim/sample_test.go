@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"codar/internal/circuit"
+)
+
+func TestSampleBasisState(t *testing.T) {
+	s := MustNewState(2)
+	s.Apply(circuit.New1Q(circuit.OpX, 0))
+	counts, err := s.Sample(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[1] != 100 {
+		t.Errorf("basis state sampling: %v", counts)
+	}
+}
+
+func TestSampleGHZSplitsEvenly(t *testing.T) {
+	c := circuit.New(3).H(0).CX(0, 1).CX(1, 2)
+	st, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shots = 4000
+	counts, err := st.Sample(shots, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 2 {
+		t.Fatalf("GHZ should sample two outcomes, got %v", counts)
+	}
+	p0 := float64(counts[0]) / shots
+	if math.Abs(p0-0.5) > 0.05 {
+		t.Errorf("P(|000>) = %g, want ~0.5", p0)
+	}
+	if counts[0]+counts[7] != shots {
+		t.Errorf("leaked outcomes: %v", counts)
+	}
+}
+
+func TestSampleDeterministicForSeed(t *testing.T) {
+	c := circuit.New(2).H(0).H(1)
+	st, _ := Run(c)
+	c1, err := st.Sample(50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := st.Sample(50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range c1 {
+		if c2[k] != v {
+			t.Fatalf("non-deterministic sampling: %v vs %v", c1, c2)
+		}
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	s := MustNewState(1)
+	if _, err := s.Sample(0, 1); err == nil {
+		t.Error("zero shots accepted")
+	}
+	z := MustNewState(1)
+	z.SetAmplitude(0, 0)
+	if _, err := z.Sample(10, 1); err == nil {
+		t.Error("zero state accepted")
+	}
+}
+
+func TestTopOutcomes(t *testing.T) {
+	c := circuit.New(2).H(0) // |00> and |01> at 0.5 each
+	st, _ := Run(c)
+	top := st.TopOutcomes(5)
+	if len(top) != 2 {
+		t.Fatalf("TopOutcomes = %v", top)
+	}
+	if math.Abs(top[0][1]-0.5) > 1e-9 || math.Abs(top[1][1]-0.5) > 1e-9 {
+		t.Errorf("probabilities: %v", top)
+	}
+	// Tie broken by index: |00> (0) before |01> (1).
+	if int(top[0][0]) != 0 || int(top[1][0]) != 1 {
+		t.Errorf("tie-break order: %v", top)
+	}
+	// k larger than support truncates; k=1 takes the best.
+	if got := st.TopOutcomes(1); len(got) != 1 {
+		t.Errorf("k=1: %v", got)
+	}
+}

@@ -1,0 +1,245 @@
+// Package sim provides a statevector simulator for the gate set of the
+// circuit package, plus a Monte-Carlo trajectory noise model (qubit
+// dephasing T2 and amplitude damping T1) that substitutes for the OriginQ
+// distributed noisy quantum virtual machine used in the paper's fidelity
+// experiment (Fig 9). The simulator serves three roles:
+//
+//   - semantic equivalence checking of remapped circuits (internal/verify);
+//   - cross-validation of the commutation rules in internal/circuit;
+//   - the Fig 9 fidelity-maintenance experiment.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"codar/internal/circuit"
+)
+
+// State is a pure quantum state over n qubits as 2^n complex amplitudes.
+// Qubit 0 is the least-significant bit of the basis index.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// MaxQubits bounds statevector size (2^24 amplitudes = 256 MiB) to fail
+// fast on accidental large allocations.
+const MaxQubits = 24
+
+// NewState returns |0...0> over n qubits.
+func NewState(n int) (*State, error) {
+	if n <= 0 || n > MaxQubits {
+		return nil, fmt.Errorf("sim: qubit count %d out of range [1,%d]", n, MaxQubits)
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
+	s.amp[0] = 1
+	return s, nil
+}
+
+// MustNewState is NewState panicking on error (tests, examples).
+func MustNewState(n int) *State {
+	s, err := NewState(n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumQubits returns n.
+func (s *State) NumQubits() int { return s.n }
+
+// Len returns the number of amplitudes (2^n).
+func (s *State) Len() int { return len(s.amp) }
+
+// Amplitude returns the amplitude of basis state i.
+func (s *State) Amplitude(i int) complex128 { return s.amp[i] }
+
+// SetAmplitude overwrites the amplitude of basis state i (tests).
+func (s *State) SetAmplitude(i int, a complex128) { s.amp[i] = a }
+
+// Clone returns an independent copy.
+func (s *State) Clone() *State {
+	return &State{n: s.n, amp: append([]complex128(nil), s.amp...)}
+}
+
+// Norm returns the 2-norm of the state (1 for physical states).
+func (s *State) Norm() float64 {
+	sum := 0.0
+	for _, a := range s.amp {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(sum)
+}
+
+// Normalize rescales the state to unit norm (no-op on the zero vector).
+func (s *State) Normalize() {
+	n := s.Norm()
+	if n == 0 {
+		return
+	}
+	inv := complex(1/n, 0)
+	for i := range s.amp {
+		s.amp[i] *= inv
+	}
+}
+
+// Probability returns the probability of measuring basis state i.
+func (s *State) Probability(i int) float64 {
+	a := s.amp[i]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// ProbabilityOfOne returns the probability that qubit q reads 1.
+func (s *State) ProbabilityOfOne(q int) float64 {
+	bit := 1 << uint(q)
+	p := 0.0
+	for i, a := range s.amp {
+		if i&bit != 0 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// InnerProduct returns <s|o>.
+func (s *State) InnerProduct(o *State) complex128 {
+	if s.n != o.n {
+		panic("sim: inner product of mismatched states")
+	}
+	var sum complex128
+	for i := range s.amp {
+		sum += cmplx.Conj(s.amp[i]) * o.amp[i]
+	}
+	return sum
+}
+
+// Fidelity returns |<s|o>|^2.
+func (s *State) Fidelity(o *State) float64 {
+	ip := s.InnerProduct(o)
+	return real(ip)*real(ip) + imag(ip)*imag(ip)
+}
+
+// EqualUpToPhase reports whether two states are equal modulo a global
+// phase, within tolerance eps on fidelity.
+func (s *State) EqualUpToPhase(o *State, eps float64) bool {
+	return math.Abs(1-s.Fidelity(o)) < eps
+}
+
+// Apply applies a unitary gate (or barrier, a no-op) to the state.
+// Measurements and resets are rejected: equivalence checking and fidelity
+// simulation operate on the unitary part of circuits.
+func (s *State) Apply(g circuit.Gate) error {
+	switch {
+	case g.Op == circuit.OpBarrier:
+		return nil
+	case g.Op == circuit.OpCCX:
+		s.applyCCX(g.Qubits[0], g.Qubits[1], g.Qubits[2])
+		return nil
+	case g.Op.SingleQubit():
+		u, err := Unitary1Q(g.Op, g.Params)
+		if err != nil {
+			return err
+		}
+		s.apply1Q(u, g.Qubits[0])
+		return nil
+	case g.Op.TwoQubit():
+		u, err := Unitary2Q(g.Op, g.Params)
+		if err != nil {
+			return err
+		}
+		s.apply2Q(u, g.Qubits[0], g.Qubits[1])
+		return nil
+	default:
+		return fmt.Errorf("sim: cannot apply non-unitary op %v", g.Op)
+	}
+}
+
+// ApplyCircuit applies every gate of c in order.
+func (s *State) ApplyCircuit(c *circuit.Circuit) error {
+	if c.NumQubits > s.n {
+		return fmt.Errorf("sim: circuit needs %d qubits, state has %d", c.NumQubits, s.n)
+	}
+	for i, g := range c.Gates {
+		if err := s.Apply(g); err != nil {
+			return fmt.Errorf("gate %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// apply1Q applies a 2x2 unitary to qubit q.
+func (s *State) apply1Q(u [2][2]complex128, q int) {
+	bit := 1 << uint(q)
+	for i := 0; i < len(s.amp); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		a0, a1 := s.amp[i], s.amp[j]
+		s.amp[i] = u[0][0]*a0 + u[0][1]*a1
+		s.amp[j] = u[1][0]*a0 + u[1][1]*a1
+	}
+}
+
+// apply2Q applies a 4x4 unitary to qubits (q0, q1), with q0 indexing the
+// more-significant bit of the 2-bit local basis |q0 q1>.
+func (s *State) apply2Q(u [4][4]complex128, q0, q1 int) {
+	b0 := 1 << uint(q0)
+	b1 := 1 << uint(q1)
+	for i := 0; i < len(s.amp); i++ {
+		if i&b0 != 0 || i&b1 != 0 {
+			continue
+		}
+		i00 := i
+		i01 := i | b1
+		i10 := i | b0
+		i11 := i | b0 | b1
+		a00, a01, a10, a11 := s.amp[i00], s.amp[i01], s.amp[i10], s.amp[i11]
+		s.amp[i00] = u[0][0]*a00 + u[0][1]*a01 + u[0][2]*a10 + u[0][3]*a11
+		s.amp[i01] = u[1][0]*a00 + u[1][1]*a01 + u[1][2]*a10 + u[1][3]*a11
+		s.amp[i10] = u[2][0]*a00 + u[2][1]*a01 + u[2][2]*a10 + u[2][3]*a11
+		s.amp[i11] = u[3][0]*a00 + u[3][1]*a01 + u[3][2]*a10 + u[3][3]*a11
+	}
+}
+
+// applyCCX flips the target bit on basis states where both controls are set.
+func (s *State) applyCCX(c0, c1, t int) {
+	bc0 := 1 << uint(c0)
+	bc1 := 1 << uint(c1)
+	bt := 1 << uint(t)
+	for i := 0; i < len(s.amp); i++ {
+		if i&bc0 != 0 && i&bc1 != 0 && i&bt == 0 {
+			j := i | bt
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+// PermuteQubits returns a new state where logical qubit q of the result
+// reads the amplitude of qubit perm[q] of the input — i.e. it relabels
+// qubit perm[q] as qubit q. perm must be a permutation of [0, n).
+func (s *State) PermuteQubits(perm []int) (*State, error) {
+	if len(perm) != s.n {
+		return nil, fmt.Errorf("sim: permutation length %d != %d qubits", len(perm), s.n)
+	}
+	seen := make([]bool, s.n)
+	for _, p := range perm {
+		if p < 0 || p >= s.n || seen[p] {
+			return nil, fmt.Errorf("sim: invalid permutation %v", perm)
+		}
+		seen[p] = true
+	}
+	out := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	for i := range s.amp {
+		j := 0
+		for q := 0; q < s.n; q++ {
+			if i&(1<<uint(perm[q])) != 0 {
+				j |= 1 << uint(q)
+			}
+		}
+		out.amp[j] = s.amp[i]
+	}
+	return out, nil
+}

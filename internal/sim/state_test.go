@@ -1,0 +1,457 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"codar/internal/circuit"
+)
+
+const eps = 1e-12
+
+func approx(a, b complex128) bool { return cmplx.Abs(a-b) < 1e-9 }
+
+func TestNewStateBounds(t *testing.T) {
+	if _, err := NewState(0); err == nil {
+		t.Error("0 qubits accepted")
+	}
+	if _, err := NewState(MaxQubits + 1); err == nil {
+		t.Error("oversized state accepted")
+	}
+	s := MustNewState(3)
+	if s.Len() != 8 || s.Amplitude(0) != 1 {
+		t.Error("initial state is not |000>")
+	}
+	if math.Abs(s.Norm()-1) > eps {
+		t.Error("initial norm != 1")
+	}
+}
+
+func TestHGate(t *testing.T) {
+	s := MustNewState(1)
+	if err := s.Apply(circuit.New1Q(circuit.OpH, 0)); err != nil {
+		t.Fatal(err)
+	}
+	inv := complex(1/math.Sqrt2, 0)
+	if !approx(s.Amplitude(0), inv) || !approx(s.Amplitude(1), inv) {
+		t.Errorf("H|0> = (%v, %v)", s.Amplitude(0), s.Amplitude(1))
+	}
+	// H is self-inverse.
+	if err := s.Apply(circuit.New1Q(circuit.OpH, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Amplitude(0), 1) {
+		t.Error("HH != I")
+	}
+}
+
+func TestBellState(t *testing.T) {
+	c := circuit.New(2).H(0).CX(0, 1)
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := complex(1/math.Sqrt2, 0)
+	// Qubit 0 = LSB: |00> -> index 0, |11> -> index 3.
+	if !approx(s.Amplitude(0), inv) || !approx(s.Amplitude(3), inv) {
+		t.Errorf("Bell amplitudes: %v %v %v %v", s.Amplitude(0), s.Amplitude(1), s.Amplitude(2), s.Amplitude(3))
+	}
+	if !approx(s.Amplitude(1), 0) || !approx(s.Amplitude(2), 0) {
+		t.Error("Bell cross terms non-zero")
+	}
+}
+
+func TestGHZ(t *testing.T) {
+	n := 5
+	c := circuit.New(n).H(0)
+	for i := 0; i+1 < n; i++ {
+		c.CX(i, i+1)
+	}
+	s, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := complex(1/math.Sqrt2, 0)
+	if !approx(s.Amplitude(0), inv) || !approx(s.Amplitude((1<<n)-1), inv) {
+		t.Error("GHZ state malformed")
+	}
+}
+
+func TestPauliActions(t *testing.T) {
+	// X|0> = |1>
+	s := MustNewState(1)
+	s.Apply(circuit.New1Q(circuit.OpX, 0))
+	if !approx(s.Amplitude(1), 1) {
+		t.Error("X|0> != |1>")
+	}
+	// Z|1> = -|1>
+	s.Apply(circuit.New1Q(circuit.OpZ, 0))
+	if !approx(s.Amplitude(1), -1) {
+		t.Error("Z|1> != -|1>")
+	}
+	// Y|0> = i|1>
+	s2 := MustNewState(1)
+	s2.Apply(circuit.New1Q(circuit.OpY, 0))
+	if !approx(s2.Amplitude(1), 1i) {
+		t.Error("Y|0> != i|1>")
+	}
+	// S|1> = i|1>, T^2 = S.
+	s3 := MustNewState(1)
+	s3.Apply(circuit.New1Q(circuit.OpX, 0))
+	s3.Apply(circuit.New1Q(circuit.OpT, 0))
+	s3.Apply(circuit.New1Q(circuit.OpT, 0))
+	if !approx(s3.Amplitude(1), 1i) {
+		t.Error("TT|1> != i|1>")
+	}
+}
+
+func TestCXControlTargetOrientation(t *testing.T) {
+	// CX(control=0, target=1) on |q1 q0> = |01> (index 1: qubit0=1) flips
+	// qubit 1 -> index 3.
+	s := MustNewState(2)
+	s.Apply(circuit.New1Q(circuit.OpX, 0))
+	s.Apply(circuit.New2Q(circuit.OpCX, 0, 1))
+	if !approx(s.Amplitude(3), 1) {
+		t.Errorf("CX(0,1)X(0)|00> amplitudes: %v %v %v %v", s.Amplitude(0), s.Amplitude(1), s.Amplitude(2), s.Amplitude(3))
+	}
+	// Control clear: no flip.
+	s2 := MustNewState(2)
+	s2.Apply(circuit.New2Q(circuit.OpCX, 0, 1))
+	if !approx(s2.Amplitude(0), 1) {
+		t.Error("CX fired with clear control")
+	}
+}
+
+func TestSwapGate(t *testing.T) {
+	s := MustNewState(2)
+	s.Apply(circuit.New1Q(circuit.OpX, 0)) // |01> (index 1)
+	s.Apply(circuit.New2Q(circuit.OpSwap, 0, 1))
+	if !approx(s.Amplitude(2), 1) { // |10> (index 2)
+		t.Error("SWAP failed")
+	}
+}
+
+func TestSwapEqualsThreeCX(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomState(2, seed)
+		b := a.Clone()
+		a.Apply(circuit.New2Q(circuit.OpSwap, 0, 1))
+		b.Apply(circuit.New2Q(circuit.OpCX, 0, 1))
+		b.Apply(circuit.New2Q(circuit.OpCX, 1, 0))
+		b.Apply(circuit.New2Q(circuit.OpCX, 0, 1))
+		return a.EqualUpToPhase(b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCZAndCPPhases(t *testing.T) {
+	// CZ|11> = -|11>.
+	s := MustNewState(2)
+	s.Apply(circuit.New1Q(circuit.OpX, 0))
+	s.Apply(circuit.New1Q(circuit.OpX, 1))
+	s.Apply(circuit.New2Q(circuit.OpCZ, 0, 1))
+	if !approx(s.Amplitude(3), -1) {
+		t.Error("CZ|11> != -|11>")
+	}
+	// CP(pi) == CZ.
+	s2 := MustNewState(2)
+	s2.Apply(circuit.New1Q(circuit.OpX, 0))
+	s2.Apply(circuit.New1Q(circuit.OpX, 1))
+	s2.Apply(circuit.New2QP(circuit.OpCP, 0, 1, math.Pi))
+	if !approx(s2.Amplitude(3), -1) {
+		t.Error("CP(pi)|11> != -|11>")
+	}
+}
+
+func TestCCX(t *testing.T) {
+	// CCX fires only when both controls are set.
+	for mask := 0; mask < 4; mask++ {
+		s := MustNewState(3)
+		if mask&1 != 0 {
+			s.Apply(circuit.New1Q(circuit.OpX, 0))
+		}
+		if mask&2 != 0 {
+			s.Apply(circuit.New1Q(circuit.OpX, 1))
+		}
+		s.Apply(circuit.Gate{Op: circuit.OpCCX, Qubits: []int{0, 1, 2}})
+		want := mask
+		if mask == 3 {
+			want = mask | 4
+		}
+		if !approx(s.Amplitude(want), 1) {
+			t.Errorf("CCX with controls %02b: expected basis %d", mask, want)
+		}
+	}
+}
+
+func TestUnitaryPreservesNorm(t *testing.T) {
+	ops := []circuit.Gate{
+		circuit.New1Q(circuit.OpH, 0),
+		circuit.New1Q(circuit.OpSX, 1),
+		circuit.New1QP(circuit.OpRX, 0, 0.7),
+		circuit.New1QP(circuit.OpRY, 1, 1.1),
+		circuit.New1QP(circuit.OpRZ, 2, 2.2),
+		circuit.New1QP(circuit.OpU2, 0, 0.4, 1.3),
+		circuit.New1QP(circuit.OpU3, 2, 0.3, 0.9, 2.1),
+		circuit.New2Q(circuit.OpCX, 0, 2),
+		circuit.New2Q(circuit.OpCZ, 1, 2),
+		circuit.New2QP(circuit.OpCP, 0, 1, 0.8),
+		circuit.New2QP(circuit.OpRZZ, 1, 2, 1.7),
+		circuit.Gate{Op: circuit.OpCCX, Qubits: []int{0, 1, 2}},
+	}
+	f := func(seed int64) bool {
+		s := randomState(3, seed)
+		for _, g := range ops {
+			if err := s.Apply(g); err != nil {
+				return false
+			}
+			if math.Abs(s.Norm()-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestU3Specialisations(t *testing.T) {
+	// u3(0,0,l) acts like u1(l) up to global phase.
+	f := func(seed int64) bool {
+		l := float64(int(uint64(seed)%16)) * 0.39
+		a := randomState(1, seed)
+		b := a.Clone()
+		a.Apply(circuit.New1QP(circuit.OpU3, 0, 0, 0, l))
+		b.Apply(circuit.New1QP(circuit.OpU1, 0, l))
+		return a.EqualUpToPhase(b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+	// rz(l) equals u1(l) up to global phase.
+	g := func(seed int64) bool {
+		l := float64(int(uint64(seed)%16)) * 0.17
+		a := randomState(1, seed)
+		b := a.Clone()
+		a.Apply(circuit.New1QP(circuit.OpRZ, 0, l))
+		b.Apply(circuit.New1QP(circuit.OpU1, 0, l))
+		return a.EqualUpToPhase(b, 1e-9)
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyRejectsNonUnitary(t *testing.T) {
+	s := MustNewState(1)
+	if err := s.Apply(circuit.Gate{Op: circuit.OpMeasure, Qubits: []int{0}}); err == nil {
+		t.Error("measure accepted by Apply")
+	}
+	if err := s.Apply(circuit.Gate{Op: circuit.OpBarrier, Qubits: []int{0}}); err != nil {
+		t.Error("barrier should be a no-op")
+	}
+}
+
+func TestDecomposeEquivalence(t *testing.T) {
+	// Lowered circuits must be statevector-equivalent to their originals.
+	f := func(seed int64) bool {
+		s := uint64(seed)*0x9E3779B97F4A7C15 + 3
+		next := func(mod int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int(s % uint64(mod))
+		}
+		c := circuit.New(4)
+		for i := 0; i < 12; i++ {
+			switch next(5) {
+			case 0:
+				a, b, tt := next(4), 0, 0
+				b = (a + 1 + next(3)) % 4
+				tt = (b + 1 + next(2)) % 4
+				if tt == a {
+					tt = (tt + 1) % 4
+				}
+				if a != b && b != tt && a != tt {
+					c.CCX(a, b, tt)
+				}
+			case 1:
+				a := next(4)
+				b := (a + 1 + next(3)) % 4
+				c.CP(float64(next(8))*0.3, a, b)
+			case 2:
+				a := next(4)
+				b := (a + 1 + next(3)) % 4
+				c.RZZ(float64(next(8))*0.3, a, b)
+			case 3:
+				a := next(4)
+				b := (a + 1 + next(3)) % 4
+				c.Swap(a, b)
+			default:
+				c.H(next(4))
+			}
+		}
+		orig, err := Run(c)
+		if err != nil {
+			return false
+		}
+		low, err := Run(circuit.Decompose(c))
+		if err != nil {
+			return false
+		}
+		return orig.EqualUpToPhase(low, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteQubits(t *testing.T) {
+	// Prepare |q2 q1 q0> = |001> and relabel qubit 0 <-> qubit 2.
+	s := MustNewState(3)
+	s.Apply(circuit.New1Q(circuit.OpX, 0))
+	p, err := s.PermuteQubits([]int{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(p.Amplitude(4), 1) {
+		t.Errorf("permuted state wrong: want |100>")
+	}
+	// Identity permutation is a no-op.
+	id, err := s.PermuteQubits([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(id.Amplitude(1), 1) {
+		t.Error("identity permutation changed the state")
+	}
+	// Invalid permutations rejected.
+	if _, err := s.PermuteQubits([]int{0, 1}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := s.PermuteQubits([]int{0, 0, 1}); err == nil {
+		t.Error("non-bijective permutation accepted")
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		st := randomState(4, seed)
+		perm := []int{2, 0, 3, 1}
+		inv := []int{1, 3, 0, 2} // inverse of perm
+		p1, err := st.PermuteQubits(perm)
+		if err != nil {
+			return false
+		}
+		p2, err := p1.PermuteQubits(inv)
+		if err != nil {
+			return false
+		}
+		return st.EqualUpToPhase(p2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCommutationRulesSound cross-validates circuit.Commute against the
+// simulator: whenever Commute(a, b) is true, applying a;b and b;a to every
+// basis state must agree.
+func TestCommutationRulesSound(t *testing.T) {
+	gates := []circuit.Gate{
+		circuit.New1Q(circuit.OpH, 0), circuit.New1Q(circuit.OpT, 0),
+		circuit.New1Q(circuit.OpZ, 1), circuit.New1Q(circuit.OpX, 1),
+		circuit.New1QP(circuit.OpRZ, 2, 0.7), circuit.New1QP(circuit.OpRX, 2, 0.9),
+		circuit.New1Q(circuit.OpS, 2),
+		circuit.New2Q(circuit.OpCX, 0, 1), circuit.New2Q(circuit.OpCX, 1, 2),
+		circuit.New2Q(circuit.OpCX, 0, 2), circuit.New2Q(circuit.OpCX, 2, 0),
+		circuit.New2Q(circuit.OpCZ, 0, 1), circuit.New2Q(circuit.OpCZ, 1, 2),
+		circuit.New2QP(circuit.OpCP, 0, 2, 0.5), circuit.New2QP(circuit.OpRZZ, 1, 2, 1.3),
+		circuit.New2Q(circuit.OpSwap, 0, 1),
+	}
+	for _, a := range gates {
+		for _, b := range gates {
+			if !a.SharesQubit(b) || !circuit.Commute(a, b) {
+				continue
+			}
+			for basis := 0; basis < 8; basis++ {
+				s1 := MustNewState(3)
+				s1.SetAmplitude(0, 0)
+				s1.SetAmplitude(basis, 1)
+				s2 := s1.Clone()
+				s1.Apply(a)
+				s1.Apply(b)
+				s2.Apply(b)
+				s2.Apply(a)
+				for i := 0; i < 8; i++ {
+					if !approx(s1.Amplitude(i), s2.Amplitude(i)) {
+						t.Fatalf("Commute(%v, %v) = true but AB != BA on basis %d", a, b, basis)
+					}
+				}
+			}
+		}
+	}
+}
+
+// randomState builds a deterministic normalised random state.
+func randomState(n int, seed int64) *State {
+	s := MustNewState(n)
+	r := uint64(seed)*0x2545F4914F6CDD1D + 1
+	next := func() float64 {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		return float64(r%1000)/500 - 1
+	}
+	for i := 0; i < s.Len(); i++ {
+		s.SetAmplitude(i, complex(next(), next()))
+	}
+	s.Normalize()
+	return s
+}
+
+func TestRXXUnitaryMatchesDecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		theta := float64(int(uint64(seed)%63)) * 0.1
+		g := circuit.New2QP(circuit.OpRXX, 0, 1, theta)
+		a := randomState(2, seed)
+		b := a.Clone()
+		if err := a.Apply(g); err != nil {
+			return false
+		}
+		// H-conjugated ZZ form.
+		b.Apply(circuit.New1Q(circuit.OpH, 0))
+		b.Apply(circuit.New1Q(circuit.OpH, 1))
+		b.Apply(circuit.New2Q(circuit.OpCX, 0, 1))
+		b.Apply(circuit.New1QP(circuit.OpRZ, 1, theta))
+		b.Apply(circuit.New2Q(circuit.OpCX, 0, 1))
+		b.Apply(circuit.New1Q(circuit.OpH, 0))
+		b.Apply(circuit.New1Q(circuit.OpH, 1))
+		return a.EqualUpToPhase(b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRXXSpecialAngles(t *testing.T) {
+	// rxx(0) == identity.
+	s := randomState(2, 5)
+	want := s.Clone()
+	s.Apply(circuit.New2QP(circuit.OpRXX, 0, 1, 0))
+	if !s.EqualUpToPhase(want, 1e-9) {
+		t.Error("rxx(0) != I")
+	}
+	// rxx(2π) == identity up to global phase.
+	s2 := randomState(2, 9)
+	want2 := s2.Clone()
+	s2.Apply(circuit.New2QP(circuit.OpRXX, 0, 1, 2*math.Pi))
+	if !s2.EqualUpToPhase(want2, 1e-9) {
+		t.Error("rxx(2pi) != I up to phase")
+	}
+}

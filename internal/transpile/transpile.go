@@ -1,0 +1,235 @@
+// Package transpile lowers circuits to the native gate set of a target
+// technology, completing the maQAM's multi-architecture story (paper
+// §III-A and Table I):
+//
+//   - Superconducting: single-qubit unitaries + CX/CZ (the mapping base
+//     set; compound gates are expanded).
+//   - Ion trap: rotations R(θ,α) — realised as rx/ry/rz — plus the
+//     Mølmer–Sørensen XX gate. "CNOT gate can be implemented by a one-XX
+//     and four-R" (paper §III-A, citing Debnath et al.): we use the Maslov
+//     form CX(c,t) = ry(π/2)c · xx(π/2) · rx(−π/2)c · rx(−π/2)t · ry(−π/2)c.
+//   - Neutral atom: rotations plus a Rydberg-blockade CX/CZ.
+//
+// Transpilation happens after mapping: inputs must be hardware-compliant
+// two-qubit-local circuits (SWAPs are lowered first). Every rewrite is
+// statevector-validated in the tests.
+package transpile
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"codar/internal/circuit"
+	"codar/internal/sim"
+)
+
+// Target selects a native gate set.
+type Target uint8
+
+// Targets from Table I.
+const (
+	Superconducting Target = iota
+	IonTrap
+	NeutralAtom
+)
+
+// String implements fmt.Stringer.
+func (t Target) String() string {
+	switch t {
+	case Superconducting:
+		return "superconducting"
+	case IonTrap:
+		return "ion-trap"
+	case NeutralAtom:
+		return "neutral-atom"
+	default:
+		return fmt.Sprintf("target(%d)", uint8(t))
+	}
+}
+
+// Native reports whether op is directly implementable on the target.
+// Barriers and measurements are native everywhere.
+func Native(t Target, op circuit.Op) bool {
+	switch op {
+	case circuit.OpBarrier, circuit.OpMeasure, circuit.OpReset, circuit.OpID:
+		return true
+	}
+	switch t {
+	case Superconducting:
+		return op.SingleQubit() || op == circuit.OpCX || op == circuit.OpCZ
+	case IonTrap:
+		switch op {
+		case circuit.OpRX, circuit.OpRY, circuit.OpRZ, circuit.OpRXX:
+			return true
+		}
+		return false
+	case NeutralAtom:
+		switch op {
+		case circuit.OpRX, circuit.OpRY, circuit.OpRZ, circuit.OpCX, circuit.OpCZ:
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// To lowers c to the target's native gate set. The input must already be
+// two-qubit-local (compound gates are expanded first via
+// circuit.Decompose, which also lowers SWAPs to CX triples).
+func To(c *circuit.Circuit, t Target) (*circuit.Circuit, error) {
+	lowered := circuit.Decompose(c)
+	out := &circuit.Circuit{
+		Name:      lowered.Name,
+		NumQubits: lowered.NumQubits,
+		NumClbits: lowered.NumClbits,
+	}
+	for i, g := range lowered.Gates {
+		if err := lowerGate(out, g, t); err != nil {
+			return nil, fmt.Errorf("transpile: gate %d (%s): %w", i, g, err)
+		}
+	}
+	return out, nil
+}
+
+// lowerGate appends the native realisation of g to out.
+func lowerGate(out *circuit.Circuit, g circuit.Gate, t Target) error {
+	if Native(t, g.Op) {
+		out.Add(g.Clone())
+		return nil
+	}
+	switch {
+	case g.Op.SingleQubit():
+		return lower1Q(out, g, t)
+	case g.Op == circuit.OpCX:
+		return lowerCX(out, g.Qubits[0], g.Qubits[1], t)
+	case g.Op == circuit.OpCZ:
+		// CZ = (I ⊗ H) CX (I ⊗ H).
+		tq := g.Qubits[1]
+		if err := lower1Q(out, circuit.New1Q(circuit.OpH, tq), t); err != nil {
+			return err
+		}
+		if err := lowerCX(out, g.Qubits[0], tq, t); err != nil {
+			return err
+		}
+		return lower1Q(out, circuit.New1Q(circuit.OpH, tq), t)
+	case g.Op == circuit.OpRXX:
+		// XX = (H⊗H) · ZZ · (H⊗H); ZZ = CX · rz · CX — only needed on
+		// targets without native XX.
+		a, b := g.Qubits[0], g.Qubits[1]
+		for _, q := range []int{a, b} {
+			if err := lower1Q(out, circuit.New1Q(circuit.OpH, q), t); err != nil {
+				return err
+			}
+		}
+		if err := lowerCX(out, a, b, t); err != nil {
+			return err
+		}
+		if err := lower1Q(out, circuit.New1QP(circuit.OpRZ, b, g.Params[0]), t); err != nil {
+			return err
+		}
+		if err := lowerCX(out, a, b, t); err != nil {
+			return err
+		}
+		for _, q := range []int{a, b} {
+			if err := lower1Q(out, circuit.New1Q(circuit.OpH, q), t); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("no native realisation on %v", t)
+	}
+}
+
+// lowerCX emits a CX in the target's native set.
+func lowerCX(out *circuit.Circuit, c, tq int, t Target) error {
+	if Native(t, circuit.OpCX) {
+		out.CX(c, tq)
+		return nil
+	}
+	if t != IonTrap {
+		return fmt.Errorf("no CX realisation on %v", t)
+	}
+	// Maslov form: one XX and four rotations (verified against the
+	// statevector simulator in the tests).
+	half := math.Pi / 2
+	out.RY(half, c)
+	out.Add(circuit.New2QP(circuit.OpRXX, c, tq, half))
+	out.RX(-half, c)
+	out.RX(-half, tq)
+	out.RY(-half, c)
+	return nil
+}
+
+// lower1Q emits a single-qubit gate as native rotations via ZYZ
+// decomposition: U ≅ Rz(φ)·Ry(θ)·Rz(λ) up to global phase, emitted in
+// circuit order rz(λ); ry(θ); rz(φ). Zero-angle rotations are dropped.
+func lower1Q(out *circuit.Circuit, g circuit.Gate, t Target) error {
+	if Native(t, g.Op) {
+		out.Add(g.Clone())
+		return nil
+	}
+	u, err := sim.Unitary1Q(g.Op, g.Params)
+	if err != nil {
+		return err
+	}
+	theta, phi, lam := ZYZ(u)
+	q := g.Qubits[0]
+	emitRZ(out, q, lam)
+	if !angleNegligible(theta) {
+		out.RY(theta, q)
+	}
+	emitRZ(out, q, phi)
+	return nil
+}
+
+func emitRZ(out *circuit.Circuit, q int, angle float64) {
+	if !angleNegligible(angle) {
+		out.RZ(angle, q)
+	}
+}
+
+// angleNegligible reports whether a rotation angle is 0 (mod 2π) within
+// numerical tolerance — such rotations act as global phase only when they
+// are exactly multiples of 2π... rz(2π) = -I is a pure global phase for an
+// *uncontrolled* rotation, so 2π multiples are droppable here.
+func angleNegligible(a float64) bool {
+	m := math.Mod(a, 2*math.Pi)
+	if m < 0 {
+		m += 2 * math.Pi
+	}
+	const eps = 1e-12
+	return m < eps || 2*math.Pi-m < eps
+}
+
+// ZYZ decomposes a 2x2 unitary into Euler angles (theta, phi, lam) with
+// U ≅ Rz(phi)·Ry(theta)·Rz(lam) up to global phase.
+func ZYZ(u [2][2]complex128) (theta, phi, lam float64) {
+	// Project to SU(2): divide by sqrt(det).
+	det := u[0][0]*u[1][1] - u[0][1]*u[1][0]
+	scale := cmplx.Sqrt(det)
+	if cmplx.Abs(scale) < 1e-15 {
+		return 0, 0, 0 // degenerate; caller validated unitarity
+	}
+	a := u[0][0] / scale // cos(θ/2) e^{-i(φ+λ)/2}
+	b := u[1][0] / scale // sin(θ/2) e^{+i(φ-λ)/2}
+	theta = 2 * math.Atan2(cmplx.Abs(b), cmplx.Abs(a))
+	const eps = 1e-12
+	switch {
+	case cmplx.Abs(b) < eps:
+		// Diagonal: only φ+λ is defined; put it all in λ.
+		phi = 0
+		lam = -2 * cmplx.Phase(a)
+	case cmplx.Abs(a) < eps:
+		// Anti-diagonal: only φ−λ is defined.
+		lam = 0
+		phi = 2 * cmplx.Phase(b)
+	default:
+		sum := -2 * cmplx.Phase(a)
+		diff := 2 * cmplx.Phase(b)
+		phi = (sum + diff) / 2
+		lam = (sum - diff) / 2
+	}
+	return theta, phi, lam
+}

@@ -1,0 +1,273 @@
+package transpile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+	"codar/internal/core"
+	"codar/internal/schedule"
+	"codar/internal/sim"
+)
+
+// equalUpToGlobalPhase compares two circuits as operators on every basis
+// state of an n-qubit register, requiring one consistent global phase.
+func equalUpToGlobalPhase(t *testing.T, a, b *circuit.Circuit, n int) bool {
+	t.Helper()
+	var phase complex128
+	havePhase := false
+	for basis := 0; basis < 1<<uint(n); basis++ {
+		sa := sim.MustNewState(n)
+		sa.SetAmplitude(0, 0)
+		sa.SetAmplitude(basis, 1)
+		sb := sa.Clone()
+		if err := sa.ApplyCircuit(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := sb.ApplyCircuit(b); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < sa.Len(); i++ {
+			va, vb := sa.Amplitude(i), sb.Amplitude(i)
+			absA, absB := real(va)*real(va)+imag(va)*imag(va), real(vb)*real(vb)+imag(vb)*imag(vb)
+			if absA < 1e-18 && absB < 1e-18 {
+				continue
+			}
+			if math.Abs(absA-absB) > 1e-9 {
+				return false
+			}
+			if !havePhase {
+				phase = va / vb
+				havePhase = true
+				continue
+			}
+			diff := va - phase*vb
+			if real(diff)*real(diff)+imag(diff)*imag(diff) > 1e-14 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCXViaXXIdentity(t *testing.T) {
+	cx := circuit.New(2).CX(0, 1)
+	ion := circuit.New(2)
+	if err := lowerCX(ion, 0, 1, IonTrap); err != nil {
+		t.Fatal(err)
+	}
+	if !equalUpToGlobalPhase(t, cx, ion, 2) {
+		t.Fatal("one-XX-four-R CX identity broken")
+	}
+	// Exactly one XX and four rotations, as the paper states.
+	ops := ion.CountOps()
+	if ops[circuit.OpRXX] != 1 || ops[circuit.OpRX]+ops[circuit.OpRY] != 4 {
+		t.Errorf("CX lowering shape: %v", ops)
+	}
+}
+
+func TestZYZRoundTrip(t *testing.T) {
+	gates := []circuit.Gate{
+		circuit.New1Q(circuit.OpH, 0),
+		circuit.New1Q(circuit.OpX, 0),
+		circuit.New1Q(circuit.OpY, 0),
+		circuit.New1Q(circuit.OpZ, 0),
+		circuit.New1Q(circuit.OpS, 0),
+		circuit.New1Q(circuit.OpSdg, 0),
+		circuit.New1Q(circuit.OpT, 0),
+		circuit.New1Q(circuit.OpSX, 0),
+		circuit.New1QP(circuit.OpU2, 0, 0.3, 1.2),
+		circuit.New1QP(circuit.OpU3, 0, 0.7, -0.4, 2.2),
+		circuit.New1QP(circuit.OpU1, 0, 1.9),
+	}
+	for _, g := range gates {
+		orig := circuit.New(1).Add(g)
+		low := circuit.New(1)
+		if err := lower1Q(low, g, IonTrap); err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		for _, lg := range low.Gates {
+			if !Native(IonTrap, lg.Op) {
+				t.Fatalf("%v lowered to non-native %v", g, lg)
+			}
+		}
+		if !equalUpToGlobalPhase(t, orig, low, 1) {
+			t.Errorf("ZYZ lowering of %v is not equivalent", g)
+		}
+	}
+}
+
+func TestZYZRandomUnitaries(t *testing.T) {
+	f := func(seed int64) bool {
+		s := uint64(seed)*0x9E3779B97F4A7C15 + 5
+		next := func() float64 {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return float64(s%6283)/1000 - math.Pi
+		}
+		th, ph, la := next(), next(), next()
+		u, err := sim.Unitary1Q(circuit.OpU3, []float64{th, ph, la})
+		if err != nil {
+			return false
+		}
+		theta, phi, lam := ZYZ(u)
+		orig := circuit.New(1).U3(th, ph, la, 0)
+		rebuilt := circuit.New(1).RZ(lam, 0).RY(theta, 0).RZ(phi, 0)
+		return equalUpToGlobalPhase(t, orig, rebuilt, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNativeSets(t *testing.T) {
+	cases := []struct {
+		target Target
+		op     circuit.Op
+		want   bool
+	}{
+		{Superconducting, circuit.OpCX, true},
+		{Superconducting, circuit.OpH, true},
+		{Superconducting, circuit.OpRXX, false},
+		{IonTrap, circuit.OpRXX, true},
+		{IonTrap, circuit.OpRX, true},
+		{IonTrap, circuit.OpCX, false},
+		{IonTrap, circuit.OpH, false},
+		{NeutralAtom, circuit.OpCX, true},
+		{NeutralAtom, circuit.OpCZ, true},
+		{NeutralAtom, circuit.OpRXX, false},
+		{NeutralAtom, circuit.OpH, false},
+		{IonTrap, circuit.OpBarrier, true},
+		{IonTrap, circuit.OpMeasure, true},
+	}
+	for _, tc := range cases {
+		if got := Native(tc.target, tc.op); got != tc.want {
+			t.Errorf("Native(%v, %v) = %v, want %v", tc.target, tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestToProducesOnlyNativeOps(t *testing.T) {
+	targets := []Target{Superconducting, IonTrap, NeutralAtom}
+	f := func(seed int64) bool {
+		c := randCircuit(seed, 4, 25)
+		for _, target := range targets {
+			out, err := To(c, target)
+			if err != nil {
+				t.Logf("%v: %v", target, err)
+				return false
+			}
+			for _, g := range out.Gates {
+				if !Native(target, g.Op) {
+					t.Logf("%v emitted non-native %v", target, g)
+					return false
+				}
+			}
+			if !equalUpToGlobalPhase(t, circuit.Decompose(c), out, 4) {
+				t.Logf("%v output not equivalent", target)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToLowersCZForIonTrap(t *testing.T) {
+	c := circuit.New(2).CZ(0, 1)
+	out, err := To(c, IonTrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := out.CountOps()
+	if ops[circuit.OpRXX] != 1 {
+		t.Errorf("CZ should use one XX: %v", ops)
+	}
+	if !equalUpToGlobalPhase(t, c, out, 2) {
+		t.Error("CZ lowering not equivalent")
+	}
+}
+
+func TestToKeepsMeasurementsAndBarriers(t *testing.T) {
+	c := circuit.New(2).H(0).Barrier(0, 1).Measure(0, 0)
+	out, err := To(c, IonTrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := out.CountOps()
+	if ops[circuit.OpBarrier] != 1 || ops[circuit.OpMeasure] != 1 {
+		t.Errorf("directives lost: %v", ops)
+	}
+}
+
+// TestMappedPipelineToIonTrap is the full multi-technology flow: map with
+// CODAR on a linear trap topology, transpile to the ion native set, and
+// schedule under ion-trap durations.
+func TestMappedPipelineToIonTrap(t *testing.T) {
+	dev := arch.Linear(5)
+	dev.Durations = arch.IonTrapDurations()
+	c := circuit.Decompose(randCircuit(3, 5, 30))
+	res, err := core.Remap(c, dev, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ion, err := To(res.Circuit, IonTrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range ion.Gates {
+		if !Native(IonTrap, g.Op) {
+			t.Fatalf("non-native %v survived", g)
+		}
+	}
+	// Ion XX gates carry the slow two-qubit duration.
+	s := schedule.ASAP(ion, dev.Durations)
+	if s.Makespan <= 0 {
+		t.Error("unschedulable ion circuit")
+	}
+	if dev.Durations.Of(circuit.OpRXX) != 12 {
+		t.Errorf("XX duration = %d, want 12 (ion preset)", dev.Durations.Of(circuit.OpRXX))
+	}
+	if !equalUpToGlobalPhase(t, res.Circuit, ion, 5) {
+		t.Error("ion transpilation changed semantics")
+	}
+}
+
+func randCircuit(seed int64, qubits, gates int) *circuit.Circuit {
+	s := uint64(seed)*0x9E3779B97F4A7C15 + 777
+	next := func(mod int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(mod))
+	}
+	c := circuit.New(qubits)
+	for i := 0; i < gates; i++ {
+		switch next(7) {
+		case 0:
+			c.H(next(qubits))
+		case 1:
+			c.T(next(qubits))
+		case 2:
+			c.U3(float64(next(11))*0.3, float64(next(11))*0.2, float64(next(11))*0.1, next(qubits))
+		case 3, 4:
+			a := next(qubits)
+			b := (a + 1 + next(qubits-1)) % qubits
+			c.CX(a, b)
+		case 5:
+			a := next(qubits)
+			b := (a + 1 + next(qubits-1)) % qubits
+			c.CZ(a, b)
+		default:
+			a := next(qubits)
+			b := (a + 1 + next(qubits-1)) % qubits
+			c.RZZ(float64(next(9))*0.25, a, b)
+		}
+	}
+	return c
+}

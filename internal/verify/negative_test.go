@@ -1,0 +1,129 @@
+package verify
+
+// Negative fuzz tests: the verifier must CATCH corrupted mappings, not
+// just accept correct ones. Each mutation takes a valid CODAR output and
+// injects a realistic compiler bug (dropped gate, duplicated gate, wrong
+// operand, illegally reordered pair, forged swap); at least one of the
+// checks must then fail.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+	"codar/internal/core"
+)
+
+// corrupt applies mutation k to a copy of the mapped circuit; returns nil
+// when the mutation is inapplicable (e.g. nothing to drop).
+func corrupt(mapped *circuit.Circuit, k, pick int) *circuit.Circuit {
+	out := mapped.Clone()
+	if len(out.Gates) == 0 {
+		return nil
+	}
+	i := pick % len(out.Gates)
+	switch k {
+	case 0: // drop a non-swap gate
+		for off := 0; off < len(out.Gates); off++ {
+			j := (i + off) % len(out.Gates)
+			if out.Gates[j].Op != circuit.OpSwap {
+				out.Gates = append(out.Gates[:j], out.Gates[j+1:]...)
+				return out
+			}
+		}
+		return nil
+	case 1: // duplicate a non-swap, non-idempotent-safe gate
+		for off := 0; off < len(out.Gates); off++ {
+			j := (i + off) % len(out.Gates)
+			if out.Gates[j].Op != circuit.OpSwap {
+				g := out.Gates[j].Clone()
+				out.Gates = append(out.Gates[:j+1], append([]circuit.Gate{g}, out.Gates[j+1:]...)...)
+				return out
+			}
+		}
+		return nil
+	case 2: // flip a CX orientation
+		for off := 0; off < len(out.Gates); off++ {
+			j := (i + off) % len(out.Gates)
+			if out.Gates[j].Op == circuit.OpCX {
+				g := out.Gates[j].Clone()
+				g.Qubits[0], g.Qubits[1] = g.Qubits[1], g.Qubits[0]
+				out.Gates[j] = g
+				return out
+			}
+		}
+		return nil
+	case 3: // swap two adjacent non-commuting gates
+		for off := 0; off+1 < len(out.Gates); off++ {
+			j := (i + off) % (len(out.Gates) - 1)
+			a, b := out.Gates[j], out.Gates[j+1]
+			if !circuit.Commute(a, b) {
+				out.Gates[j], out.Gates[j+1] = b, a
+				return out
+			}
+		}
+		return nil
+	default: // inject a spurious extra SWAP on some coupled pair
+		for off := 0; off < len(out.Gates); off++ {
+			j := (i + off) % len(out.Gates)
+			if out.Gates[j].Op.TwoQubit() {
+				g := circuit.New2Q(circuit.OpSwap, out.Gates[j].Qubits[0], out.Gates[j].Qubits[1])
+				out.Gates = append(out.Gates[:j], append([]circuit.Gate{g}, out.Gates[j:]...)...)
+				return out
+			}
+		}
+		return nil
+	}
+}
+
+func TestVerifierCatchesCorruptions(t *testing.T) {
+	dev := arch.Grid("g", 3, 3)
+	f := func(seed int64) bool {
+		c := randCircuit(seed, 6, 30)
+		res, err := core.Remap(c, dev, nil, core.Options{})
+		if err != nil {
+			t.Logf("remap: %v", err)
+			return false
+		}
+		// Sanity: the untouched output verifies.
+		if err := Full(c, res.Circuit, dev, res.InitialLayout, res.FinalLayout); err != nil {
+			t.Logf("clean output rejected: %v", err)
+			return false
+		}
+		pick := int(uint64(seed) >> 33 % 1024)
+		for k := 0; k < 5; k++ {
+			bad := corrupt(res.Circuit, k, pick)
+			if bad == nil {
+				continue
+			}
+			if err := Full(c, bad, dev, res.InitialLayout, res.FinalLayout); err == nil {
+				t.Logf("mutation %d slipped through (seed %d)", k, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifierCatchesWrongInitialLayout(t *testing.T) {
+	dev := arch.Grid("g", 3, 3)
+	c := randCircuit(3, 6, 25)
+	res, err := core.Remap(c, dev, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claiming a different initial layout must break equivalence (the
+	// un-mapping produces the wrong logical gates).
+	wrong := res.InitialLayout.Clone()
+	wrong.SwapPhysical(0, 5)
+	if err := Equivalence(c, res.Circuit, wrong); err == nil {
+		// A swap between two unused physical qubits would be harmless; 0
+		// and 5 host logical qubits in the trivial 6-on-9 layout, so this
+		// must fail.
+		t.Error("wrong initial layout accepted")
+	}
+}

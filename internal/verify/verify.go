@@ -1,0 +1,236 @@
+// Package verify checks that a remapped circuit is a faithful, hardware-
+// compliant implementation of its source circuit. Three independent checks
+// are provided, in increasing strength and cost:
+//
+//   - Compliance: every two-qubit gate acts on a coupled physical pair.
+//   - Equivalence: tracking the logical↔physical permutation through the
+//     inserted SWAPs, the output un-maps to a commutation-respecting
+//     reordering of the input gate sequence.
+//   - Statevector: on small devices, the output's final state equals the
+//     input's (tensored with ancilla |0>s) up to the final-layout qubit
+//     relabelling and a global phase.
+//
+// Both the CODAR remapper and the SABRE baseline are validated with the
+// same machinery.
+package verify
+
+import (
+	"fmt"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+	"codar/internal/sim"
+)
+
+// Compliance verifies that every two-qubit unitary in c addresses a
+// coupled pair of dev, i.e. the circuit is directly executable.
+func Compliance(c *circuit.Circuit, dev *arch.Device) error {
+	if c.NumQubits > dev.NumQubits {
+		return fmt.Errorf("verify: circuit spans %d qubits, device %s has %d", c.NumQubits, dev.Name, dev.NumQubits)
+	}
+	for i, g := range c.Gates {
+		if g.Op.TwoQubit() && !dev.Adjacent(g.Qubits[0], g.Qubits[1]) {
+			return fmt.Errorf("verify: gate %d (%s) addresses uncoupled qubits on %s", i, g, dev.Name)
+		}
+	}
+	return nil
+}
+
+// Equivalence verifies that mapped (a physical circuit with SWAPs) encodes
+// exactly the gates of original (a logical circuit): un-mapping every
+// non-SWAP gate through the layout evolved by the SWAPs must yield the
+// original gate multiset in an order that only reorders commuting gates.
+//
+// The check is sound against the commutation rules of circuit.Commute
+// (themselves cross-validated against explicit unitaries in internal/sim).
+func Equivalence(original, mapped *circuit.Circuit, initial *arch.Layout) error {
+	if initial == nil {
+		return fmt.Errorf("verify: nil initial layout")
+	}
+	layout := initial.Clone()
+
+	// Per-qubit queues of unmatched original gate indices.
+	queues := make([][]int, original.NumQubits)
+	for i, g := range original.Gates {
+		for _, q := range g.Qubits {
+			queues[q] = append(queues[q], i)
+		}
+	}
+	heads := make([]int, original.NumQubits) // lazy-deletion cursors
+	matched := make([]bool, original.Len())
+	nMatched := 0
+
+	for mi, g := range mapped.Gates {
+		if g.Op == circuit.OpSwap {
+			layout.SwapPhysical(g.Qubits[0], g.Qubits[1])
+			continue
+		}
+		lg := g.Remap(func(p int) int { return layout.Log(p) })
+		for _, q := range lg.Qubits {
+			if q < 0 {
+				return fmt.Errorf("verify: mapped gate %d (%s) touches an unoccupied physical qubit", mi, g)
+			}
+			if q >= original.NumQubits {
+				return fmt.Errorf("verify: mapped gate %d (%s) un-maps to out-of-range logical %d", mi, g, q)
+			}
+		}
+		// Walk the unmatched original gates on lg's qubits in program
+		// order; the first equal gate matches, and every unmatched gate
+		// skipped on the way must commute with lg.
+		if err := matchGate(original, lg, queues, heads, matched); err != nil {
+			return fmt.Errorf("verify: mapped gate %d (%s as %s): %w", mi, g, lg, err)
+		}
+		nMatched++
+	}
+	if nMatched != original.Len() {
+		return fmt.Errorf("verify: mapped circuit realises %d of %d original gates", nMatched, original.Len())
+	}
+	return nil
+}
+
+// matchGate consumes the earliest unmatched original gate equal to lg,
+// requiring every unmatched earlier gate sharing a qubit with lg to commute
+// with it.
+func matchGate(original *circuit.Circuit, lg circuit.Gate, queues [][]int, heads []int, matched []bool) error {
+	// Merge the per-qubit queues in ascending index order.
+	cursors := make([]int, len(lg.Qubits))
+	for k, q := range lg.Qubits {
+		cursors[k] = heads[q]
+	}
+	for {
+		// Find the smallest unmatched index across lg's qubit queues.
+		best, bestK := -1, -1
+		for k, q := range lg.Qubits {
+			list := queues[q]
+			c := cursors[k]
+			for c < len(list) && matched[list[c]] {
+				c++
+			}
+			cursors[k] = c
+			if c < len(list) && (best < 0 || list[c] < best) {
+				best, bestK = list[c], k
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("no matching original gate remains")
+		}
+		og := original.Gates[best]
+		if og.Equal(lg) {
+			matched[best] = true
+			// Advance lazy heads where possible.
+			for _, q := range lg.Qubits {
+				list := queues[q]
+				for heads[q] < len(list) && matched[list[heads[q]]] {
+					heads[q]++
+				}
+			}
+			return nil
+		}
+		if !circuit.Commute(og, lg) {
+			return fmt.Errorf("would reorder past non-commuting gate %d (%s)", best, og)
+		}
+		cursors[bestK]++
+	}
+}
+
+// StatevectorMaxQubits bounds the device size accepted by Statevector
+// (2^20 amplitudes = 16 MiB per state).
+const StatevectorMaxQubits = 20
+
+// Statevector verifies full semantic equality on small devices: simulating
+// the mapped circuit over all physical qubits, relabelling qubits by the
+// final layout, the result must equal original's state tensored with
+// ancilla |0>s, up to global phase (fidelity within eps of 1).
+//
+// final is the layout after the mapped circuit's SWAPs (e.g.
+// Result.FinalLayout); measurements are skipped on both sides; circuits
+// containing resets are rejected.
+func Statevector(original, mapped *circuit.Circuit, final *arch.Layout, eps float64) error {
+	if mapped.NumQubits > StatevectorMaxQubits {
+		return fmt.Errorf("verify: %d qubits exceed the statevector limit %d", mapped.NumQubits, StatevectorMaxQubits)
+	}
+	origState, err := runUnitary(original, original.NumQubits)
+	if err != nil {
+		return fmt.Errorf("verify: original: %w", err)
+	}
+	mapState, err := runUnitary(mapped, mapped.NumQubits)
+	if err != nil {
+		return fmt.Errorf("verify: mapped: %w", err)
+	}
+	// Relabel physical qubits to logical order using the final layout:
+	// logical q reads physical final.Phys(q); ancillas take the leftover
+	// physical qubits in ascending order.
+	perm := make([]int, mapped.NumQubits)
+	used := make([]bool, mapped.NumQubits)
+	for q := 0; q < final.NumLogical(); q++ {
+		perm[q] = final.Phys(q)
+		used[final.Phys(q)] = true
+	}
+	next := final.NumLogical()
+	for p := 0; p < mapped.NumQubits; p++ {
+		if !used[p] {
+			perm[next] = p
+			next++
+		}
+	}
+	relabelled, err := mapState.PermuteQubits(perm)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	// Expected state: original ⊗ |0...0> over the same width.
+	expect := sim.MustNewState(mapped.NumQubits)
+	expect.SetAmplitude(0, 0)
+	for i := 0; i < origState.Len(); i++ {
+		expect.SetAmplitude(i, origState.Amplitude(i))
+	}
+	if !relabelled.EqualUpToPhase(expect, eps) {
+		return fmt.Errorf("verify: statevector mismatch: fidelity %g", relabelled.Fidelity(expect))
+	}
+	return nil
+}
+
+// runUnitary simulates the unitary part of c over width qubits, skipping
+// measurements and rejecting resets.
+func runUnitary(c *circuit.Circuit, width int) (*sim.State, error) {
+	st, err := sim.NewState(width)
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range c.Gates {
+		switch g.Op {
+		case circuit.OpMeasure:
+			continue
+		case circuit.OpReset:
+			return nil, fmt.Errorf("gate %d: reset is not supported by statevector verification", i)
+		}
+		if err := st.Apply(g); err != nil {
+			return nil, fmt.Errorf("gate %d: %w", i, err)
+		}
+	}
+	return st, nil
+}
+
+// Full runs Compliance and Equivalence always, plus Statevector when the
+// device is small enough. It is the one-call validation used by the
+// experiment harnesses and integration tests.
+func Full(original, mapped *circuit.Circuit, dev *arch.Device, initial, final *arch.Layout) error {
+	if err := Compliance(mapped, dev); err != nil {
+		return err
+	}
+	if err := Equivalence(original, mapped, initial); err != nil {
+		return err
+	}
+	if dev.NumQubits <= StatevectorMaxQubits && final != nil {
+		hasReset := false
+		for _, g := range original.Gates {
+			if g.Op == circuit.OpReset {
+				hasReset = true
+				break
+			}
+		}
+		if !hasReset {
+			return Statevector(original, mapped, final, 1e-6)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+	"codar/internal/core"
+	"codar/internal/sabre"
+)
+
+func TestCompliance(t *testing.T) {
+	dev := arch.Linear(4)
+	good := circuit.New(4).H(0).CX(0, 1).CX(2, 3)
+	if err := Compliance(good, dev); err != nil {
+		t.Errorf("compliant circuit rejected: %v", err)
+	}
+	bad := circuit.New(4).CX(0, 3)
+	if err := Compliance(bad, dev); err == nil {
+		t.Error("uncoupled CX accepted")
+	}
+	wide := circuit.New(9)
+	if err := Compliance(wide, dev); err == nil {
+		t.Error("oversized circuit accepted")
+	}
+}
+
+func TestEquivalenceIdentity(t *testing.T) {
+	c := circuit.New(3).H(0).CX(0, 1).CX(1, 2).T(2)
+	l := arch.NewTrivialLayout(3, 3)
+	if err := Equivalence(c, c, l); err != nil {
+		t.Errorf("identity mapping rejected: %v", err)
+	}
+}
+
+func TestEquivalenceWithSwap(t *testing.T) {
+	// Logical: cx q0,q2 on a 3-qubit line. Physical: swap(1,2); cx(0,1).
+	orig := circuit.New(3).CX(0, 2)
+	mapped := circuit.New(3).Swap(1, 2).CX(0, 1)
+	l := arch.NewTrivialLayout(3, 3)
+	if err := Equivalence(orig, mapped, l); err != nil {
+		t.Errorf("valid swap realisation rejected: %v", err)
+	}
+}
+
+func TestEquivalenceDetectsWrongGate(t *testing.T) {
+	orig := circuit.New(2).CX(0, 1)
+	mapped := circuit.New(2).CX(1, 0) // reversed control/target
+	l := arch.NewTrivialLayout(2, 2)
+	if err := Equivalence(orig, mapped, l); err == nil {
+		t.Error("wrong orientation accepted")
+	}
+}
+
+func TestEquivalenceDetectsMissingGate(t *testing.T) {
+	orig := circuit.New(2).H(0).CX(0, 1)
+	mapped := circuit.New(2).H(0)
+	l := arch.NewTrivialLayout(2, 2)
+	if err := Equivalence(orig, mapped, l); err == nil {
+		t.Error("dropped gate accepted")
+	}
+}
+
+func TestEquivalenceDetectsIllegalReorder(t *testing.T) {
+	// h then t on the same qubit do not commute; swapping them is invalid.
+	orig := circuit.New(1).H(0).T(0)
+	mapped := circuit.New(1).T(0).H(0)
+	l := arch.NewTrivialLayout(1, 1)
+	if err := Equivalence(orig, mapped, l); err == nil {
+		t.Error("non-commuting reorder accepted")
+	}
+}
+
+func TestEquivalenceAllowsCommutingReorder(t *testing.T) {
+	// cx q1,q3 and cx q2,q3 commute (shared target): either order is fine.
+	orig := circuit.New(4).CX(1, 3).CX(2, 3)
+	mapped := circuit.New(4).CX(2, 3).CX(1, 3)
+	l := arch.NewTrivialLayout(4, 4)
+	if err := Equivalence(orig, mapped, l); err != nil {
+		t.Errorf("commuting reorder rejected: %v", err)
+	}
+}
+
+func TestEquivalenceUnoccupiedQubit(t *testing.T) {
+	orig := circuit.New(1).H(0)
+	mapped := circuit.New(3).H(2) // physical qubit 2 hosts no logical qubit
+	l := arch.NewTrivialLayout(1, 3)
+	if err := Equivalence(orig, mapped, l); err == nil {
+		t.Error("gate on unoccupied physical qubit accepted")
+	}
+}
+
+func TestStatevectorIdentity(t *testing.T) {
+	c := circuit.New(3).H(0).CX(0, 1).T(1).CX(1, 2)
+	l := arch.NewTrivialLayout(3, 3)
+	if err := Statevector(c, c, l, 1e-9); err != nil {
+		t.Errorf("identity rejected: %v", err)
+	}
+}
+
+func TestStatevectorCatchesSemanticChange(t *testing.T) {
+	orig := circuit.New(2).H(0).CX(0, 1)
+	bad := circuit.New(2).H(0).CZ(0, 1)
+	l := arch.NewTrivialLayout(2, 2)
+	if err := Statevector(orig, bad, l, 1e-9); err == nil {
+		t.Error("semantically different circuit accepted")
+	}
+}
+
+func TestStatevectorWithFinalPermutation(t *testing.T) {
+	// swap(0,1) moves logical 0 to physical 1; final layout reflects it.
+	orig := circuit.New(2).X(0)
+	mapped := circuit.New(2).X(0).Swap(0, 1)
+	final, err := arch.NewLayout([]int{1, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Statevector(orig, mapped, final, 1e-9); err != nil {
+		t.Errorf("permuted realisation rejected: %v", err)
+	}
+	// With the WRONG final layout the check must fail.
+	wrong := arch.NewTrivialLayout(2, 2)
+	if err := Statevector(orig, mapped, wrong, 1e-9); err == nil {
+		t.Error("wrong final layout accepted")
+	}
+}
+
+func TestStatevectorAncillasMustStayZero(t *testing.T) {
+	orig := circuit.New(1).H(0)
+	mapped := circuit.New(2).H(0).X(1) // pollutes the ancilla
+	final := arch.NewTrivialLayout(1, 2)
+	if err := Statevector(orig, mapped, final, 1e-9); err == nil {
+		t.Error("polluted ancilla accepted")
+	}
+}
+
+func TestStatevectorSizeLimit(t *testing.T) {
+	big := circuit.New(StatevectorMaxQubits + 1)
+	if err := Statevector(big, big, arch.NewTrivialLayout(1, StatevectorMaxQubits+1), 1e-9); err == nil {
+		t.Error("oversized statevector accepted")
+	} else if !strings.Contains(err.Error(), "limit") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestCODAROutputsVerify is the keystone integration property: CODAR's
+// output passes all three checks on a range of devices.
+func TestCODAROutputsVerify(t *testing.T) {
+	devices := []*arch.Device{
+		arch.Linear(5), arch.Ring(6), arch.Grid("g", 3, 3), arch.IBMQ5(),
+	}
+	f := func(seed int64) bool {
+		dev := devices[int(uint64(seed)%uint64(len(devices)))]
+		qubits := dev.NumQubits
+		if qubits > 5 {
+			qubits = 5
+		}
+		c := randCircuit(seed, qubits, 30)
+		res, err := core.Remap(c, dev, nil, core.Options{})
+		if err != nil {
+			t.Logf("remap: %v", err)
+			return false
+		}
+		if err := Full(c, res.Circuit, dev, res.InitialLayout, res.FinalLayout); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSABREOutputsVerify: the baseline passes the same checks.
+func TestSABREOutputsVerify(t *testing.T) {
+	devices := []*arch.Device{
+		arch.Linear(5), arch.Ring(6), arch.Grid("g", 3, 3),
+	}
+	f := func(seed int64) bool {
+		dev := devices[int(uint64(seed)%uint64(len(devices)))]
+		c := randCircuit(seed, 5, 30)
+		res, err := sabre.Remap(c, dev, nil, sabre.Options{})
+		if err != nil {
+			t.Logf("remap: %v", err)
+			return false
+		}
+		if err := Full(c, res.Circuit, dev, res.InitialLayout, res.FinalLayout); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCODARWithSabreInitialLayoutVerifies mirrors the paper's actual
+// experimental configuration (shared reverse-traversal initial mapping).
+func TestCODARWithSabreInitialLayoutVerifies(t *testing.T) {
+	dev := arch.IBMQ5()
+	c := randCircuit(9, 5, 40)
+	l, err := sabre.InitialLayout(c, dev, 0, sabre.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Remap(c, dev, l, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Full(c, res.Circuit, dev, res.InitialLayout, res.FinalLayout); err != nil {
+		t.Error(err)
+	}
+}
+
+// randCircuit builds a deterministic random lowered circuit.
+func randCircuit(seed int64, qubits, gates int) *circuit.Circuit {
+	s := uint64(seed)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+	next := func(mod int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(mod))
+	}
+	c := circuit.New(qubits)
+	for i := 0; i < gates; i++ {
+		switch next(6) {
+		case 0, 1:
+			a := next(qubits)
+			b := next(qubits)
+			if a == b {
+				b = (b + 1) % qubits
+			}
+			c.CX(a, b)
+		case 2:
+			c.H(next(qubits))
+		case 3:
+			c.T(next(qubits))
+		case 4:
+			a := next(qubits)
+			b := next(qubits)
+			if a == b {
+				b = (b + 1) % qubits
+			}
+			c.CZ(a, b)
+		default:
+			c.RZ(float64(next(9))*0.125, next(qubits))
+		}
+	}
+	return c
+}

@@ -1,0 +1,77 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"codar/internal/circuit"
+)
+
+// Extra generators beyond the 71-benchmark evaluation suite: common
+// algorithm families useful for examples, extension studies and user code.
+
+// PhaseEstimation builds quantum phase estimation with counting counting
+// qubits plus one eigenstate qubit (width counting+1). The unitary is
+// u1(2π·phase) acting on the eigenstate |1>, so the counting register
+// ideally reads the binary expansion of phase.
+func PhaseEstimation(counting int, phase float64) *circuit.Circuit {
+	n := counting + 1
+	c := circuit.NewNamed(fmt.Sprintf("qpe_%d", n), n)
+	eigen := counting
+	c.X(eigen) // |1> is the u1 eigenstate with eigenvalue e^{i 2π phase}
+	for i := 0; i < counting; i++ {
+		c.H(i)
+	}
+	// Counting qubit i (binary weight 2^i) accumulates e^{i 2π phase 2^i}.
+	for i := 0; i < counting; i++ {
+		angle := 2 * math.Pi * phase * math.Pow(2, float64(i))
+		c.CP(angle, i, eigen)
+	}
+	// Inverse QFT on the counting register.
+	c.AppendAll(InverseQFT(counting))
+	return c
+}
+
+// VQEAnsatz builds a hardware-efficient variational ansatz: layers of
+// per-qubit ry/rz rotations followed by a CX entangling chain. Angles are
+// seeded deterministically.
+func VQEAnsatz(n, layers int, seed int64) *circuit.Circuit {
+	c := circuit.NewNamed(fmt.Sprintf("vqe_%d_l%d", n, layers), n)
+	rng := newXorshift(seed*31 + 17)
+	ang := func() float64 { return float64(rng.next(628)) / 100 }
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.RY(ang(), q)
+			c.RZ(ang(), q)
+		}
+		for q := 0; q+1 < n; q++ {
+			c.CX(q, q+1)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.RY(ang(), q)
+	}
+	return c
+}
+
+// CounterfeitCoin builds the counterfeit-coin-finding circuit over coins
+// coins plus one ancilla (a balance qubit), marking coin `fake`.
+func CounterfeitCoin(coins, fake int) *circuit.Circuit {
+	if fake < 0 || fake >= coins {
+		panic("workloads: fake coin index out of range")
+	}
+	n := coins + 1
+	c := circuit.NewNamed(fmt.Sprintf("coin_%d", n), n)
+	anc := coins
+	for i := 0; i < coins; i++ {
+		c.H(i)
+	}
+	c.X(anc)
+	c.H(anc)
+	// Balance query: the fake coin flips the balance.
+	c.CX(fake, anc)
+	for i := 0; i < coins; i++ {
+		c.H(i)
+	}
+	return c
+}

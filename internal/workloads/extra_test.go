@@ -1,0 +1,149 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"codar/internal/circuit"
+	"codar/internal/sim"
+)
+
+func TestPhaseEstimationRecoversPhase(t *testing.T) {
+	// phase = 0.375 = 0.011 in binary: 3 counting qubits read it exactly.
+	const counting = 3
+	const phase = 0.375
+	c := PhaseEstimation(counting, phase)
+	st, err := sim.Run(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected counting-register value: phase * 2^counting = 3.
+	want := int(phase * math.Pow(2, counting))
+	// The eigenstate qubit stays |1> (bit `counting`).
+	idx := want | 1<<counting
+	if p := st.Probability(idx); p < 0.99 {
+		t.Errorf("P(phase register = %d) = %g, want ~1", want, p)
+	}
+}
+
+func TestPhaseEstimationInexactPhasePeaks(t *testing.T) {
+	// A phase without an exact 3-bit expansion still peaks at the nearest
+	// value.
+	const counting = 3
+	c := PhaseEstimation(counting, 0.3) // nearest 3-bit value: 0.25 or 0.375
+	st, err := sim.Run(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestP := -1, 0.0
+	for v := 0; v < 1<<counting; v++ {
+		if p := st.Probability(v | 1<<counting); p > bestP {
+			best, bestP = v, p
+		}
+	}
+	if best != 2 && best != 3 {
+		t.Errorf("peak at %d (p=%.3f), want 2 or 3", best, bestP)
+	}
+}
+
+func TestVQEAnsatzShape(t *testing.T) {
+	c := VQEAnsatz(6, 3, 1)
+	if c.NumQubits != 6 {
+		t.Errorf("width %d", c.NumQubits)
+	}
+	ops := c.CountOps()
+	// 3 layers x 5 chain CXs.
+	if ops[circuit.OpCX] != 15 {
+		t.Errorf("CX count %d, want 15", ops[circuit.OpCX])
+	}
+	// 3 layers x 6 x (ry+rz) + final 6 ry.
+	if ops[circuit.OpRY] != 24 || ops[circuit.OpRZ] != 18 {
+		t.Errorf("rotation counts ry=%d rz=%d", ops[circuit.OpRY], ops[circuit.OpRZ])
+	}
+	// Deterministic for a seed, different across seeds.
+	if !VQEAnsatz(6, 3, 1).Equal(c) {
+		t.Error("ansatz not deterministic")
+	}
+	if VQEAnsatz(6, 3, 2).Equal(c) {
+		t.Error("ansatz ignores seed")
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterfeitCoinFindsFake(t *testing.T) {
+	const coins = 4
+	const fake = 2
+	c := CounterfeitCoin(coins, fake)
+	st, err := sim.Run(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The coin register collapses to exactly the fake coin's one-hot mask.
+	p := 0.0
+	for anc := 0; anc <= 1; anc++ {
+		p += st.Probability(1<<fake | anc<<coins)
+	}
+	if p < 0.99 {
+		t.Errorf("P(fake identified) = %g", p)
+	}
+}
+
+func TestCounterfeitCoinPanicsOnBadIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range fake index accepted")
+		}
+	}()
+	CounterfeitCoin(3, 5)
+}
+
+// TestQFTIsExactDFT validates the QFT generator against the DFT matrix on
+// every basis state.
+func TestQFTIsExactDFT(t *testing.T) {
+	const n = 4
+	const N = 1 << n
+	fwd := circuit.Decompose(QFT(n))
+	for x := 0; x < N; x++ {
+		st := sim.MustNewState(n)
+		st.SetAmplitude(0, 0)
+		st.SetAmplitude(x, 1)
+		if err := st.ApplyCircuit(fwd); err != nil {
+			t.Fatal(err)
+		}
+		var overlap complex128
+		for k := 0; k < N; k++ {
+			ref := cmplxExp(2*math.Pi*float64(x*k)/float64(N)) / complex(math.Sqrt(float64(N)), 0)
+			overlap += cmplxConj(ref) * st.Amplitude(k)
+		}
+		if math.Abs(real(overlap)*real(overlap)+imag(overlap)*imag(overlap)-1) > 1e-9 {
+			t.Fatalf("QFT row %d does not match the DFT (|overlap|^2 = %g)", x, real(overlap)*real(overlap)+imag(overlap)*imag(overlap))
+		}
+	}
+}
+
+// TestInverseQFTInvertsQFT checks InverseQFT(n) composes with QFT(n) to
+// the identity.
+func TestInverseQFTInvertsQFT(t *testing.T) {
+	const n = 4
+	fwd := circuit.Decompose(QFT(n))
+	inv := circuit.Decompose(InverseQFT(n))
+	for basis := 0; basis < 1<<n; basis++ {
+		st := sim.MustNewState(n)
+		st.SetAmplitude(0, 0)
+		st.SetAmplitude(basis, 1)
+		want := st.Clone()
+		st.ApplyCircuit(fwd)
+		st.ApplyCircuit(inv)
+		if !st.EqualUpToPhase(want, 1e-9) {
+			t.Fatalf("QFT then InverseQFT does not restore basis %d", basis)
+		}
+	}
+}
+
+func cmplxExp(theta float64) complex128 {
+	return complex(math.Cos(theta), math.Sin(theta))
+}
+
+func cmplxConj(z complex128) complex128 { return complex(real(z), -imag(z)) }

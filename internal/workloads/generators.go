@@ -1,0 +1,506 @@
+// Package workloads generates the benchmark circuit suite standing in for
+// the paper's 71 benchmarks (collected there from IBM Qiskit's GitHub,
+// RevLib, ScaffCC, Quipper and the SABRE artifact — none of which are
+// redistributable here). The generators cover the same families and size
+// envelope: 3–36 qubits, up to ~30,000 gates, with 68 circuits of at most
+// 16 qubits plus three 36-qubit programs (§V, "Benchmarks"). See DESIGN.md
+// §2 for the substitution argument.
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"codar/internal/circuit"
+)
+
+// QFT builds the n-qubit quantum Fourier transform with controlled-phase
+// rotations (ScaffCC-style, as in the paper's Fig 2 example). With qubit 0
+// as the least-significant bit, the circuit implements the exact DFT
+// |x> -> (1/√N) Σ_k e^{2πixk/N} |k> (validated against the DFT matrix in
+// the tests).
+func QFT(n int) *circuit.Circuit {
+	c := circuit.NewNamed(fmt.Sprintf("qft_%d", n), n)
+	for j := n - 1; j >= 0; j-- {
+		c.H(j)
+		for m := 0; m < j; m++ {
+			c.CP(math.Pi/math.Pow(2, float64(j-m)), m, j)
+		}
+	}
+	// Final bit-reversal swaps.
+	for i := 0; i < n/2; i++ {
+		c.Swap(i, n-1-i)
+	}
+	return c
+}
+
+// InverseQFT builds the exact inverse of QFT(n).
+func InverseQFT(n int) *circuit.Circuit {
+	c := circuit.NewNamed(fmt.Sprintf("iqft_%d", n), n)
+	for i := 0; i < n/2; i++ {
+		c.Swap(i, n-1-i)
+	}
+	for j := 0; j < n; j++ {
+		for m := j - 1; m >= 0; m-- {
+			c.CP(-math.Pi/math.Pow(2, float64(j-m)), m, j)
+		}
+		c.H(j)
+	}
+	return c
+}
+
+// GHZ builds the n-qubit Greenberger–Horne–Zeilinger state preparation.
+func GHZ(n int) *circuit.Circuit {
+	c := circuit.NewNamed(fmt.Sprintf("ghz_%d", n), n)
+	c.H(0)
+	for i := 0; i+1 < n; i++ {
+		c.CX(i, i+1)
+	}
+	return c
+}
+
+// BV builds the Bernstein–Vazirani circuit over n input qubits plus one
+// ancilla, for the given secret bit-mask.
+func BV(n int, secret uint64) *circuit.Circuit {
+	c := circuit.NewNamed(fmt.Sprintf("bv_%d", n+1), n+1)
+	anc := n
+	c.X(anc)
+	c.H(anc)
+	for i := 0; i < n; i++ {
+		c.H(i)
+	}
+	for i := 0; i < n; i++ {
+		if secret&(1<<uint(i)) != 0 {
+			c.CX(i, anc)
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.H(i)
+	}
+	return c
+}
+
+// WState prepares the n-qubit W state using cascaded controlled rotations
+// (each controlled-RY expanded into the standard 2-CX form).
+func WState(n int) *circuit.Circuit {
+	c := circuit.NewNamed(fmt.Sprintf("wstate_%d", n), n)
+	c.X(0)
+	for k := 1; k < n; k++ {
+		// Pass (n-k)/(n-k+1) of the remaining excitation weight forward,
+		// keeping 1/n at qubit k-1.
+		theta := 2 * math.Asin(math.Sqrt(float64(n-k)/float64(n-k+1)))
+		cry(c, theta, k-1, k)
+		c.CX(k, k-1)
+	}
+	return c
+}
+
+// cry appends a controlled-RY(theta) with control a and target b.
+func cry(c *circuit.Circuit, theta float64, a, b int) {
+	c.RY(theta/2, b)
+	c.CX(a, b)
+	c.RY(-theta/2, b)
+	c.CX(a, b)
+}
+
+// CuccaroAdder builds the CDKM ripple-carry adder on two bits-wide
+// registers: qubits [cin, a0, b0, a1, b1, ..., cout], 2*bits + 2 total.
+func CuccaroAdder(bits int) *circuit.Circuit {
+	n := 2*bits + 2
+	c := circuit.NewNamed(fmt.Sprintf("adder_%d", bits), n)
+	cin := 0
+	a := func(i int) int { return 1 + 2*i }
+	b := func(i int) int { return 2 + 2*i }
+	cout := n - 1
+	maj := func(x, y, z int) {
+		c.CX(z, y)
+		c.CX(z, x)
+		c.CCX(x, y, z)
+	}
+	uma := func(x, y, z int) {
+		c.CCX(x, y, z)
+		c.CX(z, x)
+		c.CX(x, y)
+	}
+	maj(cin, b(0), a(0))
+	for i := 1; i < bits; i++ {
+		maj(a(i-1), b(i), a(i))
+	}
+	c.CX(a(bits-1), cout)
+	for i := bits - 1; i >= 1; i-- {
+		uma(a(i-1), b(i), a(i))
+	}
+	uma(cin, b(0), a(0))
+	return c
+}
+
+// Grover builds a Grover search over n qubits with the given number of
+// iterations, marking the all-ones state. Multi-controlled Z larger than
+// CCZ uses an ancilla ladder, adding max(n-2, 0) work qubits.
+func Grover(n, iterations int) *circuit.Circuit {
+	anc := 0
+	if n > 3 {
+		anc = n - 2
+	}
+	c := circuit.NewNamed(fmt.Sprintf("grover_%d", n), n+anc)
+	for i := 0; i < n; i++ {
+		c.H(i)
+	}
+	for it := 0; it < iterations; it++ {
+		mcz(c, n) // oracle: phase-flip |1...1>
+		for i := 0; i < n; i++ {
+			c.H(i)
+			c.X(i)
+		}
+		mcz(c, n) // diffusion core
+		for i := 0; i < n; i++ {
+			c.X(i)
+			c.H(i)
+		}
+	}
+	return c
+}
+
+// mcz applies a multi-controlled Z over qubits [0, n) of c, using the
+// ancilla qubits [n, ...) for n > 3 via a CCX ladder (computed and
+// uncomputed around a CZ).
+func mcz(c *circuit.Circuit, n int) {
+	switch n {
+	case 1:
+		c.Z(0)
+		return
+	case 2:
+		c.CZ(0, 1)
+		return
+	case 3:
+		// CCZ = H(t) CCX H(t).
+		c.H(2)
+		c.CCX(0, 1, 2)
+		c.H(2)
+		return
+	}
+	// Ladder: anc[0] = q0 AND q1; anc[i] = anc[i-1] AND q_{i+1}.
+	anc := n
+	c.CCX(0, 1, anc)
+	for i := 2; i < n-1; i++ {
+		c.CCX(i, anc+i-2, anc+i-1)
+	}
+	c.CZ(anc+n-3, n-1)
+	for i := n - 2; i >= 2; i-- {
+		c.CCX(i, anc+i-2, anc+i-1)
+	}
+	c.CCX(0, 1, anc)
+}
+
+// DeutschJozsa builds the Deutsch–Jozsa circuit over n inputs plus an
+// ancilla. A zero mask yields a constant oracle; otherwise the oracle is
+// balanced on the masked bits.
+func DeutschJozsa(n int, mask uint64) *circuit.Circuit {
+	kind := "balanced"
+	if mask == 0 {
+		kind = "constant"
+	}
+	c := circuit.NewNamed(fmt.Sprintf("dj_%s_%d", kind, n+1), n+1)
+	anc := n
+	c.X(anc)
+	c.H(anc)
+	for i := 0; i < n; i++ {
+		c.H(i)
+	}
+	if mask == 0 {
+		c.X(anc) // constant-1 oracle
+	} else {
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				c.CX(i, anc)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.H(i)
+	}
+	return c
+}
+
+// Simon builds Simon's algorithm over n input qubits and n output qubits
+// (2n total) for the given secret mask.
+func Simon(n int, mask uint64) *circuit.Circuit {
+	c := circuit.NewNamed(fmt.Sprintf("simon_%d", 2*n), 2*n)
+	for i := 0; i < n; i++ {
+		c.H(i)
+	}
+	// Oracle: copy x to the output register, then smear the secret onto
+	// outputs controlled by the first set bit of the mask.
+	for i := 0; i < n; i++ {
+		c.CX(i, n+i)
+	}
+	first := -1
+	for i := 0; i < n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			first = i
+			break
+		}
+	}
+	if first >= 0 {
+		for j := 0; j < n; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				c.CX(first, n+j)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.H(i)
+	}
+	return c
+}
+
+// QAOAMaxCut builds a p-layer QAOA MaxCut ansatz over a seeded random
+// 3-regular-ish graph on n vertices.
+func QAOAMaxCut(n, p int, seed int64) *circuit.Circuit {
+	c := circuit.NewNamed(fmt.Sprintf("qaoa_%d_p%d", n, p), n)
+	edges := randomGraph(n, seed)
+	for i := 0; i < n; i++ {
+		c.H(i)
+	}
+	rng := newXorshift(seed)
+	for layer := 0; layer < p; layer++ {
+		gamma := float64(rng.next(628)) / 100
+		beta := float64(rng.next(314)) / 100
+		for _, e := range edges {
+			c.RZZ(gamma, e[0], e[1])
+		}
+		for i := 0; i < n; i++ {
+			c.RX(beta, i)
+		}
+	}
+	return c
+}
+
+// randomGraph returns a connected random graph with roughly 1.5n edges.
+func randomGraph(n int, seed int64) [][2]int {
+	rng := newXorshift(seed*2654435761 + 1)
+	var edges [][2]int
+	seen := make(map[[2]int]bool)
+	add := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		k := [2]int{a, b}
+		if !seen[k] {
+			seen[k] = true
+			edges = append(edges, k)
+		}
+	}
+	// Spanning chain guarantees connectivity, then random chords.
+	for i := 0; i+1 < n; i++ {
+		add(i, i+1)
+	}
+	for k := 0; k < n/2; k++ {
+		add(rng.next(n), rng.next(n))
+	}
+	return edges
+}
+
+// Ising builds a Trotterised 1-D transverse-field Ising evolution over n
+// spins for the given number of Trotter steps.
+func Ising(n, steps int) *circuit.Circuit {
+	c := circuit.NewNamed(fmt.Sprintf("ising_%d_%d", n, steps), n)
+	const j, h = 0.35, 0.7
+	for s := 0; s < steps; s++ {
+		for i := 0; i+1 < n; i += 2 {
+			c.RZZ(2*j, i, i+1)
+		}
+		for i := 1; i+1 < n; i += 2 {
+			c.RZZ(2*j, i, i+1)
+		}
+		for i := 0; i < n; i++ {
+			c.RX(2*h, i)
+		}
+	}
+	return c
+}
+
+// HiddenShift builds a bent-function hidden-shift instance over n qubits
+// (n even) with the given shift mask, following the CZ-pair construction.
+func HiddenShift(n int, shift uint64) *circuit.Circuit {
+	if n%2 != 0 {
+		panic("workloads: HiddenShift needs an even qubit count")
+	}
+	c := circuit.NewNamed(fmt.Sprintf("hshift_%d", n), n)
+	applyShift := func() {
+		for i := 0; i < n; i++ {
+			if shift&(1<<uint(i)) != 0 {
+				c.X(i)
+			}
+		}
+	}
+	f := func() {
+		for i := 0; i < n/2; i++ {
+			c.CZ(2*i, 2*i+1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.H(i)
+	}
+	applyShift()
+	f()
+	applyShift()
+	for i := 0; i < n; i++ {
+		c.H(i)
+	}
+	f()
+	for i := 0; i < n; i++ {
+		c.H(i)
+	}
+	return c
+}
+
+// RevNet builds a RevLib-style reversible netlist: a seeded random network
+// of X, CNOT and Toffoli gates, the gate mix typical of synthesised
+// reversible benchmarks (alu, decod, mod5, ...).
+func RevNet(n, gates int, seed int64) *circuit.Circuit {
+	c := circuit.NewNamed(fmt.Sprintf("revnet_%d_s%d", n, seed), n)
+	rng := newXorshift(seed*0x9E3779B9 + 7)
+	for k := 0; k < gates; k++ {
+		switch rng.next(10) {
+		case 0:
+			c.X(rng.next(n))
+		case 1, 2, 3, 4:
+			a := rng.next(n)
+			b := (a + 1 + rng.next(n-1)) % n
+			c.CX(a, b)
+		default:
+			if n < 3 {
+				a := rng.next(n)
+				b := (a + 1 + rng.next(n-1)) % n
+				c.CX(a, b)
+				continue
+			}
+			a := rng.next(n)
+			b := (a + 1 + rng.next(n-1)) % n
+			t := rng.next(n)
+			for t == a || t == b {
+				t = (t + 1) % n
+			}
+			c.CCX(a, b, t)
+		}
+	}
+	return c
+}
+
+// Random builds an unstructured random circuit with the given two-qubit
+// gate fraction (percent).
+func Random(n, gates int, cxPercent int, seed int64) *circuit.Circuit {
+	c := circuit.NewNamed(fmt.Sprintf("rand_%d_g%d", n, gates), n)
+	rng := newXorshift(seed*0x2545F491 + 11)
+	for k := 0; k < gates; k++ {
+		if rng.next(100) < cxPercent {
+			a := rng.next(n)
+			b := (a + 1 + rng.next(n-1)) % n
+			c.CX(a, b)
+		} else {
+			switch rng.next(5) {
+			case 0:
+				c.H(rng.next(n))
+			case 1:
+				c.T(rng.next(n))
+			case 2:
+				c.X(rng.next(n))
+			case 3:
+				c.RZ(float64(rng.next(64))*0.098, rng.next(n))
+			default:
+				c.S(rng.next(n))
+			}
+		}
+	}
+	return c
+}
+
+// QuantumVolume builds a quantum-volume-style model circuit: depth layers
+// of random two-qubit blocks over a random qubit pairing (each block a
+// u3/cx/u3/cx/u3 sandwich approximating a generic SU(4)).
+func QuantumVolume(n, depth int, seed int64) *circuit.Circuit {
+	c := circuit.NewNamed(fmt.Sprintf("qv_%d_d%d", n, depth), n)
+	rng := newXorshift(seed*0x85EBCA6B + 13)
+	ang := func() float64 { return float64(rng.next(628)) / 100 }
+	for layer := 0; layer < depth; layer++ {
+		perm := rng.perm(n)
+		for i := 0; i+1 < n; i += 2 {
+			a, b := perm[i], perm[i+1]
+			c.U3(ang(), ang(), ang(), a)
+			c.U3(ang(), ang(), ang(), b)
+			c.CX(a, b)
+			c.U3(ang(), ang(), ang(), a)
+			c.U3(ang(), ang(), ang(), b)
+			c.CX(b, a)
+			c.U3(ang(), ang(), ang(), a)
+			c.U3(ang(), ang(), ang(), b)
+		}
+	}
+	return c
+}
+
+// Multiplier builds a shift-and-add multiplier skeleton over 3*bits+2
+// qubits: bits controlled Cuccaro-style adder passes.
+func Multiplier(bits int) *circuit.Circuit {
+	n := 3*bits + 2
+	c := circuit.NewNamed(fmt.Sprintf("mult_%d", bits), n)
+	// Registers: x[bits], a[bits], b[bits], cin, cout.
+	x := func(i int) int { return i }
+	a := func(i int) int { return bits + i }
+	b := func(i int) int { return 2*bits + i }
+	cin := 3 * bits
+	cout := 3*bits + 1
+	for pass := 0; pass < bits; pass++ {
+		ctrl := x(pass)
+		// Controlled MAJ/UMA chain (controls folded into Toffolis).
+		c.CCX(ctrl, a(0), b(0))
+		for i := 1; i < bits; i++ {
+			c.CX(a(i), b(i))
+			c.CCX(a(i-1), b(i), a(i))
+		}
+		c.CCX(ctrl, a(bits-1), cout)
+		for i := bits - 1; i >= 1; i-- {
+			c.CCX(a(i-1), b(i), a(i))
+			c.CX(a(i), b(i))
+		}
+		c.CCX(ctrl, a(0), b(0))
+		c.CX(cin, b(0))
+	}
+	return c
+}
+
+// xorshift is the suite's deterministic RNG (no global state, stdlib-free
+// reproducibility across platforms).
+type xorshift struct{ s uint64 }
+
+func newXorshift(seed int64) *xorshift {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	if x == 0 {
+		x = 0x9E3779B97F4A7C15
+	}
+	return &xorshift{s: x}
+}
+
+func (x *xorshift) next(mod int) int {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 7
+	x.s ^= x.s << 17
+	return int(x.s % uint64(mod))
+}
+
+// perm returns a random permutation of [0, n).
+func (x *xorshift) perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := x.next(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,182 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"codar/internal/circuit"
+)
+
+// Benchmark is one suite entry: a named, deterministic circuit generator.
+type Benchmark struct {
+	// Name is the stable identifier used in reports.
+	Name string
+	// Qubits is the circuit width (before mapping).
+	Qubits int
+	// Family groups related benchmarks for reporting.
+	Family string
+	build  func() *circuit.Circuit
+}
+
+// Circuit builds the benchmark circuit, lowered to the base gate set the
+// remappers accept. Builders are deterministic: the same Benchmark always
+// produces the same circuit.
+func (b Benchmark) Circuit() *circuit.Circuit {
+	c := circuit.Decompose(b.build())
+	c.Name = b.Name
+	return c
+}
+
+// Raw builds the benchmark circuit without lowering (compound gates kept).
+func (b Benchmark) Raw() *circuit.Circuit { return b.build() }
+
+func entry(family string, build func() *circuit.Circuit) Benchmark {
+	c := build() // probe for name/width; builders are cheap and pure
+	return Benchmark{Name: c.Name, Qubits: c.NumQubits, Family: family, build: build}
+}
+
+// Suite returns the 71-benchmark evaluation suite: 68 circuits using
+// 3–16 qubits plus three 36-qubit programs, mirroring the paper's size
+// envelope ("from using 3 qubits up to using 36 qubits and about 30,000
+// gates"). Entries are ordered by qubit count then name, the order Fig 8
+// plots them in.
+func Suite() []Benchmark {
+	var s []Benchmark
+	add := func(family string, build func() *circuit.Circuit) {
+		s = append(s, entry(family, build))
+	}
+
+	// GHZ state preparations (5).
+	for _, n := range []int{3, 5, 8, 12, 16} {
+		n := n
+		add("ghz", func() *circuit.Circuit { return GHZ(n) })
+	}
+	// Quantum Fourier transforms (6).
+	for _, n := range []int{4, 5, 8, 10, 13, 16} {
+		n := n
+		add("qft", func() *circuit.Circuit { return QFT(n) })
+	}
+	// Bernstein–Vazirani (5): width = inputs + 1 ancilla.
+	for _, n := range []int{4, 7, 9, 12, 15} {
+		n := n
+		add("bv", func() *circuit.Circuit { return BV(n, 0xB5B5B5B5>>uint(16-n)|1) })
+	}
+	// W states (4).
+	for _, n := range []int{4, 8, 12, 16} {
+		n := n
+		add("wstate", func() *circuit.Circuit { return WState(n) })
+	}
+	// Cuccaro ripple-carry adders (5): width = 2*bits + 2.
+	for _, bits := range []int{1, 2, 4, 6, 7} {
+		bits := bits
+		add("adder", func() *circuit.Circuit { return CuccaroAdder(bits) })
+	}
+	// Grover search (4).
+	for _, cfg := range [][2]int{{3, 1}, {4, 2}, {5, 2}, {6, 3}} {
+		n, it := cfg[0], cfg[1]
+		add("grover", func() *circuit.Circuit { return Grover(n, it) })
+	}
+	// Deutsch–Jozsa (4): one constant + three balanced.
+	add("dj", func() *circuit.Circuit { return DeutschJozsa(7, 0) })
+	for _, n := range []int{7, 11, 15} {
+		n := n
+		add("dj", func() *circuit.Circuit { return DeutschJozsa(n, (1<<uint(n))-1) })
+	}
+	// Simon's algorithm (4): width = 2n.
+	for _, n := range []int{3, 4, 6, 8} {
+		n := n
+		add("simon", func() *circuit.Circuit { return Simon(n, 0b101%(1<<uint(n))|1) })
+	}
+	// QAOA MaxCut (4).
+	for _, cfg := range [][2]int{{8, 1}, {10, 2}, {12, 2}, {16, 3}} {
+		n, p := cfg[0], cfg[1]
+		add("qaoa", func() *circuit.Circuit { return QAOAMaxCut(n, p, int64(n*10+p)) })
+	}
+	// Trotterised Ising evolution (3).
+	for _, cfg := range [][2]int{{8, 4}, {12, 6}, {16, 8}} {
+		n, steps := cfg[0], cfg[1]
+		add("ising", func() *circuit.Circuit { return Ising(n, steps) })
+	}
+	// Hidden shift (3).
+	for _, n := range []int{8, 12, 16} {
+		n := n
+		add("hshift", func() *circuit.Circuit { return HiddenShift(n, 0x6D%(1<<uint(n))) })
+	}
+	// RevLib-style reversible netlists (8).
+	for _, cfg := range [][3]int{
+		{5, 60, 1}, {8, 120, 1}, {8, 200, 2}, {10, 250, 1},
+		{12, 400, 1}, {14, 600, 1}, {16, 800, 1}, {16, 1500, 2},
+	} {
+		n, gates, seed := cfg[0], cfg[1], cfg[2]
+		add("revnet", func() *circuit.Circuit { return RevNet(n, gates, int64(seed)) })
+	}
+	// Unstructured random circuits (6).
+	for _, cfg := range [][3]int{
+		{5, 100, 40}, {8, 200, 40}, {10, 300, 40},
+		{12, 500, 45}, {14, 800, 45}, {16, 1000, 40},
+	} {
+		n, gates, frac := cfg[0], cfg[1], cfg[2]
+		add("random", func() *circuit.Circuit { return Random(n, gates, frac, int64(n+gates)) })
+	}
+	// Quantum-volume model circuits (4).
+	for _, cfg := range [][2]int{{8, 8}, {10, 10}, {12, 12}, {16, 16}} {
+		n, d := cfg[0], cfg[1]
+		add("qv", func() *circuit.Circuit { return QuantumVolume(n, d, int64(n*d)) })
+	}
+	// Shift-and-add multipliers (3): width = 3*bits + 2.
+	for _, bits := range []int{2, 3, 4} {
+		bits := bits
+		add("mult", func() *circuit.Circuit { return Multiplier(bits) })
+	}
+
+	// The three 36-qubit programs, tested only on Google Q54 Sycamore
+	// (the paper excludes them on the 16/20/36-qubit devices).
+	add("qft", func() *circuit.Circuit { return QFT(36) })
+	add("random", func() *circuit.Circuit { return Random(36, 30000, 45, 36) })
+	add("qaoa", func() *circuit.Circuit { return QAOAMaxCut(36, 4, 364) })
+
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].Qubits != s[j].Qubits {
+			return s[i].Qubits < s[j].Qubits
+		}
+		return s[i].Name < s[j].Name
+	})
+	return s
+}
+
+// SmallSuite returns the 68 benchmarks that fit the 16-qubit IBM Q16 (and
+// are the ones the paper runs on Q16, Q20 and the 6×6 grid).
+func SmallSuite() []Benchmark {
+	var out []Benchmark
+	for _, b := range Suite() {
+		if b.Qubits <= 16 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// FamousSeven returns the seven well-known algorithms used in the Fig 9
+// fidelity experiment. All fit a 9-qubit 3×3 grid so that the noisy
+// trajectory simulation stays cheap.
+func FamousSeven() []Benchmark {
+	return []Benchmark{
+		entry("qft", func() *circuit.Circuit { return QFT(5) }),
+		entry("bv", func() *circuit.Circuit { return BV(5, 0b10110) }),
+		entry("ghz", func() *circuit.Circuit { return GHZ(6) }),
+		entry("grover", func() *circuit.Circuit { return Grover(4, 1) }),
+		entry("dj", func() *circuit.Circuit { return DeutschJozsa(5, 0b11111) }),
+		entry("simon", func() *circuit.Circuit { return Simon(3, 0b101) }),
+		entry("adder", func() *circuit.Circuit { return CuccaroAdder(2) }),
+	}
+}
+
+// ByName returns the suite benchmark with the given name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+}

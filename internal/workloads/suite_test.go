@@ -1,0 +1,314 @@
+package workloads
+
+import (
+	"testing"
+
+	"codar/internal/circuit"
+	"codar/internal/sim"
+)
+
+// TestSuiteEnvelope pins the paper's benchmark-suite shape: 71 circuits
+// total, 68 of at most 16 qubits, 3 of exactly 36 qubits, widths spanning
+// 3..36, and the largest circuit around 30k gates.
+func TestSuiteEnvelope(t *testing.T) {
+	s := Suite()
+	if len(s) != 71 {
+		t.Fatalf("suite has %d benchmarks, want 71", len(s))
+	}
+	small, big := 0, 0
+	minQ, maxQ, maxGates := 1<<30, 0, 0
+	for _, b := range s {
+		if b.Qubits <= 16 {
+			small++
+		}
+		if b.Qubits == 36 {
+			big++
+		}
+		if b.Qubits < minQ {
+			minQ = b.Qubits
+		}
+		if b.Qubits > maxQ {
+			maxQ = b.Qubits
+		}
+		if n := b.Circuit().Len(); n > maxGates {
+			maxGates = n
+		}
+	}
+	if small != 68 || big != 3 {
+		t.Errorf("small/big = %d/%d, want 68/3", small, big)
+	}
+	if minQ != 3 || maxQ != 36 {
+		t.Errorf("width span %d..%d, want 3..36", minQ, maxQ)
+	}
+	if maxGates < 25000 || maxGates > 40000 {
+		t.Errorf("largest circuit has %d gates, want ~30000", maxGates)
+	}
+}
+
+func TestSuiteNamesUniqueAndOrdered(t *testing.T) {
+	s := Suite()
+	seen := map[string]bool{}
+	for i, b := range s {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if i > 0 && s[i-1].Qubits > b.Qubits {
+			t.Errorf("suite not ordered by qubits at %d (%s)", i, b.Name)
+		}
+	}
+}
+
+func TestSuiteCircuitsValidAndLowered(t *testing.T) {
+	for _, b := range Suite() {
+		c := b.Circuit()
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if !circuit.IsLowered(c) {
+			t.Errorf("%s: not lowered", b.Name)
+		}
+		if c.NumQubits != b.Qubits {
+			t.Errorf("%s: width %d != declared %d", b.Name, c.NumQubits, b.Qubits)
+		}
+		if c.Len() == 0 {
+			t.Errorf("%s: empty circuit", b.Name)
+		}
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	s := Suite()
+	for _, b := range []Benchmark{s[0], s[20], s[40], s[67]} {
+		c1 := b.Circuit()
+		c2 := b.Circuit()
+		if !c1.Equal(c2) {
+			t.Errorf("%s: non-deterministic builder", b.Name)
+		}
+	}
+}
+
+func TestSmallSuite(t *testing.T) {
+	small := SmallSuite()
+	if len(small) != 68 {
+		t.Fatalf("SmallSuite has %d entries, want 68", len(small))
+	}
+	for _, b := range small {
+		if b.Qubits > 16 {
+			t.Errorf("%s exceeds 16 qubits", b.Name)
+		}
+	}
+}
+
+func TestFamousSeven(t *testing.T) {
+	seven := FamousSeven()
+	if len(seven) != 7 {
+		t.Fatalf("FamousSeven has %d entries", len(seven))
+	}
+	for _, b := range seven {
+		if b.Qubits > 9 {
+			t.Errorf("%s (%d qubits) does not fit the 3x3 fidelity device", b.Name, b.Qubits)
+		}
+		if err := b.Circuit().Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("ghz_3")
+	if err != nil || b.Qubits != 3 {
+		t.Errorf("ByName(ghz_3) = %v, %v", b, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+// --- semantic spot checks of the generators (statevector level) ---
+
+func TestGHZState(t *testing.T) {
+	st, err := sim.Run(GHZ(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0, p15 := st.Probability(0), st.Probability(15); p0 < 0.49 || p15 < 0.49 {
+		t.Errorf("GHZ probabilities %g/%g", p0, p15)
+	}
+}
+
+func TestBVRecoversSecret(t *testing.T) {
+	const n = 5
+	const secret = 0b10110
+	c := BV(n, secret)
+	st, err := sim.Run(circuit.Decompose(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The input register must read the secret with certainty; the ancilla
+	// is in |-> so both ancilla branches carry the secret pattern.
+	p := 0.0
+	for anc := 0; anc <= 1; anc++ {
+		p += st.Probability(secret | anc<<n)
+	}
+	if p < 0.999 {
+		t.Errorf("P(secret) = %g, want ~1", p)
+	}
+}
+
+func TestWStateAmplitudes(t *testing.T) {
+	const n = 4
+	st, err := sim.Run(circuit.Decompose(WState(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the n one-hot basis states carry probability 1/n each.
+	for i := 0; i < st.Len(); i++ {
+		ones := 0
+		for b := 0; b < n; b++ {
+			if i&(1<<b) != 0 {
+				ones++
+			}
+		}
+		p := st.Probability(i)
+		if ones == 1 {
+			if p < 1.0/float64(n)-1e-6 || p > 1.0/float64(n)+1e-6 {
+				t.Errorf("one-hot state %d has P=%g, want %g", i, p, 1.0/float64(n))
+			}
+		} else if p > 1e-9 {
+			t.Errorf("non-one-hot state %d has P=%g", i, p)
+		}
+	}
+}
+
+func TestCuccaroAdderAdds(t *testing.T) {
+	// Compute a+b for all 2-bit operands: prepare inputs with X gates,
+	// run the adder, check register b holds (a+b) mod 4 and cout the carry.
+	const bits = 2
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			c := circuit.New(2*bits + 2)
+			for i := 0; i < bits; i++ {
+				if a&(1<<i) != 0 {
+					c.X(1 + 2*i)
+				}
+				if b&(1<<i) != 0 {
+					c.X(2 + 2*i)
+				}
+			}
+			c.AppendAll(circuit.Decompose(CuccaroAdder(bits)))
+			st, err := sim.Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := a + b
+			// Expected basis state: cin=0, a unchanged, b=sum mod 4,
+			// cout = carry.
+			want := 0
+			for i := 0; i < bits; i++ {
+				if a&(1<<i) != 0 {
+					want |= 1 << (1 + 2*i)
+				}
+				if sum&(1<<i) != 0 {
+					want |= 1 << (2 + 2*i)
+				}
+			}
+			if sum >= 4 {
+				want |= 1 << (2*bits + 1)
+			}
+			if st.Probability(want) < 0.999 {
+				t.Errorf("adder %d+%d: P(expected)=%g", a, b, st.Probability(want))
+			}
+		}
+	}
+}
+
+func TestGroverAmplifiesMarkedState(t *testing.T) {
+	// Grover(3,1) marks |111>: one iteration boosts it well above uniform.
+	st, err := sim.Run(circuit.Decompose(Grover(3, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := st.Probability(7); p < 0.6 {
+		t.Errorf("P(|111>) = %g after one Grover iteration, want > 0.6", p)
+	}
+}
+
+func TestDeutschJozsaSeparatesOracles(t *testing.T) {
+	// Constant oracle: input register returns to |0...0>.
+	stc, err := sim.Run(circuit.Decompose(DeutschJozsa(4, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pZero := 0.0
+	for anc := 0; anc <= 1; anc++ {
+		pZero += stc.Probability(anc << 4)
+	}
+	if pZero < 0.999 {
+		t.Errorf("constant DJ: P(zero) = %g", pZero)
+	}
+	// Balanced oracle: zero outcome has probability 0.
+	stb, err := sim.Run(circuit.Decompose(DeutschJozsa(4, 0b1111)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pZero = stb.Probability(0) + stb.Probability(1<<4)
+	if pZero > 1e-9 {
+		t.Errorf("balanced DJ: P(zero) = %g, want 0", pZero)
+	}
+}
+
+func TestQFTOnBasisState(t *testing.T) {
+	// QFT|0> = uniform superposition.
+	st, err := sim.Run(circuit.Decompose(QFT(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / 16
+	for i := 0; i < st.Len(); i++ {
+		if p := st.Probability(i); p < want-1e-9 || p > want+1e-9 {
+			t.Fatalf("QFT|0> not uniform at %d: %g", i, p)
+		}
+	}
+}
+
+func TestGeneratorWidths(t *testing.T) {
+	cases := []struct {
+		c    *circuit.Circuit
+		want int
+	}{
+		{QFT(7), 7},
+		{GHZ(9), 9},
+		{BV(6, 1), 7},
+		{WState(5), 5},
+		{CuccaroAdder(3), 8},
+		{Grover(5, 1), 8},
+		{DeutschJozsa(6, 3), 7},
+		{Simon(4, 5), 8},
+		{QAOAMaxCut(9, 2, 1), 9},
+		{Ising(7, 3), 7},
+		{HiddenShift(6, 5), 6},
+		{RevNet(9, 50, 1), 9},
+		{Random(9, 50, 40, 1), 9},
+		{QuantumVolume(6, 4, 1), 6},
+		{Multiplier(2), 8},
+	}
+	for _, tc := range cases {
+		if tc.c.NumQubits != tc.want {
+			t.Errorf("%s: width %d, want %d", tc.c.Name, tc.c.NumQubits, tc.want)
+		}
+		if err := tc.c.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.c.Name, err)
+		}
+	}
+}
+
+func TestHiddenShiftPanicsOnOddWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd width accepted")
+		}
+	}()
+	HiddenShift(5, 1)
+}
