@@ -79,6 +79,23 @@ func BenchmarkFig8IBMQ20Tokyo(b *testing.B) { benchFig8(b, arch.IBMQ20Tokyo()) }
 // 1.258).
 func BenchmarkFig8SycamoreQ54(b *testing.B) { benchFig8(b, arch.SycamoreQ54()) }
 
+// BenchmarkFig8TokyoSerial runs the Q20 Tokyo sweep on a single worker —
+// the baseline quantifying what the experiments.RunBatch fan-out buys on
+// multi-core hosts (compare against BenchmarkFig8IBMQ20Tokyo).
+func BenchmarkFig8TokyoSerial(b *testing.B) {
+	dev := arch.IBMQ20Tokyo()
+	b.ReportAllocs()
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig8DeviceWorkers(dev, core.Options{}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = res.AverageSpeedup()
+	}
+	b.ReportMetric(avg, "avg-speedup")
+}
+
 // --- Fig 9: fidelity maintenance ------------------------------------------
 
 // BenchmarkFig9Fidelity regenerates the fidelity comparison of the seven

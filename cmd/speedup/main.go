@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	speedup [-arch all|melbourne|enfield|tokyo|sycamore] [-ablate]
+//	speedup [-arch all|melbourne|enfield|tokyo|sycamore] [-ablate] [-workers N]
 package main
 
 import (
@@ -29,6 +29,7 @@ func main() {
 func run() error {
 	archName := flag.String("arch", "all", "architecture to sweep (all|melbourne|enfield|tokyo|sycamore|...)")
 	ablate := flag.Bool("ablate", false, "also run the design ablations (no commutativity, no Hfine, no look-ahead)")
+	workers := flag.Int("workers", 0, "worker-pool size for the per-benchmark fan-out (0 = GOMAXPROCS, 1 = serial)")
 	durSweep := flag.Bool("dursweep", false, "also sweep the 2q/1q duration ratio (extension study)")
 	initial := flag.Bool("initial", false, "also run the initial-mapping sensitivity study")
 	csvPath := flag.String("csv", "", "also write per-benchmark rows as CSV to this file")
@@ -59,7 +60,7 @@ func run() error {
 
 	var avgRows [][2]string
 	for i, dev := range devices {
-		res, err := experiments.RunFig8Device(dev, core.Options{})
+		res, err := experiments.RunFig8DeviceWorkers(dev, core.Options{}, *workers)
 		if err != nil {
 			return err
 		}
@@ -98,7 +99,7 @@ func run() error {
 			{"window 16", core.Options{Window: 16}},
 		}
 		for _, v := range variants {
-			res, err := experiments.RunFig8Device(tokyo, v.opts)
+			res, err := experiments.RunFig8DeviceWorkers(tokyo, v.opts, *workers)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,3 @@
+module codar
+
+go 1.21

@@ -1,0 +1,37 @@
+package circuit
+
+// IntArena hands out small []int blocks carved from larger backing arrays,
+// so hot loops that materialise one qubit slice per emitted gate (the
+// remappers' launch paths) cost one allocation per few thousand gates
+// instead of one per gate. Returned slices have capacity == length, so an
+// append by the holder can never alias a neighbouring block. The arena
+// itself never frees: blocks live as long as any slice taken from them,
+// which matches the remapper lifecycle (everything is reachable from the
+// Result).
+type IntArena struct {
+	buf []int
+}
+
+// arenaBlock is the backing-array growth unit (ints).
+const arenaBlock = 4096
+
+// Take returns a zeroed slice of length n from the arena.
+func (a *IntArena) Take(n int) []int {
+	if len(a.buf)+n > cap(a.buf) {
+		size := arenaBlock
+		if n > size {
+			size = n
+		}
+		a.buf = make([]int, 0, size)
+	}
+	off := len(a.buf)
+	a.buf = a.buf[:off+n]
+	return a.buf[off : off+n : off+n]
+}
+
+// Reset drops the arena's claim on its current block. Slices already taken
+// remain valid; subsequent Takes may reuse nothing — Reset only matters for
+// callers recycling an arena across runs whose outputs are dead.
+func (a *IntArena) Reset() {
+	a.buf = nil
+}

@@ -220,12 +220,15 @@ func (c *Circuit) Clone() *Circuit {
 
 // Reversed returns a new circuit with the gate order reversed. It is used by
 // the SABRE reverse-traversal initial-mapping pass; gate inverses are not
-// taken because only the dependency structure matters there.
+// taken because only the dependency structure matters there. The gate
+// values are shared with the receiver (qubit and parameter slices are not
+// copied — gates are immutable throughout the codebase); use Clone first if
+// the copy must be independent.
 func (c *Circuit) Reversed() *Circuit {
 	out := &Circuit{Name: c.Name + "_rev", NumQubits: c.NumQubits, NumClbits: c.NumClbits}
 	out.Gates = make([]Gate, len(c.Gates))
 	for i := range c.Gates {
-		out.Gates[i] = c.Gates[len(c.Gates)-1-i].Clone()
+		out.Gates[i] = c.Gates[len(c.Gates)-1-i]
 	}
 	return out
 }

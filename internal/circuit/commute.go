@@ -34,20 +34,9 @@ func (b Basis) String() string {
 	}
 }
 
-// BasisOn returns the commutation basis of gate g on qubit q. If g does not
-// act on q the result is NoBasis.
-func (g Gate) BasisOn(q int) Basis {
-	pos := -1
-	for i, gq := range g.Qubits {
-		if gq == q {
-			pos = i
-			break
-		}
-	}
-	if pos < 0 {
-		return NoBasis
-	}
-	switch g.Op {
+// basisOf is the rule behind BasisOn, keyed by op and operand position.
+func basisOf(o Op, pos int) Basis {
+	switch o {
 	case OpID, OpZ, OpS, OpSdg, OpT, OpTdg, OpRZ, OpU1:
 		return ZBasis
 	case OpX, OpRX, OpSX:
@@ -74,6 +63,109 @@ func (g Gate) BasisOn(q int) Basis {
 	}
 }
 
+// basisTab memoises basisOf for every op and operand position; only
+// OpBarrier is variadic and it is NoBasis at every position.
+var basisTab [numOps][3]Basis
+
+// pairClass classifies an op pair for shared-qubit commutation: whether the
+// verdict is fixed regardless of which operand positions are shared.
+type pairClass uint8
+
+const (
+	// pairCheck: the verdict depends on operand positions or gate equality
+	// (e.g. CX/CX, or identical NoBasis gates such as H/H).
+	pairCheck pairClass = iota
+	// pairAlways: any qubit sharing commutes (e.g. RZ/CZ, both Z-diagonal
+	// on every operand).
+	pairAlways
+	// pairNever: any qubit sharing fails (barriers, non-unitaries, or every
+	// operand-position pairing is basis-incompatible between distinct ops).
+	pairNever
+)
+
+// pairClassTab memoises the op-pair classification consulted by
+// CommuteSharing before the per-qubit scan.
+var pairClassTab [numOps][numOps]pairClass
+
+func classifyPair(a, b Op) pairClass {
+	if a == OpBarrier || b == OpBarrier || !a.Unitary() || !b.Unitary() {
+		return pairNever
+	}
+	na, nb := a.NumQubits(), b.NumQubits()
+	uniform := func(o Op, n int) Basis {
+		bs := basisTab[o][0]
+		for p := 1; p < n; p++ {
+			if basisTab[o][p] != bs {
+				return NoBasis
+			}
+		}
+		return bs
+	}
+	if ua := uniform(a, na); ua != NoBasis && ua == uniform(b, nb) {
+		return pairAlways
+	}
+	// Any single operand-position pairing is realisable as the sole shared
+	// qubit, so the pair is a guaranteed non-commuter only when every
+	// pairing is basis-incompatible — and only across distinct ops, where
+	// the identical-gate shortcut cannot apply.
+	for i := 0; i < na; i++ {
+		for j := 0; j < nb; j++ {
+			if ba := basisTab[a][i]; ba != NoBasis && ba == basisTab[b][j] {
+				return pairCheck
+			}
+		}
+	}
+	if a != b {
+		return pairNever
+	}
+	return pairCheck
+}
+
+func init() {
+	for o := Op(0); o < numOps; o++ {
+		for p := 0; p < 3; p++ {
+			basisTab[o][p] = basisOf(o, p)
+		}
+	}
+	for a := Op(0); a < numOps; a++ {
+		for b := Op(0); b < numOps; b++ {
+			pairClassTab[a][b] = classifyPair(a, b)
+		}
+	}
+}
+
+// CommuteClass reports the position-independent shared-qubit commutation
+// verdict for an op pair: ok is true when every qubit-sharing configuration
+// of the two ops has the same verdict (then commute holds it), and false
+// when the full per-gate check is required. Callers maintaining their own
+// pair caches use it to skip memoisation of the trivial cases.
+func CommuteClass(a, b Op) (commute, ok bool) {
+	if a >= numOps || b >= numOps {
+		return false, false
+	}
+	switch pairClassTab[a][b] {
+	case pairAlways:
+		return true, true
+	case pairNever:
+		return false, true
+	}
+	return false, false
+}
+
+// BasisOn returns the commutation basis of gate g on qubit q. If g does not
+// act on q the result is NoBasis.
+func (g Gate) BasisOn(q int) Basis {
+	for i, gq := range g.Qubits {
+		if gq == q {
+			if g.Op >= numOps || i >= 3 {
+				return NoBasis
+			}
+			return basisTab[g.Op][i]
+		}
+	}
+	return NoBasis
+}
+
 // Commute reports whether g and h commute as operators. Gates on disjoint
 // qubits always commute. For shared qubits, the per-qubit diagonal-basis
 // rule is applied (see Basis). Barriers never commute with gates sharing
@@ -89,11 +181,26 @@ func Commute(g, h Gate) bool {
 	if !g.SharesQubit(h) {
 		return true
 	}
-	if g.Op == OpBarrier || h.Op == OpBarrier {
+	return CommuteSharing(g, h)
+}
+
+// CommuteSharing is Commute for gates already known to share at least one
+// qubit, skipping the SharesQubit scan. Hot paths that walk per-qubit gate
+// chains (where sharing is structural) call it directly. The op-pair
+// classification table answers the common cases — barriers and
+// non-unitaries never commute, uniformly Z- or X-diagonal pairs always do —
+// in one load; only position-dependent pairs (e.g. CX/CX) take the
+// per-shared-qubit scan.
+func CommuteSharing(g, h Gate) bool {
+	if g.Op >= numOps || h.Op >= numOps {
 		return false
 	}
-	if !g.Op.Unitary() || !h.Op.Unitary() {
-		// Measurement/reset sharing a qubit with anything: order matters.
+	switch pairClassTab[g.Op][h.Op] {
+	case pairAlways:
+		return true
+	case pairNever:
+		// Covers barriers and measurement/reset sharing a qubit with
+		// anything: order matters.
 		return false
 	}
 	if g.Equal(h) {

@@ -14,7 +14,11 @@ type DAG struct {
 	Succs [][]int
 }
 
-// NewDAG builds the dependency DAG of c.
+// NewDAG builds the dependency DAG of c. The per-gate neighbour lists are
+// sub-slices of two shared flat arrays, so construction costs a handful of
+// allocations instead of two per gate — NewDAG runs three times per
+// benchmark pair in the SABRE reverse-traversal pipeline and showed up
+// accordingly in the Fig 8 allocation profile.
 func NewDAG(c *Circuit) *DAG {
 	n := len(c.Gates)
 	d := &DAG{
@@ -22,16 +26,61 @@ func NewDAG(c *Circuit) *DAG {
 		Preds: make([][]int, n),
 		Succs: make([][]int, n),
 	}
-	last := make(map[int]int) // qubit -> index of last gate seen on it
+	last := make([]int, c.NumQubits) // qubit -> index of last gate seen on it
+	for q := range last {
+		last[q] = -1
+	}
+	// Pass 1: collect each gate's deduplicated predecessors (in qubit
+	// order, matching the historical append order) into one flat array.
+	predsFlat := make([]int, 0, n)
+	predOff := make([]int32, n+1)
+	succCnt := make([]int32, n)
 	for k, g := range c.Gates {
-		seen := make(map[int]bool)
+		predOff[k] = int32(len(predsFlat))
 		for _, q := range g.Qubits {
-			if j, ok := last[q]; ok && !seen[j] {
-				seen[j] = true
-				d.Preds[k] = append(d.Preds[k], j)
-				d.Succs[j] = append(d.Succs[j], k)
-			}
+			j := last[q]
 			last[q] = k
+			if j < 0 {
+				continue
+			}
+			dup := false
+			for _, p := range predsFlat[predOff[k]:] {
+				if p == j {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				predsFlat = append(predsFlat, j)
+				succCnt[j]++
+			}
+		}
+	}
+	predOff[n] = int32(len(predsFlat))
+	// Pass 2: invert into successor lists, ascending in k by construction.
+	succsFlat := make([]int, len(predsFlat))
+	succOff := make([]int32, n+1)
+	off := int32(0)
+	for k := 0; k < n; k++ {
+		succOff[k] = off
+		off += succCnt[k]
+		succCnt[k] = 0 // reuse as fill cursor
+	}
+	succOff[n] = off
+	for k := 0; k < n; k++ {
+		for _, j := range predsFlat[predOff[k]:predOff[k+1]] {
+			succsFlat[succOff[j]+succCnt[j]] = k
+			succCnt[j]++
+		}
+	}
+	for k := 0; k < n; k++ {
+		// Full three-index slices: an append by a caller reallocates
+		// instead of overwriting the next gate's list in the shared array.
+		if a, b := predOff[k], predOff[k+1]; b > a {
+			d.Preds[k] = predsFlat[a:b:b]
+		}
+		if a, b := succOff[k], succOff[k+1]; b > a {
+			d.Succs[k] = succsFlat[a:b:b]
 		}
 	}
 	return d

@@ -54,6 +54,11 @@ type Options struct {
 	// RankMode selects how the look-ahead term enters the priority
 	// comparison (experimentation/ablation; default RankLookFirst).
 	RankMode RankMode
+
+	// naiveFront selects the from-scratch reference front scan instead of
+	// the incremental engine (frontier.go). Test-only: the equivalence
+	// property tests run both and require byte-identical results.
+	naiveFront bool
 }
 
 // RankMode enumerates candidate-ranking variants.
@@ -181,12 +186,26 @@ type remapper struct {
 
 	initial *arch.Layout
 
-	// Scratch buffers for the front computation.
+	// f is the incremental commutative-front engine; nil selects the naive
+	// reference scan (Options.naiveFront).
+	f *frontier
+	// frontCheck, when set (equivalence property tests), observes every
+	// front the engine returns before the remapper acts on it.
+	frontCheck func(front []int)
+
+	// arena backs the physical-qubit slices of emitted gates.
+	arena circuit.IntArena
+
+	// Scratch buffers for the front computation (shared by both front
+	// implementations) and the SWAP-candidate search.
 	seenStack [][]int
 	touched   []int
 	front     []int
 	front2q   []int
 	lookSet   []int
+	cands     []swapCand
+	edgeStamp []int32
+	edgeEpoch int32
 }
 
 func newRemapper(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Options) *remapper {
@@ -212,11 +231,18 @@ func newRemapper(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opt
 		r.head = 0
 		r.next[n-1] = -1
 	}
+	if !opts.naiveFront {
+		r.f = newFrontier(r, c.NumQubits)
+	}
 	return r
 }
 
-// unlink removes gate i from the remaining sequence.
+// unlink removes gate i from the remaining sequence. The frontier is
+// notified first: it reads the intact list pointers to retreat its window.
 func (r *remapper) unlink(i int) {
+	if r.f != nil {
+		r.f.remove(i)
+	}
 	if r.prev[i] >= 0 {
 		r.next[r.prev[i]] = r.next[i]
 	} else {
@@ -301,7 +327,11 @@ func (r *remapper) executable(i, t int) bool {
 // updates the locks and removes it from the remaining sequence.
 func (r *remapper) launchGate(i, t int) {
 	g := r.gates[i]
-	phys := g.Remap(func(q int) int { return r.layout.Phys(q) })
+	phys := g
+	phys.Qubits = r.arena.Take(len(g.Qubits))
+	for k, q := range g.Qubits {
+		phys.Qubits[k] = r.layout.Phys(q)
+	}
 	dur := r.dev.Durations.Of(g.Op)
 	end := t + dur
 	for _, p := range phys.Qubits {
@@ -326,8 +356,10 @@ func (r *remapper) launchSwap(a, b, start int) {
 	end := start + dur
 	r.locks[a] = end
 	r.locks[b] = end
+	qs := r.arena.Take(2)
+	qs[0], qs[1] = a, b
 	r.out = append(r.out, schedule.ScheduledGate{
-		Gate:     circuit.New2Q(circuit.OpSwap, a, b),
+		Gate:     circuit.Gate{Op: circuit.OpSwap, Qubits: qs},
 		Start:    start,
 		Duration: dur,
 	})

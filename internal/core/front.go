@@ -5,12 +5,31 @@ import "codar/internal/circuit"
 // computeFront returns the commutative front (CF) of the remaining gate
 // sequence: the indices of gates that commute with every earlier remaining
 // gate (Definition 1). The scan is bounded by the options window; gates on
-// disjoint qubits commute trivially, so each candidate is only checked
-// against earlier scanned gates sharing one of its qubits.
+// disjoint qubits commute trivially, so membership only involves earlier
+// gates sharing one of a candidate's qubits.
+//
+// The work is done by the incremental engine (frontier.go); the from-scratch
+// scan below is retained as the reference implementation, selected by the
+// naiveFront option and cross-checked against the engine by the equivalence
+// property tests.
 //
 // With DisableCommutativity the front degrades to the plain dependency
 // front (first unexecuted gate per qubit chain), which is what SABRE uses.
 func (r *remapper) computeFront() []int {
+	if r.f == nil {
+		return r.computeFrontNaive()
+	}
+	front := r.f.computeFront()
+	if r.frontCheck != nil {
+		r.frontCheck(front)
+	}
+	return front
+}
+
+// computeFrontNaive is the pre-incremental implementation: rescan the
+// window and re-run every pairwise commutation check. O(window × avg
+// per-qubit stack height) Commute calls per query.
+func (r *remapper) computeFrontNaive() []int {
 	window := r.opts.window()
 	r.front = r.front[:0]
 	// Reset per-qubit stacks touched by the previous call.

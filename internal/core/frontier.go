@@ -1,0 +1,283 @@
+package core
+
+import "codar/internal/circuit"
+
+// frontier is the incremental commutative-front engine. The naive approach
+// (front.go, kept as the reference implementation) rescans the first
+// `window` remaining gates and re-runs every pairwise Commute check on each
+// query — three times per simulated cycle — which profiles at ~80% of a
+// Fig 8 sweep. The frontier instead owns the per-qubit seen-chains across
+// cycles and exploits two monotonicity facts:
+//
+//   - Gates are only ever removed from the remaining sequence, never
+//     reordered or inserted, so a gate's predecessor set only shrinks and
+//     CF membership can flip false→true but never true→false.
+//   - Removing a gate can only change the membership of gates sharing one
+//     of its qubits, so after a launch only the launched gate's qubits need
+//     re-examination (dirty-qubit tracking).
+//
+// Each query therefore: (1) re-evaluates the cached-blocked gates on dirty
+// qubit chains, (2) admits gates that slid into the scan window, computing
+// their membership once, and (3) assembles the front (and look-ahead set)
+// from cached membership bits with a window walk that does no commutation
+// work at all. A per-gate first-blocker cache short-circuits step 1 — a
+// blocked gate is re-scanned only when the specific gate blocking it
+// retires — and a pair-verdict memo keyed by gate indices (gates are
+// immutable, so verdicts never expire) absorbs the repeated CX/CX checks
+// that survive the op-pair classification table in circuit.CommuteClass.
+type frontier struct {
+	r      *remapper
+	window int
+
+	// Static gate metadata. Slot s is one (gate, operand) incidence;
+	// gate i owns slots [slotOff[i], slotOff[i+1]).
+	slotOff  []int32
+	slotGate []int32
+	is2q     []bool
+
+	// Per-qubit chains over the in-window gates, in sequence order,
+	// linked by slot index.
+	qhead, qtail         []int32
+	chainNext, chainPrev []int32
+
+	// Window state: the window covers the first winCount live gates;
+	// winTail is the last of them (-1 when empty).
+	inWindow []bool
+	winTail  int
+	winCount int
+
+	// Cached membership. blocker[i] is a gate currently known not to
+	// commute with i (-1 when i is in the CF); while it stays live, i
+	// stays blocked and needs no re-scan.
+	inCF    []bool
+	blocker []int32
+	removed []bool
+
+	// Dirty-qubit queue between queries.
+	qDirty bitset
+	dirtyQ []int32
+
+	// frontValid marks the assembled r.front/r.lookSet as current: only a
+	// removal (or first use) invalidates it — SWAPs change the layout, not
+	// the logical sequence the front is defined over.
+	frontValid bool
+
+	// Pair-verdict memo for position-dependent op pairs, keyed
+	// pred<<32|succ. Lazily allocated: many circuits never need it.
+	memo map[uint64]bool
+}
+
+// bitset marks qubits; paired with an explicit position list (dirtyQ) so
+// clearing costs O(set bits), not O(qubits).
+type bitset []bool
+
+func newFrontier(r *remapper, numQubits int) *frontier {
+	n := len(r.gates)
+	f := &frontier{
+		r:        r,
+		window:   r.opts.window(),
+		slotOff:  make([]int32, n+1),
+		is2q:     make([]bool, n),
+		qhead:    make([]int32, numQubits),
+		qtail:    make([]int32, numQubits),
+		inWindow: make([]bool, n),
+		winTail:  -1,
+		inCF:     make([]bool, n),
+		blocker:  make([]int32, n),
+		removed:  make([]bool, n),
+		qDirty:   make(bitset, numQubits),
+		dirtyQ:   make([]int32, 0, numQubits),
+	}
+	total := int32(0)
+	for i, g := range r.gates {
+		f.slotOff[i] = total
+		total += int32(len(g.Qubits))
+		f.is2q[i] = g.Op.TwoQubit()
+		f.blocker[i] = -1
+	}
+	f.slotOff[n] = total
+	f.slotGate = make([]int32, total)
+	f.chainNext = make([]int32, total)
+	f.chainPrev = make([]int32, total)
+	for i := range r.gates {
+		for s := f.slotOff[i]; s < f.slotOff[i+1]; s++ {
+			f.slotGate[s] = int32(i)
+		}
+	}
+	for q := range f.qhead {
+		f.qhead[q] = -1
+		f.qtail[q] = -1
+	}
+	return f
+}
+
+// commute reports whether live predecessor j and gate i commute, through
+// the op-pair classification and the pair memo.
+func (f *frontier) commute(j, i int32) bool {
+	gj, gi := f.r.gates[j], f.r.gates[i]
+	if v, ok := circuit.CommuteClass(gj.Op, gi.Op); ok {
+		return v
+	}
+	key := uint64(uint32(j))<<32 | uint64(uint32(i))
+	if v, ok := f.memo[key]; ok {
+		return v
+	}
+	v := circuit.CommuteSharing(gj, gi)
+	if f.memo == nil {
+		f.memo = make(map[uint64]bool, 64)
+	}
+	f.memo[key] = v
+	return v
+}
+
+// membership computes gate i's CF membership from its current in-window
+// predecessors, recording the first blocker found.
+func (f *frontier) membership(i int) bool {
+	if f.r.opts.DisableCommutativity {
+		// Dependency front: any in-window predecessor on any qubit blocks.
+		for s := f.slotOff[i]; s < f.slotOff[i+1]; s++ {
+			if p := f.chainPrev[s]; p >= 0 {
+				f.blocker[i] = f.slotGate[p]
+				return false
+			}
+		}
+		f.blocker[i] = -1
+		return true
+	}
+	for s := f.slotOff[i]; s < f.slotOff[i+1]; s++ {
+		for p := f.chainPrev[s]; p >= 0; p = f.chainPrev[p] {
+			if j := f.slotGate[p]; !f.commute(j, int32(i)) {
+				f.blocker[i] = j
+				return false
+			}
+		}
+	}
+	f.blocker[i] = -1
+	return true
+}
+
+// admit appends gate i at the window tail: links its slots onto the qubit
+// chains and computes its membership once, against exactly the gates the
+// naive scan would have seen before it.
+func (f *frontier) admit(i int) {
+	g := f.r.gates[i]
+	for k, q := range g.Qubits {
+		s := f.slotOff[i] + int32(k)
+		f.chainNext[s] = -1
+		f.chainPrev[s] = f.qtail[q]
+		if f.qtail[q] >= 0 {
+			f.chainNext[f.qtail[q]] = s
+		} else {
+			f.qhead[q] = s
+		}
+		f.qtail[q] = s
+	}
+	f.inWindow[i] = true
+	f.inCF[i] = f.membership(i)
+	f.winTail = i
+	f.winCount++
+}
+
+// remove unlinks gate i from the engine. It must run before the remapper
+// splices i out of the remaining-sequence list (it reads r.prev to retreat
+// the window tail). Removal marks i's qubits dirty; blocked gates on those
+// chains are re-examined at the next query.
+func (f *frontier) remove(i int) {
+	f.removed[i] = true
+	f.frontValid = false
+	if !f.inWindow[i] {
+		return
+	}
+	g := f.r.gates[i]
+	for k, q := range g.Qubits {
+		s := f.slotOff[i] + int32(k)
+		p, n := f.chainPrev[s], f.chainNext[s]
+		if p >= 0 {
+			f.chainNext[p] = n
+		} else {
+			f.qhead[q] = n
+		}
+		if n >= 0 {
+			f.chainPrev[n] = p
+		} else {
+			f.qtail[q] = p
+		}
+		if !f.qDirty[q] {
+			f.qDirty[q] = true
+			f.dirtyQ = append(f.dirtyQ, int32(q))
+		}
+	}
+	f.inWindow[i] = false
+	f.winCount--
+	if i == f.winTail {
+		f.winTail = f.r.prev[i]
+	}
+}
+
+// flushDirty re-evaluates the blocked gates on every dirty qubit chain.
+// In-CF gates are skipped outright (membership is monotone), and a blocked
+// gate whose recorded blocker is still live is skipped without any
+// commutation work.
+func (f *frontier) flushDirty() {
+	for _, q := range f.dirtyQ {
+		f.qDirty[q] = false
+		for s := f.qhead[q]; s >= 0; s = f.chainNext[s] {
+			i := f.slotGate[s]
+			if f.inCF[i] {
+				continue
+			}
+			if b := f.blocker[i]; b >= 0 && !f.removed[b] {
+				continue
+			}
+			if f.membership(int(i)) {
+				f.inCF[i] = true
+				f.frontValid = false
+			}
+		}
+	}
+	f.dirtyQ = f.dirtyQ[:0]
+}
+
+// computeFront returns the commutative front of the remaining sequence,
+// writing the front and look-ahead buffers on the remapper (shared with the
+// naive path so the heuristics and tests are implementation-agnostic).
+func (f *frontier) computeFront() []int {
+	f.flushDirty()
+	for f.winCount < f.window {
+		next := f.r.head
+		if f.winTail >= 0 {
+			next = f.r.next[f.winTail]
+		}
+		if next < 0 {
+			break
+		}
+		f.admit(next)
+		f.frontValid = false
+	}
+	if f.frontValid {
+		return f.r.front
+	}
+	r := f.r
+	look := r.opts.lookahead()
+	r.front = r.front[:0]
+	r.lookSet = r.lookSet[:0]
+	count := 0
+	i := r.head
+	for ; i >= 0 && count < f.winCount; i = r.next[i] {
+		if f.inCF[i] {
+			r.front = append(r.front, i)
+		} else if f.is2q[i] && len(r.lookSet) < look {
+			r.lookSet = append(r.lookSet, i)
+		}
+		count++
+	}
+	// Top up the look-ahead set past the window: everything beyond is
+	// non-front by construction.
+	for ; i >= 0 && len(r.lookSet) < look; i = r.next[i] {
+		if f.is2q[i] {
+			r.lookSet = append(r.lookSet, i)
+		}
+	}
+	f.frontValid = true
+	return r.front
+}

@@ -27,9 +27,17 @@ type swapCand struct {
 // operands of every blocked (distance > 1) two-qubit CF gate (§IV-C step 3,
 // the Fig 5 procedure). Requiring the gate-side qubit to be free matches
 // the paper: a SWAP is a candidate only if the whole edge is lock-free.
+// The candidate buffer and the edge-dedup stamps are reused across cycles:
+// an edge is "seen" this call when its stamp equals the current epoch, so
+// clearing costs nothing and the hot loop allocates only on first growth.
 func (r *remapper) collectCandidates(front []int, t int) []swapCand {
-	var cands []swapCand
-	seen := make(map[int]bool)
+	if r.edgeStamp == nil {
+		r.edgeStamp = make([]int32, len(r.dev.Edges))
+		r.edgeEpoch = 0
+	}
+	r.edgeEpoch++
+	epoch := r.edgeEpoch
+	cands := r.cands[:0]
 	for _, i := range front {
 		g := r.gates[i]
 		if !g.Op.TwoQubit() {
@@ -53,14 +61,15 @@ func (r *remapper) collectCandidates(front []int, t int) []swapCand {
 					a, b = b, a
 				}
 				id, _ := r.dev.EdgeIndex(a, b)
-				if seen[id] {
+				if r.edgeStamp[id] == epoch {
 					continue
 				}
-				seen[id] = true
+				r.edgeStamp[id] = epoch
 				cands = append(cands, swapCand{a: a, b: b, edge: id})
 			}
 		}
 	}
+	r.cands = cands
 	return cands
 }
 

@@ -1,0 +1,85 @@
+package experiments
+
+// Batch driver. The Fig 8 sweep maps each benchmark circuit independently,
+// so its fan-out runs through RunBatch, a bounded worker pool; results land
+// in pre-indexed slots, so parallelism never perturbs ordering, and every
+// comparison is deterministic, so it never perturbs the numbers either.
+// The remaining studies (Fig 9, gate-error, duration sweep, initial-mapping)
+// stay serial: they share mutable device state or a single simulator and do
+// not honor a worker budget.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers resolves a worker-count knob: values <= 0 select
+// GOMAXPROCS, and the result is clamped to n so tiny batches do not spawn
+// idle goroutines.
+func DefaultWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// RunBatch executes jobs 0..n-1 across a bounded pool of workers and
+// returns the first error by job index (all jobs run regardless, keeping
+// the work deterministic for benchmarking). workers <= 0 selects
+// GOMAXPROCS; workers == 1 degenerates to a plain serial loop with no
+// goroutine or channel traffic, making serial-vs-parallel comparisons
+// honest.
+func RunBatch(n, workers int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	workers = DefaultWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = runJob(job, i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					errs[i] = runJob(job, i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runJob shields the pool from a panicking job: the panic is converted to
+// an error on the job's slot instead of killing the process with workers
+// mid-flight.
+func runJob(job func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: job %d panicked: %v", i, r)
+		}
+	}()
+	return job(i)
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"codar/internal/arch"
+	"codar/internal/core"
+)
+
+func TestRunBatchRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 37
+		var counts [n]int32
+		err := RunBatch(n, workers, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunBatchReturnsFirstErrorByIndex(t *testing.T) {
+	boom := errors.New("boom")
+	err := RunBatch(10, 4, func(i int) error {
+		if i == 3 || i == 7 {
+			return fmt.Errorf("job %d: %w", i, boom)
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got := err.Error(); got != "job 3: boom" {
+		t.Fatalf("err = %q, want the lowest-index failure", got)
+	}
+}
+
+func TestRunBatchRecoversPanics(t *testing.T) {
+	err := RunBatch(4, 2, func(i int) error {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic was swallowed")
+	}
+}
+
+func TestRunBatchZeroJobs(t *testing.T) {
+	if err := RunBatch(0, 4, func(int) error { t.Fatal("job ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultWorkersClamps(t *testing.T) {
+	if got := DefaultWorkers(8, 3); got != 3 {
+		t.Fatalf("DefaultWorkers(8,3) = %d", got)
+	}
+	if got := DefaultWorkers(-1, 100); got < 1 {
+		t.Fatalf("DefaultWorkers(-1,100) = %d", got)
+	}
+	if got := DefaultWorkers(2, 100); got != 2 {
+		t.Fatalf("DefaultWorkers(2,100) = %d", got)
+	}
+}
+
+// TestFig8WorkersInvariance: the sweep numbers must be bit-identical no
+// matter how the batch is scheduled.
+func TestFig8WorkersInvariance(t *testing.T) {
+	dev := arch.IBMQ5()
+	serial, err := RunFig8DeviceWorkers(dev, core.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunFig8DeviceWorkers(dev, core.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rows) != len(parallel.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial.Rows), len(parallel.Rows))
+	}
+	for i := range serial.Rows {
+		if serial.Rows[i] != parallel.Rows[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, serial.Rows[i], parallel.Rows[i])
+		}
+	}
+}

@@ -10,8 +10,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 
 	"codar/internal/arch"
 	"codar/internal/core"
@@ -99,11 +97,19 @@ func (r Fig8Result) Speedups() []float64 {
 func (r Fig8Result) AverageSpeedup() float64 { return metrics.Mean(r.Speedups()) }
 
 // RunFig8Device runs the Fig 8 sweep for one architecture, fanning the
-// benchmarks across GOMAXPROCS workers (results stay in suite order, and
-// every comparison is deterministic, so parallelism never changes the
-// numbers). The paper tests 68 benchmarks on the three small devices and
-// all 71 on the 54-qubit Sycamore; the suite is filtered accordingly.
+// benchmarks across GOMAXPROCS workers via RunBatch (results stay in suite
+// order, and every comparison is deterministic, so parallelism never
+// changes the numbers). The paper tests 68 benchmarks on the three small
+// devices and all 71 on the 54-qubit Sycamore; the suite is filtered
+// accordingly.
 func RunFig8Device(dev *arch.Device, opts core.Options) (Fig8Result, error) {
+	return RunFig8DeviceWorkers(dev, opts, 0)
+}
+
+// RunFig8DeviceWorkers is RunFig8Device with an explicit worker budget:
+// workers <= 0 means GOMAXPROCS, 1 runs strictly serially (the honest
+// baseline for driver-scaling measurements).
+func RunFig8DeviceWorkers(dev *arch.Device, opts core.Options, workers int) (Fig8Result, error) {
 	res := Fig8Result{Device: dev}
 	var eligible []workloads.Benchmark
 	for _, b := range workloads.Suite() {
@@ -116,31 +122,13 @@ func RunFig8Device(dev *arch.Device, opts core.Options) (Fig8Result, error) {
 		eligible = append(eligible, b)
 	}
 	rows := make([]SpeedupRow, len(eligible))
-	errs := make([]error, len(eligible))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(eligible) {
-		workers = len(eligible)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				rows[i], errs[i] = CompareOn(eligible[i], dev, opts)
-			}
-		}()
-	}
-	for i := range eligible {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return res, err
-		}
+	err := RunBatch(len(eligible), workers, func(i int) error {
+		var jerr error
+		rows[i], jerr = CompareOn(eligible[i], dev, opts)
+		return jerr
+	})
+	if err != nil {
+		return res, err
 	}
 	res.Rows = rows
 	return res, nil
@@ -168,9 +156,16 @@ func WriteFig8CSV(w io.Writer, r Fig8Result, withHeader bool) error {
 // RunFig8 runs the full Fig 8 experiment over the paper's four
 // architectures.
 func RunFig8(opts core.Options) ([]Fig8Result, error) {
+	return RunFig8Workers(opts, 0)
+}
+
+// RunFig8Workers runs the full Fig 8 experiment with an explicit per-device
+// worker budget (see RunFig8DeviceWorkers). Devices run sequentially — the
+// benchmark fan-out inside each already saturates the pool.
+func RunFig8Workers(opts core.Options, workers int) ([]Fig8Result, error) {
 	var out []Fig8Result
 	for _, dev := range arch.EvaluationDevices() {
-		r, err := RunFig8Device(dev, opts)
+		r, err := RunFig8DeviceWorkers(dev, opts, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -129,6 +129,21 @@ type mapper struct {
 	decay   []float64
 	out     *circuit.Circuit
 	swaps   int
+
+	// Reused hot-loop scratch: the front double-buffer, the extended-set
+	// BFS state (epoch-stamped instead of per-round maps), the candidate
+	// buffer with its edge-dedup stamps, and the arena backing emitted
+	// gates' qubit slices. Together these keep the swap-search loop
+	// allocation-free after warm-up.
+	spare      []int
+	extBuf     []int
+	queue      []int
+	visitStamp []int32
+	visitEpoch int32
+	edgeStamp  []int32
+	edgeEpoch  int32
+	candBuf    []swapCand
+	arena      circuit.IntArena
 }
 
 func (m *mapper) resetDecay() {
@@ -140,7 +155,10 @@ func (m *mapper) resetDecay() {
 // run executes the SABRE main loop.
 func (m *mapper) run() {
 	indeg := m.dag.InDegrees()
-	var front []int
+	n := m.dag.Len()
+	m.visitStamp = make([]int32, n)
+	m.spare = make([]int, 0, 16)
+	front := make([]int, 0, 16)
 	for k, d := range indeg {
 		if d == 0 {
 			front = append(front, k)
@@ -153,9 +171,11 @@ func (m *mapper) run() {
 	maxStuck := 4 * m.dev.NumQubits * (m.dev.Diameter() + 1)
 
 	for len(front) > 0 {
-		// Execute every executable front gate.
+		// Execute every executable front gate. The surviving/unlocked set
+		// is built into the spare buffer, which then swaps roles with the
+		// current front (no per-round allocation).
 		executed := false
-		next := make([]int, 0, len(front))
+		next := m.spare[:0]
 		for _, k := range front {
 			g := m.dag.Gate(k)
 			if m.executable(g) {
@@ -171,6 +191,7 @@ func (m *mapper) run() {
 				next = append(next, k)
 			}
 		}
+		m.spare = front[:0]
 		front = next
 		if executed {
 			m.resetDecay()
@@ -209,24 +230,30 @@ func (m *mapper) executable(g circuit.Gate) bool {
 
 // emit appends the physical image of logical gate g to the output.
 func (m *mapper) emit(g circuit.Gate) {
-	m.out.Add(g.Remap(func(q int) int { return m.layout.Phys(q) }))
+	phys := g
+	phys.Qubits = m.arena.Take(len(g.Qubits))
+	for i, q := range g.Qubits {
+		phys.Qubits[i] = m.layout.Phys(q)
+	}
+	m.out.Add(phys)
 }
 
 // extendedSet collects up to ExtendedSize two-qubit gates reachable from
-// the front layer through the DAG (the look-ahead window E).
+// the front layer through the DAG (the look-ahead window E). The BFS
+// queue, result buffer and visited stamps live on the mapper; a node is
+// visited this round when its stamp matches the round's epoch.
 func (m *mapper) extendedSet(front []int, indeg []int) []int {
 	limit := m.opts.extendedSize()
-	var ext []int
-	visited := make(map[int]bool)
-	queue := append([]int(nil), front...)
-	for len(queue) > 0 && len(ext) < limit {
-		k := queue[0]
-		queue = queue[1:]
+	m.visitEpoch++
+	ext := m.extBuf[:0]
+	queue := append(m.queue[:0], front...)
+	for pop := 0; pop < len(queue) && len(ext) < limit; pop++ {
+		k := queue[pop]
 		for _, s := range m.dag.Succs[k] {
-			if visited[s] {
+			if m.visitStamp[s] == m.visitEpoch {
 				continue
 			}
-			visited[s] = true
+			m.visitStamp[s] = m.visitEpoch
 			if m.dag.Gate(s).Op.TwoQubit() {
 				ext = append(ext, s)
 				if len(ext) >= limit {
@@ -236,6 +263,8 @@ func (m *mapper) extendedSet(front []int, indeg []int) []int {
 			queue = append(queue, s)
 		}
 	}
+	m.extBuf = ext
+	m.queue = queue[:0]
 	return ext
 }
 
@@ -245,10 +274,14 @@ type swapCand struct {
 }
 
 // candidates enumerates couplers incident to the physical qubits of the
-// unexecutable two-qubit front gates (obtain_swaps in the paper).
+// unexecutable two-qubit front gates (obtain_swaps in the paper). The
+// result buffer and edge-dedup stamps are reused across rounds.
 func (m *mapper) candidates(front []int) []swapCand {
-	seen := make(map[int]bool)
-	var out []swapCand
+	if m.edgeStamp == nil {
+		m.edgeStamp = make([]int32, len(m.dev.Edges))
+	}
+	m.edgeEpoch++
+	out := m.candBuf[:0]
 	for _, k := range front {
 		g := m.dag.Gate(k)
 		if !g.Op.TwoQubit() {
@@ -262,14 +295,15 @@ func (m *mapper) candidates(front []int) []swapCand {
 					a, b = b, a
 				}
 				id, _ := m.dev.EdgeIndex(a, b)
-				if seen[id] {
+				if m.edgeStamp[id] == m.edgeEpoch {
 					continue
 				}
-				seen[id] = true
+				m.edgeStamp[id] = m.edgeEpoch
 				out = append(out, swapCand{a: a, b: b, edge: id})
 			}
 		}
 	}
+	m.candBuf = out
 	return out
 }
 
