@@ -6,12 +6,15 @@
 // Usage:
 //
 //	speedup [-arch all|melbourne|enfield|tokyo|sycamore] [-ablate] [-workers N]
+//	        [-cpuprofile out.prof] [-memprofile out.prof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"codar/internal/arch"
 	"codar/internal/core"
@@ -33,7 +36,34 @@ func run() error {
 	durSweep := flag.Bool("dursweep", false, "also sweep the 2q/1q duration ratio (extension study)")
 	initial := flag.Bool("initial", false, "also run the initial-mapping sensitivity study")
 	csvPath := flag.String("csv", "", "also write per-benchmark rows as CSV to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "speedup: memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	devices := arch.EvaluationDevices()
 	if *archName != "all" {

@@ -37,9 +37,16 @@ type Device struct {
 	// Durations is the gate-duration map τ in quantum clock cycles.
 	Durations Durations
 
-	adj    [][]int
-	edgeID map[[2]int]int
-	dist   [][]int32
+	adj [][]int
+	// edgeIdx is the dense coupler-index table: edgeIdx[a*NumQubits+b] is
+	// the stable index of edge (a, b) in both orientations, or -1 when the
+	// pair is uncoupled. A flat array instead of a map keeps Adjacent and
+	// EdgeIndex — both on the SWAP-search hot path — a single indexed load.
+	edgeIdx []int32
+	// dist is the all-pairs distance matrix D, stored row-major in one
+	// contiguous allocation (dist[a*NumQubits+b]) so the heuristics' inner
+	// loops index one backing array instead of chasing per-row pointers.
+	dist   []int32
 	coords []Coord
 	// cxDir, when non-nil, restricts native CX orientation: cxDir[[2]int{a,b}]
 	// is true iff CX with control a and target b is directly implementable.
@@ -61,7 +68,10 @@ func NewDevice(name string, numQubits int, edges [][2]int) (*Device, error) {
 		NumQubits: numQubits,
 		Durations: SuperconductingDurations(),
 		adj:       make([][]int, numQubits),
-		edgeID:    make(map[[2]int]int),
+		edgeIdx:   make([]int32, numQubits*numQubits),
+	}
+	for i := range d.edgeIdx {
+		d.edgeIdx[i] = -1
 	}
 	seen := make(map[[2]int]bool)
 	for _, e := range edges {
@@ -91,7 +101,8 @@ func NewDevice(name string, numQubits int, edges [][2]int) (*Device, error) {
 	for id, e := range d.Edges {
 		d.adj[e[0]] = append(d.adj[e[0]], e[1])
 		d.adj[e[1]] = append(d.adj[e[1]], e[0])
-		d.edgeID[e] = id
+		d.edgeIdx[e[0]*numQubits+e[1]] = int32(id)
+		d.edgeIdx[e[1]*numQubits+e[0]] = int32(id)
 	}
 	for q := range d.adj {
 		sort.Ints(d.adj[q])
@@ -114,10 +125,10 @@ func MustNewDevice(name string, numQubits int, edges [][2]int) *Device {
 // every qubit (unit edge weights).
 func (d *Device) computeDistances() {
 	n := d.NumQubits
-	d.dist = make([][]int32, n)
+	d.dist = make([]int32, n*n)
 	queue := make([]int, 0, n)
 	for s := 0; s < n; s++ {
-		row := make([]int32, n)
+		row := d.dist[s*n : (s+1)*n]
 		for i := range row {
 			row[i] = Infinity
 		}
@@ -134,7 +145,6 @@ func (d *Device) computeDistances() {
 				}
 			}
 		}
-		d.dist[s] = row
 	}
 }
 
@@ -182,13 +192,12 @@ func (d *Device) VD(a, b int) int {
 }
 
 // Adjacent reports whether a two-qubit gate may be applied directly between
-// physical qubits a and b.
+// physical qubits a and b; false for out-of-range indices.
 func (d *Device) Adjacent(a, b int) bool {
-	if a > b {
-		a, b = b, a
+	if uint(a) >= uint(d.NumQubits) || uint(b) >= uint(d.NumQubits) {
+		return false
 	}
-	_, ok := d.edgeID[[2]int{a, b}]
-	return ok
+	return d.edgeIdx[a*d.NumQubits+b] >= 0
 }
 
 // Neighbors returns the sorted adjacency list of qubit q. The returned
@@ -200,22 +209,23 @@ func (d *Device) Degree(q int) int { return len(d.adj[q]) }
 
 // Distance returns the shortest-path length D(a, b) in the coupling graph,
 // or Infinity when a and b are disconnected.
-func (d *Device) Distance(a, b int) int { return int(d.dist[a][b]) }
+func (d *Device) Distance(a, b int) int { return int(d.dist[a*d.NumQubits+b]) }
 
 // EdgeIndex returns the stable index of the undirected edge (a, b), used
-// for deterministic tie-breaking; ok is false when the pair is not coupled.
+// for deterministic tie-breaking; ok is false when the pair is not coupled
+// or out of range.
 func (d *Device) EdgeIndex(a, b int) (int, bool) {
-	if a > b {
-		a, b = b, a
+	if uint(a) >= uint(d.NumQubits) || uint(b) >= uint(d.NumQubits) {
+		return -1, false
 	}
-	id, ok := d.edgeID[[2]int{a, b}]
-	return id, ok
+	id := d.edgeIdx[a*d.NumQubits+b]
+	return int(id), id >= 0
 }
 
 // Connected reports whether the coupling graph is a single component.
 func (d *Device) Connected() bool {
 	for q := 1; q < d.NumQubits; q++ {
-		if d.dist[0][q] >= Infinity {
+		if d.dist[q] >= Infinity {
 			return false
 		}
 	}
@@ -225,9 +235,10 @@ func (d *Device) Connected() bool {
 // Diameter returns the maximum finite pairwise distance.
 func (d *Device) Diameter() int {
 	max := 0
-	for a := 0; a < d.NumQubits; a++ {
-		for b := a + 1; b < d.NumQubits; b++ {
-			if dd := int(d.dist[a][b]); dd < Infinity && dd > max {
+	n := d.NumQubits
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if dd := int(d.dist[a*n+b]); dd < Infinity && dd > max {
 				max = dd
 			}
 		}
@@ -237,9 +248,12 @@ func (d *Device) Diameter() int {
 
 // ShortestPath returns one BFS shortest path from a to b, inclusive of both
 // endpoints, or nil when disconnected. Ties are broken toward the
-// lowest-numbered neighbour, so the result is deterministic.
+// lowest-numbered neighbour, so the result is deterministic. The
+// backtracking walk reads the target's contiguous distance row directly.
 func (d *Device) ShortestPath(a, b int) []int {
-	if int(d.dist[a][b]) >= Infinity {
+	n := d.NumQubits
+	toB := d.dist[b*n : (b+1)*n] // symmetric: toB[q] == D(q, b)
+	if toB[a] >= Infinity {
 		return nil
 	}
 	path := []int{a}
@@ -247,7 +261,7 @@ func (d *Device) ShortestPath(a, b int) []int {
 	for cur != b {
 		next := -1
 		for _, v := range d.adj[cur] {
-			if d.dist[v][b] == d.dist[cur][b]-1 {
+			if toB[v] == toB[cur]-1 {
 				next = v
 				break
 			}

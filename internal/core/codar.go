@@ -59,6 +59,15 @@ type Options struct {
 	// the incremental engine (frontier.go). Test-only: the equivalence
 	// property tests run both and require byte-identical results.
 	naiveFront bool
+	// naiveScore selects the from-scratch reference candidate scoring
+	// (pickBest) instead of the delta scorer (scorer.go). Test-only: the
+	// scorer-equivalence property tests run both and require byte-identical
+	// results.
+	naiveScore bool
+	// checkEvents cross-checks the lock-expiry event heap and the O(1)
+	// allFree shortcut against the O(Q) reference scans on every cycle,
+	// panicking on divergence. Test-only.
+	checkEvents bool
 }
 
 // RankMode enumerates candidate-ranking variants.
@@ -189,6 +198,14 @@ type remapper struct {
 	// f is the incremental commutative-front engine; nil selects the naive
 	// reference scan (Options.naiveFront).
 	f *frontier
+	// sc is the delta-scoring engine for the SWAP search; nil selects the
+	// naive reference scoring (Options.naiveScore).
+	sc *scorer
+	// lockHeap is the lock-expiry event queue: a lazy binary min-heap of
+	// (end«20 | qubit) entries, one pushed per lock assignment. Entries
+	// whose end no longer matches the qubit's current lock are discarded on
+	// pop, so nextEvent costs O(log pending) instead of an O(Q) scan.
+	lockHeap []int64
 	// frontCheck, when set (equivalence property tests), observes every
 	// front the engine returns before the remapper acts on it.
 	frontCheck func(front []int)
@@ -222,6 +239,10 @@ func newRemapper(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opt
 		initial:   initial.Clone(),
 		locks:     make([]int, dev.NumQubits),
 		seenStack: make([][]int, c.NumQubits),
+		// Pre-size the schedule for the input plus a typical swap overhead;
+		// growing a 30k-gate output mid-run showed up in the allocation
+		// profile.
+		out: make([]schedule.ScheduledGate, 0, n+n/4+16),
 	}
 	for i := 0; i < n; i++ {
 		r.next[i] = i + 1
@@ -233,6 +254,9 @@ func newRemapper(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opt
 	}
 	if !opts.naiveFront {
 		r.f = newFrontier(r, c.NumQubits)
+	}
+	if !opts.naiveScore {
+		r.sc = newScorer(r)
 	}
 	return r
 }
@@ -286,7 +310,13 @@ func (r *remapper) run() {
 		if launchedAny {
 			r.streak = 0
 		}
-		if !launchedAny && !inserted && r.allFree(t) {
+		free := r.allFree(t)
+		if r.opts.checkEvents {
+			if want := r.allFreeScan(t); free != want {
+				panic(fmt.Sprintf("codar: allFree(%d) = %v, scan says %v", t, free, want))
+			}
+		}
+		if !launchedAny && !inserted && free {
 			// Deadlock (§IV-D): no executable gate, no positive SWAP, all
 			// qubits free. Force the highest-priority SWAP; escape to
 			// direct routing after a bounded streak (DESIGN.md §4).
@@ -300,11 +330,16 @@ func (r *remapper) run() {
 		}
 
 		// Advance the timeline to the next lock expiry.
-		if nt := r.nextEvent(t); nt > t {
+		nt := r.nextEvent(t)
+		if r.opts.checkEvents {
+			if want := r.nextEventScan(t); nt != want {
+				panic(fmt.Sprintf("codar: nextEvent(%d) = %d, scan says %d", t, nt, want))
+			}
+		}
+		if nt > t {
 			t = nt
 		}
 	}
-	sort.SliceStable(r.out, func(i, j int) bool { return r.out[i].Start < r.out[j].Start })
 }
 
 // executable reports whether gate i can launch at time t: every operand's
@@ -337,9 +372,10 @@ func (r *remapper) launchGate(i, t int) {
 	for _, p := range phys.Qubits {
 		if end > r.locks[p] {
 			r.locks[p] = end
+			r.pushLock(p, end)
 		}
 	}
-	r.out = append(r.out, schedule.ScheduledGate{Gate: phys, Start: t, Duration: dur})
+	r.emit(schedule.ScheduledGate{Gate: phys, Start: t, Duration: dur})
 	if end > r.makespan {
 		r.makespan = end
 	}
@@ -356,9 +392,11 @@ func (r *remapper) launchSwap(a, b, start int) {
 	end := start + dur
 	r.locks[a] = end
 	r.locks[b] = end
+	r.pushLock(a, end)
+	r.pushLock(b, end)
 	qs := r.arena.Take(2)
 	qs[0], qs[1] = a, b
-	r.out = append(r.out, schedule.ScheduledGate{
+	r.emit(schedule.ScheduledGate{
 		Gate:     circuit.Gate{Op: circuit.OpSwap, Qubits: qs},
 		Start:    start,
 		Duration: dur,
@@ -367,11 +405,56 @@ func (r *remapper) launchSwap(a, b, start int) {
 		r.makespan = end
 	}
 	r.layout.SwapPhysical(a, b)
+	if r.sc != nil {
+		r.sc.noteSwap(a, b)
+	}
 	r.swapCount++
 }
 
-// allFree reports whether every physical qubit is lock-free at t.
-func (r *remapper) allFree(t int) bool {
+// emit appends sg to the output keeping it sorted by start time, with
+// equal starts in emission order — the ordering the final
+// sort.SliceStable pass used to establish. Gates arrive almost sorted
+// (cycles launch at non-decreasing t; only directRoute schedules into the
+// future), so the common case is a plain append and the rare out-of-order
+// gate is placed by binary search plus shift.
+func (r *remapper) emit(sg schedule.ScheduledGate) {
+	out := append(r.out, sg)
+	if n := len(out) - 1; n > 0 && out[n-1].Start > sg.Start {
+		i := sort.Search(n, func(k int) bool { return out[k].Start > sg.Start })
+		copy(out[i+1:], out[i:n])
+		out[i] = sg
+	}
+	r.out = out
+}
+
+// lockHeap entries pack (end, qubit) into one int64 ordered by end first.
+// The qubit field is wide enough for any realistic device; ends stay far
+// below 2^43 (makespans are bounded by Σ gate durations).
+const lockQubitBits = 20
+
+// pushLock records a new lock expiry for qubit q in the event heap.
+func (r *remapper) pushLock(q, end int) {
+	h := append(r.lockHeap, int64(end)<<lockQubitBits|int64(q))
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	r.lockHeap = h
+}
+
+// allFree reports whether every physical qubit is lock-free at t. Locks
+// are per-qubit non-decreasing and every assigned expiry also raises the
+// makespan, so max over locks equals the makespan at all times and the
+// per-qubit scan collapses to one comparison (cross-checked against
+// allFreeScan by the checkEvents property tests).
+func (r *remapper) allFree(t int) bool { return r.makespan <= t }
+
+// allFreeScan is the O(Q) reference implementation of allFree.
+func (r *remapper) allFreeScan(t int) bool {
 	for _, l := range r.locks {
 		if l > t {
 			return false
@@ -381,8 +464,43 @@ func (r *remapper) allFree(t int) bool {
 }
 
 // nextEvent returns the smallest lock expiry strictly after t, or t when no
-// lock is pending.
+// lock is pending. Heap entries that expired or were superseded by a later
+// lock on the same qubit are discarded lazily.
 func (r *remapper) nextEvent(t int) int {
+	h := r.lockHeap
+	for len(h) > 0 {
+		top := h[0]
+		end := int(top >> lockQubitBits)
+		q := int(top & (1<<lockQubitBits - 1))
+		if end > t && r.locks[q] == end {
+			r.lockHeap = h
+			return end
+		}
+		// Stale or expired: pop and sift down.
+		n := len(h) - 1
+		h[0] = h[n]
+		h = h[:n]
+		for i := 0; ; {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if rc := c + 1; rc < n && h[rc] < h[c] {
+				c = rc
+			}
+			if h[i] <= h[c] {
+				break
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+	}
+	r.lockHeap = h
+	return t
+}
+
+// nextEventScan is the O(Q) reference implementation of nextEvent.
+func (r *remapper) nextEventScan(t int) int {
 	nt := -1
 	for _, l := range r.locks {
 		if l > t && (nt < 0 || l < nt) {

@@ -41,10 +41,14 @@ type frontier struct {
 	chainNext, chainPrev []int32
 
 	// Window state: the window covers the first winCount live gates;
-	// winTail is the last of them (-1 when empty).
+	// winTail is the last of them (-1 when empty). cfCount tracks how many
+	// in-window gates are CF members, letting the assembly walk stop as
+	// soon as the front (and look-ahead set) are complete instead of
+	// visiting the whole window.
 	inWindow []bool
 	winTail  int
 	winCount int
+	cfCount  int
 
 	// Cached membership. blocker[i] is a gate currently known not to
 	// commute with i (-1 when i is in the CF); while it stays live, i
@@ -174,6 +178,9 @@ func (f *frontier) admit(i int) {
 	}
 	f.inWindow[i] = true
 	f.inCF[i] = f.membership(i)
+	if f.inCF[i] {
+		f.cfCount++
+	}
 	f.winTail = i
 	f.winCount++
 }
@@ -209,6 +216,9 @@ func (f *frontier) remove(i int) {
 	}
 	f.inWindow[i] = false
 	f.winCount--
+	if f.inCF[i] {
+		f.cfCount--
+	}
 	if i == f.winTail {
 		f.winTail = f.r.prev[i]
 	}
@@ -231,6 +241,7 @@ func (f *frontier) flushDirty() {
 			}
 			if f.membership(int(i)) {
 				f.inCF[i] = true
+				f.cfCount++
 				f.frontValid = false
 			}
 		}
@@ -270,6 +281,9 @@ func (f *frontier) computeFront() []int {
 			r.lookSet = append(r.lookSet, i)
 		}
 		count++
+		if len(r.front) == f.cfCount && len(r.lookSet) >= look {
+			break // front complete, look-ahead full: the rest is filler
+		}
 	}
 	// Top up the look-ahead set past the window: everything beyond is
 	// non-front by construction.

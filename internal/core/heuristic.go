@@ -1,5 +1,7 @@
 package core
 
+import "codar/internal/arch"
+
 // Heuristic cost function ⟨Hbasic, Hfine⟩ (paper §IV-D).
 //
 // Hbasic (Eq. 1) measures how much a candidate SWAP reduces the summed
@@ -102,6 +104,16 @@ func (r *remapper) hBasic(c swapCand, front2q []int) int {
 	return sum
 }
 
+// fineDiff is the per-gate Eq. 2 term |VD − HD| between two physical
+// qubits.
+func fineDiff(dev *arch.Device, p1, p2 int) int {
+	diff := dev.VD(p1, p2) - dev.HD(p1, p2)
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff
+}
+
 // hFine computes Eq. 2 for a candidate over the two-qubit front gates.
 // Devices without lattice coordinates score 0 (ties then break by edge
 // index).
@@ -114,11 +126,7 @@ func (r *remapper) hFine(c swapCand, front2q []int) int {
 		g := r.gates[i]
 		p1 := swappedPhys(r.layout.Phys(g.Qubits[0]), c.a, c.b)
 		p2 := swappedPhys(r.layout.Phys(g.Qubits[1]), c.a, c.b)
-		diff := r.dev.VD(p1, p2) - r.dev.HD(p1, p2)
-		if diff < 0 {
-			diff = -diff
-		}
-		sum -= diff
+		sum -= fineDiff(r.dev, p1, p2)
 	}
 	return sum
 }
@@ -178,17 +186,28 @@ func (r *remapper) pickBest(cands []swapCand, front2q []int) (best, bestBasic, b
 // insertSwaps implements §IV-C step 3: repeatedly select the
 // highest-priority candidate SWAP and launch it at time t while a candidate
 // with positive Hbasic remains. Launching a SWAP locks its qubits, which
-// retires every candidate touching them; Hbasic/Hfine are recomputed
-// against the updated layout each round. Reports whether any SWAP launched.
+// retires every candidate touching them; the scores of the survivors are
+// re-evaluated against the updated layout each round — by the delta scorer
+// (scorer.go) by default, which rescores only the candidates a launch
+// actually perturbed, or from scratch by pickBest under the test-only
+// naiveScore option. Reports whether any SWAP launched.
 func (r *remapper) insertSwaps(front []int, t int) bool {
 	front2q := r.frontTwoQubit(front)
 	if len(front2q) == 0 {
 		return false
 	}
 	cands := r.collectCandidates(front, t)
+	if r.sc != nil {
+		r.sc.sync()
+	}
 	inserted := false
 	for len(cands) > 0 {
-		best, hb, _ := r.pickBest(cands, front2q)
+		var best, hb int
+		if r.sc != nil {
+			best, hb = r.sc.pick(cands)
+		} else {
+			best, hb, _ = r.pickBest(cands, front2q)
+		}
 		if best < 0 || hb <= 0 {
 			break
 		}
@@ -212,7 +231,13 @@ func (r *remapper) insertSwaps(front []int, t int) bool {
 func (r *remapper) forceSwap(front []int, t int) {
 	front2q := r.frontTwoQubit(front)
 	cands := r.collectCandidates(front, t)
-	best, _, _ := r.pickBest(cands, front2q)
+	var best int
+	if r.sc != nil {
+		r.sc.sync()
+		best, _ = r.sc.pick(cands)
+	} else {
+		best, _, _ = r.pickBest(cands, front2q)
+	}
 	if best < 0 {
 		return
 	}

@@ -28,6 +28,12 @@ type Options struct {
 	// DecayReset is the number of swap rounds between decay resets.
 	// 0 means DefaultDecayReset.
 	DecayReset int
+
+	// naiveScore selects the from-scratch reference scoring (score) over
+	// the incidence-indexed base+delta evaluation. Test-only: the
+	// scoring-equivalence property tests run both and require identical
+	// output circuits.
+	naiveScore bool
 }
 
 // Published SABRE hyper-parameters.
@@ -108,7 +114,13 @@ func Remap(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Opti
 		layout:  initial.Clone(),
 		initial: initial.Clone(),
 		decay:   make([]float64, dev.NumQubits),
-		out:     &circuit.Circuit{Name: "sabre", NumQubits: dev.NumQubits},
+		out: &circuit.Circuit{
+			Name:      "sabre",
+			NumQubits: dev.NumQubits,
+			// Pre-size for the input plus a typical swap overhead; resizing
+			// a 30k-gate output mid-run showed up in the allocation profile.
+			Gates: make([]circuit.Gate, 0, len(c.Gates)+len(c.Gates)/4+16),
+		},
 	}
 	m.resetDecay()
 	m.run()
@@ -144,6 +156,43 @@ type mapper struct {
 	edgeEpoch  int32
 	candBuf    []swapCand
 	arena      circuit.IntArena
+
+	// Extended-set memo: E depends only on the DAG front and in-degrees,
+	// which change only when a gate executes — consecutive swap rounds
+	// reuse the previous BFS result.
+	ext      []int
+	extValid bool
+
+	// Incidence index for the base+delta scoring: per-physical-qubit lists
+	// of the two-qubit front (incF) and extended-set (incE) gates — each
+	// entry the gate's packed logical pair (q1«16 | q2), immutable under
+	// swaps, so resolving current endpoints is two layout loads —
+	// epoch-stamped so clearing costs nothing, plus the integer distance
+	// sums of the unswapped layout. A candidate's score is then base +
+	// delta over only the gates touching its two qubits. The index is
+	// rebuilt only when a gate executes (idxValid); an applied swap
+	// maintains it incrementally — the endpoint lists trade places and the
+	// winning candidate's own deltas roll into the bases.
+	incF     [][]int32
+	incE     [][]int32
+	incStamp []int32
+	incEpoch int32
+	baseF    int
+	baseE    int
+	nF       int
+	nE       int
+	idxValid bool
+
+	// Per-edge cache of the integer distance deltas (dF over the front,
+	// dE over the extended set). A delta involves only the gates incident
+	// to the edge's qubits, so it survives swap rounds until a swap moves
+	// one of those gates (hStamp epoch-invalidated wholesale on rebuild,
+	// locally by noteSwap); the bases, which every swap shifts, are folded
+	// in at comparison time.
+	dFCache []int32
+	dECache []int32
+	hStamp  []int32
+	hEpoch  int32
 }
 
 func (m *mapper) resetDecay() {
@@ -197,6 +246,8 @@ func (m *mapper) run() {
 			m.resetDecay()
 			sinceReset = 0
 			stuck = 0
+			m.extValid = false
+			m.idxValid = false
 			continue
 		}
 		if len(front) == 0 {
@@ -208,8 +259,13 @@ func (m *mapper) run() {
 			stuck = 0
 			continue
 		}
-		ext := m.extendedSet(front, indeg)
-		cand := m.bestSwap(front, ext)
+		// Swaps change neither the DAG front nor the in-degrees, so the
+		// extended set survives until the next execution.
+		if !m.extValid {
+			m.ext = m.extendedSet(front)
+			m.extValid = true
+		}
+		cand := m.bestSwap(front, m.ext)
 		m.applySwap(cand)
 		stuck++
 		sinceReset++
@@ -242,7 +298,7 @@ func (m *mapper) emit(g circuit.Gate) {
 // the front layer through the DAG (the look-ahead window E). The BFS
 // queue, result buffer and visited stamps live on the mapper; a node is
 // visited this round when its stamp matches the round's epoch.
-func (m *mapper) extendedSet(front []int, indeg []int) []int {
+func (m *mapper) extendedSet(front []int) []int {
 	limit := m.opts.extendedSize()
 	m.visitEpoch++
 	ext := m.extBuf[:0]
@@ -307,19 +363,169 @@ func (m *mapper) candidates(front []int) []swapCand {
 	return out
 }
 
-// score computes the decay-weighted SABRE heuristic for a candidate:
-// H = max(decay) * ( Σ_F D/|F| + W * Σ_E D/|E| ) under the post-swap layout.
-func (m *mapper) score(c swapCand, front, ext []int) float64 {
-	sw := func(p int) int {
-		switch p {
-		case c.a:
-			return c.b
-		case c.b:
-			return c.a
-		default:
-			return p
+// indexRound (re)builds the per-physical-qubit incidence index and the
+// unswapped integer distance sums, and drops every cached h.
+func (m *mapper) indexRound(front, ext []int) {
+	if m.incF == nil {
+		nq := m.dev.NumQubits
+		m.incF = make([][]int32, nq)
+		m.incE = make([][]int32, nq)
+		m.incStamp = make([]int32, nq)
+		m.dFCache = make([]int32, len(m.dev.Edges))
+		m.dECache = make([]int32, len(m.dev.Edges))
+		m.hStamp = make([]int32, len(m.dev.Edges))
+	}
+	m.incEpoch++
+	m.hEpoch++
+	m.baseF, m.nF = m.index(front, m.incF)
+	m.baseE, m.nE = m.index(ext, m.incE)
+}
+
+func (m *mapper) index(set []int, inc [][]int32) (base, n int) {
+	for _, k := range set {
+		g := m.dag.Gate(k)
+		if !g.Op.TwoQubit() {
+			continue
+		}
+		q1, q2 := g.Qubits[0], g.Qubits[1]
+		p1 := m.layout.Phys(q1)
+		p2 := m.layout.Phys(q2)
+		base += m.dev.Distance(p1, p2)
+		n++
+		m.bucket(p1)
+		m.bucket(p2)
+		ent := int32(q1)<<16 | int32(q2)
+		inc[p1] = append(inc[p1], ent)
+		inc[p2] = append(inc[p2], ent)
+	}
+	return base, n
+}
+
+// bucket lazily clears both incidence lists of qubit p on its first touch
+// this round.
+func (m *mapper) bucket(p int) {
+	if m.incStamp[p] != m.incEpoch {
+		m.incStamp[p] = m.incEpoch
+		m.incF[p] = m.incF[p][:0]
+		m.incE[p] = m.incE[p][:0]
+	}
+}
+
+// swappedPhys returns where physical qubit p ends up under a SWAP of (a, b).
+func swappedPhys(p, a, b int) int {
+	switch p {
+	case a:
+		return b
+	case b:
+		return a
+	default:
+		return p
+	}
+}
+
+// deltaSum is the integer change of Σ D over one gate set under candidate
+// c, evaluated only on the gates incident to c's qubits — every other
+// gate's distance is untouched by the swap. Gates spanning both candidate
+// qubits are visited once via the c.a-side skip.
+func (m *mapper) deltaSum(c swapCand, inc [][]int32) int {
+	sum := 0
+	if m.incStamp[c.a] == m.incEpoch { // untouched buckets are stale, not empty
+		for _, ent := range inc[c.a] {
+			p1 := m.layout.Phys(int(ent >> 16))
+			p2 := m.layout.Phys(int(ent & 0xffff))
+			sum += m.dev.Distance(swappedPhys(p1, c.a, c.b), swappedPhys(p2, c.a, c.b)) - m.dev.Distance(p1, p2)
 		}
 	}
+	if m.incStamp[c.b] == m.incEpoch {
+		for _, ent := range inc[c.b] {
+			p1 := m.layout.Phys(int(ent >> 16))
+			p2 := m.layout.Phys(int(ent & 0xffff))
+			if p1 == c.a || p2 == c.a {
+				continue // already counted from the c.a side
+			}
+			sum += m.dev.Distance(swappedPhys(p1, c.a, c.b), swappedPhys(p2, c.a, c.b)) - m.dev.Distance(p1, p2)
+		}
+	}
+	return sum
+}
+
+// scoreDelta computes the identical value to score via the incidence
+// index: the distance sums are integers, so base + delta is exact and the
+// float operations replicate score's order of evaluation bit-for-bit. The
+// per-edge deltas are cached across swap rounds; the bases (shifted by
+// every applied swap) and the decay are folded in at comparison time.
+func (m *mapper) scoreDelta(c swapCand, ext []int) float64 {
+	var dF, dE int
+	if m.hStamp[c.edge] == m.hEpoch {
+		dF, dE = int(m.dFCache[c.edge]), int(m.dECache[c.edge])
+	} else {
+		dF = m.deltaSum(c, m.incF)
+		if m.nE > 0 {
+			dE = m.deltaSum(c, m.incE)
+		}
+		m.dFCache[c.edge], m.dECache[c.edge] = int32(dF), int32(dE)
+		m.hStamp[c.edge] = m.hEpoch
+	}
+	var h float64
+	if m.nF > 0 {
+		h = float64(m.baseF+dF) / float64(m.nF)
+	}
+	if len(ext) > 0 && m.nE > 0 {
+		h += m.opts.extendedWeight() * float64(m.baseE+dE) / float64(m.nE)
+	}
+	d := m.decay[c.a]
+	if m.decay[c.b] > d {
+		d = m.decay[c.b]
+	}
+	return d * h
+}
+
+// dirtyAround drops the cached h of every edge incident to physical
+// qubit p.
+func (m *mapper) dirtyAround(p int) {
+	for _, nb := range m.dev.Neighbors(p) {
+		id, _ := m.dev.EdgeIndex(p, nb)
+		m.hStamp[id] = 0
+	}
+}
+
+// noteSwap maintains the incidence index across an applied swap: every
+// gate with an endpoint at a now has it at b and vice versa, so the
+// endpoint lists (and their round stamps) trade places; the bases absorb
+// the winner's own deltas (computed against the pre-swap layout, so the
+// caller runs this before layout.SwapPhysical); and every edge whose
+// incident terms moved — at a, at b, or at the far endpoints of the moved
+// gates — loses its cached h.
+func (m *mapper) noteSwap(c swapCand) {
+	m.baseF += m.deltaSum(c, m.incF)
+	m.baseE += m.deltaSum(c, m.incE)
+	a, b := c.a, c.b
+	m.incF[a], m.incF[b] = m.incF[b], m.incF[a]
+	m.incE[a], m.incE[b] = m.incE[b], m.incE[a]
+	m.incStamp[a], m.incStamp[b] = m.incStamp[b], m.incStamp[a]
+	m.dirtyAround(a)
+	m.dirtyAround(b)
+	for _, p := range [2]int{a, b} {
+		if m.incStamp[p] != m.incEpoch {
+			continue
+		}
+		for _, ent := range m.incF[p] {
+			m.dirtyAround(m.layout.Phys(int(ent >> 16)))
+			m.dirtyAround(m.layout.Phys(int(ent & 0xffff)))
+		}
+		for _, ent := range m.incE[p] {
+			m.dirtyAround(m.layout.Phys(int(ent >> 16)))
+			m.dirtyAround(m.layout.Phys(int(ent & 0xffff)))
+		}
+	}
+}
+
+// score computes the decay-weighted SABRE heuristic for a candidate:
+// H = max(decay) * ( Σ_F D/|F| + W * Σ_E D/|E| ) under the post-swap layout.
+// Retained as the reference implementation (Options.naiveScore) for the
+// scoring-equivalence tests; the production path is scoreDelta.
+func (m *mapper) score(c swapCand, front, ext []int) float64 {
+	sw := func(p int) int { return swappedPhys(p, c.a, c.b) }
 	sumOver := func(set []int) (float64, int) {
 		sum, n := 0.0, 0
 		for _, k := range set {
@@ -354,10 +560,25 @@ func (m *mapper) score(c swapCand, front, ext []int) float64 {
 // bestSwap returns the minimum-score candidate, breaking ties by edge index.
 func (m *mapper) bestSwap(front, ext []int) swapCand {
 	cands := m.candidates(front)
+	if m.opts.naiveScore {
+		best := cands[0]
+		bestScore := m.score(best, front, ext)
+		for _, c := range cands[1:] {
+			s := m.score(c, front, ext)
+			if s < bestScore || (s == bestScore && c.edge < best.edge) {
+				best, bestScore = c, s
+			}
+		}
+		return best
+	}
+	if !m.idxValid {
+		m.indexRound(front, ext)
+		m.idxValid = true
+	}
 	best := cands[0]
-	bestScore := m.score(best, front, ext)
+	bestScore := m.scoreDelta(best, ext)
 	for _, c := range cands[1:] {
-		s := m.score(c, front, ext)
+		s := m.scoreDelta(c, ext)
 		if s < bestScore || (s == bestScore && c.edge < best.edge) {
 			best, bestScore = c, s
 		}
@@ -365,8 +586,12 @@ func (m *mapper) bestSwap(front, ext []int) swapCand {
 	return best
 }
 
-// applySwap emits a SWAP and updates layout and decay.
+// applySwap emits a SWAP and updates layout, decay and the incidence
+// index (noteSwap reads the pre-swap layout, so it runs first).
 func (m *mapper) applySwap(c swapCand) {
+	if m.idxValid {
+		m.noteSwap(c)
+	}
 	m.out.Swap(c.a, c.b)
 	m.layout.SwapPhysical(c.a, c.b)
 	m.decay[c.a] += m.opts.decayDelta()

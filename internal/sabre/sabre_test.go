@@ -379,3 +379,119 @@ func TestOptionVariantsStayCorrect(t *testing.T) {
 		}
 	}
 }
+
+// sabreEquivalent compares every observable of two SABRE results.
+func sabreEquivalent(a, b *Result) bool {
+	return a.SwapCount == b.SwapCount &&
+		a.Circuit.Equal(b.Circuit) &&
+		a.InitialLayout.Equal(b.InitialLayout) &&
+		a.FinalLayout.Equal(b.FinalLayout)
+}
+
+// TestRemapIdenticalToNaiveScore is the delta-scoring equivalence
+// property: the incidence-indexed base+delta evaluation (integer sums, so
+// base + delta is exact, and the float operation order replicates the
+// reference) must produce identical output circuits, swap counts and
+// layouts to the from-scratch score on randomized circuits, devices and
+// option variants.
+func TestRemapIdenticalToNaiveScore(t *testing.T) {
+	devices := []*arch.Device{
+		arch.Linear(6), arch.Ring(7), arch.Grid("g33", 3, 3),
+		arch.IBMQ16Melbourne(), arch.IBMQ20Tokyo(), arch.SycamoreQ54(),
+	}
+	variants := []Options{
+		{},
+		{ExtendedSize: 1},
+		{ExtendedSize: 50, ExtendedWeight: 0.9},
+		{DecayDelta: 0.1, DecayReset: 1},
+	}
+	f := func(seed int64) bool {
+		dev := devices[int(uint64(seed)%uint64(len(devices)))]
+		opts := variants[int(uint64(seed>>8)%uint64(len(variants)))]
+		qubits := dev.NumQubits
+		if qubits > 8 {
+			qubits = 8
+		}
+		c := randCircuit(seed, qubits, 70)
+		delta, err := Remap(c, dev, nil, opts)
+		if err != nil {
+			t.Logf("delta: %v", err)
+			return false
+		}
+		naive := opts
+		naive.naiveScore = true
+		ref, err := Remap(c, dev, nil, naive)
+		if err != nil {
+			t.Logf("naive: %v", err)
+			return false
+		}
+		if !sabreEquivalent(delta, ref) {
+			t.Logf("opts %+v on %s: outputs differ (swaps %d vs %d)",
+				opts, dev.Name, delta.SwapCount, ref.SwapCount)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInitialLayoutIdenticalToNaiveScore extends the equivalence through
+// the reverse-traversal pass (two full Remaps per call), the path the
+// Fig 8 sweep spends most of its SABRE time in.
+func TestInitialLayoutIdenticalToNaiveScore(t *testing.T) {
+	for _, dev := range []*arch.Device{arch.IBMQ20Tokyo(), arch.SycamoreQ54()} {
+		for seed := int64(0); seed < 4; seed++ {
+			c := randCircuit(seed*97+5, 8, 120)
+			delta, err := InitialLayout(c, dev, seed, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := InitialLayout(c, dev, seed, Options{naiveScore: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !delta.Equal(ref) {
+				t.Fatalf("%s seed %d: initial layouts differ", dev.Name, seed)
+			}
+		}
+	}
+}
+
+// TestRemapIdenticalToNaiveScoreQFT pins the equivalence on the deep
+// commuting-chain shape where extended sets stay saturated.
+func TestRemapIdenticalToNaiveScoreQFT(t *testing.T) {
+	c := qftLike(10)
+	for _, dev := range []*arch.Device{arch.IBMQ20Tokyo(), arch.Linear(10)} {
+		delta := mustRemap(t, c, dev, nil, Options{})
+		ref := mustRemap(t, c, dev, nil, Options{naiveScore: true})
+		if !sabreEquivalent(delta, ref) {
+			t.Fatalf("%s: outputs differ (swaps %d vs %d)", dev.Name, delta.SwapCount, ref.SwapCount)
+		}
+	}
+}
+
+// BenchmarkDeltaScoreQFT16Tokyo / BenchmarkNaiveScoreQFT16Tokyo expose the
+// swap-search scoring cost before/after in one binary.
+func BenchmarkDeltaScoreQFT16Tokyo(b *testing.B) {
+	dev := arch.IBMQ20Tokyo()
+	c := qftLike(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Remap(c, dev, nil, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaiveScoreQFT16Tokyo(b *testing.B) {
+	dev := arch.IBMQ20Tokyo()
+	c := qftLike(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Remap(c, dev, nil, Options{naiveScore: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
