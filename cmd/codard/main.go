@@ -1,0 +1,79 @@
+// Command codard is the long-running qubit-mapping service: an HTTP/JSON
+// API over the qasm → circuit → core/sabre → schedule → writer pipeline,
+// with a device registry, an LRU result cache and a bounded worker pool
+// (internal/service; DESIGN.md §7).
+//
+// Usage:
+//
+//	codard [-addr :8723] [-workers 0] [-cache 512] [-max-batch 64]
+//
+// -addr 127.0.0.1:0 binds an ephemeral port; the chosen address is printed
+// on stdout as "codard: listening on http://HOST:PORT" (the CI smoke job
+// parses this line).
+//
+// Endpoints: POST /v1/map, POST /v1/map/batch, GET|POST /v1/devices,
+// GET /v1/stats, GET /healthz. Example:
+//
+//	curl -s localhost:8723/v1/map -d '{"qasm":"...","arch":"tokyo"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"codar/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "codard:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8723", "listen address (host:0 selects an ephemeral port)")
+		workers  = flag.Int("workers", 0, "max concurrent mapping jobs (0 = GOMAXPROCS)")
+		cache    = flag.Int("cache", service.DefaultCacheSize, "result-cache capacity in entries (negative disables)")
+		maxBatch = flag.Int("max-batch", service.DefaultMaxBatch, "max circuits per /v1/map/batch request")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:   *workers,
+		CacheSize: *cache,
+		MaxBatch:  *maxBatch,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("codard: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "codard: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}

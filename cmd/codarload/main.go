@@ -1,0 +1,206 @@
+// Command codarload is a load generator for the codard mapping service: it
+// replays internal/workloads benchmark circuits against a running server
+// over HTTP and reports throughput, latency percentiles and cache
+// behaviour, giving CI and perf work a serving-path benchmark that
+// complements the in-process ones in bench_test.go.
+//
+// Usage:
+//
+//	codard -addr 127.0.0.1:8723 &
+//	codarload -server http://127.0.0.1:8723 -arch tokyo -repeat 3 -concurrency 8
+//
+// -repeat > 1 replays the same circuits, so the steady-state hit rate of
+// the server's result cache shows up directly in the report.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"codar/internal/experiments"
+	"codar/internal/qasm"
+	"codar/internal/service"
+	"codar/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "codarload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		server      = flag.String("server", "http://127.0.0.1:8723", "codard base URL")
+		archName    = flag.String("arch", "tokyo", "target architecture for every request")
+		algo        = flag.String("algo", "codar", "mapping algorithm: codar or sabre")
+		durations   = flag.String("durations", "", "duration preset (empty = device default)")
+		seed        = flag.Int64("seed", 1, "initial-mapping seed")
+		family      = flag.String("family", "", "only replay benchmarks of this workload family (ghz, qft, bv, ...)")
+		maxQubits   = flag.Int("max-qubits", 16, "skip benchmarks wider than this")
+		limit       = flag.Int("limit", 0, "cap the number of distinct circuits (0 = all eligible)")
+		repeat      = flag.Int("repeat", 1, "times to replay the circuit set (>1 exercises the result cache)")
+		concurrency = flag.Int("concurrency", 8, "concurrent in-flight requests")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "per-request timeout")
+	)
+	flag.Parse()
+
+	var circuits []service.MapRequest
+	for _, b := range workloads.Suite() {
+		if b.Qubits > *maxQubits {
+			continue
+		}
+		if *family != "" && b.Family != *family {
+			continue
+		}
+		circuits = append(circuits, service.MapRequest{
+			QASM:      qasm.Write(b.Circuit()),
+			Arch:      *archName,
+			Algo:      *algo,
+			Durations: *durations,
+			Seed:      *seed,
+		})
+		if *limit > 0 && len(circuits) >= *limit {
+			break
+		}
+	}
+	if len(circuits) == 0 {
+		return fmt.Errorf("no eligible benchmarks (family=%q, max-qubits=%d)", *family, *maxQubits)
+	}
+	reqs := make([]service.MapRequest, 0, len(circuits)**repeat)
+	for r := 0; r < *repeat; r++ {
+		reqs = append(reqs, circuits...)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	if err := waitHealthy(client, *server); err != nil {
+		return err
+	}
+
+	type outcome struct {
+		latency time.Duration
+		hit     bool
+		err     error
+	}
+	outcomes := make([]outcome, len(reqs))
+	start := time.Now()
+	_ = experiments.RunBatch(len(reqs), *concurrency, func(i int) error {
+		t0 := time.Now()
+		hit, err := postMap(client, *server, reqs[i])
+		outcomes[i] = outcome{latency: time.Since(t0), hit: hit, err: err}
+		return nil
+	})
+	wall := time.Since(start)
+
+	var (
+		lats     []float64
+		hits     int
+		failures int
+	)
+	for i, o := range outcomes {
+		if o.err != nil {
+			failures++
+			if failures <= 3 {
+				fmt.Fprintf(os.Stderr, "codarload: request %d: %v\n", i, o.err)
+			}
+			continue
+		}
+		if o.hit {
+			hits++
+		}
+		lats = append(lats, float64(o.latency)/float64(time.Millisecond))
+	}
+	sort.Float64s(lats)
+	ok := len(lats)
+	fmt.Printf("codarload: %d requests (%d circuits × %d) against %s\n", len(reqs), len(circuits), *repeat, *server)
+	fmt.Printf("  arch=%s algo=%s durations=%q seed=%d concurrency=%d\n", *archName, *algo, *durations, *seed, *concurrency)
+	fmt.Printf("  ok=%d failed=%d cache-hits=%d wall=%.2fs throughput=%.1f req/s\n",
+		ok, failures, hits, wall.Seconds(), float64(ok)/wall.Seconds())
+	if ok > 0 {
+		fmt.Printf("  latency ms: p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+			service.Percentile(lats, 0.50), service.Percentile(lats, 0.90),
+			service.Percentile(lats, 0.99), lats[ok-1])
+	}
+	if err := printServerStats(client, *server); err != nil {
+		fmt.Fprintf(os.Stderr, "codarload: stats: %v\n", err)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d requests failed", failures, len(reqs))
+	}
+	return nil
+}
+
+// waitHealthy polls /healthz until the server answers (bounded retries), so
+// the loader can be launched immediately after codard.
+func waitHealthy(client *http.Client, base string) error {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("healthz: status %d", resp.StatusCode)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("server never became healthy: %w", lastErr)
+}
+
+// postMap sends one mapping request and reports whether it was served from
+// the result cache.
+func postMap(client *http.Client, base string, req service.MapRequest) (hit bool, err error) {
+	enc, err := json.Marshal(req)
+	if err != nil {
+		return false, err
+	}
+	resp, err := client.Post(base+"/v1/map", "application/json", bytes.NewReader(enc))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var mr service.MapResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		return false, fmt.Errorf("bad response body: %w", err)
+	}
+	if mr.MappedQASM == "" {
+		return false, fmt.Errorf("empty mapped_qasm")
+	}
+	return resp.Header.Get("X-Codard-Cache") == "hit", nil
+}
+
+// printServerStats fetches and prints the server-side /v1/stats view.
+func printServerStats(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var stats service.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return err
+	}
+	fmt.Printf("  server: requests=%d hit-rate=%.2f in-flight=%d workers=%d latency p50=%.1fms p99=%.1fms\n",
+		stats.Requests, stats.CacheHitRate, stats.InFlight, stats.Workers,
+		stats.Latency.P50, stats.Latency.P99)
+	return nil
+}

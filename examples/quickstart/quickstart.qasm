@@ -1,0 +1,14 @@
+// The examples/quickstart circuit as OpenQASM 2.0: a 5-qubit GHZ-plus-
+// phase program whose CX star from qubit 0 forces routing on any sparsely
+// coupled device. Used by the CI service-smoke job to exercise codard's
+// POST /v1/map end-to-end.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+h q[0];
+cx q[0],q[1];
+cx q[0],q[2];
+cx q[0],q[3];
+cx q[0],q[4];
+t q[2];
+cx q[3],q[1];

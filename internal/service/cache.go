@@ -1,0 +1,89 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a thread-safe LRU of rendered /v1/map response bodies. Storing
+// the marshalled bytes rather than the decoded result guarantees the
+// "cache hit returns identical bytes" contract: a hit is written to the
+// wire verbatim, so clients can never observe re-marshalling drift.
+//
+// A capacity <= 0 disables caching entirely (every Get is a miss, Put is a
+// no-op) while still counting misses, so /v1/stats stays meaningful when
+// the operator runs uncached benchmarks.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key   string
+	value []byte
+}
+
+// NewCache builds an LRU cache holding at most capacity entries.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached bytes for key and refreshes its recency. The
+// returned slice is shared: callers must treat it as read-only.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores value under key, evicting the least recently used entry when
+// the cache is full. The cache takes ownership of value.
+func (c *Cache) Put(key string, value []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).value = value
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, value: value})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Capacity returns the configured maximum entry count.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Counters returns the cumulative hit and miss counts.
+func (c *Cache) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

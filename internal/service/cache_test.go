@@ -1,0 +1,85 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	// Touch "a" so "b" becomes the eviction victim.
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("A")) {
+		t.Fatalf("get a = %q, %v", v, ok)
+	}
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (least recently used)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheUpdateDoesNotGrow(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("A1"))
+	c.Put("a", []byte("A2"))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 after re-put", c.Len())
+	}
+	if v, _ := c.Get("a"); !bytes.Equal(v, []byte("A2")) {
+		t.Fatalf("get a = %q, want A2", v)
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := NewCache(4)
+	c.Put("a", []byte("A"))
+	c.Get("a")
+	c.Get("a")
+	c.Get("missing")
+	hits, misses := c.Counters()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("counters = %d/%d, want 2/1", hits, misses)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", []byte("A"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache must never hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0", c.Len())
+	}
+}
+
+func TestCacheEvictionUnderChurn(t *testing.T) {
+	const capacity = 16
+	c := NewCache(capacity)
+	for i := 0; i < 10*capacity; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+		if c.Len() > capacity {
+			t.Fatalf("cache grew to %d entries, capacity %d", c.Len(), capacity)
+		}
+	}
+	// Exactly the newest `capacity` keys survive.
+	for i := 10*capacity - capacity; i < 10*capacity; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("recent key k%d missing", i)
+		}
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("oldest key survived beyond capacity")
+	}
+}

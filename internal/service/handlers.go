@@ -1,0 +1,392 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+	"codar/internal/core"
+	"codar/internal/experiments"
+	"codar/internal/qasm"
+	"codar/internal/sabre"
+	"codar/internal/schedule"
+)
+
+// cacheHeader reports cache disposition per response: "hit", "miss", or
+// "bypass" (endpoints that never touch the cache). The disposition lives in
+// a header — not the body — so hits can return the stored bytes verbatim.
+const cacheHeader = "X-Codard-Cache"
+
+// MapRequest is the POST /v1/map body.
+type MapRequest struct {
+	// QASM is the OpenQASM 2.0 source of the circuit to map.
+	QASM string `json:"qasm"`
+	// Arch names the target device: a builtin (tokyo, melbourne, enfield,
+	// sycamore, q5, qx4, grid3x4, linear9, ring12, ...) or an uploaded one.
+	Arch string `json:"arch"`
+	// Algo selects the mapper: "codar" (default) or "sabre".
+	Algo string `json:"algo,omitempty"`
+	// Durations names a duration preset (superconducting, iontrap,
+	// neutralatom, uniform); empty keeps the device's own durations.
+	Durations string `json:"durations,omitempty"`
+	// Seed drives the SABRE reverse-traversal initial layout; 0 selects the
+	// experiments default (1).
+	Seed int64 `json:"seed,omitempty"`
+	// Baseline requests a SABRE baseline mapping for the speedup metric.
+	// Defaults to true when Algo is codar (nil = default).
+	Baseline *bool `json:"baseline,omitempty"`
+}
+
+// MapResponse is the POST /v1/map body on success.
+type MapResponse struct {
+	MappedQASM string `json:"mapped_qasm"`
+	Device     string `json:"device"`
+	Algo       string `json:"algo"`
+	Durations  string `json:"durations,omitempty"`
+	Seed       int64  `json:"seed"`
+
+	InputQubits   int `json:"input_qubits"`
+	InputGates    int `json:"input_gates"`
+	OutputGates   int `json:"output_gates"`
+	Swaps         int `json:"swaps"`
+	Depth         int `json:"depth"`
+	WeightedDepth int `json:"weighted_depth"`
+
+	// Baseline block (present when a SABRE baseline was computed):
+	// Speedup is baseline weighted depth / this mapper's weighted depth,
+	// the paper's Fig 8 y-axis.
+	BaselineWeightedDepth int     `json:"baseline_weighted_depth,omitempty"`
+	BaselineSwaps         int     `json:"baseline_swaps,omitempty"`
+	Speedup               float64 `json:"speedup,omitempty"`
+}
+
+// normalize applies request defaults and validates enum fields.
+func (req *MapRequest) normalize() *svcError {
+	if req.QASM == "" {
+		return errBadRequest("missing qasm")
+	}
+	if req.Arch == "" {
+		return errBadRequest("missing arch")
+	}
+	if req.Algo == "" {
+		req.Algo = "codar"
+	}
+	if req.Algo != "codar" && req.Algo != "sabre" {
+		return errBadRequest("unknown algo %q (want codar or sabre)", req.Algo)
+	}
+	if req.Durations != "" {
+		if _, ok := durationsByName(req.Durations); !ok {
+			return errBadRequest("unknown durations preset %q (want superconducting, iontrap, neutralatom or uniform)", req.Durations)
+		}
+	}
+	if req.Seed == 0 {
+		req.Seed = experiments.Seed
+	}
+	// The baseline is a SABRE comparison, so it only makes sense for the
+	// codar mapper; for sabre it is forced off (not just defaulted) so
+	// {algo: sabre, baseline: true} and plain {algo: sabre} share one
+	// cache entry instead of duplicating identical bytes.
+	b := req.Algo == "codar"
+	if req.Baseline != nil && !*req.Baseline {
+		b = false
+	}
+	req.Baseline = &b
+	return nil
+}
+
+// cacheKey derives the result-cache key. Every field that can change the
+// mapped output participates: the circuit text (hashed), the resolved
+// device name, the algorithm, the durations preset, the seed and the
+// baseline flag. Seed and durations are load-bearing — the initial layout
+// is a function of the seed, and the durations steer CODAR's lock-aware
+// routing — so omitting either would alias distinct outputs (DESIGN.md §7).
+func (req *MapRequest) cacheKey(deviceName string) string {
+	h := sha256.New()
+	h.Write([]byte(req.QASM))
+	fmt.Fprintf(h, "\x00%s\x00%s\x00%s\x00%d\x00%t", deviceName, req.Algo, req.Durations, req.Seed, *req.Baseline)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// resolveDevice resolves the request's device and duration preset into a
+// ready-to-map device (shallow-copied when the preset overrides durations).
+func (s *Server) resolveDevice(req *MapRequest) (*arch.Device, *svcError) {
+	dev, err := s.registry.Resolve(req.Arch)
+	if err != nil {
+		return nil, errNotFound("%v", err)
+	}
+	if req.Durations != "" {
+		d, ok := durationsByName(req.Durations)
+		if !ok {
+			return nil, errBadRequest("unknown durations preset %q", req.Durations)
+		}
+		dev = withDurations(dev, d)
+	}
+	return dev, nil
+}
+
+// mapOne runs the full mapping pipeline for one normalized request on an
+// already-resolved device. It is pure with respect to server state (no
+// cache, no counters), so the single and batch paths share it.
+func (s *Server) mapOne(req *MapRequest, dev *arch.Device) (*MapResponse, *svcError) {
+	parsed, err := qasm.Parse(req.QASM)
+	if err != nil {
+		return nil, errBadRequest("bad qasm: %v", err)
+	}
+	c := circuit.Decompose(parsed)
+	if c.NumQubits > dev.NumQubits {
+		return nil, errBadRequest("circuit needs %d qubits but %s has %d", c.NumQubits, dev.Name, dev.NumQubits)
+	}
+	initial, err := sabre.InitialLayout(c, dev, req.Seed, sabre.Options{})
+	if err != nil {
+		return nil, errBadRequest("initial layout: %v", err)
+	}
+	resp := &MapResponse{
+		Device:      dev.Name,
+		Algo:        req.Algo,
+		Durations:   req.Durations,
+		Seed:        req.Seed,
+		InputQubits: c.NumQubits,
+		InputGates:  c.Len(),
+	}
+	var mapped *circuit.Circuit
+	switch req.Algo {
+	case "codar":
+		res, err := core.Remap(c, dev, initial, core.Options{})
+		if err != nil {
+			return nil, errBadRequest("codar: %v", err)
+		}
+		mapped = res.Circuit
+		resp.Swaps = res.SwapCount
+	case "sabre":
+		res, err := sabre.Remap(c, dev, initial, sabre.Options{})
+		if err != nil {
+			return nil, errBadRequest("sabre: %v", err)
+		}
+		mapped = res.Circuit
+		resp.Swaps = res.SwapCount
+	}
+	resp.MappedQASM = qasm.Write(mapped)
+	resp.OutputGates = mapped.Len()
+	resp.Depth = mapped.Depth()
+	resp.WeightedDepth = schedule.WeightedDepth(mapped, dev.Durations)
+	if *req.Baseline && req.Algo == "codar" {
+		base, err := sabre.Remap(c, dev, initial, sabre.Options{})
+		if err != nil {
+			return nil, errBadRequest("sabre baseline: %v", err)
+		}
+		resp.BaselineWeightedDepth = schedule.WeightedDepth(base.Circuit, dev.Durations)
+		resp.BaselineSwaps = base.SwapCount
+		if resp.WeightedDepth > 0 {
+			resp.Speedup = float64(resp.BaselineWeightedDepth) / float64(resp.WeightedDepth)
+		}
+	}
+	return resp, nil
+}
+
+// mapBytes answers one map request with the rendered response body,
+// serving from the cache when possible. On a miss, the mapping job runs
+// inside a worker-pool slot; the marshalled bytes are cached so a hit is
+// byte-identical to the original response.
+func (s *Server) mapBytes(req *MapRequest) (body []byte, hit bool, serr *svcError) {
+	if serr := req.normalize(); serr != nil {
+		return nil, false, serr
+	}
+	// Resolve before hashing so aliases (tokyo, q20, ibm-q20-tokyo) share
+	// one cache entry, and unknown devices 404 without burning a miss.
+	dev, serr := s.resolveDevice(req)
+	if serr != nil {
+		return nil, false, serr
+	}
+	key := req.cacheKey(dev.Name)
+	if cached, ok := s.cache.Get(key); ok {
+		return cached, true, nil
+	}
+	release := s.acquire()
+	defer release()
+	resp, serr := s.mapOne(req, dev)
+	if serr != nil {
+		return nil, false, serr
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, false, &svcError{status: http.StatusInternalServerError, msg: "encoding failure"}
+	}
+	body = append(body, '\n')
+	s.cache.Put(key, body)
+	return body, false, nil
+}
+
+// handleMap implements POST /v1/map.
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, &svcError{status: http.StatusMethodNotAllowed, msg: "map is POST-only"})
+		return
+	}
+	start := time.Now()
+	var req MapRequest
+	if serr := decodeJSON(r, &req); serr != nil {
+		s.writeError(w, serr)
+		return
+	}
+	body, fromCache, serr := s.mapBytes(&req)
+	s.stats.requests.Add(1)
+	s.stats.observe(time.Since(start))
+	if serr != nil {
+		s.writeError(w, serr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if fromCache {
+		w.Header().Set(cacheHeader, "hit")
+	} else {
+		w.Header().Set(cacheHeader, "miss")
+	}
+	w.Write(body)
+}
+
+// BatchRequest is the POST /v1/map/batch body.
+type BatchRequest struct {
+	Requests []MapRequest `json:"requests"`
+}
+
+// BatchItem is one element of the batch response: either a result or an
+// error, mirroring the single-request status codes.
+type BatchItem struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Status int             `json:"status"`
+	Cached bool            `json:"cached"`
+}
+
+// BatchResponse is the POST /v1/map/batch body: items in request order.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
+}
+
+// handleMapBatch implements POST /v1/map/batch: the circuits fan out
+// across the worker pool via experiments.RunBatch (results land in
+// pre-indexed slots, so concurrency never reorders the response), while
+// the per-item cache path is identical to the single endpoint.
+func (s *Server) handleMapBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, &svcError{status: http.StatusMethodNotAllowed, msg: "map/batch is POST-only"})
+		return
+	}
+	var req BatchRequest
+	if serr := decodeJSON(r, &req); serr != nil {
+		s.writeError(w, serr)
+		return
+	}
+	n := len(req.Requests)
+	if n == 0 {
+		s.writeError(w, errBadRequest("empty batch"))
+		return
+	}
+	if max := s.cfg.maxBatch(); n > max {
+		s.writeError(w, errBadRequest("batch of %d exceeds limit %d", n, max))
+		return
+	}
+	items := make([]BatchItem, n)
+	// Each item acquires its own worker-pool slot inside mapBytes, so the
+	// RunBatch fan-out here only bounds goroutine count; total mapping
+	// concurrency stays capped at cfg.Workers across all in-flight
+	// requests, single and batch alike.
+	_ = experiments.RunBatch(n, s.workers, func(i int) error {
+		start := time.Now()
+		body, hit, serr := s.mapBytes(&req.Requests[i])
+		s.stats.requests.Add(1)
+		s.stats.observe(time.Since(start))
+		if serr != nil {
+			s.stats.errors.Add(1)
+			items[i] = BatchItem{Error: serr.msg, Status: serr.status}
+			return nil
+		}
+		items[i] = BatchItem{Result: json.RawMessage(body), Status: http.StatusOK, Cached: hit}
+		return nil
+	})
+	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
+}
+
+// DeviceSpec is the POST /v1/devices body: an undirected coupling graph
+// with optional explicit durations or a named preset.
+type DeviceSpec struct {
+	Name   string   `json:"name"`
+	Qubits int      `json:"qubits"`
+	Edges  [][2]int `json:"edges"`
+	// Preset names a duration preset applied to the device; empty selects
+	// superconducting (the arch.NewDevice default).
+	Preset string `json:"preset,omitempty"`
+	// Durations, when present, overrides Preset with explicit cycle counts.
+	Durations *DurationsSpec `json:"durations,omitempty"`
+}
+
+// DurationsSpec mirrors arch.Durations for JSON upload.
+type DurationsSpec struct {
+	Single  int `json:"single"`
+	Two     int `json:"two"`
+	Swap    int `json:"swap"`
+	Measure int `json:"measure"`
+}
+
+// handleDevices implements GET (list) and POST (upload) /v1/devices.
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"devices":             s.registry.List(),
+			"parametric_families": ParametricFamilies,
+		})
+	case http.MethodPost:
+		var spec DeviceSpec
+		if serr := decodeJSON(r, &spec); serr != nil {
+			s.writeError(w, serr)
+			return
+		}
+		dev, serr := buildDevice(&spec)
+		if serr != nil {
+			s.writeError(w, serr)
+			return
+		}
+		if serr := s.registry.Add(dev); serr != nil {
+			s.writeError(w, serr)
+			return
+		}
+		writeJSON(w, http.StatusCreated, infoOf(dev, false))
+	default:
+		s.writeError(w, &svcError{status: http.StatusMethodNotAllowed, msg: "devices is GET/POST-only"})
+	}
+}
+
+// buildDevice validates a DeviceSpec into an arch.Device.
+func buildDevice(spec *DeviceSpec) (*arch.Device, *svcError) {
+	if spec.Name == "" {
+		return nil, errBadRequest("missing device name")
+	}
+	dev, err := arch.NewDevice(spec.Name, spec.Qubits, spec.Edges)
+	if err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+	if spec.Preset != "" {
+		d, ok := durationsByName(spec.Preset)
+		if !ok {
+			return nil, errBadRequest("unknown durations preset %q", spec.Preset)
+		}
+		dev.Durations = d
+	}
+	if spec.Durations != nil {
+		dev.Durations = arch.Durations{
+			Single:  spec.Durations.Single,
+			Two:     spec.Durations.Two,
+			Swap:    spec.Durations.Swap,
+			Measure: spec.Durations.Measure,
+		}
+	}
+	// Connectivity and duration validation happens in Registry.Add, the
+	// single gate every registration path goes through.
+	return dev, nil
+}

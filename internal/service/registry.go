@@ -1,0 +1,175 @@
+package service
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"codar/internal/arch"
+)
+
+// Registry resolves device names for mapping requests. Builtins delegate to
+// arch.ByName (each resolution constructs a fresh device, so requests never
+// share builtin state); custom devices uploaded via POST /v1/devices are
+// stored once and shared read-only — mapping never mutates a Device, and
+// per-request duration overrides operate on a shallow copy (see withDurations).
+type Registry struct {
+	mu     sync.RWMutex
+	custom map[string]*arch.Device // keyed by lower-case name
+	// builtins memoizes arch.ByName results by request alias, so the hot
+	// serving path (and especially the cache-hit path, which resolves only
+	// to canonicalize the cache key) skips rebuilding the all-pairs
+	// distance matrix per request. Bounded: beyond builtinMemoCap distinct
+	// aliases (hostile parametric names like grid40x40) resolution falls
+	// back to per-request construction instead of growing the memo.
+	builtins map[string]*arch.Device
+}
+
+// builtinMemoCap bounds the resolved-builtin memo (see Registry.builtins).
+const builtinMemoCap = 64
+
+// builtinNames are the concrete built-in models listed by GET /v1/devices.
+// The parametric families (gridRxC, linearN, ringN) resolve through
+// arch.ByName but are advertised separately as patterns.
+var builtinNames = []string{"q5", "qx4", "melbourne", "tokyo", "enfield", "sycamore"}
+
+// ParametricFamilies are the name patterns arch.ByName synthesises on
+// demand (e.g. grid3x4, linear9, ring12).
+var ParametricFamilies = []string{"gridRxC", "linearN", "ringN"}
+
+// NewRegistry builds an empty registry (builtins are always available).
+func NewRegistry() *Registry {
+	return &Registry{
+		custom:   make(map[string]*arch.Device),
+		builtins: make(map[string]*arch.Device),
+	}
+}
+
+// Resolve returns the device for a user-facing name: custom devices win,
+// then the (memoized) builtin catalogue. Resolved devices are shared and
+// read-only; mapping never mutates a Device, and duration overrides copy
+// first (withDurations). The error distinguishes "unknown" for the 404
+// mapping in the handlers.
+func (r *Registry) Resolve(name string) (*arch.Device, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	r.mu.RLock()
+	dev, ok := r.custom[key]
+	if !ok {
+		dev, ok = r.builtins[key]
+	}
+	r.mu.RUnlock()
+	if ok {
+		return dev, nil
+	}
+	dev, err := arch.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if len(r.builtins) < builtinMemoCap {
+		r.builtins[key] = dev
+	}
+	r.mu.Unlock()
+	return dev, nil
+}
+
+// Add registers a custom device. Names that collide with a builtin (or a
+// parametric family instance) or an existing custom device are rejected
+// with 409, so a cache key of (circuit, device name, ...) can never alias
+// two different topologies.
+func (r *Registry) Add(dev *arch.Device) *svcError {
+	key := strings.ToLower(strings.TrimSpace(dev.Name))
+	if key == "" {
+		return errBadRequest("device name must be non-empty")
+	}
+	if _, err := arch.ByName(key); err == nil {
+		return errConflict("device %q shadows a builtin", dev.Name)
+	}
+	if err := dev.Validate(); err != nil {
+		return errBadRequest("%v", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.custom[key]; ok {
+		return errConflict("device %q already registered", dev.Name)
+	}
+	r.custom[key] = dev
+	return nil
+}
+
+// DeviceInfo is one row of the GET /v1/devices listing.
+type DeviceInfo struct {
+	Name     string `json:"name"`
+	Qubits   int    `json:"qubits"`
+	Couplers int    `json:"couplers"`
+	Diameter int    `json:"diameter"`
+	Builtin  bool   `json:"builtin"`
+}
+
+func infoOf(dev *arch.Device, builtin bool) DeviceInfo {
+	return DeviceInfo{
+		Name:     dev.Name,
+		Qubits:   dev.NumQubits,
+		Couplers: len(dev.Edges),
+		Diameter: dev.Diameter(),
+		Builtin:  builtin,
+	}
+}
+
+// List returns the builtin catalogue plus all custom devices, sorted by
+// name within each group (builtins first).
+func (r *Registry) List() []DeviceInfo {
+	out := make([]DeviceInfo, 0, len(builtinNames))
+	for _, name := range builtinNames {
+		dev, err := arch.ByName(name)
+		if err != nil {
+			continue // unreachable for the vetted builtin list
+		}
+		out = append(out, infoOf(dev, true))
+	}
+	r.mu.RLock()
+	customs := make([]*arch.Device, 0, len(r.custom))
+	for _, dev := range r.custom {
+		customs = append(customs, dev)
+	}
+	r.mu.RUnlock()
+	sort.Slice(customs, func(i, j int) bool { return customs[i].Name < customs[j].Name })
+	for _, dev := range customs {
+		out = append(out, infoOf(dev, false))
+	}
+	return out
+}
+
+// CustomCount returns the number of uploaded devices (for /v1/stats).
+func (r *Registry) CustomCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.custom)
+}
+
+// withDurations returns dev with the duration map replaced, shallow-copying
+// the device so concurrent requests with different presets never race on
+// the shared registry entry. The copy aliases the immutable adjacency,
+// distance and coordinate tables, so it is allocation-cheap.
+func withDurations(dev *arch.Device, d arch.Durations) *arch.Device {
+	cp := *dev
+	cp.Durations = d
+	return &cp
+}
+
+// durationsByName resolves a duration-preset name. The empty string keeps
+// the device's own durations (builtins default to superconducting; custom
+// devices keep whatever they were registered with).
+func durationsByName(name string) (arch.Durations, bool) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "superconducting":
+		return arch.SuperconductingDurations(), true
+	case "iontrap":
+		return arch.IonTrapDurations(), true
+	case "neutralatom":
+		return arch.NeutralAtomDurations(), true
+	case "uniform":
+		return arch.UniformDurations(), true
+	}
+	return arch.Durations{}, false
+}

@@ -1,0 +1,242 @@
+// Package service implements codard, the qubit-mapping HTTP service: a
+// long-running JSON API over the qasm → circuit → core/sabre → schedule →
+// writer pipeline. The service adds three pieces the batch CLIs lack:
+//
+//   - a device registry (builtin models plus uploaded coupling graphs),
+//   - an LRU result cache keyed by (circuit hash, device, algorithm,
+//     durations, seed) so repeated circuits skip remapping entirely, and
+//   - a bounded worker pool (the experiments.RunBatch pattern) so a traffic
+//     burst degrades to queueing instead of unbounded goroutine fan-out.
+//
+// Endpoints:
+//
+//	POST /v1/map        map one OpenQASM circuit, return mapped QASM + metrics
+//	POST /v1/map/batch  map several circuits through the worker pool
+//	GET  /v1/devices    list builtin + uploaded devices
+//	POST /v1/devices    upload a custom coupling graph
+//	GET  /v1/stats      cache hit rate, in-flight gauge, latency percentiles
+//	GET  /healthz       liveness probe
+//
+// See DESIGN.md §7 for the architecture and the cache-key rationale.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"codar/internal/experiments"
+)
+
+// Config tunes a Server. The zero value selects the defaults.
+type Config struct {
+	// Workers bounds the number of mapping jobs executing concurrently
+	// (requests beyond it queue on the pool). <= 0 selects GOMAXPROCS.
+	Workers int
+	// CacheSize is the LRU result-cache capacity in entries.
+	// 0 selects DefaultCacheSize; negative disables caching.
+	CacheSize int
+	// MaxBatch caps the number of circuits in one /v1/map/batch request.
+	// 0 selects DefaultMaxBatch.
+	MaxBatch int
+	// MaxBodyBytes caps request body size. 0 selects DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Defaults for Config.
+const (
+	DefaultCacheSize    = 512
+	DefaultMaxBatch     = 64
+	DefaultMaxBodyBytes = 16 << 20 // 30k-gate QASM circuits run to a few MB
+)
+
+func (c Config) cacheSize() int {
+	switch {
+	case c.CacheSize == 0:
+		return DefaultCacheSize
+	case c.CacheSize < 0:
+		return 0
+	}
+	return c.CacheSize
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return DefaultMaxBatch
+	}
+	return c.MaxBatch
+}
+
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes <= 0 {
+		return DefaultMaxBodyBytes
+	}
+	return c.MaxBodyBytes
+}
+
+// Server is the codard HTTP handler set plus its shared state. It is safe
+// for concurrent use; construct with New.
+type Server struct {
+	cfg      Config
+	workers  int
+	registry *Registry
+	cache    *Cache
+	stats    *stats
+	sem      chan struct{} // worker-pool slots; nil only before New
+	mux      *http.ServeMux
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	workers := experiments.DefaultWorkers(cfg.Workers, 1<<30)
+	s := &Server{
+		cfg:      cfg,
+		workers:  workers,
+		registry: NewRegistry(),
+		cache:    NewCache(cfg.cacheSize()),
+		stats:    newStats(),
+		sem:      make(chan struct{}, workers),
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/map", s.handleMap)
+	s.mux.HandleFunc("/v1/map/batch", s.handleMapBatch)
+	s.mux.HandleFunc("/v1/devices", s.handleDevices)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// Registry exposes the device registry (used by tests and embedders to
+// pre-register devices before serving).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
+	s.mux.ServeHTTP(w, r)
+}
+
+// acquire blocks until a worker-pool slot is free; the returned func
+// releases it. The in-flight gauge brackets slot ownership, so /v1/stats
+// reports executing jobs, not queued ones.
+func (s *Server) acquire() func() {
+	s.sem <- struct{}{}
+	s.stats.inFlight.Add(1)
+	return func() {
+		s.stats.inFlight.Add(-1)
+		<-s.sem
+	}
+}
+
+// svcError is an error with an HTTP status, so the pipeline can signal
+// 400 vs 404 vs 409 without the handlers re-classifying message strings.
+type svcError struct {
+	status int
+	msg    string
+}
+
+func (e *svcError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...interface{}) *svcError {
+	return &svcError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func errNotFound(format string, args ...interface{}) *svcError {
+	return &svcError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+func errConflict(format string, args ...interface{}) *svcError {
+	return &svcError{status: http.StatusConflict, msg: fmt.Sprintf(format, args...)}
+}
+
+// decodeJSON decodes a request body into v, mapping the MaxBytesReader
+// limit to 413 (the client sent too much, not malformed JSON) and every
+// other decode failure to 400.
+func decodeJSON(r *http.Request, v interface{}) *svcError {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &svcError{
+				status: http.StatusRequestEntityTooLarge,
+				msg:    fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
+			}
+		}
+		return errBadRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+// writeJSON marshals v with a trailing newline (curl-friendly) and writes
+// it with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+// writeError emits the uniform error body and bumps the error counter.
+func (s *Server) writeError(w http.ResponseWriter, e *svcError) {
+	s.stats.errors.Add(1)
+	writeJSON(w, e.status, map[string]string{"error": e.msg})
+}
+
+// handleHealthz implements the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, &svcError{status: http.StatusMethodNotAllowed, msg: "healthz is GET-only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.stats.start).Seconds(),
+	})
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	Requests      uint64         `json:"requests"`
+	Errors        uint64         `json:"errors"`
+	InFlight      int64          `json:"in_flight"`
+	Workers       int            `json:"workers"`
+	CacheHits     uint64         `json:"cache_hits"`
+	CacheMisses   uint64         `json:"cache_misses"`
+	CacheHitRate  float64        `json:"cache_hit_rate"`
+	CacheSize     int            `json:"cache_size"`
+	CacheCapacity int            `json:"cache_capacity"`
+	CustomDevices int            `json:"custom_devices"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Latency       LatencySummary `json:"latency"`
+}
+
+// handleStats reports serving counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, &svcError{status: http.StatusMethodNotAllowed, msg: "stats is GET-only"})
+		return
+	}
+	hits, misses := s.cache.Counters()
+	resp := StatsResponse{
+		Requests:      s.stats.requests.Load(),
+		Errors:        s.stats.errors.Load(),
+		InFlight:      s.stats.inFlight.Load(),
+		Workers:       s.workers,
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheSize:     s.cache.Len(),
+		CacheCapacity: s.cache.Capacity(),
+		CustomDevices: s.registry.CustomCount(),
+		UptimeSeconds: time.Since(s.stats.start).Seconds(),
+		Latency:       s.stats.latencies(),
+	}
+	if total := hits + misses; total > 0 {
+		resp.CacheHitRate = float64(hits) / float64(total)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

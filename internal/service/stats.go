@@ -1,0 +1,91 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is the number of recent request latencies retained for the
+// /v1/stats percentiles. A bounded ring keeps the stats endpoint O(window)
+// and the server memory constant under sustained load.
+const latencyWindow = 4096
+
+// stats aggregates serving counters. Counters are atomics (hot path);
+// the latency ring takes a short mutex per observation.
+type stats struct {
+	start    time.Time
+	requests atomic.Uint64 // completed /v1/map requests (batch items included)
+	errors   atomic.Uint64 // requests answered with a 4xx/5xx error body
+	inFlight atomic.Int64  // mapping jobs currently holding a worker slot
+
+	mu    sync.Mutex
+	ring  [latencyWindow]float64 // milliseconds
+	next  int
+	count uint64  // total observations (may exceed the window)
+	max   float64 // all-time maximum
+}
+
+func newStats() *stats { return &stats{start: time.Now()} }
+
+// observe records one request latency.
+func (s *stats) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	s.mu.Lock()
+	s.ring[s.next] = ms
+	s.next = (s.next + 1) % latencyWindow
+	s.count++
+	if ms > s.max {
+		s.max = ms
+	}
+	s.mu.Unlock()
+}
+
+// LatencySummary is the /v1/stats latency block, in milliseconds, computed
+// over the most recent latencyWindow observations (max is all-time).
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// latencies snapshots the ring and summarises it.
+func (s *stats) latencies() LatencySummary {
+	s.mu.Lock()
+	n := int(s.count)
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	window := make([]float64, n)
+	copy(window, s.ring[:n])
+	sum := LatencySummary{Count: s.count, Max: s.max}
+	s.mu.Unlock()
+	if n == 0 {
+		return sum
+	}
+	sort.Float64s(window)
+	sum.P50 = Percentile(window, 0.50)
+	sum.P90 = Percentile(window, 0.90)
+	sum.P99 = Percentile(window, 0.99)
+	return sum
+}
+
+// Percentile reads the nearest-rank percentile from an ascending-sorted
+// slice. Exported so cmd/codarload reports client-side latencies with the
+// same rank convention the server uses in /v1/stats.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
