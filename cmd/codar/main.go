@@ -6,9 +6,12 @@
 //
 //	codar -arch tokyo -in circuit.qasm [-algo codar|sabre] [-out mapped.qasm]
 //	      [-durations superconducting|iontrap|neutralatom|uniform]
-//	      [-seed 1] [-verify] [-stats]
+//	      [-seed 1] [-verify] [-stats] [-calib calibration.json] [-lambda 8]
 //
-// With no -in, the circuit is read from stdin.
+// With no -in, the circuit is read from stdin. -calib attaches a
+// calibration snapshot (see internal/calib): placement and routing then run
+// under the fidelity-weighted metric and the stats report the estimated
+// success probability.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"os"
 
 	"codar/internal/arch"
+	"codar/internal/calib"
 	"codar/internal/circuit"
 	"codar/internal/core"
 	"codar/internal/optimize"
@@ -50,8 +54,13 @@ func run() error {
 		optimise  = flag.Bool("optimize", false, "run peephole optimisation (inverse cancellation, rotation merge) before mapping")
 		orientCX  = flag.Bool("orient", false, "orient CXs for directed devices and lower SWAPs after mapping")
 		gantt     = flag.Bool("gantt", false, "print a per-qubit ASCII timeline of the mapped circuit")
+		calibPath = flag.String("calib", "", "calibration snapshot JSON; enables fidelity-weighted placement and routing")
+		lambda    = flag.Float64("lambda", 0, "error-term gain of the calibrated metric (0 = default, negative = hop-only)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v (flags go before positional input; use -in for the circuit file)", flag.Args())
+	}
 
 	dev, err := arch.ByName(*archName)
 	if err != nil {
@@ -68,6 +77,19 @@ func run() error {
 		dev.Durations = arch.UniformDurations()
 	default:
 		return fmt.Errorf("unknown duration preset %q", *durations)
+	}
+
+	var (
+		snap *calib.Snapshot
+		cost *arch.CostModel
+	)
+	if *calibPath != "" {
+		if snap, err = calib.Load(*calibPath); err != nil {
+			return err
+		}
+		if cost, err = snap.CostModel(dev, *lambda); err != nil {
+			return err
+		}
 	}
 
 	src, err := readInput(*inPath)
@@ -88,7 +110,7 @@ func run() error {
 		return fmt.Errorf("circuit needs %d qubits but %s has %d", c.NumQubits, dev.Name, dev.NumQubits)
 	}
 
-	initial, err := sabre.InitialLayout(c, dev, *seed, sabre.Options{})
+	initial, err := sabre.InitialLayout(c, dev, *seed, sabre.Options{Cost: cost})
 	if err != nil {
 		return err
 	}
@@ -100,13 +122,13 @@ func run() error {
 	)
 	switch *algo {
 	case "codar":
-		res, err := core.Remap(c, dev, initial, core.Options{Window: *window, Lookahead: *lookahead})
+		res, err := core.Remap(c, dev, initial, core.Options{Window: *window, Lookahead: *lookahead, Cost: cost})
 		if err != nil {
 			return err
 		}
 		mapped, initialLayout, finalLayout, swaps = res.Circuit, res.InitialLayout, res.FinalLayout, res.SwapCount
 	case "sabre":
-		res, err := sabre.Remap(c, dev, initial, sabre.Options{})
+		res, err := sabre.Remap(c, dev, initial, sabre.Options{Cost: cost})
 		if err != nil {
 			return err
 		}
@@ -138,13 +160,29 @@ func run() error {
 	}
 
 	if *stats {
-		wd := schedule.WeightedDepth(mapped, dev.Durations)
+		// With a snapshot attached the ESP needs the full ASAP schedule,
+		// whose makespan is the weighted depth — build it once.
+		var wd int
+		var sched *schedule.Schedule
+		if snap != nil {
+			sched = schedule.ASAP(mapped, dev.Durations)
+			wd = sched.Makespan
+		} else {
+			wd = schedule.WeightedDepth(mapped, dev.Durations)
+		}
 		fmt.Fprintf(os.Stderr, "device:          %s\n", dev)
 		fmt.Fprintf(os.Stderr, "algorithm:       %s\n", *algo)
 		fmt.Fprintf(os.Stderr, "input gates:     %d (depth %d, %d qubits)\n", c.Len(), c.Depth(), c.NumQubits)
 		fmt.Fprintf(os.Stderr, "output gates:    %d (depth %d)\n", mapped.Len(), mapped.Depth())
 		fmt.Fprintf(os.Stderr, "swaps inserted:  %d\n", swaps)
 		fmt.Fprintf(os.Stderr, "weighted depth:  %d cycles\n", wd)
+		if snap != nil {
+			esp, err := snap.Success(sched, dev)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "calibration:     %s (est. success probability %.4g)\n", snap.Hash()[:12], esp)
+		}
 	}
 
 	if *outPath != "" {

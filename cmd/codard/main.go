@@ -12,15 +12,18 @@
 // parses this line).
 //
 // Endpoints: POST /v1/map, POST /v1/map/batch, GET|POST /v1/devices,
-// GET /v1/stats, GET /healthz. Example:
+// GET|POST /v1/devices/{name}/calibration, GET /v1/stats, GET /healthz.
+// Example:
 //
 //	curl -s localhost:8723/v1/map -d '{"qasm":"...","arch":"tokyo"}'
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -32,27 +35,69 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		// The FlagSet already printed flag-syntax errors and usage to
+		// stderr; our own validation errors still need surfacing. Either
+		// way the exit code is non-zero — a misconfigured daemon must
+		// never start silently.
+		fmt.Fprintln(os.Stderr, "codard:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "codard:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		addr     = flag.String("addr", ":8723", "listen address (host:0 selects an ephemeral port)")
-		workers  = flag.Int("workers", 0, "max concurrent mapping jobs (0 = GOMAXPROCS)")
-		cache    = flag.Int("cache", service.DefaultCacheSize, "result-cache capacity in entries (negative disables)")
-		maxBatch = flag.Int("max-batch", service.DefaultMaxBatch, "max circuits per /v1/map/batch request")
-	)
-	flag.Parse()
+// config is the parsed codard command line.
+type config struct {
+	addr     string
+	workers  int
+	cache    int
+	maxBatch int
+}
 
+// parseFlags parses and validates the command line. Errors (including
+// leftover positional arguments, which package flag silently ignores) are
+// reported on stderr with usage, and returned so main exits non-zero.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("codard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	fs.StringVar(&cfg.addr, "addr", ":8723", "listen address (host:0 selects an ephemeral port)")
+	fs.IntVar(&cfg.workers, "workers", 0, "max concurrent mapping jobs (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.cache, "cache", service.DefaultCacheSize, "result-cache capacity in entries (negative disables)")
+	fs.IntVar(&cfg.maxBatch, "max-batch", service.DefaultMaxBatch, "max circuits per /v1/map/batch request")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.workers < 0 {
+		return nil, fmt.Errorf("-workers must be >= 0, got %d", cfg.workers)
+	}
+	if cfg.maxBatch <= 0 {
+		return nil, fmt.Errorf("-max-batch must be >= 1, got %d", cfg.maxBatch)
+	}
+	if cfg.addr == "" {
+		return nil, fmt.Errorf("-addr must be non-empty")
+	}
+	return cfg, nil
+}
+
+func run(cfg *config) error {
 	srv := service.New(service.Config{
-		Workers:   *workers,
-		CacheSize: *cache,
-		MaxBatch:  *maxBatch,
+		Workers:   cfg.workers,
+		CacheSize: cfg.cache,
+		MaxBatch:  cfg.maxBatch,
 	})
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}

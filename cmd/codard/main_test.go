@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseFlags(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":8723" || cfg.workers != 0 || cfg.cache <= 0 || cfg.maxBatch <= 0 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("defaults wrote to stderr: %q", stderr.String())
+	}
+}
+
+// TestParseFlagsErrorPaths: every malformed command line must produce an
+// error (so main exits non-zero) and say something on stderr — the silent
+// failure modes this guards against are leftover positional arguments and
+// nonsense values, both of which package flag accepts without complaint.
+func TestParseFlagsErrorPaths(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string // substring of the error or stderr output
+	}{
+		{"positional junk", []string{"8080"}, "unexpected arguments"},
+		{"junk after flags", []string{"-cache", "10", "serve"}, "unexpected arguments"},
+		{"unknown flag", []string{"-port", "8080"}, "flag provided but not defined"},
+		{"bad int", []string{"-workers", "many"}, "invalid value"},
+		{"negative workers", []string{"-workers", "-2"}, "-workers must be >= 0"},
+		{"zero max-batch", []string{"-max-batch", "0"}, "-max-batch must be >= 1"},
+		{"empty addr", []string{"-addr", ""}, "-addr must be non-empty"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cfg, err := parseFlags(tc.args, &stderr)
+			if err == nil {
+				t.Fatalf("accepted %v: %+v", tc.args, cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) && !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("error %q / stderr %q missing %q", err, stderr.String(), tc.want)
+			}
+		})
+	}
+}

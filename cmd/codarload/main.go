@@ -16,6 +16,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,57 +32,114 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		// Flag-syntax errors already printed usage via the FlagSet; our own
+		// validation errors still need surfacing. Either way exit non-zero —
+		// a load run with a nonsense configuration must not report success.
+		fmt.Fprintln(os.Stderr, "codarload:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "codarload:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		server      = flag.String("server", "http://127.0.0.1:8723", "codard base URL")
-		archName    = flag.String("arch", "tokyo", "target architecture for every request")
-		algo        = flag.String("algo", "codar", "mapping algorithm: codar or sabre")
-		durations   = flag.String("durations", "", "duration preset (empty = device default)")
-		seed        = flag.Int64("seed", 1, "initial-mapping seed")
-		family      = flag.String("family", "", "only replay benchmarks of this workload family (ghz, qft, bv, ...)")
-		maxQubits   = flag.Int("max-qubits", 16, "skip benchmarks wider than this")
-		limit       = flag.Int("limit", 0, "cap the number of distinct circuits (0 = all eligible)")
-		repeat      = flag.Int("repeat", 1, "times to replay the circuit set (>1 exercises the result cache)")
-		concurrency = flag.Int("concurrency", 8, "concurrent in-flight requests")
-		timeout     = flag.Duration("timeout", 2*time.Minute, "per-request timeout")
-	)
-	flag.Parse()
+// loadConfig is the parsed codarload command line.
+type loadConfig struct {
+	server      string
+	archName    string
+	algo        string
+	durations   string
+	seed        int64
+	family      string
+	maxQubits   int
+	limit       int
+	repeat      int
+	concurrency int
+	timeout     time.Duration
+}
 
+// parseFlags parses and validates the command line. Leftover positional
+// arguments (silently ignored by package flag) and out-of-range values are
+// errors printed to stderr with usage, so main exits non-zero.
+func parseFlags(args []string, stderr io.Writer) (*loadConfig, error) {
+	fs := flag.NewFlagSet("codarload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &loadConfig{}
+	fs.StringVar(&cfg.server, "server", "http://127.0.0.1:8723", "codard base URL")
+	fs.StringVar(&cfg.archName, "arch", "tokyo", "target architecture for every request")
+	fs.StringVar(&cfg.algo, "algo", "codar", "mapping algorithm: codar or sabre")
+	fs.StringVar(&cfg.durations, "durations", "", "duration preset (empty = device default)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "initial-mapping seed")
+	fs.StringVar(&cfg.family, "family", "", "only replay benchmarks of this workload family (ghz, qft, bv, ...)")
+	fs.IntVar(&cfg.maxQubits, "max-qubits", 16, "skip benchmarks wider than this")
+	fs.IntVar(&cfg.limit, "limit", 0, "cap the number of distinct circuits (0 = all eligible)")
+	fs.IntVar(&cfg.repeat, "repeat", 1, "times to replay the circuit set (>1 exercises the result cache)")
+	fs.IntVar(&cfg.concurrency, "concurrency", 8, "concurrent in-flight requests")
+	fs.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "per-request timeout")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.algo != "codar" && cfg.algo != "sabre" {
+		return nil, fmt.Errorf("-algo must be codar or sabre, got %q", cfg.algo)
+	}
+	if cfg.repeat < 1 {
+		return nil, fmt.Errorf("-repeat must be >= 1, got %d", cfg.repeat)
+	}
+	if cfg.concurrency < 1 {
+		return nil, fmt.Errorf("-concurrency must be >= 1, got %d", cfg.concurrency)
+	}
+	if cfg.maxQubits < 1 {
+		return nil, fmt.Errorf("-max-qubits must be >= 1, got %d", cfg.maxQubits)
+	}
+	if cfg.limit < 0 {
+		return nil, fmt.Errorf("-limit must be >= 0, got %d", cfg.limit)
+	}
+	if cfg.timeout <= 0 {
+		return nil, fmt.Errorf("-timeout must be positive, got %v", cfg.timeout)
+	}
+	return cfg, nil
+}
+
+func run(cfg *loadConfig) error {
 	var circuits []service.MapRequest
 	for _, b := range workloads.Suite() {
-		if b.Qubits > *maxQubits {
+		if b.Qubits > cfg.maxQubits {
 			continue
 		}
-		if *family != "" && b.Family != *family {
+		if cfg.family != "" && b.Family != cfg.family {
 			continue
 		}
 		circuits = append(circuits, service.MapRequest{
 			QASM:      qasm.Write(b.Circuit()),
-			Arch:      *archName,
-			Algo:      *algo,
-			Durations: *durations,
-			Seed:      *seed,
+			Arch:      cfg.archName,
+			Algo:      cfg.algo,
+			Durations: cfg.durations,
+			Seed:      cfg.seed,
 		})
-		if *limit > 0 && len(circuits) >= *limit {
+		if cfg.limit > 0 && len(circuits) >= cfg.limit {
 			break
 		}
 	}
 	if len(circuits) == 0 {
-		return fmt.Errorf("no eligible benchmarks (family=%q, max-qubits=%d)", *family, *maxQubits)
+		return fmt.Errorf("no eligible benchmarks (family=%q, max-qubits=%d)", cfg.family, cfg.maxQubits)
 	}
-	reqs := make([]service.MapRequest, 0, len(circuits)**repeat)
-	for r := 0; r < *repeat; r++ {
+	reqs := make([]service.MapRequest, 0, len(circuits)*cfg.repeat)
+	for r := 0; r < cfg.repeat; r++ {
 		reqs = append(reqs, circuits...)
 	}
 
-	client := &http.Client{Timeout: *timeout}
-	if err := waitHealthy(client, *server); err != nil {
+	client := &http.Client{Timeout: cfg.timeout}
+	if err := waitHealthy(client, cfg.server); err != nil {
 		return err
 	}
 
@@ -92,9 +150,9 @@ func run() error {
 	}
 	outcomes := make([]outcome, len(reqs))
 	start := time.Now()
-	_ = experiments.RunBatch(len(reqs), *concurrency, func(i int) error {
+	_ = experiments.RunBatch(len(reqs), cfg.concurrency, func(i int) error {
 		t0 := time.Now()
-		hit, err := postMap(client, *server, reqs[i])
+		hit, err := postMap(client, cfg.server, reqs[i])
 		outcomes[i] = outcome{latency: time.Since(t0), hit: hit, err: err}
 		return nil
 	})
@@ -120,8 +178,8 @@ func run() error {
 	}
 	sort.Float64s(lats)
 	ok := len(lats)
-	fmt.Printf("codarload: %d requests (%d circuits × %d) against %s\n", len(reqs), len(circuits), *repeat, *server)
-	fmt.Printf("  arch=%s algo=%s durations=%q seed=%d concurrency=%d\n", *archName, *algo, *durations, *seed, *concurrency)
+	fmt.Printf("codarload: %d requests (%d circuits × %d) against %s\n", len(reqs), len(circuits), cfg.repeat, cfg.server)
+	fmt.Printf("  arch=%s algo=%s durations=%q seed=%d concurrency=%d\n", cfg.archName, cfg.algo, cfg.durations, cfg.seed, cfg.concurrency)
 	fmt.Printf("  ok=%d failed=%d cache-hits=%d wall=%.2fs throughput=%.1f req/s\n",
 		ok, failures, hits, wall.Seconds(), float64(ok)/wall.Seconds())
 	if ok > 0 {
@@ -129,7 +187,7 @@ func run() error {
 			service.Percentile(lats, 0.50), service.Percentile(lats, 0.90),
 			service.Percentile(lats, 0.99), lats[ok-1])
 	}
-	if err := printServerStats(client, *server); err != nil {
+	if err := printServerStats(client, cfg.server); err != nil {
 		fmt.Fprintf(os.Stderr, "codarload: stats: %v\n", err)
 	}
 	if failures > 0 {

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseFlags(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.repeat != 1 || cfg.concurrency != 8 || cfg.maxQubits != 16 || cfg.timeout != 2*time.Minute {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.algo != "codar" {
+		t.Errorf("default algo %q", cfg.algo)
+	}
+}
+
+// TestParseFlagsErrorPaths: misconfigured load runs must fail loudly before
+// any request is sent — positional junk, unknown flags and out-of-range
+// values all end in a non-zero exit with a message, never a silent
+// "0 requests" success.
+func TestParseFlagsErrorPaths(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"positional junk", []string{"http://localhost:8723"}, "unexpected arguments"},
+		{"unknown flag", []string{"-host", "x"}, "flag provided but not defined"},
+		{"bad duration", []string{"-timeout", "fast"}, "invalid value"},
+		{"bad algo", []string{"-algo", "astar"}, "-algo must be codar or sabre"},
+		{"zero repeat", []string{"-repeat", "0"}, "-repeat must be >= 1"},
+		{"negative concurrency", []string{"-concurrency", "-1"}, "-concurrency must be >= 1"},
+		{"zero max-qubits", []string{"-max-qubits", "0"}, "-max-qubits must be >= 1"},
+		{"negative limit", []string{"-limit", "-5"}, "-limit must be >= 0"},
+		{"zero timeout", []string{"-timeout", "0s"}, "-timeout must be positive"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cfg, err := parseFlags(tc.args, &stderr)
+			if err == nil {
+				t.Fatalf("accepted %v: %+v", tc.args, cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) && !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("error %q / stderr %q missing %q", err, stderr.String(), tc.want)
+			}
+		})
+	}
+}

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	fidelity [-traj 50]
+//	fidelity [-traj 50] [-gateerr] [-calib]
+//
+// -calib replaces the Fig 9 regimes with the calibration study: the
+// estimated-success-probability comparison of duration-only vs
+// calibration-aware CODAR over the Fig 8 Tokyo suite, plus the famous-seven
+// algorithms trajectory-simulated under a synthetic snapshot's heterogeneous
+// per-qubit noise (DESIGN.md §8, EXPERIMENTS.md "Calibration study").
 package main
 
 import (
@@ -14,6 +20,8 @@ import (
 	"fmt"
 	"os"
 
+	"codar/internal/arch"
+	"codar/internal/calib"
 	"codar/internal/core"
 	"codar/internal/experiments"
 )
@@ -28,7 +36,16 @@ func main() {
 func run() error {
 	traj := flag.Int("traj", 100, "Monte-Carlo trajectories per fidelity estimate")
 	gateErr := flag.Bool("gateerr", false, "also run the gate-error trade-off study (extension beyond Fig 9)")
+	calibStudy := flag.Bool("calib", false, "run the calibration study (ESP sweep + simulated fidelity) instead of Fig 9")
+	lambda := flag.Float64("lambda", 0, "error-term gain of the calibrated metric (0 = default)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+
+	if *calibStudy {
+		return runCalibration(*traj, *lambda)
+	}
 
 	fmt.Println("Fig 9 — fidelity of seven algorithms, CODAR vs SABRE")
 	fmt.Printf("device: 3x3 grid; regimes: dephasing-dominant (T2=%.0f cycles), damping-dominant (T1=%.0f cycles); %d trajectories\n\n",
@@ -52,4 +69,30 @@ func run() error {
 		return experiments.WriteGateErrorStudy(os.Stdout, gerows)
 	}
 	return nil
+}
+
+// runCalibration reports the calibration study: the analytic ESP comparison
+// on the Fig 8 Tokyo suite, then the Fig 9 machinery replayed under the
+// synthetic snapshot's per-qubit noise (trajectory simulation on the 3×3
+// fidelity device).
+func runCalibration(traj int, lambda float64) error {
+	dev := arch.IBMQ20Tokyo()
+	snap := calib.Synthetic(dev, experiments.Seed)
+	fmt.Printf("calibration study — duration-only vs calibration-aware CODAR\n")
+	fmt.Printf("device: %s, synthetic snapshot %s\n\n", dev.Name, snap.Hash()[:12])
+	res, err := experiments.RunCalibrationStudy(dev, snap, lambda, core.Options{})
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteCalibrationStudy(os.Stdout, res); err != nil {
+		return err
+	}
+
+	fmt.Printf("simulated validation — famous seven on the 3×3 fidelity device under\n")
+	fmt.Printf("the snapshot's per-qubit T1/T2 + mean depolarising gate errors (%d trajectories)\n\n", traj)
+	rows, err := experiments.RunCalibrationFidelity(traj, lambda, core.Options{})
+	if err != nil {
+		return err
+	}
+	return experiments.WriteCalibrationFidelity(os.Stdout, rows)
 }

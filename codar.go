@@ -25,6 +25,7 @@ package codar
 
 import (
 	"codar/internal/arch"
+	"codar/internal/calib"
 	"codar/internal/circuit"
 	"codar/internal/core"
 	"codar/internal/optimize"
@@ -74,6 +75,12 @@ type (
 	State = sim.State
 	// Benchmark is one entry of the evaluation workload suite.
 	Benchmark = workloads.Benchmark
+	// Calibration is a device calibration snapshot: per-edge 2Q error,
+	// per-qubit 1Q/readout error and T1/T2.
+	Calibration = calib.Snapshot
+	// CostModel is a calibration-weighted routing metric accepted by both
+	// mappers' Options.Cost.
+	CostModel = arch.CostModel
 )
 
 // Commonly used gate kinds, re-exported for building circuits directly.
@@ -164,6 +171,13 @@ func SABREInitialLayout(c *Circuit, dev *Device, seed int64) (*Layout, error) {
 	return sabre.InitialLayout(c, dev, seed, sabre.Options{})
 }
 
+// SABREInitialLayoutOptions is SABREInitialLayout with explicit SABRE
+// options — most usefully a calibration cost model, so placement also avoids
+// unreliable couplers.
+func SABREInitialLayoutOptions(c *Circuit, dev *Device, seed int64, opts SabreOptions) (*Layout, error) {
+	return sabre.InitialLayout(c, dev, seed, opts)
+}
+
 // PlacementMethod names an initial-layout strategy.
 type PlacementMethod = placement.Method
 
@@ -249,6 +263,29 @@ type OrientResult = orient.Result
 // SWAPs into CX triples.
 func Orient(c *Circuit, dev *Device, lowerSwaps bool) (*Circuit, OrientResult, error) {
 	return orient.Pass(c, dev, lowerSwaps)
+}
+
+// LoadCalibration reads a calibration snapshot from a JSON file.
+func LoadCalibration(path string) (*Calibration, error) { return calib.Load(path) }
+
+// SyntheticCalibration generates a deterministic synthetic calibration
+// snapshot for a device, seeded per device name.
+func SyntheticCalibration(dev *Device, seed int64) *Calibration { return calib.Synthetic(dev, seed) }
+
+// NewCostModel blends a calibration snapshot into a fidelity-weighted
+// routing metric for dev (edge weight 1 + lambda*(-log(1-err2)); lambda 0
+// selects the calibrated-routing default, negative disables the error
+// term). Pass it via Options.Cost or SabreOptions.Cost; with no cost model
+// attached, mapping output is bit-identical to the duration-only objective.
+func NewCostModel(snap *Calibration, dev *Device, lambda float64) (*CostModel, error) {
+	return snap.CostModel(dev, lambda)
+}
+
+// EstimateSuccess returns the calibration-estimated success probability of a
+// mapped, scheduled circuit: per-gate fidelities times per-qubit decoherence
+// survival over the schedule.
+func EstimateSuccess(snap *Calibration, s *Schedule, dev *Device) (float64, error) {
+	return snap.Success(s, dev)
 }
 
 // Suite returns the 71-benchmark evaluation suite.

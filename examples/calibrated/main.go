@@ -1,0 +1,104 @@
+// Calibrated mapping: generate a synthetic calibration snapshot for IBM Q20
+// Tokyo (per-edge CX error, per-qubit 1Q/readout error and T1/T2), round-trip
+// it through JSON, blend it into a fidelity-weighted cost model, and compare
+// duration-only CODAR against calibration-aware CODAR — SWAP count versus
+// estimated success probability (ESP) — on a slice of the benchmark suite.
+//
+// The full-suite version of this comparison (and the trajectory-simulated
+// one) is `go run ./cmd/fidelity -calib`; the reproduction commands and
+// measured numbers live in EXPERIMENTS.md ("Calibration study").
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"codar"
+)
+
+func main() {
+	dev, err := codar.DeviceByName("tokyo")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A synthetic snapshot stands in for a backend's daily calibration dump.
+	// The generator is seeded per device, so this landscape is reproducible.
+	snap := codar.SyntheticCalibration(dev, 1)
+	fmt.Printf("synthetic calibration for %s: %d qubit records, %d coupler records\n",
+		dev.Name, len(snap.Qubits), len(snap.Edges))
+	fmt.Printf("snapshot hash: %s\n\n", snap.Hash()[:12])
+
+	// Round-trip through JSON — the same format `codar -calib file.json` and
+	// the codard calibration endpoint accept.
+	path := filepath.Join(os.TempDir(), "tokyo-calibration.json")
+	if err := snap.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := codar.LoadCalibration(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved to %s and reloaded (hash match: %v)\n\n", path, loaded.Hash() == snap.Hash())
+
+	// Blend the error rates into the routing metric: each coupler costs
+	// 1 + λ·(−log(1−err2)) hops. lambda 0 selects the tuned default.
+	cm, err := codar.NewCostModel(loaded, dev, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("benchmark        swaps  calSwaps        ESP     calESP   gain")
+	var meanU, meanC float64
+	n := 0
+	for _, name := range []string{"qft_10", "grover_4", "bv_13", "adder_6", "qaoa_12_p2", "ghz_16"} {
+		b, err := codar.BenchmarkByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := b.Circuit()
+
+		// Duration-only pipeline: shared SABRE placement, plain CODAR.
+		plainInit, err := codar.SABREInitialLayout(c, dev, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plain, err := codar.Remap(c, dev, plainInit, codar.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Calibrated pipeline: both placement and routing see the weighted
+		// metric via the cost model.
+		calInit, err := codar.SABREInitialLayoutOptions(c, dev, 1, codar.SabreOptions{Cost: cm})
+		if err != nil {
+			log.Fatal(err)
+		}
+		calibrated, err := codar.Remap(c, dev, calInit, codar.Options{Cost: cm})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		pESP, err := codar.EstimateSuccess(loaded, codar.ScheduleASAP(plain.Circuit, dev.Durations), dev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cESP, err := codar.EstimateSuccess(loaded, codar.ScheduleASAP(calibrated.Circuit, dev.Durations), dev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %6d %9d %10.4f %10.4f %6.3f\n",
+			b.Name, plain.SwapCount, calibrated.SwapCount, pESP, cESP, cESP/pESP)
+		meanU += pESP
+		meanC += cESP
+		n++
+	}
+	meanU /= float64(n)
+	meanC /= float64(n)
+	fmt.Printf("\nmean ESP: uncalibrated %.4f, calibrated %.4f (x%.3f)\n", meanU, meanC, meanC/meanU)
+	fmt.Println("\nrouting around the worst couplers trades a few extra SWAPs for a")
+	fmt.Println("higher end-to-end success estimate; without a snapshot attached the")
+	fmt.Println("mapper output is bit-identical to the duration-only objective.")
+}

@@ -1,0 +1,165 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostScale is the integer fixed-point scale of the calibration-weighted
+// metric: an unweighted hop costs exactly CostScale, and an edge with blended
+// weight w costs round(CostScale·(1+w)). CostScale is a power of two so that
+// SABRE's float heuristic — which divides distance sums by set sizes and
+// compares the quotients — sees an exact power-of-two multiple of its
+// unweighted value when every w is zero, keeping every comparison (including
+// ties) bit-identical to the hop metric. See DESIGN.md §8.
+const CostScale = 1024
+
+// CostModel is a fidelity-weighted routing metric over a device: the
+// all-pairs shortest-path matrix of the coupling graph under per-edge weights
+// 1 + w(e), fixed-point scaled by CostScale. With all weights zero it is the
+// hop metric times CostScale; with w(e) = λ·(−log(1−err2(e))) (see
+// internal/calib) paths through unreliable couplers grow more expensive and
+// the mappers' Hbasic/H heuristics steer SWAP traffic toward reliable edges.
+// A CostModel is immutable after construction and safe for concurrent use.
+type CostModel struct {
+	deviceName string
+	numQubits  int
+	// edgeCost[id] is the scaled traversal cost of edge id.
+	edgeCost []int32
+	// dist is the weighted all-pairs matrix, row-major like Device.dist.
+	dist []int32
+	// adj aliases the device adjacency lists (read-only).
+	adj [][]int
+	// edgeIdx aliases the device edge-index table (read-only).
+	edgeIdx []int32
+}
+
+// NewCostModel builds the weighted metric for dev from one blended weight per
+// coupler, indexed like dev.Edges (see Device.EdgeIndex). Weights must be
+// finite and non-negative; zero everywhere reproduces the hop metric scaled
+// by CostScale.
+func NewCostModel(dev *Device, edgeWeights []float64) (*CostModel, error) {
+	if len(edgeWeights) != len(dev.Edges) {
+		return nil, fmt.Errorf("arch: cost model for %q: %d weights for %d couplers", dev.Name, len(edgeWeights), len(dev.Edges))
+	}
+	cm := &CostModel{
+		deviceName: dev.Name,
+		numQubits:  dev.NumQubits,
+		edgeCost:   make([]int32, len(edgeWeights)),
+		adj:        dev.adj,
+		edgeIdx:    dev.edgeIdx,
+	}
+	// A shortest path visits at most NumQubits-1 edges, so capping each
+	// edge below Infinity/NumQubits guarantees every true path sum stays
+	// under the Infinity sentinel — no saturation, no int32 wrap, and
+	// connected qubits can never read as disconnected no matter how large
+	// the caller's λ is.
+	maxCost := int64(Infinity-1) / int64(dev.NumQubits)
+	for i, w := range edgeWeights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("arch: cost model for %q: edge %v has invalid weight %v", dev.Name, dev.Edges[i], w)
+		}
+		c := int64(math.Round(CostScale * (1 + w)))
+		if c > maxCost {
+			return nil, fmt.Errorf("arch: cost model for %q: edge %v weight %v overflows the metric (lower the error-term gain)", dev.Name, dev.Edges[i], w)
+		}
+		cm.edgeCost[i] = int32(c)
+	}
+	cm.computeDistances()
+	return cm, nil
+}
+
+// computeDistances fills the weighted all-pairs matrix by Dijkstra from every
+// qubit. Devices are small (≤ a few hundred qubits), so the O(n²) scan per
+// source beats heap bookkeeping and is trivially deterministic.
+func (cm *CostModel) computeDistances() {
+	n := cm.numQubits
+	cm.dist = make([]int32, n*n)
+	done := make([]bool, n)
+	for s := 0; s < n; s++ {
+		row := cm.dist[s*n : (s+1)*n]
+		for i := range row {
+			row[i] = Infinity
+			done[i] = false
+		}
+		row[s] = 0
+		for {
+			u, best := -1, int32(Infinity)
+			for q := 0; q < n; q++ {
+				if !done[q] && row[q] < best {
+					u, best = q, row[q]
+				}
+			}
+			if u < 0 {
+				break
+			}
+			done[u] = true
+			for _, v := range cm.adj[u] {
+				id := cm.edgeIdx[u*n+v]
+				if d := row[u] + cm.edgeCost[id]; d < row[v] {
+					row[v] = d
+				}
+			}
+		}
+	}
+}
+
+// DeviceName returns the name of the device the model was built for.
+func (cm *CostModel) DeviceName() string { return cm.deviceName }
+
+// NumQubits returns the qubit count the metric spans.
+func (cm *CostModel) NumQubits() int { return cm.numQubits }
+
+// EdgeCost returns the scaled traversal cost of edge id.
+func (cm *CostModel) EdgeCost(id int) int { return int(cm.edgeCost[id]) }
+
+// Distance returns the weighted shortest-path cost between physical qubits a
+// and b, or at least Infinity when disconnected.
+func (cm *CostModel) Distance(a, b int) int { return int(cm.dist[a*cm.numQubits+b]) }
+
+// Table returns the flat row-major weighted distance matrix
+// (table[a*NumQubits+b]), in the same layout as Device.DistTable so the
+// mappers' hot loops can index either interchangeably. The slice is shared
+// and must not be modified.
+func (cm *CostModel) Table() []int32 { return cm.dist }
+
+// CompatibleWith reports whether the model was built for (a copy of) dev.
+// Shallow duration-override copies share the topology, so name and qubit
+// count identify the coupling graph the distances were computed on.
+func (cm *CostModel) CompatibleWith(dev *Device) error {
+	if cm.deviceName != dev.Name || cm.numQubits != dev.NumQubits {
+		return fmt.Errorf("arch: cost model built for %q (%d qubits) used with device %q (%d qubits)",
+			cm.deviceName, cm.numQubits, dev.Name, dev.NumQubits)
+	}
+	return nil
+}
+
+// ShortestPath returns one minimum-weight path from a to b inclusive, or nil
+// when disconnected. Ties break toward the lowest-numbered neighbour — with
+// all weights equal this reproduces Device.ShortestPath exactly, which the
+// zero-calibration equivalence properties rely on.
+func (cm *CostModel) ShortestPath(a, b int) []int {
+	n := cm.numQubits
+	toB := cm.dist[b*n : (b+1)*n] // symmetric: toB[q] is the weighted D(q, b)
+	if toB[a] >= Infinity {
+		return nil
+	}
+	path := []int{a}
+	cur := a
+	for cur != b {
+		next := -1
+		for _, v := range cm.adj[cur] {
+			id := cm.edgeIdx[cur*n+v]
+			if toB[v]+cm.edgeCost[id] == toB[cur] {
+				next = v
+				break
+			}
+		}
+		if next < 0 {
+			return nil // unreachable given dist invariants
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}

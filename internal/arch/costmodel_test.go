@@ -1,0 +1,94 @@
+package arch
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestZeroWeightCostModelIsScaledHopMetric: with every weight zero the
+// weighted matrix must be exactly CostScale times the BFS hop matrix, and
+// weighted shortest paths must reproduce the BFS paths tie-break for
+// tie-break.
+func TestZeroWeightCostModelIsScaledHopMetric(t *testing.T) {
+	for _, dev := range []*Device{IBMQ20Tokyo(), Grid("g34", 3, 4), Ring(9), Linear(7)} {
+		cm, err := NewCostModel(dev, make([]float64, len(dev.Edges)))
+		if err != nil {
+			t.Fatalf("%s: %v", dev.Name, err)
+		}
+		n := dev.NumQubits
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if got, want := cm.Distance(a, b), CostScale*dev.Distance(a, b); got != want {
+					t.Fatalf("%s: weighted D(%d,%d) = %d, want %d", dev.Name, a, b, got, want)
+				}
+			}
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if !reflect.DeepEqual(cm.ShortestPath(a, b), dev.ShortestPath(a, b)) {
+					t.Fatalf("%s: path(%d,%d) diverges: %v vs %v",
+						dev.Name, a, b, cm.ShortestPath(a, b), dev.ShortestPath(a, b))
+				}
+			}
+		}
+	}
+}
+
+// TestCostModelAvoidsExpensiveEdge: on a ring, pricing up one edge of the
+// otherwise-shorter arc must push the metric (and the shortest path) onto
+// the longer error-free arc.
+func TestCostModelAvoidsExpensiveEdge(t *testing.T) {
+	dev := Ring(6) // two arcs between 0 and 3: 0-1-2-3 and 0-5-4-3
+	weights := make([]float64, len(dev.Edges))
+	id, ok := dev.EdgeIndex(1, 2)
+	if !ok {
+		t.Fatal("ring(6) missing edge (1,2)")
+	}
+	weights[id] = 5 // edge (1,2) now costs 6 hops
+	cm, err := NewCostModel(dev, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cm.Distance(0, 3), 3*CostScale; got != want {
+		t.Errorf("D(0,3) = %d, want %d (detour arc)", got, want)
+	}
+	path := cm.ShortestPath(0, 3)
+	if !reflect.DeepEqual(path, []int{0, 5, 4, 3}) {
+		t.Errorf("path(0,3) = %v, want detour over the cheap arc", path)
+	}
+	// The hop metric is untouched.
+	if dev.Distance(0, 3) != 3 {
+		t.Errorf("hop D(0,3) = %d, want 3", dev.Distance(0, 3))
+	}
+}
+
+func TestCostModelValidation(t *testing.T) {
+	dev := Linear(4)
+	if _, err := NewCostModel(dev, make([]float64, 1)); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	if _, err := NewCostModel(dev, []float64{0, -1, 0}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	// Weights whose per-edge cost could push a path sum past the Infinity
+	// sentinel are rejected up front, not silently saturated.
+	if _, err := NewCostModel(dev, []float64{0, 1e6, 0}); err == nil {
+		t.Error("overflowing weight accepted")
+	}
+	cm, err := NewCostModel(dev, make([]float64, len(dev.Edges)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.CompatibleWith(dev); err != nil {
+		t.Errorf("self compatibility: %v", err)
+	}
+	if err := cm.CompatibleWith(Linear(5)); err == nil {
+		t.Error("cost model accepted a different device")
+	}
+	// A shallow duration-override copy shares the topology and must pass.
+	cp := *dev
+	cp.Durations = UniformDurations()
+	if err := cm.CompatibleWith(&cp); err != nil {
+		t.Errorf("duration-copy compatibility: %v", err)
+	}
+}

@@ -211,6 +211,13 @@ func (d *Device) Degree(q int) int { return len(d.adj[q]) }
 // or Infinity when a and b are disconnected.
 func (d *Device) Distance(a, b int) int { return int(d.dist[a*d.NumQubits+b]) }
 
+// DistTable returns the flat row-major hop-distance matrix
+// (table[a*NumQubits+b]) — the same layout as CostModel.Table, so the
+// mappers select one []int32 at construction and index it in their hot
+// loops with no per-lookup dispatch. The slice is shared and must not be
+// modified.
+func (d *Device) DistTable() []int32 { return d.dist }
+
 // EdgeIndex returns the stable index of the undirected edge (a, b), used
 // for deterministic tie-breaking; ok is false when the pair is not coupled
 // or out of range.

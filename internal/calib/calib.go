@@ -1,0 +1,338 @@
+// Package calib models device calibration snapshots: the per-edge two-qubit
+// error rates, per-qubit single-qubit/readout error rates and T1/T2 time
+// constants that real NISQ backends publish daily. The paper's maQAM models
+// hardware heterogeneity through gate durations only; calibration data is the
+// second axis (Niu et al.'s hardware-aware heuristic, TRAM's T2-aware
+// mapping), and this package folds it into the routing objective:
+//
+//   - Snapshot is the JSON-serialisable calibration model, loadable from a
+//     backend dump or generated synthetically (Synthetic) with a
+//     deterministic per-device seed.
+//   - CostModel blends the error rates into an arch.CostModel: each coupler
+//     costs 1 + λ·(−log(1−err2)) hops, so both mappers' distance-driven
+//     heuristics route SWAP traffic around unreliable edges while still
+//     minimising the duration-weighted objective (DESIGN.md §8). With no
+//     snapshot attached the mappers are untouched and their output stays
+//     bit-identical.
+//   - Success estimates the success probability of a mapped, scheduled
+//     circuit: the product of per-gate fidelities times the per-qubit
+//     decoherence survival over the schedule makespan — the metric the
+//     calibration study (internal/experiments, examples/calibrated) compares
+//     across routing modes.
+package calib
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+	"codar/internal/schedule"
+)
+
+// QubitCalib is the calibration record of one physical qubit. Times are in
+// quantum clock cycles (the schedule's unit); error rates are probabilities.
+type QubitCalib struct {
+	// Error1Q is the single-qubit gate error probability.
+	Error1Q float64 `json:"error_1q"`
+	// ReadoutError is the measurement misassignment probability.
+	ReadoutError float64 `json:"readout_error"`
+	// T1 is the amplitude-damping time constant; 0 disables the term.
+	T1 float64 `json:"t1"`
+	// T2 is the dephasing time constant; 0 disables the term.
+	T2 float64 `json:"t2"`
+}
+
+// EdgeCalib is the calibration record of one coupler.
+type EdgeCalib struct {
+	// A, B are the physical endpoints (stored with A < B).
+	A int `json:"a"`
+	B int `json:"b"`
+	// Error2Q is the two-qubit gate error probability on this coupler.
+	Error2Q float64 `json:"error_2q"`
+}
+
+// Snapshot is one calibration snapshot of a device: per-qubit records indexed
+// by physical qubit and one record per coupler. Snapshots are plain data —
+// validation against a concrete device happens in Validate, and all derived
+// structures (cost models, noise models) are built on demand.
+type Snapshot struct {
+	// Device names the device the snapshot describes (informational; Validate
+	// checks it against the target device when non-empty).
+	Device string `json:"device"`
+	// Taken is an optional free-form timestamp of the calibration run.
+	Taken string `json:"taken,omitempty"`
+	// Qubits holds one record per physical qubit, indexed by qubit number.
+	Qubits []QubitCalib `json:"qubits"`
+	// Edges holds one record per coupler.
+	Edges []EdgeCalib `json:"edges"`
+}
+
+// maxError caps error probabilities so −log(1−err) stays finite.
+const maxError = 0.999
+
+// Parse decodes a snapshot from JSON and normalises it (edge endpoints
+// ordered, edges sorted) so that semantically equal snapshots hash equally.
+func Parse(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("calib: %w", err)
+	}
+	s.normalize()
+	return &s, nil
+}
+
+// Load reads and parses a snapshot file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("calib: %w", err)
+	}
+	return Parse(data)
+}
+
+// Encode renders the snapshot as indented JSON (normalised first, so
+// Encode∘Parse is a fixed point).
+func (s *Snapshot) Encode() ([]byte, error) {
+	s.normalize()
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("calib: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Save writes the snapshot as JSON to path.
+func (s *Snapshot) Save(path string) error {
+	data, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// normalize orders edge endpoints and sorts the edge list, making the
+// serialised form — and therefore Hash — canonical.
+func (s *Snapshot) normalize() {
+	for i := range s.Edges {
+		if s.Edges[i].A > s.Edges[i].B {
+			s.Edges[i].A, s.Edges[i].B = s.Edges[i].B, s.Edges[i].A
+		}
+	}
+	sort.Slice(s.Edges, func(i, j int) bool {
+		if s.Edges[i].A != s.Edges[j].A {
+			return s.Edges[i].A < s.Edges[j].A
+		}
+		return s.Edges[i].B < s.Edges[j].B
+	})
+}
+
+// Hash returns the hex SHA-256 of the canonical serialisation. Two snapshots
+// hash equally iff they carry the same calibration data, which is what the
+// service folds into its result-cache key (DESIGN.md §8).
+func (s *Snapshot) Hash() string {
+	s.normalize()
+	data, err := json.Marshal(s)
+	if err != nil {
+		// Snapshot contains only plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("calib: hash: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Validate checks the snapshot against a concrete device: one qubit record
+// per physical qubit, exactly one edge record per coupler (no extras, no
+// gaps), probabilities in [0, maxError], non-negative time constants, and a
+// matching device name when one is recorded.
+func (s *Snapshot) Validate(dev *arch.Device) error {
+	if s.Device != "" && !strings.EqualFold(s.Device, dev.Name) {
+		return fmt.Errorf("calib: snapshot is for device %q, not %q", s.Device, dev.Name)
+	}
+	if len(s.Qubits) != dev.NumQubits {
+		return fmt.Errorf("calib: %d qubit records for %d qubits on %s", len(s.Qubits), dev.NumQubits, dev.Name)
+	}
+	for q, qc := range s.Qubits {
+		if err := checkProb("error_1q", qc.Error1Q); err != nil {
+			return fmt.Errorf("calib: qubit %d: %w", q, err)
+		}
+		if err := checkProb("readout_error", qc.ReadoutError); err != nil {
+			return fmt.Errorf("calib: qubit %d: %w", q, err)
+		}
+		if qc.T1 < 0 || math.IsNaN(qc.T1) || qc.T2 < 0 || math.IsNaN(qc.T2) {
+			return fmt.Errorf("calib: qubit %d: negative or NaN time constant (t1=%v, t2=%v)", q, qc.T1, qc.T2)
+		}
+	}
+	if len(s.Edges) != len(dev.Edges) {
+		return fmt.Errorf("calib: %d edge records for %d couplers on %s", len(s.Edges), len(dev.Edges), dev.Name)
+	}
+	seen := make([]bool, len(dev.Edges))
+	for _, ec := range s.Edges {
+		id, ok := dev.EdgeIndex(ec.A, ec.B)
+		if !ok {
+			return fmt.Errorf("calib: edge (%d,%d) is not a coupler of %s", ec.A, ec.B, dev.Name)
+		}
+		if seen[id] {
+			return fmt.Errorf("calib: duplicate record for coupler (%d,%d)", ec.A, ec.B)
+		}
+		seen[id] = true
+		if err := checkProb("error_2q", ec.Error2Q); err != nil {
+			return fmt.Errorf("calib: edge (%d,%d): %w", ec.A, ec.B, err)
+		}
+	}
+	return nil
+}
+
+func checkProb(name string, p float64) error {
+	if math.IsNaN(p) || p < 0 || p > maxError {
+		return fmt.Errorf("%s %v outside [0, %v]", name, p, maxError)
+	}
+	return nil
+}
+
+// edgeErrors returns the two-qubit error rates indexed by device edge id.
+// The snapshot must have been validated against dev.
+func (s *Snapshot) edgeErrors(dev *arch.Device) ([]float64, error) {
+	errs := make([]float64, len(dev.Edges))
+	for _, ec := range s.Edges {
+		id, ok := dev.EdgeIndex(ec.A, ec.B)
+		if !ok {
+			return nil, fmt.Errorf("calib: edge (%d,%d) is not a coupler of %s", ec.A, ec.B, dev.Name)
+		}
+		errs[id] = ec.Error2Q
+	}
+	return errs, nil
+}
+
+// DefaultLambda is the default gain λ of the error term in the blended edge
+// weight 1 + λ·(−log(1−err2)). Synthetic two-qubit errors span roughly
+// 0.005–0.08 (−log(1−err) ≈ 0.005–0.083), so λ = 8 prices the worst couplers
+// near ~1.7 hops — expensive enough to steer placement and routing away from
+// them, cheap enough that the hop term still dominates and schedules stay
+// short (larger λ trades too much decoherence exposure for gate fidelity;
+// the λ sweep behind this default is recorded in EXPERIMENTS.md).
+const DefaultLambda = 8.0
+
+// CostModel blends the snapshot's two-qubit error rates into a
+// fidelity-weighted routing metric for dev: edge weight λ·(−log(1−err2)) on
+// top of the unit hop cost. lambda 0 selects DefaultLambda; negative lambda
+// zeroes the error term (the metric degenerates to scaled hop distance,
+// which the equivalence properties pin against uncalibrated routing).
+func (s *Snapshot) CostModel(dev *arch.Device, lambda float64) (*arch.CostModel, error) {
+	if err := s.Validate(dev); err != nil {
+		return nil, err
+	}
+	if lambda == 0 {
+		lambda = DefaultLambda
+	}
+	errs, err := s.edgeErrors(dev)
+	if err != nil {
+		return nil, err
+	}
+	weights := make([]float64, len(errs))
+	if lambda > 0 {
+		for i, e := range errs {
+			if e > maxError {
+				e = maxError
+			}
+			weights[i] = lambda * -math.Log(1-e)
+		}
+	}
+	return arch.NewCostModel(dev, weights)
+}
+
+// SuccessBreakdown separates the Success estimate into its two factors.
+type SuccessBreakdown struct {
+	// Gates is the product of per-gate success probabilities.
+	Gates float64
+	// Decoherence is the product of per-qubit survival factors
+	// exp(−life/T1)·exp(−life/T2) over each active qubit's lifetime (first
+	// gate start to schedule makespan).
+	Decoherence float64
+	// Total = Gates · Decoherence.
+	Total float64
+}
+
+// Success estimates the success probability of a scheduled physical circuit
+// under this calibration: Π over gates of (1−err) — SWAPs count as three
+// two-qubit gates, measurements use the readout error — times the per-qubit
+// decoherence survival over the schedule. Shorter makespans and routes over
+// reliable couplers both raise the estimate, which is exactly the trade the
+// fidelity-weighted cost model navigates.
+func (s *Snapshot) Success(sched *schedule.Schedule, dev *arch.Device) (float64, error) {
+	b, err := s.SuccessBreakdown(sched, dev)
+	if err != nil {
+		return 0, err
+	}
+	return b.Total, nil
+}
+
+// SuccessBreakdown is Success with the gate and decoherence factors reported
+// separately (the calibration study tables both).
+func (s *Snapshot) SuccessBreakdown(sched *schedule.Schedule, dev *arch.Device) (SuccessBreakdown, error) {
+	if err := s.Validate(dev); err != nil {
+		return SuccessBreakdown{}, err
+	}
+	errs, err := s.edgeErrors(dev)
+	if err != nil {
+		return SuccessBreakdown{}, err
+	}
+	gates := 1.0
+	firstStart := make([]int, dev.NumQubits)
+	active := make([]bool, dev.NumQubits)
+	for _, sg := range sched.Gates {
+		g := sg.Gate
+		for _, q := range g.Qubits {
+			if q < 0 || q >= dev.NumQubits {
+				return SuccessBreakdown{}, fmt.Errorf("calib: gate %s qubit %d outside device %s", g.Op, q, dev.Name)
+			}
+			if !active[q] || sg.Start < firstStart[q] {
+				firstStart[q] = sg.Start
+			}
+			active[q] = true
+		}
+		switch {
+		case g.Op == circuit.OpSwap:
+			id, ok := dev.EdgeIndex(g.Qubits[0], g.Qubits[1])
+			if !ok {
+				return SuccessBreakdown{}, fmt.Errorf("calib: SWAP on uncoupled pair (%d,%d)", g.Qubits[0], g.Qubits[1])
+			}
+			f := 1 - errs[id]
+			gates *= f * f * f // a SWAP lowers to three CXs
+		case g.Op.TwoQubit():
+			id, ok := dev.EdgeIndex(g.Qubits[0], g.Qubits[1])
+			if !ok {
+				return SuccessBreakdown{}, fmt.Errorf("calib: %s on uncoupled pair (%d,%d)", g.Op, g.Qubits[0], g.Qubits[1])
+			}
+			gates *= 1 - errs[id]
+		case g.Op.SingleQubit():
+			gates *= 1 - s.Qubits[g.Qubits[0]].Error1Q
+		case g.Op == circuit.OpMeasure:
+			gates *= 1 - s.Qubits[g.Qubits[0]].ReadoutError
+		}
+	}
+	deco := 1.0
+	for q := 0; q < dev.NumQubits; q++ {
+		if !active[q] {
+			continue
+		}
+		life := float64(sched.Makespan - firstStart[q])
+		if life <= 0 {
+			continue
+		}
+		qc := s.Qubits[q]
+		if qc.T1 > 0 && !math.IsInf(qc.T1, 1) {
+			deco *= math.Exp(-life / qc.T1)
+		}
+		if qc.T2 > 0 && !math.IsInf(qc.T2, 1) {
+			deco *= math.Exp(-life / qc.T2)
+		}
+	}
+	return SuccessBreakdown{Gates: gates, Decoherence: deco, Total: gates * deco}, nil
+}

@@ -1,0 +1,211 @@
+package calib
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+	"codar/internal/schedule"
+)
+
+func TestSyntheticValidatesAndIsDeterministic(t *testing.T) {
+	for _, dev := range []*arch.Device{arch.IBMQ20Tokyo(), arch.Grid("g33", 3, 3), arch.Ring(5)} {
+		a := Synthetic(dev, 1)
+		if err := a.Validate(dev); err != nil {
+			t.Fatalf("%s: synthetic snapshot invalid: %v", dev.Name, err)
+		}
+		b := Synthetic(dev, 1)
+		if a.Hash() != b.Hash() {
+			t.Errorf("%s: synthetic snapshot not deterministic", dev.Name)
+		}
+		if c := Synthetic(dev, 2); c.Hash() == a.Hash() {
+			t.Errorf("%s: different seeds produced identical snapshots", dev.Name)
+		}
+	}
+	// Seeded per device: same seed, different devices, different data.
+	if Synthetic(arch.Ring(5), 1).Edges[0].Error2Q == Synthetic(arch.Linear(6), 1).Edges[0].Error2Q {
+		t.Error("per-device seeding produced identical edge errors across devices")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	snap := Synthetic(dev, 7)
+	path := filepath.Join(t.TempDir(), "tokyo.json")
+	if err := snap.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, loaded) {
+		t.Error("round-tripped snapshot differs")
+	}
+	if snap.Hash() != loaded.Hash() {
+		t.Error("round-tripped hash differs")
+	}
+	if err := loaded.Validate(dev); err != nil {
+		t.Errorf("round-tripped snapshot invalid: %v", err)
+	}
+}
+
+func TestHashIsCanonical(t *testing.T) {
+	dev := arch.Linear(3)
+	a := &Snapshot{
+		Device: "lin3",
+		Qubits: make([]QubitCalib, 3),
+		Edges:  []EdgeCalib{{A: 0, B: 1, Error2Q: 0.01}, {A: 1, B: 2, Error2Q: 0.02}},
+	}
+	// Same data, reversed endpoint order and shuffled edge list.
+	b := &Snapshot{
+		Device: "lin3",
+		Qubits: make([]QubitCalib, 3),
+		Edges:  []EdgeCalib{{A: 2, B: 1, Error2Q: 0.02}, {A: 1, B: 0, Error2Q: 0.01}},
+	}
+	if a.Hash() != b.Hash() {
+		t.Error("hash not canonical under edge ordering")
+	}
+	c := &Snapshot{
+		Device: "lin3",
+		Qubits: make([]QubitCalib, 3),
+		Edges:  []EdgeCalib{{A: 0, B: 1, Error2Q: 0.011}, {A: 1, B: 2, Error2Q: 0.02}},
+	}
+	if a.Hash() == c.Hash() {
+		t.Error("hash ignores error-rate change")
+	}
+	_ = dev
+}
+
+func TestValidateRejections(t *testing.T) {
+	dev := arch.Linear(3)
+	ok := Synthetic(dev, 1)
+	cases := []struct {
+		name   string
+		mutate func(*Snapshot)
+	}{
+		{"wrong device name", func(s *Snapshot) { s.Device = "other" }},
+		{"missing qubit", func(s *Snapshot) { s.Qubits = s.Qubits[:2] }},
+		{"missing edge", func(s *Snapshot) { s.Edges = s.Edges[:1] }},
+		{"non-coupler edge", func(s *Snapshot) { s.Edges[0] = EdgeCalib{A: 0, B: 2, Error2Q: 0.01} }},
+		{"duplicate edge", func(s *Snapshot) { s.Edges[1] = s.Edges[0] }},
+		{"error out of range", func(s *Snapshot) { s.Edges[0].Error2Q = 1.5 }},
+		{"negative 1q error", func(s *Snapshot) { s.Qubits[0].Error1Q = -0.1 }},
+		{"NaN T1", func(s *Snapshot) { s.Qubits[0].T1 = math.NaN() }},
+	}
+	for _, tc := range cases {
+		data, err := ok.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Parse(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.mutate(s)
+		if err := s.Validate(dev); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestCostModelWeighting: the blended metric must price the snapshot's worst
+// coupler above its best one, and the zero-lambda metric must degenerate to
+// scaled hop distance.
+func TestCostModelWeighting(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	snap := Synthetic(dev, 1)
+	cm, err := snap.CostModel(dev, 0) // DefaultLambda
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, best := 0, 0
+	for i, e := range snap.Edges {
+		if e.Error2Q > snap.Edges[worst].Error2Q {
+			worst = i
+		}
+		if e.Error2Q < snap.Edges[best].Error2Q {
+			best = i
+		}
+	}
+	wid, _ := dev.EdgeIndex(snap.Edges[worst].A, snap.Edges[worst].B)
+	bid, _ := dev.EdgeIndex(snap.Edges[best].A, snap.Edges[best].B)
+	if cm.EdgeCost(wid) <= cm.EdgeCost(bid) {
+		t.Errorf("worst coupler costs %d, best %d — weighting inverted", cm.EdgeCost(wid), cm.EdgeCost(bid))
+	}
+	flat, err := snap.CostModel(dev, -1) // error term disabled
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < dev.NumQubits; a++ {
+		for b := 0; b < dev.NumQubits; b++ {
+			if flat.Distance(a, b) != arch.CostScale*dev.Distance(a, b) {
+				t.Fatalf("lambda<0 metric is not scaled hop distance at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+// TestSuccessEstimate checks the ESP factors on a hand-computable schedule.
+func TestSuccessEstimate(t *testing.T) {
+	dev := arch.Linear(2)
+	snap := &Snapshot{
+		Qubits: []QubitCalib{
+			{Error1Q: 0.01, ReadoutError: 0.1, T1: 1000, T2: 2000},
+			{Error1Q: 0.02, ReadoutError: 0.2}, // T1/T2 zero: decoherence off
+		},
+		Edges: []EdgeCalib{{A: 0, B: 1, Error2Q: 0.05}},
+	}
+	c := circuit.New(2).H(0).CX(0, 1)
+	sched := schedule.ASAP(c, arch.UniformDurations())
+	b, err := snap.SuccessBreakdown(sched, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGates := (1 - 0.01) * (1 - 0.05)
+	if math.Abs(b.Gates-wantGates) > 1e-12 {
+		t.Errorf("gate factor %v, want %v", b.Gates, wantGates)
+	}
+	// Qubit 0 is active from t=0 to the makespan; qubit 1 has no T1/T2.
+	life := float64(sched.Makespan)
+	wantDeco := math.Exp(-life/1000) * math.Exp(-life/2000)
+	if math.Abs(b.Decoherence-wantDeco) > 1e-12 {
+		t.Errorf("decoherence factor %v, want %v", b.Decoherence, wantDeco)
+	}
+	if math.Abs(b.Total-wantGates*wantDeco) > 1e-12 {
+		t.Errorf("total %v, want %v", b.Total, wantGates*wantDeco)
+	}
+	// A SWAP counts as three two-qubit gates.
+	cs := circuit.New(2)
+	cs.Swap(0, 1)
+	sb, err := snap.SuccessBreakdown(schedule.ASAP(cs, arch.UniformDurations()), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := 1 - 0.05
+	if math.Abs(sb.Gates-f*f*f) > 1e-12 {
+		t.Errorf("SWAP gate factor %v, want %v", sb.Gates, f*f*f)
+	}
+}
+
+// TestNoiseModelBridge: the sim bridge carries per-qubit constants and mean
+// gate errors.
+func TestNoiseModelBridge(t *testing.T) {
+	dev := arch.Linear(3)
+	snap := Synthetic(dev, 3)
+	m := snap.NoiseModel()
+	if len(m.T1Q) != 3 || len(m.T2Q) != 3 {
+		t.Fatalf("per-qubit constants missing: %d/%d", len(m.T1Q), len(m.T2Q))
+	}
+	for q := range m.T1Q {
+		if m.T1Q[q] != snap.Qubits[q].T1 || m.T2Q[q] != snap.Qubits[q].T2 {
+			t.Errorf("qubit %d constants diverge", q)
+		}
+	}
+	if m.Gate2QError <= 0 || m.Gate1QError <= 0 {
+		t.Error("mean gate errors not populated")
+	}
+}

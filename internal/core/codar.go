@@ -54,6 +54,14 @@ type Options struct {
 	// RankMode selects how the look-ahead term enters the priority
 	// comparison (experimentation/ablation; default RankLookFirst).
 	RankMode RankMode
+	// Cost, when non-nil, replaces the hop-count distance matrix in the
+	// SWAP-search heuristics (Hbasic, Hlook, deadlock routing) with a
+	// calibration-weighted metric, steering routes around unreliable
+	// couplers (DESIGN.md §8). It must be built for the target device.
+	// nil — and a model with zero calibration weights — preserve the
+	// duration-only objective bit-for-bit (the zero-calibration
+	// equivalence properties pin this).
+	Cost *arch.CostModel
 
 	// naiveFront selects the from-scratch reference front scan instead of
 	// the incremental engine (frontier.go). Test-only: the equivalence
@@ -165,6 +173,11 @@ func Remap(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Opti
 	if err := initial.Validate(); err != nil {
 		return nil, fmt.Errorf("codar: %w", err)
 	}
+	if opts.Cost != nil {
+		if err := opts.Cost.CompatibleWith(dev); err != nil {
+			return nil, fmt.Errorf("codar: %w", err)
+		}
+	}
 
 	r := newRemapper(c, dev, initial, opts)
 	r.run()
@@ -184,6 +197,19 @@ type remapper struct {
 
 	layout *arch.Layout
 	locks  []int // per-physical-qubit lock tend
+
+	// distTab is the flat distance matrix the heuristics rank candidates
+	// with: the device hop matrix, or the calibration-weighted one when
+	// Options.Cost is set. hopTab is always the device hop matrix: the
+	// Hbasic > 0 insertion gate stays a hop-progress question even under a
+	// weighted metric — otherwise tiny error-term improvements trigger
+	// "lateral" SWAPs that cost three CXs of gate error without moving any
+	// gate closer (DESIGN.md §8). Structural blocked/adjacent checks also
+	// stay on hop distances. weighted is true iff the two tables differ.
+	distTab  []int32
+	hopTab   []int32
+	weighted bool
+	nq       int
 
 	out       []schedule.ScheduledGate
 	makespan  int
@@ -243,6 +269,14 @@ func newRemapper(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opt
 		// growing a 30k-gate output mid-run showed up in the allocation
 		// profile.
 		out: make([]schedule.ScheduledGate, 0, n+n/4+16),
+	}
+	r.nq = dev.NumQubits
+	r.hopTab = dev.DistTable()
+	if opts.Cost != nil {
+		r.distTab = opts.Cost.Table()
+		r.weighted = true
+	} else {
+		r.distTab = r.hopTab
 	}
 	for i := 0; i < n; i++ {
 		r.next[i] = i + 1
@@ -532,7 +566,15 @@ func (r *remapper) directRoute(front []int, t int) {
 	g := r.gates[target]
 	p1 := r.layout.Phys(g.Qubits[0])
 	p2 := r.layout.Phys(g.Qubits[1])
-	path := r.dev.ShortestPath(p1, p2)
+	// Under a calibrated metric the escape route follows the minimum-weight
+	// path (fewest expected errors), not the fewest hops; with zero
+	// calibration the two coincide, tie-breaks included.
+	var path []int
+	if r.opts.Cost != nil {
+		path = r.opts.Cost.ShortestPath(p1, p2)
+	} else {
+		path = r.dev.ShortestPath(p1, p2)
+	}
 	// Swap the first operand down the path until it neighbours the second.
 	for k := 0; k+2 < len(path); k++ {
 		a, b := path[k], path[k+1]

@@ -75,6 +75,16 @@ func (r *remapper) collectCandidates(front []int, t int) []swapCand {
 	return cands
 }
 
+// distance is the metric the SWAP heuristics rank candidates with: hop
+// distance by default, the calibration-weighted metric under Options.Cost.
+// Structural blocked/adjacent checks keep using dev.Distance/dev.Adjacent —
+// the metric only changes which routes look cheap, never what is executable.
+func (r *remapper) distance(a, b int) int { return int(r.distTab[a*r.nq+b]) }
+
+// hopDistance is the unweighted coupling-graph distance, the metric of the
+// Hbasic > 0 insertion gate (see remapper.hopTab).
+func (r *remapper) hopDistance(a, b int) int { return int(r.hopTab[a*r.nq+b]) }
+
 // swappedPhys returns where physical qubit p ends up under a SWAP of (a, b).
 func swappedPhys(p, a, b int) int {
 	switch p {
@@ -87,8 +97,10 @@ func swappedPhys(p, a, b int) int {
 	}
 }
 
-// hBasic computes Eq. 1 for a candidate over the two-qubit front gates.
-func (r *remapper) hBasic(c swapCand, front2q []int) int {
+// hBasic computes Eq. 1 for a candidate over the two-qubit front gates,
+// under the ranking metric (tab = r.distTab) or the hop metric
+// (tab = r.hopTab).
+func (r *remapper) hBasic(c swapCand, front2q []int, tab []int32) int {
 	sum := 0
 	for _, i := range front2q {
 		g := r.gates[i]
@@ -97,9 +109,9 @@ func (r *remapper) hBasic(c swapCand, front2q []int) int {
 		if p1 != c.a && p1 != c.b && p2 != c.a && p2 != c.b {
 			continue // distance unchanged
 		}
-		oldD := r.dev.Distance(p1, p2)
-		newD := r.dev.Distance(swappedPhys(p1, c.a, c.b), swappedPhys(p2, c.a, c.b))
-		sum += oldD - newD
+		oldD := int(tab[p1*r.nq+p2])
+		n1, n2 := swappedPhys(p1, c.a, c.b), swappedPhys(p2, c.a, c.b)
+		sum += oldD - int(tab[n1*r.nq+n2])
 	}
 	return sum
 }
@@ -137,19 +149,31 @@ func (r *remapper) hFine(c swapCand, front2q []int) int {
 // inserted — only which of several equal-Hbasic SWAPs wins — so the
 // paper's insertion policy is preserved exactly (see DESIGN.md §4).
 func (r *remapper) hLook(c swapCand) int {
-	return r.hBasic(c, r.lookSet)
+	return r.hBasic(c, r.lookSet, r.distTab)
 }
 
 // pickBest returns the index into cands of the candidate with the highest
 // priority under the configured RankMode (default ⟨Hbasic, Hlook, Hfine⟩),
 // breaking remaining ties by the lowest edge index; -1 when cands is
-// empty. The returned Hbasic is that of the winner, which still gates
-// insertion (Hbasic > 0) exactly as in the paper.
-func (r *remapper) pickBest(cands []swapCand, front2q []int) (best, bestBasic, bestFine int) {
+// empty. The returned Hbasic is the winner's hop-metric Eq. 1 value, which
+// still gates insertion (Hbasic > 0) exactly as in the paper — under a
+// calibrated metric ranking and gating deliberately split (DESIGN.md §8).
+// requireProgress (insertSwaps on calibrated runs only, so the uncalibrated
+// selection stays byte-identical) drops candidates without positive hop
+// progress before ranking: a "lateral" fidelity move outranking every real
+// candidate must lose to the best progress-making one, not veto the round.
+func (r *remapper) pickBest(cands []swapCand, front2q []int, requireProgress bool) (best, bestBasic, bestFine int) {
 	best = -1
 	var key, bestKey [3]int
 	for k, c := range cands {
-		hb := r.hBasic(c, front2q)
+		hb := r.hBasic(c, front2q, r.distTab)
+		hbHop := hb
+		if r.weighted {
+			hbHop = r.hBasic(c, front2q, r.hopTab)
+		}
+		if requireProgress && hbHop <= 0 {
+			continue
+		}
 		var hl, hf int
 		if len(r.lookSet) > 0 {
 			hl = r.hLook(c)
@@ -177,7 +201,7 @@ func (r *remapper) pickBest(cands []swapCand, front2q []int) (best, bestBasic, b
 		decided:
 		}
 		if better {
-			best, bestBasic, bestFine, bestKey = k, hb, hf, key
+			best, bestBasic, bestFine, bestKey = k, hbHop, hf, key
 		}
 	}
 	return best, bestBasic, bestFine
@@ -201,12 +225,21 @@ func (r *remapper) insertSwaps(front []int, t int) bool {
 		r.sc.sync()
 	}
 	inserted := false
+	// On calibrated runs selection is restricted to hop-progress candidates
+	// (requireProgress): a lateral fidelity move that outranks every real
+	// candidate must lose to the best progress-making one, not veto the
+	// round. Uncalibrated runs rank everything and gate on the winner — the
+	// paper-exact pinned behaviour — and so does RankMixed even when
+	// calibrated: its blended key 2·Hbasic+Hlook deliberately lets the
+	// look-ahead outvote front progress, so pre-filtering would change its
+	// zero-calibration output (the equivalence grids pin this).
+	req := r.weighted && r.opts.RankMode != RankMixed
 	for len(cands) > 0 {
 		var best, hb int
 		if r.sc != nil {
-			best, hb = r.sc.pick(cands)
+			best, hb = r.sc.pick(cands, req)
 		} else {
-			best, hb, _ = r.pickBest(cands, front2q)
+			best, hb, _ = r.pickBest(cands, front2q, req)
 		}
 		if best < 0 || hb <= 0 {
 			break
@@ -234,9 +267,9 @@ func (r *remapper) forceSwap(front []int, t int) {
 	var best int
 	if r.sc != nil {
 		r.sc.sync()
-		best, _ = r.sc.pick(cands)
+		best, _ = r.sc.pick(cands, false)
 	} else {
-		best, _, _ = r.pickBest(cands, front2q)
+		best, _, _ = r.pickBest(cands, front2q, false)
 	}
 	if best < 0 {
 		return

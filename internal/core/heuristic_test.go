@@ -88,15 +88,15 @@ func TestHBasicSigns(t *testing.T) {
 		return swapCand{a: a, b: b, edge: id}
 	}
 	// Moving logical 0 from P0 to P1 shortens the distance: +1.
-	if got := r.hBasic(mk(0, 1), front2q); got != 1 {
+	if got := r.hBasic(mk(0, 1), front2q, r.distTab); got != 1 {
 		t.Errorf("hBasic(swap 0,1) = %d, want 1", got)
 	}
 	// Moving logical 3 from P3 to P2: +1.
-	if got := r.hBasic(mk(2, 3), front2q); got != 1 {
+	if got := r.hBasic(mk(2, 3), front2q, r.distTab); got != 1 {
 		t.Errorf("hBasic(swap 2,3) = %d, want 1", got)
 	}
 	// Swapping P1,P2 moves neither operand: 0.
-	if got := r.hBasic(mk(1, 2), front2q); got != 0 {
+	if got := r.hBasic(mk(1, 2), front2q, r.distTab); got != 0 {
 		t.Errorf("hBasic(swap 1,2) = %d, want 0", got)
 	}
 }
@@ -114,7 +114,7 @@ func TestHBasicCountsAllFrontGates(t *testing.T) {
 	}
 	id, _ := dev.EdgeIndex(1, 2)
 	// SWAP(1,2): moves logical 2 to P1. CX(0,2): 2->1 (+1). CX(4,2): 2->3 (-1).
-	if got := r.hBasic(swapCand{a: 1, b: 2, edge: id}, front2q); got != 0 {
+	if got := r.hBasic(swapCand{a: 1, b: 2, edge: id}, front2q, r.distTab); got != 0 {
 		t.Errorf("hBasic = %d, want 0 (benefit and harm cancel)", got)
 	}
 }
@@ -143,7 +143,7 @@ func TestHFineBalancesCoordinates(t *testing.T) {
 	}
 	// Both have Hbasic +1; pickBest must prefer the balanced one.
 	cands := []swapCand{cand(0, 1), cand(0, 3)}
-	best, hb, _ := r.pickBest(cands, front2q)
+	best, hb, _ := r.pickBest(cands, front2q, false)
 	if cands[best].b != 3 || hb != 1 {
 		t.Errorf("pickBest chose %v with hb=%d, want swap(0,3) hb=1", cands[best], hb)
 	}
@@ -171,13 +171,13 @@ func TestPickBestDeterministicTieBreak(t *testing.T) {
 	if len(cands) < 2 {
 		t.Fatalf("expected several candidates, got %d", len(cands))
 	}
-	best1, _, _ := r.pickBest(cands, front2q)
+	best1, _, _ := r.pickBest(cands, front2q, false)
 	// Reversing the candidate order must not change the winner.
 	rev := make([]swapCand, len(cands))
 	for i, c := range cands {
 		rev[len(cands)-1-i] = c
 	}
-	best2, _, _ := r.pickBest(rev, front2q)
+	best2, _, _ := r.pickBest(rev, front2q, false)
 	if cands[best1].edge != rev[best2].edge {
 		t.Error("pickBest is order-dependent")
 	}

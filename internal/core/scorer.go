@@ -169,17 +169,24 @@ func (s *scorer) noteSwap(a, b int) {
 }
 
 // deltas computes a candidate's Hbasic and Hfine contributions over the
-// gates incident to its qubits: hb is the exact Eq. 1 sum (non-incident
-// gates contribute zero), hf is the Eq. 2 sum shifted by the per-round
-// constant −Σ|VD−HD| of the unswapped layout (selection-invariant). Gates
-// touching both candidate qubits are visited once via the c.a-side skip.
-func (s *scorer) deltas(c swapCand, inc [][]int32, wantFine bool) (hb, hf int) {
+// gates incident to its qubits: hb is the exact Eq. 1 sum under the ranking
+// metric (non-incident gates contribute zero), hop is the same sum under
+// the hop metric — equal to hb on uncalibrated runs, computed separately
+// when a weighted metric is attached because the insertion gate stays a
+// hop-progress question (DESIGN.md §8) — and hf is the Eq. 2 sum shifted by
+// the per-round constant −Σ|VD−HD| of the unswapped layout
+// (selection-invariant). Gates touching both candidate qubits are visited
+// once via the c.a-side skip.
+func (s *scorer) deltas(c swapCand, inc [][]int32, wantFine bool) (hb, hop, hf int) {
 	r := s.r
 	dev := r.dev
 	for _, i := range inc[c.a] {
 		p1, p2 := s.phys(i)
 		n1, n2 := swappedPhys(p1, c.a, c.b), swappedPhys(p2, c.a, c.b)
-		hb += dev.Distance(p1, p2) - dev.Distance(n1, n2)
+		hb += r.distance(p1, p2) - r.distance(n1, n2)
+		if r.weighted {
+			hop += r.hopDistance(p1, p2) - r.hopDistance(n1, n2)
+		}
 		if wantFine {
 			hf += fineDiff(dev, p1, p2) - fineDiff(dev, n1, n2)
 		}
@@ -190,23 +197,29 @@ func (s *scorer) deltas(c swapCand, inc [][]int32, wantFine bool) (hb, hf int) {
 			continue // already counted from the c.a side
 		}
 		n1, n2 := swappedPhys(p1, c.a, c.b), swappedPhys(p2, c.a, c.b)
-		hb += dev.Distance(p1, p2) - dev.Distance(n1, n2)
+		hb += r.distance(p1, p2) - r.distance(n1, n2)
+		if r.weighted {
+			hop += r.hopDistance(p1, p2) - r.hopDistance(n1, n2)
+		}
 		if wantFine {
 			hf += fineDiff(dev, p1, p2) - fineDiff(dev, n1, n2)
 		}
 	}
-	return hb, hf
+	if !r.weighted {
+		hop = hb
+	}
+	return hb, hop, hf
 }
 
-// score computes (or recomputes) the ranking key and Hbasic of candidate c
-// from the incidence lists.
-func (s *scorer) score(c swapCand) (key [3]int, hb int) {
+// score computes (or recomputes) the ranking key and hop-metric Hbasic of
+// candidate c from the incidence lists.
+func (s *scorer) score(c swapCand) (key [3]int, hop int) {
 	r := s.r
 	wantFine := !r.opts.DisableHfine && r.dev.HasCoords()
-	hb, hf := s.deltas(c, s.inc2q, wantFine)
+	hb, hop, hf := s.deltas(c, s.inc2q, wantFine)
 	var hl int
 	if len(r.lookSet) > 0 {
-		hl, _ = s.deltas(c, s.incLook, false)
+		hl, _, _ = s.deltas(c, s.incLook, false)
 	}
 	switch r.opts.RankMode {
 	case RankFineFirst:
@@ -216,14 +229,16 @@ func (s *scorer) score(c swapCand) (key [3]int, hb int) {
 	default:
 		key = [3]int{hb, hl, hf}
 	}
-	return key, hb
+	return key, hop
 }
 
 // pick returns the index into cands of the highest-priority candidate and
-// its Hbasic, mirroring pickBest's ordering and lowest-edge tie-break
-// exactly; -1 when cands is empty. Clean cached keys are reused; dirty
-// ones are rescored in O(incident gates).
-func (s *scorer) pick(cands []swapCand) (best, bestBasic int) {
+// its hop-metric Hbasic (the insertion-gate value), mirroring pickBest's
+// ordering, lowest-edge tie-break and requireProgress filter exactly; -1
+// when cands is empty (or, under requireProgress, none makes hop
+// progress). Clean cached keys are reused; dirty ones are rescored in
+// O(incident gates).
+func (s *scorer) pick(cands []swapCand, requireProgress bool) (best, bestBasic int) {
 	best = -1
 	var bestKey [3]int
 	for k, c := range cands {
@@ -235,6 +250,9 @@ func (s *scorer) pick(cands []swapCand) (best, bestBasic int) {
 			key, hb = s.score(c)
 			s.keys[c.edge], s.hbs[c.edge] = key, hb
 			s.keyValid[c.edge] = true
+		}
+		if requireProgress && hb <= 0 {
+			continue
 		}
 		better := best < 0
 		if !better && key != bestKey {

@@ -1,0 +1,108 @@
+package sabre
+
+import (
+	"testing"
+	"testing/quick"
+
+	"codar/internal/arch"
+	"codar/internal/workloads"
+)
+
+// zeroCost builds the all-zero-weight calibration metric: CostScale (a power
+// of two) times the hop matrix, so every float quotient in H scales exactly
+// and the SABRE output must stay bit-identical.
+func zeroCost(t testing.TB, dev *arch.Device) *arch.CostModel {
+	t.Helper()
+	cm, err := arch.NewCostModel(dev, make([]float64, len(dev.Edges)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+// TestRemapIdenticalWithZeroCalibration randomises circuits, devices and
+// option variants; Remap with the zero-weight metric must reproduce plain
+// Remap exactly, under both scoring engines.
+func TestRemapIdenticalWithZeroCalibration(t *testing.T) {
+	devices := []*arch.Device{
+		arch.Linear(6), arch.Ring(7), arch.Grid("g33", 3, 3),
+		arch.IBMQ16Melbourne(), arch.IBMQ20Tokyo(), arch.SycamoreQ54(),
+	}
+	variants := []Options{
+		{},
+		{naiveScore: true},
+		{ExtendedSize: 1},
+		{ExtendedSize: 50, ExtendedWeight: 0.9},
+		{DecayDelta: 0.1, DecayReset: 1},
+	}
+	f := func(seed int64) bool {
+		dev := devices[int(uint64(seed)%uint64(len(devices)))]
+		opts := variants[int(uint64(seed>>8)%uint64(len(variants)))]
+		qubits := dev.NumQubits
+		if qubits > 8 {
+			qubits = 8
+		}
+		c := randCircuit(seed, qubits, 70)
+		plain, err := Remap(c, dev, nil, opts)
+		if err != nil {
+			t.Logf("plain: %v", err)
+			return false
+		}
+		withCost := opts
+		withCost.Cost = zeroCost(t, dev)
+		calibrated, err := Remap(c, dev, nil, withCost)
+		if err != nil {
+			t.Logf("calibrated: %v", err)
+			return false
+		}
+		if !sabreEquivalent(calibrated, plain) {
+			t.Logf("opts %+v on %s: outputs differ (swaps %d vs %d)",
+				opts, dev.Name, calibrated.SwapCount, plain.SwapCount)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInitialLayoutIdenticalWithZeroCalibration extends the guarantee
+// through the reverse-traversal initial mapping on the Fig 8 devices and a
+// workload-suite slice — the exact placement runs the pinned avg-speedups
+// depend on.
+func TestInitialLayoutIdenticalWithZeroCalibration(t *testing.T) {
+	for _, dev := range arch.EvaluationDevices() {
+		cm := zeroCost(t, dev)
+		count := 0
+		for _, b := range workloads.Suite() {
+			if b.Qubits > dev.NumQubits || b.Qubits > 12 {
+				continue
+			}
+			if count++; count > 8 {
+				break // a slice per device keeps the grid fast; the core-side test sweeps the full matrix
+			}
+			c := b.Circuit()
+			plain, err := InitialLayout(c, dev, 1, Options{})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", b.Name, dev.Name, err)
+			}
+			calibrated, err := InitialLayout(c, dev, 1, Options{Cost: cm})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", b.Name, dev.Name, err)
+			}
+			if !plain.Equal(calibrated) {
+				t.Fatalf("%s on %s: initial layouts diverge under zero calibration", b.Name, dev.Name)
+			}
+		}
+	}
+}
+
+// TestRemapRejectsForeignCostModel mirrors core's check.
+func TestRemapRejectsForeignCostModel(t *testing.T) {
+	cm := zeroCost(t, arch.Linear(5))
+	c := randCircuit(1, 4, 10)
+	if _, err := Remap(c, arch.Ring(5), nil, Options{Cost: cm}); err == nil {
+		t.Error("Remap accepted a cost model for a different device")
+	}
+}

@@ -28,6 +28,13 @@ type Options struct {
 	// DecayReset is the number of swap rounds between decay resets.
 	// 0 means DefaultDecayReset.
 	DecayReset int
+	// Cost, when non-nil, replaces the hop-count distance matrix in the
+	// H = H_F + W·H_E scoring with a calibration-weighted metric
+	// (DESIGN.md §8). It must be built for the target device. nil — and a
+	// model with zero calibration weights — preserve the published SABRE
+	// objective bit-for-bit (CostScale is a power of two, so the float
+	// quotients scale exactly).
+	Cost *arch.CostModel
 
 	// naiveScore selects the from-scratch reference scoring (score) over
 	// the incidence-indexed base+delta evaluation. Test-only: the
@@ -107,6 +114,11 @@ func Remap(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Opti
 		return nil, fmt.Errorf("sabre: layout shape %d/%d does not match circuit %d / device %d",
 			initial.NumLogical(), initial.NumPhysical(), c.NumQubits, dev.NumQubits)
 	}
+	if opts.Cost != nil {
+		if err := opts.Cost.CompatibleWith(dev); err != nil {
+			return nil, fmt.Errorf("sabre: %w", err)
+		}
+	}
 	m := &mapper{
 		opts:    opts,
 		dev:     dev,
@@ -121,6 +133,12 @@ func Remap(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Opti
 			// a 30k-gate output mid-run showed up in the allocation profile.
 			Gates: make([]circuit.Gate, 0, len(c.Gates)+len(c.Gates)/4+16),
 		},
+	}
+	m.nq = dev.NumQubits
+	if opts.Cost != nil {
+		m.distTab = opts.Cost.Table()
+	} else {
+		m.distTab = dev.DistTable()
 	}
 	m.resetDecay()
 	m.run()
@@ -141,6 +159,12 @@ type mapper struct {
 	decay   []float64
 	out     *circuit.Circuit
 	swaps   int
+
+	// distTab is the flat distance matrix H scores against: the device hop
+	// matrix, or the calibration-weighted one when Options.Cost is set.
+	// Executability stays a dev.Adjacent question regardless.
+	distTab []int32
+	nq      int
 
 	// Reused hot-loop scratch: the front double-buffer, the extended-set
 	// BFS state (epoch-stamped instead of per-round maps), the candidate
@@ -390,7 +414,7 @@ func (m *mapper) index(set []int, inc [][]int32) (base, n int) {
 		q1, q2 := g.Qubits[0], g.Qubits[1]
 		p1 := m.layout.Phys(q1)
 		p2 := m.layout.Phys(q2)
-		base += m.dev.Distance(p1, p2)
+		base += m.distance(p1, p2)
 		n++
 		m.bucket(p1)
 		m.bucket(p2)
@@ -410,6 +434,10 @@ func (m *mapper) bucket(p int) {
 		m.incE[p] = m.incE[p][:0]
 	}
 }
+
+// distance is the metric H scores against: hop distance by default, the
+// calibration-weighted metric under Options.Cost.
+func (m *mapper) distance(a, b int) int { return int(m.distTab[a*m.nq+b]) }
 
 // swappedPhys returns where physical qubit p ends up under a SWAP of (a, b).
 func swappedPhys(p, a, b int) int {
@@ -433,7 +461,7 @@ func (m *mapper) deltaSum(c swapCand, inc [][]int32) int {
 		for _, ent := range inc[c.a] {
 			p1 := m.layout.Phys(int(ent >> 16))
 			p2 := m.layout.Phys(int(ent & 0xffff))
-			sum += m.dev.Distance(swappedPhys(p1, c.a, c.b), swappedPhys(p2, c.a, c.b)) - m.dev.Distance(p1, p2)
+			sum += m.distance(swappedPhys(p1, c.a, c.b), swappedPhys(p2, c.a, c.b)) - m.distance(p1, p2)
 		}
 	}
 	if m.incStamp[c.b] == m.incEpoch {
@@ -443,7 +471,7 @@ func (m *mapper) deltaSum(c swapCand, inc [][]int32) int {
 			if p1 == c.a || p2 == c.a {
 				continue // already counted from the c.a side
 			}
-			sum += m.dev.Distance(swappedPhys(p1, c.a, c.b), swappedPhys(p2, c.a, c.b)) - m.dev.Distance(p1, p2)
+			sum += m.distance(swappedPhys(p1, c.a, c.b), swappedPhys(p2, c.a, c.b)) - m.distance(p1, p2)
 		}
 	}
 	return sum
@@ -535,7 +563,7 @@ func (m *mapper) score(c swapCand, front, ext []int) float64 {
 			}
 			p1 := sw(m.layout.Phys(g.Qubits[0]))
 			p2 := sw(m.layout.Phys(g.Qubits[1]))
-			sum += float64(m.dev.Distance(p1, p2))
+			sum += float64(m.distance(p1, p2))
 			n++
 		}
 		return sum, n
@@ -612,7 +640,12 @@ func (m *mapper) directRoute(front []int) {
 		if m.dev.Adjacent(p1, p2) {
 			continue
 		}
-		path := m.dev.ShortestPath(p1, p2)
+		var path []int
+		if m.opts.Cost != nil {
+			path = m.opts.Cost.ShortestPath(p1, p2)
+		} else {
+			path = m.dev.ShortestPath(p1, p2)
+		}
 		for i := 0; i+2 < len(path); i++ {
 			a, b := path[i], path[i+1]
 			if a > b {

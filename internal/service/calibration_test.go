@@ -1,0 +1,235 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"codar/internal/arch"
+	"codar/internal/calib"
+)
+
+// uploadCalibration posts a synthetic snapshot for the named device and
+// returns the reported hash.
+func uploadCalibration(t *testing.T, s *Server, name string, seed int64) string {
+	t.Helper()
+	dev, err := s.Registry().Resolve(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := calib.Synthetic(dev, seed)
+	w := do(t, s, http.MethodPost, "/v1/devices/"+name+"/calibration", snap)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("upload status = %d; body: %s", w.Code, w.Body.String())
+	}
+	var info CalibrationInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Hash == "" || info.Qubits != dev.NumQubits || info.Couplers != len(dev.Edges) {
+		t.Fatalf("bad upload info: %+v", info)
+	}
+	return info.Hash
+}
+
+func TestCalibrationUploadAndGet(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// GET before upload: 404.
+	if w := do(t, s, http.MethodGet, "/v1/devices/tokyo/calibration", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("pre-upload GET status = %d", w.Code)
+	}
+	hash := uploadCalibration(t, s, "tokyo", 1)
+	w := do(t, s, http.MethodGet, "/v1/devices/tokyo/calibration", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET status = %d; body: %s", w.Code, w.Body.String())
+	}
+	var got struct {
+		Info     CalibrationInfo `json:"info"`
+		Snapshot *calib.Snapshot `json:"snapshot"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Info.Hash != hash {
+		t.Errorf("hash mismatch: %s vs %s", got.Info.Hash, hash)
+	}
+	if got.Snapshot.Hash() != hash {
+		t.Errorf("returned snapshot rehashes to %s, want %s", got.Snapshot.Hash(), hash)
+	}
+	// Aliases resolve to the same record.
+	if w := do(t, s, http.MethodGet, "/v1/devices/ibm-q20-tokyo/calibration", nil); w.Code != http.StatusOK {
+		t.Errorf("alias GET status = %d", w.Code)
+	}
+}
+
+func TestCalibrationUploadErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	tokyo, err := s.Registry().Resolve("tokyo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := calib.Synthetic(arch.Linear(5), 1)
+	tests := []struct {
+		name       string
+		method     string
+		path       string
+		body       interface{}
+		wantStatus int
+	}{
+		{"unknown device", http.MethodPost, "/v1/devices/nonexistent/calibration", calib.Synthetic(tokyo, 1), http.StatusNotFound},
+		{"wrong topology", http.MethodPost, "/v1/devices/tokyo/calibration", wrong, http.StatusBadRequest},
+		{"bad json", http.MethodPost, "/v1/devices/tokyo/calibration", `{"qubits": `, http.StatusBadRequest},
+		{"bad subpath", http.MethodPost, "/v1/devices/tokyo/frobnicate", calib.Synthetic(tokyo, 1), http.StatusNotFound},
+		{"delete not allowed", http.MethodDelete, "/v1/devices/tokyo/calibration", nil, http.StatusMethodNotAllowed},
+		{"get missing", http.MethodGet, "/v1/devices/melbourne/calibration", nil, http.StatusNotFound},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			w := do(t, s, tc.method, tc.path, tc.body)
+			if w.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d; body: %s", w.Code, tc.wantStatus, w.Body.String())
+			}
+		})
+	}
+}
+
+func TestCalibratedMapRequiresSnapshot(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := do(t, s, http.MethodPost, "/v1/map", MapRequest{QASM: ghzQASM, Arch: "tokyo", Calibrated: true})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body: %s", w.Code, w.Body.String())
+	}
+}
+
+func TestCalibratedMapResponseAndCacheKey(t *testing.T) {
+	s := newTestServer(t, Config{})
+	hash := uploadCalibration(t, s, "tokyo", 1)
+
+	// Uncalibrated request first: its bytes must be unaffected by
+	// calibration existing on the device.
+	base := do(t, s, http.MethodPost, "/v1/map", MapRequest{QASM: ghzQASM, Arch: "tokyo"})
+	if base.Code != http.StatusOK {
+		t.Fatalf("uncalibrated status = %d", base.Code)
+	}
+	var baseResp MapResponse
+	if err := json.Unmarshal(base.Body.Bytes(), &baseResp); err != nil {
+		t.Fatal(err)
+	}
+	if baseResp.Calibration != "" || baseResp.EstSuccess != nil {
+		t.Errorf("uncalibrated response carries calibration fields: %+v", baseResp)
+	}
+
+	cal := do(t, s, http.MethodPost, "/v1/map", MapRequest{QASM: ghzQASM, Arch: "tokyo", Calibrated: true})
+	if cal.Code != http.StatusOK {
+		t.Fatalf("calibrated status = %d; body: %s", cal.Code, cal.Body.String())
+	}
+	if cal.Header().Get(cacheHeader) != "miss" {
+		t.Errorf("calibrated first request disposition %q, want miss", cal.Header().Get(cacheHeader))
+	}
+	var calResp MapResponse
+	if err := json.Unmarshal(cal.Body.Bytes(), &calResp); err != nil {
+		t.Fatal(err)
+	}
+	if calResp.Calibration != hash {
+		t.Errorf("calibration hash %q, want %q", calResp.Calibration, hash)
+	}
+	if calResp.EstSuccess == nil || *calResp.EstSuccess <= 0 || *calResp.EstSuccess > 1 {
+		t.Errorf("est_success = %v, want present and in (0,1]", calResp.EstSuccess)
+	}
+	if calResp.BaselineEstSuccess == nil || *calResp.BaselineEstSuccess <= 0 {
+		t.Errorf("baseline_est_success = %v, want present and > 0", calResp.BaselineEstSuccess)
+	}
+
+	// The repeat is a byte-identical cache hit.
+	rep := do(t, s, http.MethodPost, "/v1/map", MapRequest{QASM: ghzQASM, Arch: "tokyo", Calibrated: true})
+	if rep.Header().Get(cacheHeader) != "hit" {
+		t.Fatalf("repeat disposition %q, want hit", rep.Header().Get(cacheHeader))
+	}
+	if rep.Body.String() != cal.Body.String() {
+		t.Error("cache hit bytes differ from original response")
+	}
+
+	// Replacing the snapshot re-keys calibrated entries (miss with the new
+	// hash) while uncalibrated entries still hit.
+	newHash := uploadCalibration(t, s, "tokyo", 2)
+	if newHash == hash {
+		t.Fatal("re-upload produced the same hash")
+	}
+	after := do(t, s, http.MethodPost, "/v1/map", MapRequest{QASM: ghzQASM, Arch: "tokyo", Calibrated: true})
+	if after.Header().Get(cacheHeader) != "miss" {
+		t.Errorf("post-replace disposition %q, want miss", after.Header().Get(cacheHeader))
+	}
+	var afterResp MapResponse
+	if err := json.Unmarshal(after.Body.Bytes(), &afterResp); err != nil {
+		t.Fatal(err)
+	}
+	if afterResp.Calibration != newHash {
+		t.Errorf("post-replace hash %q, want %q", afterResp.Calibration, newHash)
+	}
+	baseRepeat := do(t, s, http.MethodPost, "/v1/map", MapRequest{QASM: ghzQASM, Arch: "tokyo"})
+	if baseRepeat.Header().Get(cacheHeader) != "hit" {
+		t.Errorf("uncalibrated repeat disposition %q, want hit", baseRepeat.Header().Get(cacheHeader))
+	}
+	if baseRepeat.Body.String() != base.Body.String() {
+		t.Error("uncalibrated bytes changed after calibration upload")
+	}
+}
+
+func TestCalibrationOnCustomDeviceAndStats(t *testing.T) {
+	s := newTestServer(t, Config{})
+	spec := DeviceSpec{Name: "lab-ring", Qubits: 6, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}}
+	if w := do(t, s, http.MethodPost, "/v1/devices", spec); w.Code != http.StatusCreated {
+		t.Fatalf("device upload status = %d; body: %s", w.Code, w.Body.String())
+	}
+	uploadCalibration(t, s, "lab-ring", 1)
+	w := do(t, s, http.MethodPost, "/v1/map", MapRequest{QASM: ghzQASM, Arch: "lab-ring", Calibrated: true})
+	if w.Code != http.StatusOK {
+		t.Fatalf("calibrated map on custom device: %d; body: %s", w.Code, w.Body.String())
+	}
+	stats := do(t, s, http.MethodGet, "/v1/stats", nil)
+	var sr StatsResponse
+	if err := json.Unmarshal(stats.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.CalibratedDevices != 1 {
+		t.Errorf("calibrated_devices = %d, want 1", sr.CalibratedDevices)
+	}
+}
+
+// TestCalibrationStoreBounded: distinct parametric device names cannot grow
+// the calibration store past its cap, but replacing an existing device's
+// snapshot always succeeds.
+func TestCalibrationStoreBounded(t *testing.T) {
+	s := newTestServer(t, Config{})
+	reg := s.Registry()
+	full := 0
+	for n := 3; ; n++ {
+		name := fmt.Sprintf("linear%d", n)
+		dev, err := reg.Resolve(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, serr := reg.SetCalibration(name, calib.Synthetic(dev, 1)); serr != nil {
+			if serr.status != http.StatusConflict {
+				t.Fatalf("unexpected rejection status %d: %v", serr.status, serr)
+			}
+			full = reg.CalibrationCount()
+			break
+		}
+		if n > 3+2*calibCap {
+			t.Fatal("calibration store never filled")
+		}
+	}
+	if full != calibCap {
+		t.Errorf("store filled at %d entries, want %d", full, calibCap)
+	}
+	// Replacement of an existing key is still allowed at capacity.
+	dev, err := reg.Resolve("linear3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, serr := reg.SetCalibration("linear3", calib.Synthetic(dev, 2)); serr != nil {
+		t.Errorf("replacement at capacity rejected: %v", serr)
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"codar/internal/arch"
+	"codar/internal/calib"
 	"codar/internal/circuit"
 	"codar/internal/core"
 	"codar/internal/experiments"
@@ -40,6 +42,11 @@ type MapRequest struct {
 	// Baseline requests a SABRE baseline mapping for the speedup metric.
 	// Defaults to true when Algo is codar (nil = default).
 	Baseline *bool `json:"baseline,omitempty"`
+	// Calibrated requests fidelity-weighted mapping under the device's
+	// uploaded calibration snapshot (POST /v1/devices/{name}/calibration).
+	// 400 when the device has none. Default false: uncalibrated requests
+	// are untouched by calibration uploads, bytes included.
+	Calibrated bool `json:"calibrated,omitempty"`
 }
 
 // MapResponse is the POST /v1/map body on success.
@@ -63,6 +70,17 @@ type MapResponse struct {
 	BaselineWeightedDepth int     `json:"baseline_weighted_depth,omitempty"`
 	BaselineSwaps         int     `json:"baseline_swaps,omitempty"`
 	Speedup               float64 `json:"speedup,omitempty"`
+
+	// Calibration block (present on calibrated requests): the snapshot
+	// hash the mapping was computed under, and the estimated success
+	// probabilities of this mapper's output (and the baseline's, when one
+	// was computed). The ESP fields are pointers so that a legitimate
+	// estimate of exactly 0 (deep circuits underflow the survival product)
+	// is still serialised rather than dropped by omitempty — presence
+	// tracks "was calibrated", not "is non-zero".
+	Calibration        string   `json:"calibration,omitempty"`
+	EstSuccess         *float64 `json:"est_success,omitempty"`
+	BaselineEstSuccess *float64 `json:"baseline_est_success,omitempty"`
 }
 
 // normalize applies request defaults and validates enum fields.
@@ -101,14 +119,18 @@ func (req *MapRequest) normalize() *svcError {
 
 // cacheKey derives the result-cache key. Every field that can change the
 // mapped output participates: the circuit text (hashed), the resolved
-// device name, the algorithm, the durations preset, the seed and the
-// baseline flag. Seed and durations are load-bearing — the initial layout
-// is a function of the seed, and the durations steer CODAR's lock-aware
-// routing — so omitting either would alias distinct outputs (DESIGN.md §7).
-func (req *MapRequest) cacheKey(deviceName string) string {
+// device name, the algorithm, the durations preset, the seed, the baseline
+// flag and — on calibrated requests — the calibration snapshot hash. Seed
+// and durations are load-bearing — the initial layout is a function of the
+// seed, and the durations steer CODAR's lock-aware routing (DESIGN.md §7).
+// The calibration hash is equally load-bearing: the cost model reshapes
+// placement and routing, and re-uploading a snapshot must invalidate every
+// result computed under the old one (DESIGN.md §8). calHash is empty for
+// uncalibrated requests, which therefore keep their pre-calibration keys.
+func (req *MapRequest) cacheKey(deviceName, calHash string) string {
 	h := sha256.New()
 	h.Write([]byte(req.QASM))
-	fmt.Fprintf(h, "\x00%s\x00%s\x00%s\x00%d\x00%t", deviceName, req.Algo, req.Durations, req.Seed, *req.Baseline)
+	fmt.Fprintf(h, "\x00%s\x00%s\x00%s\x00%d\x00%t\x00%s", deviceName, req.Algo, req.Durations, req.Seed, *req.Baseline, calHash)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -130,9 +152,10 @@ func (s *Server) resolveDevice(req *MapRequest) (*arch.Device, *svcError) {
 }
 
 // mapOne runs the full mapping pipeline for one normalized request on an
-// already-resolved device. It is pure with respect to server state (no
-// cache, no counters), so the single and batch paths share it.
-func (s *Server) mapOne(req *MapRequest, dev *arch.Device) (*MapResponse, *svcError) {
+// already-resolved device, under the device's calibration when cal is
+// non-nil. It is pure with respect to server state (no cache, no counters),
+// so the single and batch paths share it.
+func (s *Server) mapOne(req *MapRequest, dev *arch.Device, cal *Calibration) (*MapResponse, *svcError) {
 	parsed, err := qasm.Parse(req.QASM)
 	if err != nil {
 		return nil, errBadRequest("bad qasm: %v", err)
@@ -141,7 +164,13 @@ func (s *Server) mapOne(req *MapRequest, dev *arch.Device) (*MapResponse, *svcEr
 	if c.NumQubits > dev.NumQubits {
 		return nil, errBadRequest("circuit needs %d qubits but %s has %d", c.NumQubits, dev.Name, dev.NumQubits)
 	}
-	initial, err := sabre.InitialLayout(c, dev, req.Seed, sabre.Options{})
+	var coreOpts core.Options
+	var sabreOpts sabre.Options
+	if cal != nil {
+		coreOpts.Cost = cal.Cost
+		sabreOpts.Cost = cal.Cost
+	}
+	initial, err := sabre.InitialLayout(c, dev, req.Seed, sabreOpts)
 	if err != nil {
 		return nil, errBadRequest("initial layout: %v", err)
 	}
@@ -156,14 +185,14 @@ func (s *Server) mapOne(req *MapRequest, dev *arch.Device) (*MapResponse, *svcEr
 	var mapped *circuit.Circuit
 	switch req.Algo {
 	case "codar":
-		res, err := core.Remap(c, dev, initial, core.Options{})
+		res, err := core.Remap(c, dev, initial, coreOpts)
 		if err != nil {
 			return nil, errBadRequest("codar: %v", err)
 		}
 		mapped = res.Circuit
 		resp.Swaps = res.SwapCount
 	case "sabre":
-		res, err := sabre.Remap(c, dev, initial, sabre.Options{})
+		res, err := sabre.Remap(c, dev, initial, sabreOpts)
 		if err != nil {
 			return nil, errBadRequest("sabre: %v", err)
 		}
@@ -173,19 +202,48 @@ func (s *Server) mapOne(req *MapRequest, dev *arch.Device) (*MapResponse, *svcEr
 	resp.MappedQASM = qasm.Write(mapped)
 	resp.OutputGates = mapped.Len()
 	resp.Depth = mapped.Depth()
-	resp.WeightedDepth = schedule.WeightedDepth(mapped, dev.Durations)
+	wd, esp, serr := depthAndESP(mapped, dev, cal)
+	if serr != nil {
+		return nil, serr
+	}
+	resp.WeightedDepth = wd
+	resp.EstSuccess = esp
+	if cal != nil {
+		resp.Calibration = cal.Hash
+	}
 	if *req.Baseline && req.Algo == "codar" {
-		base, err := sabre.Remap(c, dev, initial, sabre.Options{})
+		base, err := sabre.Remap(c, dev, initial, sabreOpts)
 		if err != nil {
 			return nil, errBadRequest("sabre baseline: %v", err)
 		}
-		resp.BaselineWeightedDepth = schedule.WeightedDepth(base.Circuit, dev.Durations)
+		resp.BaselineWeightedDepth, resp.BaselineEstSuccess, serr = depthAndESP(base.Circuit, dev, cal)
+		if serr != nil {
+			return nil, serr
+		}
 		resp.BaselineSwaps = base.SwapCount
 		if resp.WeightedDepth > 0 {
 			resp.Speedup = float64(resp.BaselineWeightedDepth) / float64(resp.WeightedDepth)
 		}
 	}
 	return resp, nil
+}
+
+// depthAndESP computes a mapped circuit's weighted depth and — when a
+// calibration is attached — its estimated success probability. The ESP
+// needs the full ASAP schedule and its makespan IS the weighted depth, so
+// calibrated requests build the schedule once and read both from it;
+// uncalibrated ones keep the allocation-free WeightedDepth pass and return
+// a nil ESP.
+func depthAndESP(c *circuit.Circuit, dev *arch.Device, cal *Calibration) (int, *float64, *svcError) {
+	if cal == nil {
+		return schedule.WeightedDepth(c, dev.Durations), nil, nil
+	}
+	sched := schedule.ASAP(c, dev.Durations)
+	esp, err := cal.Snap.Success(sched, dev)
+	if err != nil {
+		return 0, nil, &svcError{status: http.StatusInternalServerError, msg: fmt.Sprintf("success estimate: %v", err)}
+	}
+	return sched.Makespan, &esp, nil
 }
 
 // mapBytes answers one map request with the rendered response body,
@@ -202,13 +260,24 @@ func (s *Server) mapBytes(req *MapRequest) (body []byte, hit bool, serr *svcErro
 	if serr != nil {
 		return nil, false, serr
 	}
-	key := req.cacheKey(dev.Name)
+	var cal *Calibration
+	if req.Calibrated {
+		var ok bool
+		if cal, ok = s.registry.Calibration(dev.Name); !ok {
+			return nil, false, errBadRequest("device %q has no calibration; upload one via POST /v1/devices/%s/calibration", dev.Name, req.Arch)
+		}
+	}
+	calHash := ""
+	if cal != nil {
+		calHash = cal.Hash
+	}
+	key := req.cacheKey(dev.Name, calHash)
 	if cached, ok := s.cache.Get(key); ok {
 		return cached, true, nil
 	}
 	release := s.acquire()
 	defer release()
-	resp, serr := s.mapOne(req, dev)
+	resp, serr := s.mapOne(req, dev, cal)
 	if serr != nil {
 		return nil, false, serr
 	}
@@ -359,6 +428,70 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusCreated, infoOf(dev, false))
 	default:
 		s.writeError(w, &svcError{status: http.StatusMethodNotAllowed, msg: "devices is GET/POST-only"})
+	}
+}
+
+// CalibrationInfo summarises a stored calibration in responses.
+type CalibrationInfo struct {
+	Device   string `json:"device"`
+	Hash     string `json:"hash"`
+	Qubits   int    `json:"qubits"`
+	Couplers int    `json:"couplers"`
+}
+
+func calibInfo(cal *Calibration) CalibrationInfo {
+	return CalibrationInfo{
+		Device:   cal.Device,
+		Hash:     cal.Hash,
+		Qubits:   len(cal.Snap.Qubits),
+		Couplers: len(cal.Snap.Edges),
+	}
+}
+
+// handleDeviceCalibration implements the /v1/devices/{name}/calibration
+// sub-resource: POST (or PUT) uploads a calibration snapshot for a builtin
+// or custom device — validated against its coupling graph, cost model built
+// once at upload — and GET returns the stored snapshot with its hash.
+// Re-uploading replaces the snapshot; the new hash re-keys every calibrated
+// cache entry (DESIGN.md §8).
+func (s *Server) handleDeviceCalibration(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/devices/")
+	parts := strings.Split(rest, "/")
+	if len(parts) != 2 || parts[0] == "" || parts[1] != "calibration" {
+		s.writeError(w, errNotFound("unknown path %q (want /v1/devices/{name}/calibration)", r.URL.Path))
+		return
+	}
+	name := parts[0]
+	switch r.Method {
+	case http.MethodGet:
+		dev, err := s.registry.Resolve(name)
+		if err != nil {
+			s.writeError(w, errNotFound("%v", err))
+			return
+		}
+		cal, ok := s.registry.Calibration(dev.Name)
+		if !ok {
+			s.writeError(w, errNotFound("device %q has no calibration", dev.Name))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"info":     calibInfo(cal),
+			"snapshot": cal.Snap,
+		})
+	case http.MethodPost, http.MethodPut:
+		var snap calib.Snapshot
+		if serr := decodeJSON(r, &snap); serr != nil {
+			s.writeError(w, serr)
+			return
+		}
+		cal, serr := s.registry.SetCalibration(name, &snap)
+		if serr != nil {
+			s.writeError(w, serr)
+			return
+		}
+		writeJSON(w, http.StatusCreated, calibInfo(cal))
+	default:
+		s.writeError(w, &svcError{status: http.StatusMethodNotAllowed, msg: "calibration is GET/POST/PUT-only"})
 	}
 }
 

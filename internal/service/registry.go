@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"codar/internal/arch"
+	"codar/internal/calib"
 )
 
 // Registry resolves device names for mapping requests. Builtins delegate to
@@ -16,6 +17,11 @@ import (
 type Registry struct {
 	mu     sync.RWMutex
 	custom map[string]*arch.Device // keyed by lower-case name
+	// calib holds uploaded calibration snapshots with their derived cost
+	// models and hashes, keyed by the lower-case *resolved* device name so
+	// aliases (tokyo, q20, ibm-q20-tokyo) share one record. Replacing a
+	// snapshot changes its hash, which re-keys every cached mapping result.
+	calib map[string]*Calibration
 	// builtins memoizes arch.ByName results by request alias, so the hot
 	// serving path (and especially the cache-hit path, which resolves only
 	// to canonicalize the cache key) skips rebuilding the all-pairs
@@ -28,6 +34,13 @@ type Registry struct {
 // builtinMemoCap bounds the resolved-builtin memo (see Registry.builtins).
 const builtinMemoCap = 64
 
+// calibCap bounds the calibration store for the same reason builtinMemoCap
+// bounds the builtin memo: parametric names (grid40x40, linear500, ...)
+// resolve on demand, and each stored Calibration retains an n² cost-model
+// matrix. Replacing an existing device's snapshot is always allowed; only
+// calibrating the cap+1-th distinct device is rejected.
+const calibCap = 64
+
 // builtinNames are the concrete built-in models listed by GET /v1/devices.
 // The parametric families (gridRxC, linearN, ringN) resolve through
 // arch.ByName but are advertised separately as patterns.
@@ -37,11 +50,23 @@ var builtinNames = []string{"q5", "qx4", "melbourne", "tokyo", "enfield", "sycam
 // demand (e.g. grid3x4, linear9, ring12).
 var ParametricFamilies = []string{"gridRxC", "linearN", "ringN"}
 
+// Calibration is one stored device calibration: the snapshot itself, the
+// cost model derived from it at upload time (built once, shared read-only by
+// every calibrated request), the canonical snapshot hash that joins the
+// result-cache key, and the resolved device name the record is keyed under.
+type Calibration struct {
+	Snap   *calib.Snapshot
+	Cost   *arch.CostModel
+	Hash   string
+	Device string
+}
+
 // NewRegistry builds an empty registry (builtins are always available).
 func NewRegistry() *Registry {
 	return &Registry{
 		custom:   make(map[string]*arch.Device),
 		builtins: make(map[string]*arch.Device),
+		calib:    make(map[string]*Calibration),
 	}
 }
 
@@ -145,6 +170,51 @@ func (r *Registry) CustomCount() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.custom)
+}
+
+// SetCalibration validates and stores a calibration snapshot for the device
+// named by the request (builtin or custom), building its cost model once.
+// Re-uploading replaces the previous snapshot — daily calibration refreshes
+// are the normal cadence — and the changed hash re-keys the result cache, so
+// stale cached mappings can never be served as calibrated results.
+func (r *Registry) SetCalibration(deviceName string, snap *calib.Snapshot) (*Calibration, *svcError) {
+	dev, err := r.Resolve(deviceName)
+	if err != nil {
+		return nil, errNotFound("%v", err)
+	}
+	if err := snap.Validate(dev); err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+	cost, err := snap.CostModel(dev, 0)
+	if err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+	cal := &Calibration{Snap: snap, Cost: cost, Hash: snap.Hash(), Device: dev.Name}
+	key := strings.ToLower(dev.Name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.calib[key]; !exists && len(r.calib) >= calibCap {
+		return nil, errConflict("calibration store holds %d devices (max %d); replace an existing one", len(r.calib), calibCap)
+	}
+	r.calib[key] = cal
+	return cal, nil
+}
+
+// Calibration returns the stored calibration for a *resolved* device name
+// (use the name of the device returned by Resolve, so aliases hit the same
+// record).
+func (r *Registry) Calibration(resolvedName string) (*Calibration, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cal, ok := r.calib[strings.ToLower(resolvedName)]
+	return cal, ok
+}
+
+// CalibrationCount returns the number of calibrated devices (for /v1/stats).
+func (r *Registry) CalibrationCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.calib)
 }
 
 // withDurations returns dev with the duration map replaced, shallow-copying

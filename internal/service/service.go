@@ -104,6 +104,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/map", s.handleMap)
 	s.mux.HandleFunc("/v1/map/batch", s.handleMapBatch)
 	s.mux.HandleFunc("/v1/devices", s.handleDevices)
+	s.mux.HandleFunc("/v1/devices/", s.handleDeviceCalibration)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	return s
 }
@@ -201,18 +202,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // StatsResponse is the GET /v1/stats body.
 type StatsResponse struct {
-	Requests      uint64         `json:"requests"`
-	Errors        uint64         `json:"errors"`
-	InFlight      int64          `json:"in_flight"`
-	Workers       int            `json:"workers"`
-	CacheHits     uint64         `json:"cache_hits"`
-	CacheMisses   uint64         `json:"cache_misses"`
-	CacheHitRate  float64        `json:"cache_hit_rate"`
-	CacheSize     int            `json:"cache_size"`
-	CacheCapacity int            `json:"cache_capacity"`
-	CustomDevices int            `json:"custom_devices"`
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Latency       LatencySummary `json:"latency"`
+	Requests          uint64         `json:"requests"`
+	Errors            uint64         `json:"errors"`
+	InFlight          int64          `json:"in_flight"`
+	Workers           int            `json:"workers"`
+	CacheHits         uint64         `json:"cache_hits"`
+	CacheMisses       uint64         `json:"cache_misses"`
+	CacheHitRate      float64        `json:"cache_hit_rate"`
+	CacheSize         int            `json:"cache_size"`
+	CacheCapacity     int            `json:"cache_capacity"`
+	CustomDevices     int            `json:"custom_devices"`
+	CalibratedDevices int            `json:"calibrated_devices"`
+	UptimeSeconds     float64        `json:"uptime_seconds"`
+	Latency           LatencySummary `json:"latency"`
 }
 
 // handleStats reports serving counters.
@@ -223,17 +225,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	hits, misses := s.cache.Counters()
 	resp := StatsResponse{
-		Requests:      s.stats.requests.Load(),
-		Errors:        s.stats.errors.Load(),
-		InFlight:      s.stats.inFlight.Load(),
-		Workers:       s.workers,
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheSize:     s.cache.Len(),
-		CacheCapacity: s.cache.Capacity(),
-		CustomDevices: s.registry.CustomCount(),
-		UptimeSeconds: time.Since(s.stats.start).Seconds(),
-		Latency:       s.stats.latencies(),
+		Requests:          s.stats.requests.Load(),
+		Errors:            s.stats.errors.Load(),
+		InFlight:          s.stats.inFlight.Load(),
+		Workers:           s.workers,
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheSize:         s.cache.Len(),
+		CacheCapacity:     s.cache.Capacity(),
+		CustomDevices:     s.registry.CustomCount(),
+		CalibratedDevices: s.registry.CalibrationCount(),
+		UptimeSeconds:     time.Since(s.stats.start).Seconds(),
+		Latency:           s.stats.latencies(),
 	}
 	if total := hits + misses; total > 0 {
 		resp.CacheHitRate = float64(hits) / float64(total)

@@ -20,6 +20,12 @@ type NoiseModel struct {
 	T1 float64
 	// T2 is the pure-dephasing time constant; 0 or +Inf disables dephasing.
 	T2 float64
+	// T1Q and T2Q, when non-nil, override T1/T2 per physical qubit —
+	// the heterogeneous regime a calibration snapshot describes
+	// (calib.Snapshot.NoiseModel). A qubit index beyond the slice falls
+	// back to the scalar constant.
+	T1Q []float64
+	T2Q []float64
 	// Gate1QError and Gate2QError are depolarising error probabilities:
 	// after a gate, each operand suffers a uniformly random Pauli with the
 	// class probability. 0 disables. This extension quantifies the §V-B
@@ -40,31 +46,49 @@ func DampingDominant(t1 float64) NoiseModel { return NoiseModel{T1: t1, T2: math
 // enabled reports whether a time constant contributes noise.
 func enabled(t float64) bool { return t > 0 && !math.IsInf(t, 1) }
 
-// dephaseProb returns the phase-flip probability after dt cycles:
-// p = (1 - exp(-dt/T2)) / 2, the standard phase-flip-channel mapping.
-func (m NoiseModel) dephaseProb(dt float64) float64 {
-	if !enabled(m.T2) || dt <= 0 {
-		return 0
+// t1For and t2For resolve the time constant for qubit q: the per-qubit
+// override when present, the scalar otherwise.
+func (m NoiseModel) t1For(q int) float64 {
+	if q < len(m.T1Q) {
+		return m.T1Q[q]
 	}
-	return (1 - math.Exp(-dt/m.T2)) / 2
+	return m.T1
 }
 
-// dampGamma returns the amplitude-damping parameter after dt cycles:
-// γ = 1 - exp(-dt/T1).
-func (m NoiseModel) dampGamma(dt float64) float64 {
-	if !enabled(m.T1) || dt <= 0 {
+func (m NoiseModel) t2For(q int) float64 {
+	if q < len(m.T2Q) {
+		return m.T2Q[q]
+	}
+	return m.T2
+}
+
+// dephaseProb returns the phase-flip probability on qubit q after dt cycles:
+// p = (1 - exp(-dt/T2)) / 2, the standard phase-flip-channel mapping.
+func (m NoiseModel) dephaseProb(q int, dt float64) float64 {
+	t2 := m.t2For(q)
+	if !enabled(t2) || dt <= 0 {
 		return 0
 	}
-	return 1 - math.Exp(-dt/m.T1)
+	return (1 - math.Exp(-dt/t2)) / 2
+}
+
+// dampGamma returns the amplitude-damping parameter on qubit q after dt
+// cycles: γ = 1 - exp(-dt/T1).
+func (m NoiseModel) dampGamma(q int, dt float64) float64 {
+	t1 := m.t1For(q)
+	if !enabled(t1) || dt <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-dt/t1)
 }
 
 // applyNoise evolves one trajectory of the dephasing+damping channels on
 // qubit q for dt cycles.
 func (m NoiseModel) applyNoise(s *State, q int, dt float64, rng *rand.Rand) {
-	if p := m.dephaseProb(dt); p > 0 && rng.Float64() < p {
+	if p := m.dephaseProb(q, dt); p > 0 && rng.Float64() < p {
 		zGate(s, q)
 	}
-	if gamma := m.dampGamma(dt); gamma > 0 {
+	if gamma := m.dampGamma(q, dt); gamma > 0 {
 		dampTrajectory(s, q, gamma, rng)
 	}
 }

@@ -13,31 +13,31 @@ func durations() arch.Durations { return arch.SuperconductingDurations() }
 
 func TestNoiseModelProbabilities(t *testing.T) {
 	m := NoiseModel{T1: 100, T2: 50}
-	if p := m.dephaseProb(0); p != 0 {
+	if p := m.dephaseProb(0, 0); p != 0 {
 		t.Errorf("dephaseProb(0) = %g", p)
 	}
 	// p -> 1/2 as dt -> inf.
-	if p := m.dephaseProb(1e9); math.Abs(p-0.5) > 1e-9 {
+	if p := m.dephaseProb(0, 1e9); math.Abs(p-0.5) > 1e-9 {
 		t.Errorf("dephaseProb(inf) = %g, want 0.5", p)
 	}
-	if g := m.dampGamma(1e9); math.Abs(g-1) > 1e-9 {
+	if g := m.dampGamma(0, 1e9); math.Abs(g-1) > 1e-9 {
 		t.Errorf("dampGamma(inf) = %g, want 1", g)
 	}
 	// Monotone in dt.
-	if m.dephaseProb(10) >= m.dephaseProb(100) {
+	if m.dephaseProb(0, 10) >= m.dephaseProb(0, 100) {
 		t.Error("dephaseProb not increasing")
 	}
 	// Disabled channels.
 	off := NoiseModel{}
-	if off.dephaseProb(50) != 0 || off.dampGamma(50) != 0 {
+	if off.dephaseProb(0, 50) != 0 || off.dampGamma(0, 50) != 0 {
 		t.Error("zero-valued model should be noiseless")
 	}
 	deph := DephasingDominant(40)
-	if deph.dampGamma(100) != 0 || deph.dephaseProb(100) == 0 {
+	if deph.dampGamma(0, 100) != 0 || deph.dephaseProb(0, 100) == 0 {
 		t.Error("DephasingDominant misconfigured")
 	}
 	damp := DampingDominant(40)
-	if damp.dephaseProb(100) != 0 || damp.dampGamma(100) == 0 {
+	if damp.dephaseProb(0, 100) != 0 || damp.dampGamma(0, 100) == 0 {
 		t.Error("DampingDominant misconfigured")
 	}
 }
@@ -254,5 +254,24 @@ func TestPauliInjectionHelpers(t *testing.T) {
 	yGate(s3, 2)
 	if !s3.EqualUpToPhase(want, 1e-9) {
 		t.Error("Pauli helpers do not square to identity")
+	}
+}
+
+func TestPerQubitOverrides(t *testing.T) {
+	m := NoiseModel{T1: 100, T2: 50, T1Q: []float64{10, 0}, T2Q: []float64{20, 0}}
+	// Qubit 0 uses its own constants.
+	if got, want := m.dampGamma(0, 10), 1-math.Exp(-1.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("per-qubit dampGamma = %g, want %g", got, want)
+	}
+	if got, want := m.dephaseProb(0, 20), (1-math.Exp(-1.0))/2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("per-qubit dephaseProb = %g, want %g", got, want)
+	}
+	// Qubit 1's zero overrides disable both channels for it.
+	if m.dampGamma(1, 1e6) != 0 || m.dephaseProb(1, 1e6) != 0 {
+		t.Error("zero per-qubit constants should disable noise on that qubit")
+	}
+	// A qubit beyond the override slices falls back to the scalars.
+	if got, want := m.dampGamma(2, 100), 1-math.Exp(-1.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("fallback dampGamma = %g, want %g", got, want)
 	}
 }

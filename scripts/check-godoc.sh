@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# check-godoc.sh — gate that every package is documented: each
+# internal/* package must carry a `// Package <name>` doc comment (so
+# `go doc codar/internal/<pkg>` says something useful), each command a
+# `// Command <name>` comment, and each example must open with a
+# walkthrough comment. Run from the repository root; CI runs it in the
+# docs job next to the link checker.
+set -u
+
+errors=0
+
+if ! grep -q '^// Package codar' codar.go; then
+  echo "codar.go: missing '// Package codar' doc comment"
+  errors=$((errors + 1))
+fi
+
+for dir in internal/*/; do
+  if ! grep -q '^// Package ' "$dir"*.go 2>/dev/null; then
+    echo "$dir: no file carries a '// Package ...' doc comment"
+    errors=$((errors + 1))
+  fi
+done
+
+for dir in cmd/*/; do
+  if ! grep -q '^// Command ' "$dir"*.go 2>/dev/null; then
+    echo "$dir: no file carries a '// Command ...' doc comment"
+    errors=$((errors + 1))
+  fi
+done
+
+for main in examples/*/main.go; do
+  first=$(head -n 1 "$main")
+  case $first in
+  //\ *) ;;
+  *)
+    echo "$main: must open with a walkthrough doc comment"
+    errors=$((errors + 1))
+    ;;
+  esac
+done
+
+if [ "$errors" -gt 0 ]; then
+  echo "check-godoc: $errors undocumented package(s)"
+  exit 1
+fi
+echo "check-godoc: every package carries a doc comment"

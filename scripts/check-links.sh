@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# check-links.sh — verify that every relative markdown link (and #anchor)
+# in the documentation resolves to an existing file (and heading). External
+# http(s) links are skipped: CI should not depend on the network. Run from
+# the repository root.
+set -u
+
+errors=0
+
+# slug mimics GitHub's heading slugger closely enough for these docs:
+# lowercase, drop everything but [a-z0-9 -] (multi-byte punctuation like
+# § and — disappears byte-wise under LC_ALL=C), then spaces to hyphens.
+slug() {
+  printf '%s\n' "$1" \
+    | tr '[:upper:]' '[:lower:]' \
+    | LC_ALL=C sed -e 's/[^a-z0-9 -]//g' -e 's/ /-/g'
+}
+
+has_anchor() { # $1 = markdown file, $2 = anchor slug
+  local line heading
+  while IFS= read -r line; do
+    case $line in
+    '#'*)
+      heading=$(printf '%s\n' "$line" | sed -e 's/^#*[[:space:]]*//')
+      if [ "$(slug "$heading")" = "$2" ]; then
+        return 0
+      fi
+      ;;
+    esac
+  done <"$1"
+  return 1
+}
+
+docs="README.md DESIGN.md EXPERIMENTS.md ROADMAP.md"
+for f in docs/*.md; do
+  [ -e "$f" ] && docs="$docs $f"
+done
+
+for f in $docs; do
+  [ -e "$f" ] || continue
+  dir=$(dirname "$f")
+  # Our docs never break a [text](target) link across lines, and targets
+  # never contain spaces, so line-wise extraction is exact.
+  targets=$(grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/.*](\([^)]*\))/\1/') || true
+  for t in $targets; do
+    case $t in
+    http://* | https://* | mailto:*) continue ;;
+    esac
+    path=${t%%#*}
+    anchor=${t#*#}
+    if [ "$anchor" = "$t" ]; then
+      anchor=""
+    fi
+    resolved=$f
+    if [ -n "$path" ]; then
+      resolved=$dir/$path
+      if [ ! -e "$resolved" ]; then
+        echo "$f: broken link: $t ($resolved does not exist)"
+        errors=$((errors + 1))
+        continue
+      fi
+    fi
+    if [ -n "$anchor" ]; then
+      case $resolved in
+      *.md)
+        if ! has_anchor "$resolved" "$anchor"; then
+          echo "$f: broken anchor: $t"
+          errors=$((errors + 1))
+        fi
+        ;;
+      esac
+    fi
+  done
+done
+
+if [ "$errors" -gt 0 ]; then
+  echo "check-links: $errors broken link(s)"
+  exit 1
+fi
+echo "check-links: all relative links resolve"
