@@ -8,8 +8,11 @@
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -18,38 +21,81 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	dir := flag.String("dir", "benchmarks", "output directory")
-	raw := flag.Bool("raw", false, "emit circuits before lowering (keep ccx/cp/rzz/swap)")
-	flag.Parse()
+// config is the parsed benchgen command line.
+type config struct {
+	dir string
+	raw bool
+}
 
-	if err := os.MkdirAll(*dir, 0o755); err != nil {
+// parseFlags parses and validates the command line; leftover positional
+// arguments (previously silently ignored) error to stderr so main exits
+// non-zero.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	fs.StringVar(&cfg.dir, "dir", "benchmarks", "output directory")
+	fs.BoolVar(&cfg.raw, "raw", false, "emit circuits before lowering (keep ccx/cp/rzz/swap)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.dir == "" {
+		return nil, fmt.Errorf("-dir must be non-empty")
+	}
+	return cfg, nil
+}
+
+func run(cfg *config) error {
+	if err := os.MkdirAll(cfg.dir, 0o755); err != nil {
 		return err
 	}
-	manifest, err := os.Create(filepath.Join(*dir, "MANIFEST.txt"))
+	f, err := os.Create(filepath.Join(cfg.dir, "MANIFEST.txt"))
 	if err != nil {
 		return err
 	}
-	defer manifest.Close()
+	// The manifest is the command's deliverable: buffering the rows means
+	// one checked Flush covers every write, so a full disk fails the run
+	// (exit-code audit) instead of truncating the file silently.
+	manifest := bufio.NewWriter(f)
 
 	fmt.Fprintf(manifest, "# name qubits gates family\n")
 	for _, b := range workloads.Suite() {
 		c := b.Circuit()
-		if *raw {
+		if cfg.raw {
 			c = b.Raw()
 		}
-		path := filepath.Join(*dir, b.Name+".qasm")
+		path := filepath.Join(cfg.dir, b.Name+".qasm")
 		if err := os.WriteFile(path, []byte(qasm.Write(c)), 0o644); err != nil {
+			f.Close()
 			return err
 		}
 		fmt.Fprintf(manifest, "%s %d %d %s\n", b.Name, b.Qubits, c.Len(), b.Family)
 	}
-	fmt.Fprintf(os.Stderr, "benchgen: wrote %d circuits to %s\n", len(workloads.Suite()), *dir)
+	if err := manifest.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchgen: wrote %d circuits to %s\n", len(workloads.Suite()), cfg.dir)
 	return nil
 }

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParseFlagsErrorPaths: benchgen previously ignored positional
+// arguments (`benchgen outdir` wrote to ./benchmarks and exited 0); the
+// hardened parser must reject them so main exits non-zero.
+func TestParseFlagsErrorPaths(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"positional junk", []string{"outdir"}, "unexpected arguments"},
+		{"unknown flag", []string{"-out", "x"}, "flag provided but not defined"},
+		{"empty dir", []string{"-dir", ""}, "-dir must be non-empty"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cfg, err := parseFlags(tc.args, &stderr)
+			if err == nil {
+				t.Fatalf("accepted %v: %+v", tc.args, cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) && !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("error %q / stderr %q missing %q", err, stderr.String(), tc.want)
+			}
+		})
+	}
+}

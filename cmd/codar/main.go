@@ -7,25 +7,41 @@
 //	codar -arch tokyo -in circuit.qasm [-algo codar|sabre] [-out mapped.qasm]
 //	      [-durations superconducting|iontrap|neutralatom|uniform]
 //	      [-seed 1] [-verify] [-stats] [-calib calibration.json] [-lambda 8]
+//	      [-portfolio] [-seeds 1,2] [-objective min-depth|min-swaps|max-esp]
+//	      [-workers 0]
 //
 // With no -in, the circuit is read from stdin. -calib attaches a
 // calibration snapshot (see internal/calib): placement and routing then run
 // under the fidelity-weighted metric and the stats report the estimated
 // success probability.
+//
+// -portfolio replaces the single-shot pipeline with the multi-start
+// portfolio search (internal/portfolio): every -seeds seed × placement
+// method × {codar, sabre} candidate races over the worker pool, the
+// -objective picks the winner deterministically, and the per-candidate
+// report is printed before the usual stats. The single-shot-only flags
+// -algo and -seed are rejected in portfolio mode (the portfolio races both
+// algorithms over -seeds), just as -seeds/-objective/-workers are rejected
+// without -portfolio.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"codar/internal/arch"
 	"codar/internal/calib"
 	"codar/internal/circuit"
 	"codar/internal/core"
+	"codar/internal/metrics"
 	"codar/internal/optimize"
 	"codar/internal/orient"
+	"codar/internal/portfolio"
 	"codar/internal/qasm"
 	"codar/internal/sabre"
 	"codar/internal/schedule"
@@ -33,40 +49,148 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "codar:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "codar:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		archName  = flag.String("arch", "tokyo", "target architecture (q5|melbourne|tokyo|enfield|sycamore|gridRxC|linearN|ringN)")
-		algo      = flag.String("algo", "codar", "mapping algorithm: codar or sabre")
-		inPath    = flag.String("in", "", "input OpenQASM file (default stdin)")
-		outPath   = flag.String("out", "", "write the mapped circuit as OpenQASM to this file")
-		durations = flag.String("durations", "superconducting", "duration preset: superconducting|iontrap|neutralatom|uniform")
-		seed      = flag.Int64("seed", 1, "seed for the SABRE reverse-traversal initial mapping")
-		doVerify  = flag.Bool("verify", false, "verify the mapped circuit (compliance + equivalence [+ statevector on small devices])")
-		stats     = flag.Bool("stats", true, "print mapping statistics")
-		window    = flag.Int("window", 0, "CODAR commutative-front window (0 = default)")
-		lookahead = flag.Int("lookahead", 0, "CODAR look-ahead tie-breaker size (0 = default, negative = off)")
-		optimise  = flag.Bool("optimize", false, "run peephole optimisation (inverse cancellation, rotation merge) before mapping")
-		orientCX  = flag.Bool("orient", false, "orient CXs for directed devices and lower SWAPs after mapping")
-		gantt     = flag.Bool("gantt", false, "print a per-qubit ASCII timeline of the mapped circuit")
-		calibPath = flag.String("calib", "", "calibration snapshot JSON; enables fidelity-weighted placement and routing")
-		lambda    = flag.Float64("lambda", 0, "error-term gain of the calibrated metric (0 = default, negative = hop-only)")
-	)
-	flag.Parse()
-	if flag.NArg() > 0 {
-		return fmt.Errorf("unexpected arguments: %v (flags go before positional input; use -in for the circuit file)", flag.Args())
-	}
+// config is the parsed codar command line.
+type config struct {
+	archName  string
+	algo      string
+	inPath    string
+	outPath   string
+	durations string
+	seed      int64
+	doVerify  bool
+	stats     bool
+	window    int
+	lookahead int
+	optimise  bool
+	orientCX  bool
+	gantt     bool
+	calibPath string
+	lambda    float64
 
-	dev, err := arch.ByName(*archName)
+	portfolioMode bool
+	seeds         []int64
+	objective     portfolio.Objective
+	workers       int
+}
+
+// parseFlags parses and validates the command line. Leftover positional
+// arguments and out-of-range values are errors printed to stderr with
+// usage, so main exits non-zero (PR 4 flag-hardening contract).
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("codar", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	var seedsCSV, objective string
+	fs.StringVar(&cfg.archName, "arch", "tokyo", "target architecture (q5|melbourne|tokyo|enfield|sycamore|gridRxC|linearN|ringN)")
+	fs.StringVar(&cfg.algo, "algo", "codar", "mapping algorithm: codar or sabre")
+	fs.StringVar(&cfg.inPath, "in", "", "input OpenQASM file (default stdin)")
+	fs.StringVar(&cfg.outPath, "out", "", "write the mapped circuit as OpenQASM to this file")
+	fs.StringVar(&cfg.durations, "durations", "superconducting", "duration preset: superconducting|iontrap|neutralatom|uniform")
+	fs.Int64Var(&cfg.seed, "seed", 1, "seed for the SABRE reverse-traversal initial mapping")
+	fs.BoolVar(&cfg.doVerify, "verify", false, "verify the mapped circuit (compliance + equivalence [+ statevector on small devices])")
+	fs.BoolVar(&cfg.stats, "stats", true, "print mapping statistics")
+	fs.IntVar(&cfg.window, "window", 0, "CODAR commutative-front window (0 = default)")
+	fs.IntVar(&cfg.lookahead, "lookahead", 0, "CODAR look-ahead tie-breaker size (0 = default, negative = off)")
+	fs.BoolVar(&cfg.optimise, "optimize", false, "run peephole optimisation (inverse cancellation, rotation merge) before mapping")
+	fs.BoolVar(&cfg.orientCX, "orient", false, "orient CXs for directed devices and lower SWAPs after mapping")
+	fs.BoolVar(&cfg.gantt, "gantt", false, "print a per-qubit ASCII timeline of the mapped circuit")
+	fs.StringVar(&cfg.calibPath, "calib", "", "calibration snapshot JSON; enables fidelity-weighted placement and routing")
+	fs.Float64Var(&cfg.lambda, "lambda", 0, "error-term gain of the calibrated metric (0 = default, negative = hop-only)")
+	fs.BoolVar(&cfg.portfolioMode, "portfolio", false, "run the multi-start portfolio search instead of a single-shot mapping")
+	fs.StringVar(&seedsCSV, "seeds", "1,2", "portfolio seed list, comma-separated (e.g. 1,2,3)")
+	fs.StringVar(&objective, "objective", "min-depth", "portfolio objective: min-depth|min-swaps|max-esp")
+	fs.IntVar(&cfg.workers, "workers", 0, "portfolio worker-pool size (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return nil, fmt.Errorf("unexpected arguments: %v (flags go before positional input; use -in for the circuit file)", fs.Args())
+	}
+	// Mode-specific flags must not be silently ignored (the flag-hardening
+	// contract: misused flags error, exit non-zero). Explicitly spelled
+	// defaults count as usage: -seeds/-objective/-workers only drive the
+	// portfolio, -algo/-seed only the single-shot pipeline.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if !cfg.portfolioMode {
+		for _, name := range []string{"seeds", "objective", "workers"} {
+			if explicit[name] {
+				return nil, fmt.Errorf("-%s requires -portfolio", name)
+			}
+		}
+	} else {
+		for _, name := range []string{"algo", "seed"} {
+			if explicit[name] {
+				return nil, fmt.Errorf("-%s is single-shot only; the portfolio races both algorithms over -seeds", name)
+			}
+		}
+	}
+	if cfg.algo != "codar" && cfg.algo != "sabre" {
+		return nil, fmt.Errorf("-algo must be codar or sabre, got %q", cfg.algo)
+	}
+	switch cfg.durations {
+	case "superconducting", "iontrap", "neutralatom", "uniform":
+	default:
+		return nil, fmt.Errorf("unknown duration preset %q", cfg.durations)
+	}
+	if cfg.workers < 0 {
+		return nil, fmt.Errorf("-workers must be >= 0, got %d", cfg.workers)
+	}
+	var err error
+	if cfg.objective, err = portfolio.ParseObjective(objective); err != nil {
+		return nil, err
+	}
+	if cfg.seeds, err = parseSeeds(seedsCSV); err != nil {
+		return nil, err
+	}
+	if cfg.objective == portfolio.ObjectiveMaxESP && cfg.calibPath == "" {
+		return nil, fmt.Errorf("-objective max-esp needs -calib")
+	}
+	return cfg, nil
+}
+
+// parseSeeds parses the -seeds comma-separated list.
+func parseSeeds(csv string) ([]int64, error) {
+	parts := strings.Split(csv, ",")
+	seeds := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		s, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-seeds: bad seed %q", p)
+		}
+		seeds = append(seeds, s)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("-seeds must list at least one seed")
+	}
+	return seeds, nil
+}
+
+func run(cfg *config) error {
+	dev, err := arch.ByName(cfg.archName)
 	if err != nil {
 		return err
 	}
-	switch *durations {
+	switch cfg.durations {
 	case "superconducting":
 		dev.Durations = arch.SuperconductingDurations()
 	case "iontrap":
@@ -75,24 +199,22 @@ func run() error {
 		dev.Durations = arch.NeutralAtomDurations()
 	case "uniform":
 		dev.Durations = arch.UniformDurations()
-	default:
-		return fmt.Errorf("unknown duration preset %q", *durations)
 	}
 
 	var (
 		snap *calib.Snapshot
 		cost *arch.CostModel
 	)
-	if *calibPath != "" {
-		if snap, err = calib.Load(*calibPath); err != nil {
+	if cfg.calibPath != "" {
+		if snap, err = calib.Load(cfg.calibPath); err != nil {
 			return err
 		}
-		if cost, err = snap.CostModel(dev, *lambda); err != nil {
+		if cost, err = snap.CostModel(dev, cfg.lambda); err != nil {
 			return err
 		}
 	}
 
-	src, err := readInput(*inPath)
+	src, err := readInput(cfg.inPath)
 	if err != nil {
 		return err
 	}
@@ -101,7 +223,7 @@ func run() error {
 		return err
 	}
 	c := circuit.Decompose(parsed)
-	if *optimise {
+	if cfg.optimise {
 		var ores optimize.Result
 		c, ores = optimize.Cancel(c)
 		fmt.Fprintf(os.Stderr, "optimize: removed %d gates, merged %d rotations\n", ores.Removed, ores.Merged)
@@ -110,42 +232,51 @@ func run() error {
 		return fmt.Errorf("circuit needs %d qubits but %s has %d", c.NumQubits, dev.Name, dev.NumQubits)
 	}
 
-	initial, err := sabre.InitialLayout(c, dev, *seed, sabre.Options{Cost: cost})
-	if err != nil {
-		return err
-	}
-
 	var (
 		mapped                     *circuit.Circuit
 		initialLayout, finalLayout *arch.Layout
 		swaps                      int
+		algoLabel                  = cfg.algo
 	)
-	switch *algo {
-	case "codar":
-		res, err := core.Remap(c, dev, initial, core.Options{Window: *window, Lookahead: *lookahead, Cost: cost})
+	if cfg.portfolioMode {
+		res, err := runPortfolio(cfg, c, dev, snap, cost)
 		if err != nil {
 			return err
 		}
-		mapped, initialLayout, finalLayout, swaps = res.Circuit, res.InitialLayout, res.FinalLayout, res.SwapCount
-	case "sabre":
-		res, err := sabre.Remap(c, dev, initial, sabre.Options{Cost: cost})
+		w := res.Winner
+		mapped, initialLayout, finalLayout, swaps = w.Circuit, w.InitialLayout, w.FinalLayout, w.SwapCount
+		wr := res.WinnerReport()
+		algoLabel = fmt.Sprintf("portfolio(%s) → seed %d / %s / %s", res.Objective, wr.Seed, wr.Placement, wr.Algorithm)
+	} else {
+		initial, err := sabre.InitialLayout(c, dev, cfg.seed, sabre.Options{Cost: cost})
 		if err != nil {
 			return err
 		}
-		mapped, initialLayout, finalLayout, swaps = res.Circuit, res.InitialLayout, res.FinalLayout, res.SwapCount
-	default:
-		return fmt.Errorf("unknown algorithm %q (want codar or sabre)", *algo)
+		switch cfg.algo {
+		case "codar":
+			res, err := core.Remap(c, dev, initial, core.Options{Window: cfg.window, Lookahead: cfg.lookahead, Cost: cost})
+			if err != nil {
+				return err
+			}
+			mapped, initialLayout, finalLayout, swaps = res.Circuit, res.InitialLayout, res.FinalLayout, res.SwapCount
+		case "sabre":
+			res, err := sabre.Remap(c, dev, initial, sabre.Options{Cost: cost})
+			if err != nil {
+				return err
+			}
+			mapped, initialLayout, finalLayout, swaps = res.Circuit, res.InitialLayout, res.FinalLayout, res.SwapCount
+		}
 	}
 
-	if *doVerify {
+	if cfg.doVerify {
 		if err := verify.Full(c, mapped, dev, initialLayout, finalLayout); err != nil {
 			return fmt.Errorf("verification failed: %w", err)
 		}
 		fmt.Fprintln(os.Stderr, "verification: ok")
 	}
 
-	if *orientCX || dev.Directed() {
-		oriented, ores, err := orient.Pass(mapped, dev, *orientCX)
+	if cfg.orientCX || dev.Directed() {
+		oriented, ores, err := orient.Pass(mapped, dev, cfg.orientCX)
 		if err != nil {
 			return err
 		}
@@ -155,11 +286,11 @@ func run() error {
 		}
 	}
 
-	if *gantt {
+	if cfg.gantt {
 		fmt.Fprint(os.Stderr, schedule.ASAP(mapped, dev.Durations).Gantt(100))
 	}
 
-	if *stats {
+	if cfg.stats {
 		// With a snapshot attached the ESP needs the full ASAP schedule,
 		// whose makespan is the weighted depth — build it once.
 		var wd int
@@ -171,7 +302,7 @@ func run() error {
 			wd = schedule.WeightedDepth(mapped, dev.Durations)
 		}
 		fmt.Fprintf(os.Stderr, "device:          %s\n", dev)
-		fmt.Fprintf(os.Stderr, "algorithm:       %s\n", *algo)
+		fmt.Fprintf(os.Stderr, "algorithm:       %s\n", algoLabel)
 		fmt.Fprintf(os.Stderr, "input gates:     %d (depth %d, %d qubits)\n", c.Len(), c.Depth(), c.NumQubits)
 		fmt.Fprintf(os.Stderr, "output gates:    %d (depth %d)\n", mapped.Len(), mapped.Depth())
 		fmt.Fprintf(os.Stderr, "swaps inserted:  %d\n", swaps)
@@ -185,14 +316,53 @@ func run() error {
 		}
 	}
 
-	if *outPath != "" {
-		if err := os.WriteFile(*outPath, []byte(qasm.Write(mapped)), 0o644); err != nil {
+	if cfg.outPath != "" {
+		if err := os.WriteFile(cfg.outPath, []byte(qasm.Write(mapped)), 0o644); err != nil {
 			return err
 		}
-	} else if !*stats {
+	} else if !cfg.stats {
 		fmt.Print(qasm.Write(mapped))
 	}
 	return nil
+}
+
+// runPortfolio executes the portfolio search and prints the per-candidate
+// report to stderr.
+func runPortfolio(cfg *config, c *circuit.Circuit, dev *arch.Device, snap *calib.Snapshot, cost *arch.CostModel) (*portfolio.Result, error) {
+	spec := portfolio.Spec{
+		Seeds:        cfg.seeds,
+		Objective:    cfg.objective,
+		Workers:      cfg.workers,
+		EarlyAbandon: true,
+		Snapshot:     snap,
+		Codar:        core.Options{Window: cfg.window, Lookahead: cfg.lookahead, Cost: cost},
+		Sabre:        sabre.Options{Cost: cost},
+	}
+	res, err := portfolio.Run(c, dev, spec)
+	if err != nil {
+		return nil, err
+	}
+	norm := spec.Normalized()
+	fmt.Fprintf(os.Stderr, "portfolio: %d candidates (%d seeds × %d placements × %d algorithms), objective %s\n",
+		len(res.Candidates), len(norm.Seeds), len(norm.Placements), len(norm.Algorithms), res.Objective)
+	t := metrics.NewTable("cand", "seed", "placement", "algo", "depth", "swaps", "esp", "status")
+	for _, r := range res.Candidates {
+		status := "ok"
+		switch {
+		case r.Err != "":
+			status = "error: " + r.Err
+		case r.Abandoned:
+			status = "abandoned"
+		case r.Index == res.WinnerIndex:
+			status = "winner"
+		}
+		t.AddRow(r.Index, r.Seed, string(r.Placement), string(r.Algorithm), r.Depth, r.Swaps, r.ESP, status)
+	}
+	if err := t.Render(os.Stderr); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "portfolio: completed=%d abandoned=%d\n", res.Completed, res.Abandoned)
+	return res, nil
 }
 
 func readInput(path string) (string, error) {

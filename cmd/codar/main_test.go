@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseFlags(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.archName != "tokyo" || cfg.algo != "codar" || !cfg.stats || cfg.portfolioMode {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if len(cfg.seeds) != 2 || cfg.seeds[0] != 1 || cfg.seeds[1] != 2 {
+		t.Errorf("default seeds %v", cfg.seeds)
+	}
+	if string(cfg.objective) != "min-depth" {
+		t.Errorf("default objective %q", cfg.objective)
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("defaults wrote to stderr: %q", stderr.String())
+	}
+}
+
+func TestParseFlagsPortfolio(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseFlags([]string{"-portfolio", "-seeds", "3, 5,8", "-objective", "min-swaps", "-workers", "2"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.portfolioMode || cfg.workers != 2 {
+		t.Errorf("portfolio flags not parsed: %+v", cfg)
+	}
+	if len(cfg.seeds) != 3 || cfg.seeds[0] != 3 || cfg.seeds[1] != 5 || cfg.seeds[2] != 8 {
+		t.Errorf("seeds %v", cfg.seeds)
+	}
+	if string(cfg.objective) != "min-swaps" {
+		t.Errorf("objective %q", cfg.objective)
+	}
+}
+
+// TestParseFlagsErrorPaths: every malformed command line must produce an
+// error (so main exits non-zero) and say something on stderr (PR 4
+// flag-hardening contract, extended to the portfolio flags).
+func TestParseFlagsErrorPaths(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string // substring of the error or stderr output
+	}{
+		{"positional junk", []string{"circuit.qasm"}, "unexpected arguments"},
+		{"junk after flags", []string{"-arch", "tokyo", "map"}, "unexpected arguments"},
+		{"unknown flag", []string{"-architecture", "tokyo"}, "flag provided but not defined"},
+		{"bad algo", []string{"-algo", "astar"}, "-algo must be codar or sabre"},
+		{"bad durations", []string{"-durations", "photonic"}, "unknown duration preset"},
+		{"bad objective", []string{"-portfolio", "-objective", "fastest"}, "unknown objective"},
+		{"bad seed list", []string{"-portfolio", "-seeds", "1,two"}, "bad seed"},
+		{"empty seed list", []string{"-portfolio", "-seeds", ","}, "at least one seed"},
+		{"negative workers", []string{"-portfolio", "-workers", "-1"}, "-workers must be >= 0"},
+		{"max-esp without calib", []string{"-portfolio", "-objective", "max-esp"}, "needs -calib"},
+		{"seeds without portfolio", []string{"-seeds", "1,2,3"}, "-seeds requires -portfolio"},
+		{"objective without portfolio", []string{"-objective", "min-swaps"}, "-objective requires -portfolio"},
+		{"workers without portfolio", []string{"-workers", "2"}, "-workers requires -portfolio"},
+		{"algo with portfolio", []string{"-portfolio", "-algo", "sabre"}, "-algo is single-shot only"},
+		{"seed with portfolio", []string{"-portfolio", "-seed", "7"}, "-seed is single-shot only"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cfg, err := parseFlags(tc.args, &stderr)
+			if err == nil {
+				t.Fatalf("accepted %v: %+v", tc.args, cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) && !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("error %q / stderr %q missing %q", err, stderr.String(), tc.want)
+			}
+		})
+	}
+}

@@ -187,11 +187,19 @@ func run(cfg *loadConfig) error {
 			service.Percentile(lats, 0.50), service.Percentile(lats, 0.90),
 			service.Percentile(lats, 0.99), lats[ok-1])
 	}
-	if err := printServerStats(client, cfg.server); err != nil {
-		fmt.Fprintf(os.Stderr, "codarload: stats: %v\n", err)
-	}
+	// A stats failure is a real error (the server is answering /v1/map but
+	// not /v1/stats); it is always surfaced exactly once — inline when the
+	// request failures take the exit reason, via the returned error (which
+	// main prints) otherwise.
+	statsErr := printServerStats(client, cfg.server)
 	if failures > 0 {
+		if statsErr != nil {
+			fmt.Fprintf(os.Stderr, "codarload: stats: %v\n", statsErr)
+		}
 		return fmt.Errorf("%d of %d requests failed", failures, len(reqs))
+	}
+	if statsErr != nil {
+		return fmt.Errorf("stats: %w", statsErr)
 	}
 	return nil
 }

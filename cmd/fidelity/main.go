@@ -16,8 +16,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"codar/internal/arch"
@@ -27,31 +29,61 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "fidelity:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fidelity:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	traj := flag.Int("traj", 100, "Monte-Carlo trajectories per fidelity estimate")
-	gateErr := flag.Bool("gateerr", false, "also run the gate-error trade-off study (extension beyond Fig 9)")
-	calibStudy := flag.Bool("calib", false, "run the calibration study (ESP sweep + simulated fidelity) instead of Fig 9")
-	lambda := flag.Float64("lambda", 0, "error-term gain of the calibrated metric (0 = default)")
-	flag.Parse()
-	if flag.NArg() > 0 {
-		return fmt.Errorf("unexpected arguments: %v", flag.Args())
-	}
+// config is the parsed fidelity command line.
+type config struct {
+	traj       int
+	gateErr    bool
+	calibStudy bool
+	lambda     float64
+}
 
-	if *calibStudy {
-		return runCalibration(*traj, *lambda)
+// parseFlags parses and validates the command line; malformed lines error
+// to stderr so main exits non-zero.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("fidelity", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	fs.IntVar(&cfg.traj, "traj", 100, "Monte-Carlo trajectories per fidelity estimate")
+	fs.BoolVar(&cfg.gateErr, "gateerr", false, "also run the gate-error trade-off study (extension beyond Fig 9)")
+	fs.BoolVar(&cfg.calibStudy, "calib", false, "run the calibration study (ESP sweep + simulated fidelity) instead of Fig 9")
+	fs.Float64Var(&cfg.lambda, "lambda", 0, "error-term gain of the calibrated metric (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.traj < 1 {
+		return nil, fmt.Errorf("-traj must be >= 1, got %d", cfg.traj)
+	}
+	return cfg, nil
+}
+
+func run(cfg *config) error {
+	if cfg.calibStudy {
+		return runCalibration(cfg.traj, cfg.lambda)
 	}
 
 	fmt.Println("Fig 9 — fidelity of seven algorithms, CODAR vs SABRE")
 	fmt.Printf("device: 3x3 grid; regimes: dephasing-dominant (T2=%.0f cycles), damping-dominant (T1=%.0f cycles); %d trajectories\n\n",
-		experiments.DephasingT2, experiments.DampingT1, *traj)
+		experiments.DephasingT2, experiments.DampingT1, cfg.traj)
 
-	rows, err := experiments.RunFig9(*traj, core.Options{})
+	rows, err := experiments.RunFig9(cfg.traj, core.Options{})
 	if err != nil {
 		return err
 	}
@@ -59,10 +91,10 @@ func run() error {
 		return err
 	}
 
-	if *gateErr {
+	if cfg.gateErr {
 		fmt.Printf("\ngate-error trade-off study (§V-B extension): decoherence + depolarising gate errors (1q=%.2g, 2q=%.2g)\n\n",
 			experiments.Gate1QError, experiments.Gate2QError)
-		gerows, err := experiments.RunGateErrorStudy(*traj, core.Options{})
+		gerows, err := experiments.RunGateErrorStudy(cfg.traj, core.Options{})
 		if err != nil {
 			return err
 		}

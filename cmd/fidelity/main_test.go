@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParseFlagsErrorPaths extends the PR 4 flag-hardening contract to
+// fidelity: malformed lines must error so main exits non-zero.
+func TestParseFlagsErrorPaths(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"positional junk", []string{"fig9"}, "unexpected arguments"},
+		{"unknown flag", []string{"-trajectories", "10"}, "flag provided but not defined"},
+		{"zero traj", []string{"-traj", "0"}, "-traj must be >= 1"},
+		{"bad traj", []string{"-traj", "lots"}, "invalid value"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cfg, err := parseFlags(tc.args, &stderr)
+			if err == nil {
+				t.Fatalf("accepted %v: %+v", tc.args, cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) && !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("error %q / stderr %q missing %q", err, stderr.String(), tc.want)
+			}
+		})
+	}
+	var stderr bytes.Buffer
+	if cfg, err := parseFlags([]string{"-traj", "25", "-calib"}, &stderr); err != nil || cfg.traj != 25 || !cfg.calibStudy {
+		t.Errorf("valid line rejected: %v %+v", err, cfg)
+	}
+}

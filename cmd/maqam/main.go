@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"codar/internal/arch"
@@ -20,22 +22,51 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "maqam:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "maqam:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	archName := flag.String("arch", "", "detail a single device")
-	table1 := flag.Bool("table1", false, "print the Table I technology parameters")
-	flag.Parse()
+// config is the parsed maqam command line.
+type config struct {
+	archName string
+	table1   bool
+}
 
-	if *table1 {
+// parseFlags parses and validates the command line; leftover positional
+// arguments (previously silently ignored) error to stderr so main exits
+// non-zero.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("maqam", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	fs.StringVar(&cfg.archName, "arch", "", "detail a single device")
+	fs.BoolVar(&cfg.table1, "table1", false, "print the Table I technology parameters")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, nil
+}
+
+func run(cfg *config) error {
+	if cfg.table1 {
 		return printTableI()
 	}
-	if *archName != "" {
-		dev, err := arch.ByName(*archName)
+	if cfg.archName != "" {
+		dev, err := arch.ByName(cfg.archName)
 		if err != nil {
 			return err
 		}

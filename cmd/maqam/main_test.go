@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParseFlagsErrorPaths: maqam previously ignored positional arguments
+// entirely (`maqam tokyo` listed everything and exited 0); the hardened
+// parser must reject them so main exits non-zero.
+func TestParseFlagsErrorPaths(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"positional junk", []string{"tokyo"}, "unexpected arguments"},
+		{"unknown flag", []string{"-device", "tokyo"}, "flag provided but not defined"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cfg, err := parseFlags(tc.args, &stderr)
+			if err == nil {
+				t.Fatalf("accepted %v: %+v", tc.args, cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) && !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("error %q / stderr %q missing %q", err, stderr.String(), tc.want)
+			}
+		})
+	}
+	var stderr bytes.Buffer
+	if cfg, err := parseFlags([]string{"-arch", "tokyo"}, &stderr); err != nil || cfg.archName != "tokyo" {
+		t.Errorf("valid line rejected: %v %+v", err, cfg)
+	}
+}

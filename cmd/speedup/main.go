@@ -6,72 +6,152 @@
 // Usage:
 //
 //	speedup [-arch all|melbourne|enfield|tokyo|sycamore] [-ablate] [-workers N]
-//	        [-cpuprofile out.prof] [-memprofile out.prof]
+//	        [-portfolio] [-cpuprofile out.prof] [-memprofile out.prof]
+//
+// -portfolio runs the portfolio study instead: the multi-start portfolio
+// winner (internal/portfolio) against the single-shot pipeline on the
+// selected architecture's Fig 8 suite slice, with ESP columns scored under
+// a synthetic calibration snapshot.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
 	"codar/internal/arch"
+	"codar/internal/calib"
 	"codar/internal/core"
 	"codar/internal/experiments"
 	"codar/internal/metrics"
 )
 
 func main() {
-	if err := run(); err != nil {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "speedup:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "speedup:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	archName := flag.String("arch", "all", "architecture to sweep (all|melbourne|enfield|tokyo|sycamore|...)")
-	ablate := flag.Bool("ablate", false, "also run the design ablations (no commutativity, no Hfine, no look-ahead)")
-	workers := flag.Int("workers", 0, "worker-pool size for the per-benchmark fan-out (0 = GOMAXPROCS, 1 = serial)")
-	durSweep := flag.Bool("dursweep", false, "also sweep the 2q/1q duration ratio (extension study)")
-	initial := flag.Bool("initial", false, "also run the initial-mapping sensitivity study")
-	csvPath := flag.String("csv", "", "also write per-benchmark rows as CSV to this file")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
-	flag.Parse()
+// config is the parsed speedup command line.
+type config struct {
+	archName   string
+	ablate     bool
+	workers    int
+	durSweep   bool
+	initial    bool
+	portfolio  bool
+	csvPath    string
+	cpuprofile string
+	memprofile string
+}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return err
+// parseFlags parses and validates the command line. Leftover positional
+// arguments and out-of-range values are errors printed to stderr with
+// usage, so main exits non-zero.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("speedup", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	fs.StringVar(&cfg.archName, "arch", "all", "architecture to sweep (all|melbourne|enfield|tokyo|sycamore|...)")
+	fs.BoolVar(&cfg.ablate, "ablate", false, "also run the design ablations (no commutativity, no Hfine, no look-ahead)")
+	fs.IntVar(&cfg.workers, "workers", 0, "worker-pool size for the per-benchmark fan-out (0 = GOMAXPROCS, 1 = serial)")
+	fs.BoolVar(&cfg.durSweep, "dursweep", false, "also sweep the 2q/1q duration ratio (extension study)")
+	fs.BoolVar(&cfg.initial, "initial", false, "also run the initial-mapping sensitivity study")
+	fs.BoolVar(&cfg.portfolio, "portfolio", false, "run the portfolio-vs-single-shot study instead of the Fig 8 sweep")
+	fs.StringVar(&cfg.csvPath, "csv", "", "also write per-benchmark rows as CSV to this file")
+	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+	fs.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.workers < 0 {
+		return nil, fmt.Errorf("-workers must be >= 0, got %d", cfg.workers)
+	}
+	if cfg.portfolio && (cfg.csvPath != "" || cfg.ablate || cfg.durSweep || cfg.initial || cfg.cpuprofile != "" || cfg.memprofile != "") {
+		return nil, fmt.Errorf("-portfolio runs the portfolio study only; it cannot be combined with -csv, -ablate, -dursweep, -initial or the profile flags")
+	}
+	if cfg.portfolio && cfg.archName == "all" {
+		// The unspelled default narrows to the study's reference device;
+		// an explicit "all" must not be silently reinterpreted.
+		explicitArch := false
+		fs.Visit(func(f *flag.Flag) { explicitArch = explicitArch || f.Name == "arch" })
+		if explicitArch {
+			return nil, fmt.Errorf("-portfolio needs a concrete -arch (default: tokyo); it does not sweep all devices")
 		}
-		defer f.Close()
+	}
+	return cfg, nil
+}
+
+func run(cfg *config) (err error) {
+	if cfg.cpuprofile != "" {
+		f, ferr := os.Create(cfg.cpuprofile)
+		if ferr != nil {
+			return ferr
+		}
+		// Defers run LIFO: StopCPUProfile flushes before the close. Like
+		// the memprofile below, a failed close means a truncated profile
+		// and must fail the command (exit-code audit).
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("cpuprofile: %w", cerr)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			return err
+	if cfg.memprofile != "" {
+		f, ferr := os.Create(cfg.memprofile)
+		if ferr != nil {
+			return ferr
 		}
+		// The heap profile is written on the way out; a write failure must
+		// still fail the command (exit-code audit: no log-only error paths),
+		// so the deferred close propagates into the named return when the
+		// run itself succeeded.
 		defer func() {
 			runtime.GC() // settle the heap so the profile shows retained allocations
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "speedup: memprofile:", err)
+			werr := pprof.WriteHeapProfile(f)
+			cerr := f.Close()
+			if err == nil {
+				if werr != nil {
+					err = fmt.Errorf("memprofile: %w", werr)
+				} else if cerr != nil {
+					err = fmt.Errorf("memprofile: %w", cerr)
+				}
 			}
-			f.Close()
 		}()
 	}
 
 	devices := arch.EvaluationDevices()
-	if *archName != "all" {
-		d, err := arch.ByName(*archName)
+	if cfg.archName != "all" {
+		d, err := arch.ByName(cfg.archName)
 		if err != nil {
 			return err
 		}
 		devices = []*arch.Device{d}
+	}
+
+	if cfg.portfolio {
+		return runPortfolioStudy(cfg, devices)
 	}
 
 	fmt.Println("Fig 8 — circuit execution speedup, CODAR vs SABRE (weighted depth ratio)")
@@ -79,9 +159,9 @@ func run() error {
 	fmt.Println()
 
 	var csv *os.File
-	if *csvPath != "" {
+	if cfg.csvPath != "" {
 		var err error
-		csv, err = os.Create(*csvPath)
+		csv, err = os.Create(cfg.csvPath)
 		if err != nil {
 			return err
 		}
@@ -90,7 +170,7 @@ func run() error {
 
 	var avgRows [][2]string
 	for i, dev := range devices {
-		res, err := experiments.RunFig8DeviceWorkers(dev, core.Options{}, *workers)
+		res, err := experiments.RunFig8DeviceWorkers(dev, core.Options{}, cfg.workers)
 		if err != nil {
 			return err
 		}
@@ -114,7 +194,7 @@ func run() error {
 		return err
 	}
 
-	if *ablate {
+	if cfg.ablate {
 		fmt.Println("\nablations (Q20 Tokyo, average speedup vs SABRE):")
 		at := metrics.NewTable("variant", "avg speedup")
 		tokyo := arch.IBMQ20Tokyo()
@@ -129,7 +209,7 @@ func run() error {
 			{"window 16", core.Options{Window: 16}},
 		}
 		for _, v := range variants {
-			res, err := experiments.RunFig8DeviceWorkers(tokyo, v.opts, *workers)
+			res, err := experiments.RunFig8DeviceWorkers(tokyo, v.opts, cfg.workers)
 			if err != nil {
 				return err
 			}
@@ -140,7 +220,7 @@ func run() error {
 		}
 	}
 
-	if *durSweep {
+	if cfg.durSweep {
 		fmt.Println()
 		tokyo := arch.IBMQ20Tokyo()
 		points, err := experiments.RunDurationSweep(tokyo, nil, core.Options{})
@@ -152,7 +232,7 @@ func run() error {
 		}
 	}
 
-	if *initial {
+	if cfg.initial {
 		fmt.Println()
 		tokyo := arch.IBMQ20Tokyo()
 		rows, err := experiments.RunInitialMappingStudy(tokyo, core.Options{})
@@ -160,6 +240,30 @@ func run() error {
 			return err
 		}
 		if err := experiments.WriteInitialMappingStudy(os.Stdout, tokyo, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runPortfolioStudy runs the portfolio-vs-single-shot comparison on each
+// selected device (default: Tokyo only, the study's reference device —
+// "all" would multiply an already K-way sweep by four).
+func runPortfolioStudy(cfg *config, devices []*arch.Device) error {
+	if cfg.archName == "all" {
+		devices = []*arch.Device{arch.IBMQ20Tokyo()}
+	}
+	fmt.Println("portfolio study — multi-start portfolio winner vs single-shot CODAR")
+	fmt.Println("grid: seeds {1,2} × 4 placements × {codar, sabre}, objective min-depth, early abandon on")
+	fmt.Println("ESP columns scored under a synthetic calibration snapshot (not steering)")
+	fmt.Println()
+	for _, dev := range devices {
+		snap := calib.Synthetic(dev, experiments.Seed)
+		res, err := experiments.RunPortfolioStudy(dev, snap, core.Options{}, cfg.workers)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WritePortfolioStudy(os.Stdout, res); err != nil {
 			return err
 		}
 	}

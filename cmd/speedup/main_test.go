@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseFlags(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.archName != "all" || cfg.workers != 0 || cfg.portfolio {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+}
+
+// TestParseFlagsErrorPaths extends the PR 4 flag-hardening contract to
+// speedup: malformed lines must error so main exits non-zero (package
+// flag's global FlagSet silently ignored the positional-junk case).
+func TestParseFlagsErrorPaths(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"positional junk", []string{"tokyo"}, "unexpected arguments"},
+		{"junk after flags", []string{"-arch", "tokyo", "go"}, "unexpected arguments"},
+		{"unknown flag", []string{"-device", "tokyo"}, "flag provided but not defined"},
+		{"bad workers", []string{"-workers", "few"}, "invalid value"},
+		{"negative workers", []string{"-workers", "-3"}, "-workers must be >= 0"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cfg, err := parseFlags(tc.args, &stderr)
+			if err == nil {
+				t.Fatalf("accepted %v: %+v", tc.args, cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) && !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("error %q / stderr %q missing %q", err, stderr.String(), tc.want)
+			}
+		})
+	}
+}

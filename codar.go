@@ -31,6 +31,7 @@ import (
 	"codar/internal/optimize"
 	"codar/internal/orient"
 	"codar/internal/placement"
+	"codar/internal/portfolio"
 	"codar/internal/qasm"
 	"codar/internal/sabre"
 	"codar/internal/schedule"
@@ -176,6 +177,39 @@ func SABREInitialLayout(c *Circuit, dev *Device, seed int64) (*Layout, error) {
 // unreliable couplers.
 func SABREInitialLayoutOptions(c *Circuit, dev *Device, seed int64, opts SabreOptions) (*Layout, error) {
 	return sabre.InitialLayout(c, dev, seed, opts)
+}
+
+// PortfolioOptions configures a multi-start portfolio run (see
+// internal/portfolio): seeds × placement methods × algorithms, scored by a
+// pluggable objective with deterministic selection.
+type PortfolioOptions = portfolio.Spec
+
+// PortfolioResult is a portfolio run outcome: the winner plus a
+// per-candidate report.
+type PortfolioResult = portfolio.Result
+
+// PortfolioObjective names a portfolio scoring rule.
+type PortfolioObjective = portfolio.Objective
+
+// Portfolio objectives.
+const (
+	// ObjectiveMinDepth selects the shallowest schedule (weighted depth).
+	ObjectiveMinDepth = portfolio.ObjectiveMinDepth
+	// ObjectiveMinSwaps selects the fewest inserted SWAPs.
+	ObjectiveMinSwaps = portfolio.ObjectiveMinSwaps
+	// ObjectiveMaxESP selects the highest calibration-estimated success
+	// probability (requires PortfolioOptions.Snapshot).
+	ObjectiveMaxESP = portfolio.ObjectiveMaxESP
+)
+
+// MapPortfolio runs the multi-start portfolio search: K candidate pipelines
+// (seeds × placement methods × {codar, sabre}) race over a bounded worker
+// pool, every completed schedule is scored by the objective, and the winner
+// is selected by a total order (objective, depth, swaps, candidate index) —
+// deterministic regardless of goroutine timing. The zero options select
+// seeds {1, 2}, all placements, both algorithms and min-depth.
+func MapPortfolio(c *Circuit, dev *Device, opts PortfolioOptions) (*PortfolioResult, error) {
+	return portfolio.Run(c, dev, opts)
 }
 
 // PlacementMethod names an initial-layout strategy.

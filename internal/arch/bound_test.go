@@ -1,0 +1,80 @@
+package arch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDepthBoundZeroValueUnset(t *testing.T) {
+	var b DepthBound
+	if _, ok := b.Get(); ok {
+		t.Fatal("zero-value bound reads as set")
+	}
+	if b.Exceeded(1 << 40) {
+		t.Fatal("unset bound exceeded")
+	}
+	var nilB *DepthBound
+	if _, ok := nilB.Get(); ok {
+		t.Fatal("nil bound reads as set")
+	}
+	if nilB.Exceeded(5) {
+		t.Fatal("nil bound exceeded")
+	}
+	nilB.Tighten(3) // must not panic
+}
+
+func TestDepthBoundTightenIsMin(t *testing.T) {
+	var b DepthBound
+	b.Tighten(100)
+	if d, ok := b.Get(); !ok || d != 100 {
+		t.Fatalf("Get() = %d,%v after Tighten(100)", d, ok)
+	}
+	b.Tighten(250) // looser: ignored
+	if d, _ := b.Get(); d != 100 {
+		t.Fatalf("loosened to %d", d)
+	}
+	b.Tighten(40)
+	if d, _ := b.Get(); d != 40 {
+		t.Fatalf("Tighten(40) left %d", d)
+	}
+	b.Tighten(0)  // ignored
+	b.Tighten(-7) // ignored
+	if d, _ := b.Get(); d != 40 {
+		t.Fatalf("non-positive depth changed the bound to %d", d)
+	}
+}
+
+func TestDepthBoundExceededIsStrict(t *testing.T) {
+	var b DepthBound
+	b.Tighten(10)
+	if b.Exceeded(10) {
+		t.Fatal("Exceeded(10) with bound 10: ties must finish (later tie-break keys decide)")
+	}
+	if !b.Exceeded(11) {
+		t.Fatal("Exceeded(11) with bound 10 should hold")
+	}
+}
+
+// TestDepthBoundConcurrentTighten races many publishers; the surviving
+// bound must be the global minimum (run under -race in CI).
+func TestDepthBoundConcurrentTighten(t *testing.T) {
+	var b DepthBound
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for d := 1000 + w; d > 8+w; d -= 7 {
+				b.Tighten(d)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Each publisher's chain 1000+w, 993+w, ... bottoms out at 13+w
+	// (the last value still > 8+w); the surviving bound is the global
+	// minimum, 13.
+	d, ok := b.Get()
+	if !ok || d != 13 {
+		t.Fatalf("concurrent min = %d (%v), want 13", d, ok)
+	}
+}

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -26,6 +27,11 @@ import (
 	"codar/internal/circuit"
 	"codar/internal/schedule"
 )
+
+// ErrDepthBound is returned by Remap when Options.DepthBound is set and the
+// in-progress schedule's weighted-depth lower bound exceeded it: the run was
+// abandoned because it could no longer beat the portfolio incumbent.
+var ErrDepthBound = errors.New("codar: depth bound exceeded")
 
 // Options tunes the CODAR remapper. The zero value selects the defaults
 // used throughout the evaluation.
@@ -62,6 +68,13 @@ type Options struct {
 	// duration-only objective bit-for-bit (the zero-calibration
 	// equivalence properties pin this).
 	Cost *arch.CostModel
+	// DepthBound, when non-nil, enables the portfolio early-abandon
+	// protocol (DESIGN.md §9): the run tracks the ASAP makespan of the
+	// gates emitted so far — a monotone lower bound on the output's final
+	// weighted depth — and returns ErrDepthBound as soon as it strictly
+	// exceeds the published bound. nil leaves the run (and its output
+	// bytes) untouched.
+	DepthBound *arch.DepthBound
 
 	// naiveFront selects the from-scratch reference front scan instead of
 	// the incremental engine (frontier.go). Test-only: the equivalence
@@ -181,6 +194,9 @@ func Remap(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Opti
 
 	r := newRemapper(c, dev, initial, opts)
 	r.run()
+	if r.exceeded {
+		return nil, ErrDepthBound
+	}
 	return r.result(), nil
 }
 
@@ -218,6 +234,15 @@ type remapper struct {
 	forced    int
 	routed    int
 	streak    int
+
+	// Early-abandon state (Options.DepthBound): the shared ASAP recurrence
+	// over the emitted prefix. Per-qubit emission order equals per-qubit
+	// time order here, so the tracker's span lands exactly on
+	// schedule.WeightedDepth of the final output — and its running value
+	// is a monotone lower bound of it, which is what makes abandoning
+	// sound (DESIGN.md §9).
+	asap     *arch.ASAPTracker
+	exceeded bool
 
 	initial *arch.Layout
 
@@ -292,6 +317,9 @@ func newRemapper(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opt
 	if !opts.naiveScore {
 		r.sc = newScorer(r)
 	}
+	if opts.DepthBound != nil {
+		r.asap = arch.NewASAPTracker(dev.NumQubits)
+	}
 	return r
 }
 
@@ -316,6 +344,9 @@ func (r *remapper) unlink(i int) {
 func (r *remapper) run() {
 	t := 0
 	for r.live > 0 {
+		if r.exceeded {
+			return
+		}
 		r.cycles++
 		// Steps 1–2: launch every lock-free executable CF gate at t, to a
 		// fixpoint (launching can expose new CF gates that are also free).
@@ -452,6 +483,11 @@ func (r *remapper) launchSwap(a, b, start int) {
 // future), so the common case is a plain append and the rare out-of-order
 // gate is placed by binary search plus shift.
 func (r *remapper) emit(sg schedule.ScheduledGate) {
+	if r.asap != nil {
+		if span := r.asap.Note(sg.Gate.Qubits, sg.Duration); r.opts.DepthBound.Exceeded(span) {
+			r.exceeded = true
+		}
+	}
 	out := append(r.out, sg)
 	if n := len(out) - 1; n > 0 && out[n-1].Start > sg.Start {
 		i := sort.Search(n, func(k int) bool { return out[k].Start > sg.Start })

@@ -10,60 +10,27 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"codar/internal/pool"
 )
 
 // DefaultWorkers resolves a worker-count knob: values <= 0 select
 // GOMAXPROCS, and the result is clamped to n so tiny batches do not spawn
 // idle goroutines.
-func DefaultWorkers(workers, n int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
+func DefaultWorkers(workers, n int) int { return pool.Workers(workers, n) }
 
-// RunBatch executes jobs 0..n-1 across a bounded pool of workers and
-// returns the first error by job index (all jobs run regardless, keeping
-// the work deterministic for benchmarking). workers <= 0 selects
-// GOMAXPROCS; workers == 1 degenerates to a plain serial loop with no
-// goroutine or channel traffic, making serial-vs-parallel comparisons
-// honest.
+// RunBatch executes jobs 0..n-1 across a bounded pool of workers
+// (internal/pool) and returns the first error by job index (all jobs run
+// regardless, keeping the work deterministic for benchmarking). workers
+// <= 0 selects GOMAXPROCS; workers == 1 degenerates to a plain serial
+// loop with no goroutine or channel traffic, making serial-vs-parallel
+// comparisons honest.
 func RunBatch(n, workers int, job func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	errs := make([]error, n)
-	workers = DefaultWorkers(workers, n)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			errs[i] = runJob(job, i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					errs[i] = runJob(job, i)
-				}
-			}()
-		}
-		for i := 0; i < n; i++ {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
+	pool.Run(n, workers, func(i int) { errs[i] = runJob(job, i) })
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -96,16 +96,7 @@ func RunCalibrationStudyWorkers(dev *arch.Device, snap *calib.Snapshot, lambda f
 	if err != nil {
 		return res, fmt.Errorf("experiments: calibration study: %w", err)
 	}
-	var eligible []workloads.Benchmark
-	for _, b := range workloads.Suite() {
-		if b.Qubits > 16 && dev.NumQubits < 54 {
-			continue // same eligibility filter as the Fig 8 sweep
-		}
-		if b.Qubits > dev.NumQubits {
-			continue
-		}
-		eligible = append(eligible, b)
-	}
+	eligible := EligibleSuite(dev)
 	rows := make([]CalibrationRow, len(eligible))
 	err = RunBatch(len(eligible), workers, func(i int) error {
 		b := eligible[i]

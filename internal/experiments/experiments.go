@@ -106,11 +106,12 @@ func RunFig8Device(dev *arch.Device, opts core.Options) (Fig8Result, error) {
 	return RunFig8DeviceWorkers(dev, opts, 0)
 }
 
-// RunFig8DeviceWorkers is RunFig8Device with an explicit worker budget:
-// workers <= 0 means GOMAXPROCS, 1 runs strictly serially (the honest
-// baseline for driver-scaling measurements).
-func RunFig8DeviceWorkers(dev *arch.Device, opts core.Options, workers int) (Fig8Result, error) {
-	res := Fig8Result{Device: dev}
+// EligibleSuite returns the device's slice of the benchmark suite under
+// the Fig 8 eligibility rule: the paper tests 68 benchmarks on the three
+// small devices and all 71 (including the 36-qubit programs) on the
+// 54-qubit Sycamore. Every study that claims to mirror the Fig 8 sweep
+// (speedup, calibration, portfolio) filters through this one helper.
+func EligibleSuite(dev *arch.Device) []workloads.Benchmark {
 	var eligible []workloads.Benchmark
 	for _, b := range workloads.Suite() {
 		if b.Qubits > 16 && dev.NumQubits < 54 {
@@ -121,6 +122,15 @@ func RunFig8DeviceWorkers(dev *arch.Device, opts core.Options, workers int) (Fig
 		}
 		eligible = append(eligible, b)
 	}
+	return eligible
+}
+
+// RunFig8DeviceWorkers is RunFig8Device with an explicit worker budget:
+// workers <= 0 means GOMAXPROCS, 1 runs strictly serially (the honest
+// baseline for driver-scaling measurements).
+func RunFig8DeviceWorkers(dev *arch.Device, opts core.Options, workers int) (Fig8Result, error) {
+	res := Fig8Result{Device: dev}
+	eligible := EligibleSuite(dev)
 	rows := make([]SpeedupRow, len(eligible))
 	err := RunBatch(len(eligible), workers, func(i int) error {
 		var jerr error

@@ -42,6 +42,14 @@ func SabreReverse(c *circuit.Circuit, dev *arch.Device, seed int64) (*arch.Layou
 	return sabre.InitialLayout(c, dev, seed, sabre.Options{})
 }
 
+// SabreReverseCost is SabreReverse under a calibration-weighted metric, so
+// placement also parks busy qubits away from unreliable couplers (the
+// placement-heavy win recorded in DESIGN.md §8). nil cost is exactly
+// SabreReverse.
+func SabreReverseCost(c *circuit.Circuit, dev *arch.Device, seed int64, cost *arch.CostModel) (*arch.Layout, error) {
+	return sabre.InitialLayout(c, dev, seed, sabre.Options{Cost: cost})
+}
+
 // Dense greedily places heavily interacting logical qubits on
 // well-connected physical regions (the DenseLayout idea): logical qubits
 // are placed in descending interaction weight, each at the free physical
@@ -154,8 +162,23 @@ func Methods() []Method {
 	return []Method{MethodTrivial, MethodRandom, MethodDense, MethodSabreReverse}
 }
 
+// Seeded reports whether the strategy consumes the seed. Seed-insensitive
+// strategies (trivial, dense) produce identical layouts for every seed,
+// which the portfolio exploits to skip duplicate grid points.
+func (m Method) Seeded() bool {
+	return m == MethodRandom || m == MethodSabreReverse
+}
+
 // Generate dispatches by method name.
 func Generate(m Method, c *circuit.Circuit, dev *arch.Device, seed int64) (*arch.Layout, error) {
+	return GenerateCost(m, c, dev, seed, nil)
+}
+
+// GenerateCost is Generate with an optional calibration-weighted metric:
+// the sabre-reverse strategy places under it (matching the calibrated
+// single-shot pipeline), the structural strategies ignore it. nil cost is
+// exactly Generate.
+func GenerateCost(m Method, c *circuit.Circuit, dev *arch.Device, seed int64, cost *arch.CostModel) (*arch.Layout, error) {
 	switch m {
 	case MethodTrivial:
 		return Trivial(c, dev)
@@ -164,7 +187,7 @@ func Generate(m Method, c *circuit.Circuit, dev *arch.Device, seed int64) (*arch
 	case MethodDense:
 		return Dense(c, dev)
 	case MethodSabreReverse:
-		return SabreReverse(c, dev, seed)
+		return SabreReverseCost(c, dev, seed, cost)
 	default:
 		names := make([]string, 0, len(Methods()))
 		for _, k := range Methods() {

@@ -1,0 +1,60 @@
+// Package pool is the bounded worker pool shared by the experiment driver
+// (experiments.RunBatch), and the portfolio search (portfolio.Run). It is a
+// dependency-free leaf so every fan-out in the tree uses one
+// implementation of the clamp and the serial degeneration.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: values <= 0 select GOMAXPROCS, and
+// the result is clamped to n so tiny batches do not spawn idle goroutines.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run executes jobs 0..n-1 across a bounded pool. workers <= 0 selects
+// GOMAXPROCS; workers == 1 degenerates to a plain serial loop with no
+// goroutine or channel traffic, making serial-vs-parallel comparisons
+// honest. Error handling and panic recovery are the caller's concern: jobs
+// record their outcomes into pre-indexed slots, which is also what keeps
+// every caller's results deterministic under concurrency.
+func Run(n, workers int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

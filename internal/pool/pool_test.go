@@ -1,0 +1,33 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersClamps(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8, 3) = %d, want 3", got)
+	}
+	if got := Workers(-1, 0); got != 1 {
+		t.Errorf("Workers(-1, 0) = %d, want 1", got)
+	}
+}
+
+func TestRunExecutesEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		const n = 50
+		var counts [n]int32
+		Run(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	Run(0, 4, func(int) { t.Fatal("job ran for n=0") })
+}

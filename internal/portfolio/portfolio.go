@@ -1,0 +1,468 @@
+// Package portfolio implements objective-driven multi-start mapping: run K
+// candidate pipelines — seeds × placement methods × mapping algorithms —
+// concurrently over a bounded worker pool, score every completed schedule
+// with a pluggable objective, and return the winner plus a per-candidate
+// report.
+//
+// The paper adopts a single initial-mapping heuristic (SABRE's reverse
+// traversal, §V-A) because "initial mapping has been proved to be
+// significant for the qubit mapping problem"; Niu et al.'s hardware-aware
+// heuristic shows that searching over multiple starts and selecting by an
+// objective beats any single run. This package is that search:
+//
+//   - Candidates are enumerated in a fixed order (seed-major, then
+//     placement method, then algorithm), and selection is a total order —
+//     objective score, then weighted depth, then swap count, then candidate
+//     index — so the same inputs always pick the same winner regardless of
+//     goroutine completion order.
+//   - Early abandon (Spec.EarlyAbandon) threads a shared arch.DepthBound
+//     through the mappers: each completed candidate publishes its weighted
+//     depth, and an in-flight candidate whose in-progress makespan lower
+//     bound already exceeds the incumbent stops routing instead of
+//     finishing a losing run. Abandon only triggers on a *strictly* worse
+//     lower bound under the min-depth objective, so it can never change the
+//     winner — only which losers finish (DESIGN.md §9).
+//
+// Objectives: ObjectiveMinDepth (weighted depth, the paper's figure of
+// merit), ObjectiveMinSwaps, and ObjectiveMaxESP (calibration-estimated
+// success probability; requires Spec.Snapshot).
+package portfolio
+
+import (
+	"fmt"
+	"sync"
+
+	"codar/internal/arch"
+	"codar/internal/calib"
+	"codar/internal/circuit"
+	"codar/internal/core"
+	"codar/internal/placement"
+	"codar/internal/pool"
+	"codar/internal/sabre"
+	"codar/internal/schedule"
+)
+
+// Objective names a candidate-scoring rule. Scores are minimised; see
+// Objectives for the known set.
+type Objective string
+
+// The available objectives.
+const (
+	// ObjectiveMinDepth minimises the weighted depth (ASAP makespan under
+	// the device durations) of the mapped circuit — the paper's figure of
+	// merit, and the only objective eligible for early abandon.
+	ObjectiveMinDepth Objective = "min-depth"
+	// ObjectiveMinSwaps minimises the number of inserted SWAPs.
+	ObjectiveMinSwaps Objective = "min-swaps"
+	// ObjectiveMaxESP maximises the calibration-estimated success
+	// probability of the mapped schedule. Requires Spec.Snapshot.
+	ObjectiveMaxESP Objective = "max-esp"
+)
+
+// Objectives lists the known objectives in report order.
+func Objectives() []Objective {
+	return []Objective{ObjectiveMinDepth, ObjectiveMinSwaps, ObjectiveMaxESP}
+}
+
+// ParseObjective validates an objective name.
+func ParseObjective(s string) (Objective, error) {
+	for _, o := range Objectives() {
+		if string(o) == s {
+			return o, nil
+		}
+	}
+	return "", fmt.Errorf("portfolio: unknown objective %q (want min-depth, min-swaps or max-esp)", s)
+}
+
+// Algorithm names a mapper.
+type Algorithm string
+
+// The available mapping algorithms.
+const (
+	AlgoCodar Algorithm = "codar"
+	AlgoSabre Algorithm = "sabre"
+)
+
+// Algorithms lists the mappers in report order.
+func Algorithms() []Algorithm { return []Algorithm{AlgoCodar, AlgoSabre} }
+
+// ParseAlgorithm validates an algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch Algorithm(s) {
+	case AlgoCodar, AlgoSabre:
+		return Algorithm(s), nil
+	}
+	return "", fmt.Errorf("portfolio: unknown algorithm %q (want codar or sabre)", s)
+}
+
+// Spec configures a portfolio run. The zero value selects the defaults:
+// seeds {1, 2}, every placement method, both algorithms, min-depth, no
+// early abandon.
+type Spec struct {
+	// Seeds drive the seeded placement methods (random, sabre-reverse).
+	// Seed-insensitive methods still enumerate once per seed so the
+	// candidate grid stays rectangular and the report exhaustive, but
+	// their duplicate grid points are computed once and copied.
+	// Empty selects DefaultSeeds.
+	Seeds []int64
+	// Placements are the initial-layout strategies to try. Empty selects
+	// placement.Methods() (all four).
+	Placements []placement.Method
+	// Algorithms are the mappers to try. Empty selects both.
+	Algorithms []Algorithm
+	// Objective scores completed candidates. Empty selects min-depth.
+	Objective Objective
+	// Workers bounds the candidate fan-out; <= 0 selects GOMAXPROCS.
+	Workers int
+	// EarlyAbandon enables the shared depth bound. Only effective under
+	// ObjectiveMinDepth: other objectives can prefer deeper schedules, so a
+	// depth cut could change their winner and is ignored.
+	EarlyAbandon bool
+	// Snapshot, when non-nil, attaches a calibration snapshot: every
+	// candidate's report gains an ESP estimate, and ObjectiveMaxESP becomes
+	// available. It must validate against the target device.
+	Snapshot *calib.Snapshot
+	// Codar and Sabre carry per-mapper options applied to every candidate
+	// of that algorithm (any DepthBound in them is overwritten by the
+	// portfolio's own bound handling).
+	Codar core.Options
+	Sabre sabre.Options
+}
+
+// DefaultSeeds is the seed set a zero Spec enumerates.
+var DefaultSeeds = []int64{1, 2}
+
+// Normalized returns a copy of the spec with defaults applied — the exact
+// grid axes Run will enumerate (useful for reports).
+func (s Spec) Normalized() Spec { return s.normalized() }
+
+// normalized returns a copy of s with defaults applied.
+func (s Spec) normalized() Spec {
+	if len(s.Seeds) == 0 {
+		s.Seeds = DefaultSeeds
+	}
+	if len(s.Placements) == 0 {
+		s.Placements = placement.Methods()
+	}
+	if len(s.Algorithms) == 0 {
+		s.Algorithms = Algorithms()
+	}
+	if s.Objective == "" {
+		s.Objective = ObjectiveMinDepth
+	}
+	return s
+}
+
+// Candidate identifies one point of the portfolio grid.
+type Candidate struct {
+	// Index is the position in the fixed enumeration order (seed-major,
+	// then placement, then algorithm) — the final tie-break key.
+	Index     int              `json:"index"`
+	Seed      int64            `json:"seed"`
+	Placement placement.Method `json:"placement"`
+	Algorithm Algorithm        `json:"algorithm"`
+}
+
+// Report is the outcome of one candidate.
+type Report struct {
+	Candidate
+	// Depth is the weighted depth (ASAP makespan) of the candidate's
+	// output; Swaps its inserted-SWAP count. Zero when the candidate did
+	// not complete.
+	Depth int `json:"depth,omitempty"`
+	Swaps int `json:"swaps,omitempty"`
+	// ESP is the calibration-estimated success probability (present only
+	// when the Spec carried a snapshot and the candidate completed).
+	ESP float64 `json:"esp,omitempty"`
+	// Score is the objective value (lower wins; max-esp negates).
+	Score float64 `json:"score,omitempty"`
+	// Abandoned marks a candidate cut by the early-abandon bound. Which
+	// losers are abandoned depends on goroutine timing; the winner does
+	// not (see the package comment).
+	Abandoned bool `json:"abandoned,omitempty"`
+	// Err records a candidate that failed outright (e.g. a placement
+	// method rejecting the circuit).
+	Err string `json:"error,omitempty"`
+}
+
+// Mapped is a completed candidate's full output, algorithm-independent.
+type Mapped struct {
+	// Circuit is the hardware-compliant physical gate sequence.
+	Circuit *circuit.Circuit
+	// Schedule is the ASAP schedule of Circuit under the device durations
+	// (its makespan is the reported depth).
+	Schedule *schedule.Schedule
+	// InitialLayout and FinalLayout bracket the run.
+	InitialLayout *arch.Layout
+	FinalLayout   *arch.Layout
+	// SwapCount is the number of SWAPs inserted.
+	SwapCount int
+	// Depth is Schedule.Makespan.
+	Depth int
+	// ESP is the calibration-estimated success probability (0 without a
+	// snapshot).
+	ESP float64
+}
+
+// Result is a portfolio run outcome.
+type Result struct {
+	// Objective the candidates were scored with.
+	Objective Objective
+	// Winner is the selected candidate's full output.
+	Winner *Mapped
+	// WinnerIndex is the winner's Candidate.Index.
+	WinnerIndex int
+	// Candidates reports every grid point in enumeration order.
+	Candidates []Report
+	// Completed and Abandoned count candidate outcomes.
+	Completed int
+	Abandoned int
+}
+
+// WinnerReport returns the winner's report row.
+func (r *Result) WinnerReport() Report { return r.Candidates[r.WinnerIndex] }
+
+// Enumerate lists the candidate grid of a spec in the fixed order the
+// selection tie-breaks on: seed-major, then placement method, then
+// algorithm.
+func Enumerate(spec Spec) []Candidate {
+	spec = spec.normalized()
+	out := make([]Candidate, 0, len(spec.Seeds)*len(spec.Placements)*len(spec.Algorithms))
+	for _, seed := range spec.Seeds {
+		for _, m := range spec.Placements {
+			for _, a := range spec.Algorithms {
+				out = append(out, Candidate{Index: len(out), Seed: seed, Placement: m, Algorithm: a})
+			}
+		}
+	}
+	return out
+}
+
+// outcome is the internal per-candidate result: the report row plus (for
+// completed candidates) the full output, retained only while it is the
+// running best.
+type outcome struct {
+	rep    Report
+	mapped *Mapped
+}
+
+// better reports whether a beats b under the total selection order:
+// objective score, then depth, then swaps, then candidate index. Both must
+// be completed candidates.
+func better(a, b *outcome) bool {
+	if a.rep.Score != b.rep.Score {
+		return a.rep.Score < b.rep.Score
+	}
+	if a.rep.Depth != b.rep.Depth {
+		return a.rep.Depth < b.rep.Depth
+	}
+	if a.rep.Swaps != b.rep.Swaps {
+		return a.rep.Swaps < b.rep.Swaps
+	}
+	return a.rep.Index < b.rep.Index
+}
+
+// Run executes the portfolio search for circuit c on dev. The circuit must
+// be lowered (circuit.Decompose) and fit the device; requirements mirror
+// core.Remap. At least one candidate must complete, or the first failure is
+// returned.
+func Run(c *circuit.Circuit, dev *arch.Device, spec Spec) (*Result, error) {
+	spec = spec.normalized()
+	if _, err := ParseObjective(string(spec.Objective)); err != nil {
+		return nil, err
+	}
+	for _, a := range spec.Algorithms {
+		if _, err := ParseAlgorithm(string(a)); err != nil {
+			return nil, err
+		}
+	}
+	if spec.Objective == ObjectiveMaxESP && spec.Snapshot == nil {
+		return nil, fmt.Errorf("portfolio: objective max-esp needs a calibration snapshot")
+	}
+	if spec.Snapshot != nil {
+		if err := spec.Snapshot.Validate(dev); err != nil {
+			return nil, err
+		}
+	}
+	cands := Enumerate(spec)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("portfolio: empty candidate grid")
+	}
+
+	// The shared bound is sound only under min-depth: other objectives can
+	// select a deeper schedule, so a depth cut could kill their winner.
+	var bound *arch.DepthBound
+	if spec.EarlyAbandon && spec.Objective == ObjectiveMinDepth {
+		bound = &arch.DepthBound{}
+	}
+
+	// Seed-insensitive placements (trivial, dense) yield identical layouts
+	// for every seed, so only their first grid point computes; the other
+	// seeds' rows are copies. primary[i] is the candidate whose outcome row
+	// i shares (itself for real work). Duplicates can never become the
+	// winner over their primary — identical stats lose the index tie-break
+	// — so they are excluded from best-tracking and determinism holds.
+	primary := make([]int, len(cands))
+	firstOf := make(map[[2]string]int)
+	work := make([]int, 0, len(cands))
+	for i, cand := range cands {
+		primary[i] = i
+		if !cand.Placement.Seeded() {
+			key := [2]string{string(cand.Placement), string(cand.Algorithm)}
+			if j, ok := firstOf[key]; ok {
+				primary[i] = j
+				continue
+			}
+			firstOf[key] = i
+		}
+		work = append(work, i)
+	}
+
+	res := &Result{Objective: spec.Objective, Candidates: make([]Report, len(cands)), WinnerIndex: -1}
+	var (
+		mu   sync.Mutex
+		best *outcome
+	)
+	pool.Run(len(work), spec.Workers, func(k int) {
+		i := work[k]
+		o := runCandidate(c, dev, spec, cands[i], bound)
+		mu.Lock()
+		defer mu.Unlock()
+		res.Candidates[i] = o.rep
+		switch {
+		case o.rep.Err != "":
+		case o.rep.Abandoned:
+		default:
+			if bound != nil {
+				bound.Tighten(o.rep.Depth)
+			}
+			// Keep only the running best's full output: the selection
+			// order is total (index last), so min over any arrival order
+			// is the same winner a sequential scan would pick.
+			if best == nil || better(o, best) {
+				best = o
+			} else {
+				o.mapped = nil
+			}
+		}
+	})
+	// Fill the duplicate rows from their primaries and tally outcomes over
+	// the full grid, so the report stays rectangular and exhaustive.
+	for i := range cands {
+		if primary[i] != i {
+			rep := res.Candidates[primary[i]]
+			rep.Candidate = cands[i]
+			res.Candidates[i] = rep
+		}
+		switch rep := res.Candidates[i]; {
+		case rep.Err != "":
+		case rep.Abandoned:
+			res.Abandoned++
+		default:
+			res.Completed++
+		}
+	}
+	if best == nil {
+		for _, rep := range res.Candidates {
+			if rep.Err != "" {
+				return nil, fmt.Errorf("portfolio: no candidate completed; first failure (%s/%s seed %d): %s",
+					rep.Placement, rep.Algorithm, rep.Seed, rep.Err)
+			}
+		}
+		return nil, fmt.Errorf("portfolio: no candidate completed")
+	}
+	res.Winner = best.mapped
+	res.WinnerIndex = best.rep.Index
+	return res, nil
+}
+
+// runCandidate executes one grid point: generate the placement, map with
+// the candidate's algorithm under the shared bound, schedule and score. A
+// panic in any stage becomes the candidate's error instead of killing the
+// host process with pool workers mid-flight (the experiments.RunBatch
+// contract).
+func runCandidate(c *circuit.Circuit, dev *arch.Device, spec Spec, cand Candidate, bound *arch.DepthBound) (o *outcome) {
+	o = &outcome{rep: Report{Candidate: cand}}
+	defer func() {
+		if r := recover(); r != nil {
+			o.mapped = nil
+			o.rep.Abandoned = false
+			o.rep.Err = fmt.Sprintf("candidate panicked: %v", r)
+		}
+	}()
+	fail := func(err error) *outcome {
+		o.rep.Err = err.Error()
+		return o
+	}
+	// Placement runs under the same calibration metric as routing (the
+	// sabre-reverse strategy consumes it, the structural ones ignore it),
+	// so the grid point (seed 1, sabre-reverse, codar) reproduces the
+	// calibrated single-shot pipeline exactly. Placement is SABRE-based,
+	// so Sabre.Cost is the natural source, but a caller who only set
+	// Codar.Cost still gets consistent calibrated placement.
+	pcost := spec.Sabre.Cost
+	if pcost == nil {
+		pcost = spec.Codar.Cost
+	}
+	initial, err := placement.GenerateCost(cand.Placement, c, dev, cand.Seed, pcost)
+	if err != nil {
+		return fail(err)
+	}
+	m := &Mapped{}
+	switch cand.Algorithm {
+	case AlgoCodar:
+		opts := spec.Codar
+		opts.DepthBound = bound
+		res, err := core.Remap(c, dev, initial, opts)
+		if err == core.ErrDepthBound {
+			o.rep.Abandoned = true
+			return o
+		}
+		if err != nil {
+			return fail(err)
+		}
+		m.Circuit = res.Circuit
+		m.InitialLayout, m.FinalLayout = res.InitialLayout, res.FinalLayout
+		m.SwapCount = res.SwapCount
+	case AlgoSabre:
+		opts := spec.Sabre
+		opts.DepthBound = bound
+		res, err := sabre.Remap(c, dev, initial, opts)
+		if err == sabre.ErrDepthBound {
+			o.rep.Abandoned = true
+			return o
+		}
+		if err != nil {
+			return fail(err)
+		}
+		m.Circuit = res.Circuit
+		m.InitialLayout, m.FinalLayout = res.InitialLayout, res.FinalLayout
+		m.SwapCount = res.SwapCount
+	default:
+		return fail(fmt.Errorf("portfolio: unknown algorithm %q", cand.Algorithm))
+	}
+	// Both algorithms are scored on the same footing: the ASAP schedule of
+	// their output under the device durations (the paper's weighted depth).
+	m.Schedule = schedule.ASAP(m.Circuit, dev.Durations)
+	m.Depth = m.Schedule.Makespan
+	if spec.Snapshot != nil {
+		esp, err := spec.Snapshot.Success(m.Schedule, dev)
+		if err != nil {
+			return fail(err)
+		}
+		m.ESP = esp
+	}
+	o.mapped = m
+	o.rep.Depth = m.Depth
+	o.rep.Swaps = m.SwapCount
+	o.rep.ESP = m.ESP
+	switch spec.Objective {
+	case ObjectiveMinDepth:
+		o.rep.Score = float64(m.Depth)
+	case ObjectiveMinSwaps:
+		o.rep.Score = float64(m.SwapCount)
+	case ObjectiveMaxESP:
+		o.rep.Score = -m.ESP
+	}
+	return o
+}

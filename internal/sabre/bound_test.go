@@ -1,0 +1,86 @@
+package sabre
+
+import (
+	"errors"
+	"testing"
+
+	"codar/internal/arch"
+	"codar/internal/qasm"
+	"codar/internal/schedule"
+	"codar/internal/workloads"
+)
+
+// TestDepthBoundAborts: a bound no run can beat must surface ErrDepthBound.
+func TestDepthBoundAborts(t *testing.T) {
+	b, err := workloads.ByName("qft_10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := arch.IBMQ20Tokyo()
+	var bound arch.DepthBound
+	bound.Tighten(1)
+	_, err = Remap(b.Circuit(), dev, nil, Options{DepthBound: &bound})
+	if !errors.Is(err, ErrDepthBound) {
+		t.Fatalf("err = %v, want ErrDepthBound", err)
+	}
+}
+
+// TestDepthBoundLooseIsIdentical: a bound the run never crosses must leave
+// the output byte-identical to an unbounded run.
+func TestDepthBoundLooseIsIdentical(t *testing.T) {
+	for _, name := range []string{"qft_10", "rand_10_g300", "adder_6"} {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := arch.IBMQ20Tokyo()
+		plain, err := Remap(b.Circuit(), dev, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bound arch.DepthBound
+		bound.Tighten(1 << 40)
+		bounded, err := Remap(b.Circuit(), dev, nil, Options{DepthBound: &bound})
+		if err != nil {
+			t.Fatalf("%s: loose bound aborted: %v", name, err)
+		}
+		if qasm.Write(plain.Circuit) != qasm.Write(bounded.Circuit) {
+			t.Fatalf("%s: DepthBound tracking changed the output", name)
+		}
+		if plain.SwapCount != bounded.SwapCount {
+			t.Fatalf("%s: swaps diverged: %d/%d", name, plain.SwapCount, bounded.SwapCount)
+		}
+	}
+}
+
+// TestDepthBoundExactTieCompletes: a bound equal to the output's weighted
+// depth must not abort (the incremental ASAP tracker and schedule.ASAP
+// agree exactly, and the comparison is strict).
+func TestDepthBoundExactTieCompletes(t *testing.T) {
+	b, err := workloads.ByName("qft_10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := arch.IBMQ20Tokyo()
+	plain, err := Remap(b.Circuit(), dev, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := schedule.WeightedDepth(plain.Circuit, dev.Durations)
+	var bound arch.DepthBound
+	bound.Tighten(wd)
+	res, err := Remap(b.Circuit(), dev, nil, Options{DepthBound: &bound})
+	if err != nil {
+		t.Fatalf("tie aborted: %v", err)
+	}
+	if qasm.Write(res.Circuit) != qasm.Write(plain.Circuit) {
+		t.Fatal("tie-bounded run changed the output")
+	}
+	// One cycle tighter must abort — pinning that the tracker reaches
+	// exactly the final weighted depth.
+	var tight arch.DepthBound
+	tight.Tighten(wd - 1)
+	if _, err := Remap(b.Circuit(), dev, nil, Options{DepthBound: &tight}); !errors.Is(err, ErrDepthBound) {
+		t.Fatalf("bound wd-1: err = %v, want ErrDepthBound", err)
+	}
+}

@@ -9,12 +9,18 @@
 package sabre
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"codar/internal/arch"
 	"codar/internal/circuit"
 )
+
+// ErrDepthBound is returned by Remap when Options.DepthBound is set and the
+// emitted prefix's ASAP makespan exceeded it: the run was abandoned because
+// it could no longer beat the portfolio incumbent (DESIGN.md §9).
+var ErrDepthBound = errors.New("sabre: depth bound exceeded")
 
 // Options tunes SABRE. The zero value selects the published defaults.
 type Options struct {
@@ -35,6 +41,14 @@ type Options struct {
 	// objective bit-for-bit (CostScale is a power of two, so the float
 	// quotients scale exactly).
 	Cost *arch.CostModel
+	// DepthBound, when non-nil, enables the portfolio early-abandon
+	// protocol: the mapper tracks the ASAP makespan of the gates emitted so
+	// far under the device durations — a monotone lower bound on the
+	// output's weighted depth — and Remap returns ErrDepthBound once it
+	// strictly exceeds the published bound. nil leaves the run (and its
+	// output bytes) untouched. SABRE itself stays duration-unaware: the
+	// bound only decides when to give up, never which SWAP to pick.
+	DepthBound *arch.DepthBound
 
 	// naiveScore selects the from-scratch reference scoring (score) over
 	// the incidence-indexed base+delta evaluation. Test-only: the
@@ -140,8 +154,14 @@ func Remap(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Opti
 	} else {
 		m.distTab = dev.DistTable()
 	}
+	if opts.DepthBound != nil {
+		m.asap = arch.NewASAPTracker(dev.NumQubits)
+	}
 	m.resetDecay()
 	m.run()
+	if m.exceeded {
+		return nil, ErrDepthBound
+	}
 	return &Result{
 		Circuit:       m.out,
 		InitialLayout: m.initial,
@@ -217,6 +237,12 @@ type mapper struct {
 	dECache []int32
 	hStamp  []int32
 	hEpoch  int32
+
+	// Early-abandon state (Options.DepthBound): the shared ASAP recurrence
+	// over emitted gates — a monotone lower bound on the output circuit's
+	// weighted depth — and the abandon flag run polls.
+	asap     *arch.ASAPTracker
+	exceeded bool
 }
 
 func (m *mapper) resetDecay() {
@@ -244,6 +270,9 @@ func (m *mapper) run() {
 	maxStuck := 4 * m.dev.NumQubits * (m.dev.Diameter() + 1)
 
 	for len(front) > 0 {
+		if m.exceeded {
+			return
+		}
 		// Execute every executable front gate. The surviving/unlocked set
 		// is built into the spare buffer, which then swaps roles with the
 		// current front (no per-round allocation).
@@ -316,6 +345,18 @@ func (m *mapper) emit(g circuit.Gate) {
 		phys.Qubits[i] = m.layout.Phys(q)
 	}
 	m.out.Add(phys)
+	if m.asap != nil {
+		m.note(g.Op, phys.Qubits)
+	}
+}
+
+// note advances the shared ASAP recurrence by one emitted gate on physical
+// qubits qs and flags the run for abandonment when the running makespan
+// strictly exceeds the shared depth bound.
+func (m *mapper) note(op circuit.Op, qs []int) {
+	if span := m.asap.Note(qs, m.dev.Durations.Of(op)); m.opts.DepthBound.Exceeded(span) {
+		m.exceeded = true
+	}
 }
 
 // extendedSet collects up to ExtendedSize two-qubit gates reachable from
@@ -621,6 +662,9 @@ func (m *mapper) applySwap(c swapCand) {
 		m.noteSwap(c)
 	}
 	m.out.Swap(c.a, c.b)
+	if m.asap != nil {
+		m.note(circuit.OpSwap, []int{c.a, c.b})
+	}
 	m.layout.SwapPhysical(c.a, c.b)
 	m.decay[c.a] += m.opts.decayDelta()
 	m.decay[c.b] += m.opts.decayDelta()
@@ -646,7 +690,7 @@ func (m *mapper) directRoute(front []int) {
 		} else {
 			path = m.dev.ShortestPath(p1, p2)
 		}
-		for i := 0; i+2 < len(path); i++ {
+		for i := 0; i+2 < len(path) && !m.exceeded; i++ {
 			a, b := path[i], path[i+1]
 			if a > b {
 				a, b = b, a

@@ -14,6 +14,8 @@ import (
 	"codar/internal/circuit"
 	"codar/internal/core"
 	"codar/internal/experiments"
+	"codar/internal/placement"
+	"codar/internal/portfolio"
 	"codar/internal/qasm"
 	"codar/internal/sabre"
 	"codar/internal/schedule"
@@ -47,6 +49,105 @@ type MapRequest struct {
 	// 400 when the device has none. Default false: uncalibrated requests
 	// are untouched by calibration uploads, bytes included.
 	Calibrated bool `json:"calibrated,omitempty"`
+	// Portfolio, when present, replaces the single-shot pipeline with the
+	// multi-start portfolio search (internal/portfolio): seeds × placements
+	// × algorithms race, the objective picks the winner, and the response
+	// gains per-candidate stats. Algo, Seed and Baseline do not affect a
+	// portfolio mapping — they are canonicalized out of the cache key —
+	// but invalid enum values (e.g. an unknown algo) are still rejected.
+	// The spec (normalized) is folded into the result-cache key.
+	Portfolio *PortfolioSpec `json:"portfolio,omitempty"`
+	// pspec is the normalized portfolio spec (set by normalize when
+	// Portfolio is present).
+	pspec *portfolio.Spec
+}
+
+// PortfolioSpec is the portfolio block of a MapRequest.
+type PortfolioSpec struct {
+	// Seeds drive the seeded placement methods; empty selects the package
+	// default ({1, 2}).
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Placements names the initial-layout strategies (trivial, random,
+	// dense, sabre-reverse); empty selects all four.
+	Placements []string `json:"placements,omitempty"`
+	// Algorithms names the mappers (codar, sabre); empty selects both.
+	Algorithms []string `json:"algorithms,omitempty"`
+	// Objective is min-depth (default), min-swaps, or max-esp (requires
+	// calibrated: true).
+	Objective string `json:"objective,omitempty"`
+}
+
+// maxPortfolioCandidates bounds the candidate grid of one request: the
+// portfolio runs serially inside one worker-pool slot, so the grid size is
+// the request's cost multiplier.
+const maxPortfolioCandidates = 64
+
+// spec resolves the request block into a normalized portfolio.Spec
+// (defaults applied; calibration attached by the caller).
+func (p *PortfolioSpec) spec() (portfolio.Spec, *svcError) {
+	s := portfolio.Spec{Seeds: p.Seeds}
+	if p.Objective != "" {
+		obj, err := portfolio.ParseObjective(p.Objective)
+		if err != nil {
+			return s, errBadRequest("%v", err)
+		}
+		s.Objective = obj
+	}
+	known := placement.Methods()
+	for _, name := range p.Placements {
+		m := placement.Method(name)
+		ok := false
+		for _, k := range known {
+			if m == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return s, errBadRequest("unknown placement %q (want trivial, random, dense or sabre-reverse)", name)
+		}
+		s.Placements = append(s.Placements, m)
+	}
+	for _, name := range p.Algorithms {
+		a, err := portfolio.ParseAlgorithm(name)
+		if err != nil {
+			return s, errBadRequest("%v", err)
+		}
+		s.Algorithms = append(s.Algorithms, a)
+	}
+	s = s.Normalized()
+	if k := len(s.Seeds) * len(s.Placements) * len(s.Algorithms); k > maxPortfolioCandidates {
+		return s, errBadRequest("portfolio grid of %d candidates exceeds limit %d", k, maxPortfolioCandidates)
+	}
+	return s, nil
+}
+
+// key renders the normalized spec canonically for the result-cache key.
+func specKey(s portfolio.Spec) string {
+	var b strings.Builder
+	b.WriteString("seeds=")
+	for i, seed := range s.Seeds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", seed)
+	}
+	b.WriteString(";placements=")
+	for i, m := range s.Placements {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(string(m))
+	}
+	b.WriteString(";algorithms=")
+	for i, a := range s.Algorithms {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(string(a))
+	}
+	fmt.Fprintf(&b, ";objective=%s", s.Objective)
+	return b.String()
 }
 
 // MapResponse is the POST /v1/map body on success.
@@ -81,7 +182,23 @@ type MapResponse struct {
 	Calibration        string   `json:"calibration,omitempty"`
 	EstSuccess         *float64 `json:"est_success,omitempty"`
 	BaselineEstSuccess *float64 `json:"baseline_est_success,omitempty"`
+
+	// Portfolio block (present on portfolio requests): the objective, the
+	// winning candidate, and one stats row per grid point.
+	Portfolio *PortfolioStats `json:"portfolio,omitempty"`
 }
+
+// PortfolioStats is the portfolio block of a MapResponse. The winner's own
+// stats row is candidates[winner_index] — it is not duplicated.
+type PortfolioStats struct {
+	Objective   string             `json:"objective"`
+	WinnerIndex int                `json:"winner_index"`
+	Completed   int                `json:"completed"`
+	Candidates  []portfolio.Report `json:"candidates"`
+}
+
+// WinnerReport returns the winning candidate's stats row.
+func (p *PortfolioStats) WinnerReport() portfolio.Report { return p.Candidates[p.WinnerIndex] }
 
 // normalize applies request defaults and validates enum fields.
 func (req *MapRequest) normalize() *svcError {
@@ -113,6 +230,23 @@ func (req *MapRequest) normalize() *svcError {
 	if req.Baseline != nil && !*req.Baseline {
 		b = false
 	}
+	if req.Portfolio != nil {
+		// Portfolio mode races both algorithms itself; the single-shot
+		// baseline is forced off (not just defaulted) and the ignored
+		// Algo/Seed fields are canonicalized, so spec-equal requests share
+		// one cache entry no matter how the ignored fields were spelled.
+		b = false
+		req.Algo = "codar"
+		req.Seed = experiments.Seed
+		spec, serr := req.Portfolio.spec()
+		if serr != nil {
+			return serr
+		}
+		if spec.Objective == portfolio.ObjectiveMaxESP && !req.Calibrated {
+			return errBadRequest("portfolio objective max-esp needs calibrated: true")
+		}
+		req.pspec = &spec
+	}
 	req.Baseline = &b
 	return nil
 }
@@ -131,6 +265,11 @@ func (req *MapRequest) cacheKey(deviceName, calHash string) string {
 	h := sha256.New()
 	h.Write([]byte(req.QASM))
 	fmt.Fprintf(h, "\x00%s\x00%s\x00%s\x00%d\x00%t\x00%s", deviceName, req.Algo, req.Durations, req.Seed, *req.Baseline, calHash)
+	// Portfolio requests key on the *normalized* spec, so an explicit
+	// spelling of the defaults shares its entry with the empty block.
+	if req.pspec != nil {
+		fmt.Fprintf(h, "\x00portfolio:%s", specKey(*req.pspec))
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -164,6 +303,19 @@ func (s *Server) mapOne(req *MapRequest, dev *arch.Device, cal *Calibration) (*M
 	if c.NumQubits > dev.NumQubits {
 		return nil, errBadRequest("circuit needs %d qubits but %s has %d", c.NumQubits, dev.Name, dev.NumQubits)
 	}
+	resp := &MapResponse{
+		Device:      dev.Name,
+		Algo:        req.Algo,
+		Durations:   req.Durations,
+		Seed:        req.Seed,
+		InputQubits: c.NumQubits,
+		InputGates:  c.Len(),
+	}
+	// The portfolio generates its own placements per candidate, so it
+	// branches off before the single-shot initial layout is computed.
+	if req.pspec != nil {
+		return s.mapPortfolio(req, dev, cal, c, resp)
+	}
 	var coreOpts core.Options
 	var sabreOpts sabre.Options
 	if cal != nil {
@@ -173,14 +325,6 @@ func (s *Server) mapOne(req *MapRequest, dev *arch.Device, cal *Calibration) (*M
 	initial, err := sabre.InitialLayout(c, dev, req.Seed, sabreOpts)
 	if err != nil {
 		return nil, errBadRequest("initial layout: %v", err)
-	}
-	resp := &MapResponse{
-		Device:      dev.Name,
-		Algo:        req.Algo,
-		Durations:   req.Durations,
-		Seed:        req.Seed,
-		InputQubits: c.NumQubits,
-		InputGates:  c.Len(),
 	}
 	var mapped *circuit.Circuit
 	switch req.Algo {
@@ -224,6 +368,48 @@ func (s *Server) mapOne(req *MapRequest, dev *arch.Device, cal *Calibration) (*M
 		if resp.WeightedDepth > 0 {
 			resp.Speedup = float64(resp.BaselineWeightedDepth) / float64(resp.WeightedDepth)
 		}
+	}
+	return resp, nil
+}
+
+// mapPortfolio answers a portfolio-mode request: the multi-start search
+// runs serially inside the caller's worker-pool slot (Workers: 1, so the
+// service-wide mapping concurrency stays capped at cfg.Workers), with early
+// abandon off — concurrent cold computations of one cache key must produce
+// byte-identical responses, and which losers get abandoned is the one
+// timing-dependent part of a portfolio report (DESIGN.md §9).
+func (s *Server) mapPortfolio(req *MapRequest, dev *arch.Device, cal *Calibration, c *circuit.Circuit, resp *MapResponse) (*MapResponse, *svcError) {
+	spec := *req.pspec
+	spec.Workers = 1
+	spec.EarlyAbandon = false
+	if cal != nil {
+		spec.Snapshot = cal.Snap
+		spec.Codar.Cost = cal.Cost
+		spec.Sabre.Cost = cal.Cost
+	}
+	pres, err := portfolio.Run(c, dev, spec)
+	if err != nil {
+		return nil, errBadRequest("portfolio: %v", err)
+	}
+	w := pres.Winner
+	wr := pres.WinnerReport()
+	resp.Algo = string(wr.Algorithm)
+	resp.Seed = wr.Seed
+	resp.MappedQASM = qasm.Write(w.Circuit)
+	resp.OutputGates = w.Circuit.Len()
+	resp.Depth = w.Circuit.Depth()
+	resp.Swaps = w.SwapCount
+	resp.WeightedDepth = w.Depth
+	if cal != nil {
+		esp := w.ESP
+		resp.EstSuccess = &esp
+		resp.Calibration = cal.Hash
+	}
+	resp.Portfolio = &PortfolioStats{
+		Objective:   string(pres.Objective),
+		WinnerIndex: pres.WinnerIndex,
+		Completed:   pres.Completed,
+		Candidates:  pres.Candidates,
 	}
 	return resp, nil
 }

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// portReq builds a portfolio-mode request body around the shared test
+// circuit.
+func portReq(spec *PortfolioSpec) MapRequest {
+	return MapRequest{QASM: ghzQASM, Arch: "tokyo", Portfolio: spec}
+}
+
+func TestPortfolioMapResponseShape(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := do(t, s, http.MethodPost, "/v1/map", portReq(&PortfolioSpec{}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp MapResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Portfolio == nil {
+		t.Fatal("response missing portfolio block")
+	}
+	p := resp.Portfolio
+	if p.Objective != "min-depth" {
+		t.Errorf("objective %q", p.Objective)
+	}
+	if len(p.Candidates) != 16 { // 2 seeds × 4 placements × 2 algorithms
+		t.Errorf("report has %d candidates, want 16", len(p.Candidates))
+	}
+	if p.WinnerIndex < 0 || p.WinnerIndex >= len(p.Candidates) {
+		t.Errorf("winner index %d out of range", p.WinnerIndex)
+	}
+	if resp.MappedQASM == "" || resp.WeightedDepth <= 0 {
+		t.Errorf("winner fields missing: %+v", resp)
+	}
+	wr := p.WinnerReport()
+	if resp.Algo != string(wr.Algorithm) || resp.Seed != wr.Seed {
+		t.Errorf("top-level algo/seed (%s/%d) disagree with winner (%s/%d)",
+			resp.Algo, resp.Seed, wr.Algorithm, wr.Seed)
+	}
+	// In-service portfolio runs never abandon (determinism of cold
+	// computations); every candidate either completed or errored.
+	for _, c := range p.Candidates {
+		if c.Abandoned {
+			t.Errorf("candidate %d abandoned inside the service", c.Index)
+		}
+	}
+	if resp.BaselineWeightedDepth != 0 || resp.Speedup != 0 {
+		t.Errorf("portfolio mode computed a baseline: %+v", resp)
+	}
+}
+
+// TestPortfolioCacheKey pins the cache-key contract: the normalized spec is
+// what keys the entry, so an explicit spelling of the defaults hits the
+// empty block's entry, while a genuinely different grid misses — and
+// portfolio mode never aliases single-shot entries.
+func TestPortfolioCacheKey(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	first := do(t, s, http.MethodPost, "/v1/map", portReq(&PortfolioSpec{}))
+	if first.Code != http.StatusOK || first.Header().Get(cacheHeader) != "miss" {
+		t.Fatalf("first: %d %s", first.Code, first.Header().Get(cacheHeader))
+	}
+	explicit := do(t, s, http.MethodPost, "/v1/map", portReq(&PortfolioSpec{
+		Seeds:      []int64{1, 2},
+		Placements: []string{"trivial", "random", "dense", "sabre-reverse"},
+		Algorithms: []string{"codar", "sabre"},
+		Objective:  "min-depth",
+	}))
+	if explicit.Header().Get(cacheHeader) != "hit" {
+		t.Error("explicit defaults missed the default-spec entry")
+	}
+	if explicit.Body.String() != first.Body.String() {
+		t.Error("cache hit returned different bytes")
+	}
+	// Algo and Seed are documented as ignored in portfolio mode, so
+	// spelling them must not fragment the cache.
+	ignored := portReq(&PortfolioSpec{})
+	ignored.Algo = "sabre"
+	ignored.Seed = 7
+	if w := do(t, s, http.MethodPost, "/v1/map", ignored); w.Header().Get(cacheHeader) != "hit" {
+		t.Error("ignored algo/seed fields fragmented the portfolio cache key")
+	}
+	other := do(t, s, http.MethodPost, "/v1/map", portReq(&PortfolioSpec{Seeds: []int64{3}}))
+	if other.Header().Get(cacheHeader) != "miss" {
+		t.Error("different seed set hit the default-spec entry")
+	}
+	single := do(t, s, http.MethodPost, "/v1/map", MapRequest{QASM: ghzQASM, Arch: "tokyo"})
+	if single.Header().Get(cacheHeader) != "miss" {
+		t.Error("single-shot request aliased a portfolio entry")
+	}
+}
+
+func TestPortfolioValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	tests := []struct {
+		name string
+		spec *PortfolioSpec
+	}{
+		{"unknown objective", &PortfolioSpec{Objective: "fastest"}},
+		{"unknown placement", &PortfolioSpec{Placements: []string{"clever"}}},
+		{"unknown algorithm", &PortfolioSpec{Algorithms: []string{"astar"}}},
+		{"max-esp without calibration", &PortfolioSpec{Objective: "max-esp"}},
+		{"grid too large", &PortfolioSpec{Seeds: []int64{1, 2, 3, 4, 5, 6, 7, 8, 9}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			w := do(t, s, http.MethodPost, "/v1/map", portReq(tc.spec))
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", w.Code, w.Body.String())
+			}
+		})
+	}
+}
+
+// TestPortfolioCalibrated runs max-esp under an uploaded snapshot: the
+// response must carry the calibration hash, an ESP, and a winner whose ESP
+// dominates the grid.
+func TestPortfolioCalibrated(t *testing.T) {
+	s := newTestServer(t, Config{})
+	uploadCalibration(t, s, "tokyo", 1)
+	req := portReq(&PortfolioSpec{Objective: "max-esp", Seeds: []int64{1}})
+	req.Calibrated = true
+	w := do(t, s, http.MethodPost, "/v1/map", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp MapResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Calibration == "" || resp.EstSuccess == nil {
+		t.Fatalf("calibrated portfolio response missing calibration fields: %+v", resp)
+	}
+	for _, c := range resp.Portfolio.Candidates {
+		if c.Err == "" && c.ESP > *resp.EstSuccess {
+			t.Errorf("candidate %d ESP %v beats winner %v", c.Index, c.ESP, *resp.EstSuccess)
+		}
+	}
+}
