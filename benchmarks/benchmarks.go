@@ -1,0 +1,258 @@
+// Package benchmarks is the continuous A/B perf harness: a programmatic
+// runner for the repository's headline workloads — the Fig 8 speedup sweep,
+// the serving-path replay (the in-process equivalent of cmd/codarload), the
+// multi-start portfolio study and the forward-looking large-circuit
+// generation row — that measures wall clock and allocation behaviour over N
+// repetitions and emits machine-readable snapshots.
+//
+// Two snapshots (typically "baseline commit" and "HEAD", or a recorded
+// baseline JSON and a fresh run) are compared by Compare (compare.go), which
+// reports per-benchmark wall-clock/byte ratios, metric drift and noise
+// bounds, and gates on a relative regression tolerance. cmd/absweep is the
+// command-line front end; the perf-guard CI job runs it HEAD-vs-baseline
+// with a 10% wall-clock gate.
+//
+// Measurements deliberately use wall clock + runtime.MemStats deltas rather
+// than testing.B: the harness must run identically inside a plain binary
+// (cmd/absweep at two different commits) and a CI job, and it measures
+// multi-second composite workloads where the ~µs overhead of ReadMemStats is
+// noise. The per-figure metrics (avg-speedup etc.) ride along in each
+// measurement so a perf comparison doubles as a behaviour-drift check.
+package benchmarks
+
+import (
+	"fmt"
+	"regexp"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Sample is one repetition's raw measurement.
+type Sample struct {
+	Ns     int64 `json:"ns"`
+	Bytes  int64 `json:"bytes"`
+	Allocs int64 `json:"allocs"`
+}
+
+// Measurement is the per-benchmark aggregate over Reps repetitions. NsPerOp
+// is the minimum across repetitions (the standard best-of estimator: the
+// run least disturbed by the machine); NsMax-NsPerOp is the noise bound.
+type Measurement struct {
+	Name string `json:"name"`
+	Reps int    `json:"reps"`
+	// NsPerOp/BPerOp/AllocsPerOp describe the fastest repetition.
+	NsPerOp     int64 `json:"ns_per_op"`
+	BPerOp      int64 `json:"b_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// NsMean and NsMax bound the noise across repetitions.
+	NsMean int64 `json:"ns_mean"`
+	NsMax  int64 `json:"ns_max"`
+	// Metrics carries the benchmark's own figures of merit (avg_speedup,
+	// hit rate ...), which must not drift across perf changes. Keys with an
+	// "obs_" prefix are observational (latency percentiles, throughput):
+	// they are recorded from the first repetition but excluded from the
+	// determinism check and from Compare's drift gate.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Samples are the raw repetitions, for offline noise analysis.
+	Samples []Sample `json:"samples,omitempty"`
+}
+
+// Snapshot is one full harness run at one commit/tree state.
+type Snapshot struct {
+	SchemaVersion int    `json:"schema_version"`
+	Commit        string `json:"commit,omitempty"`
+	Date          string `json:"date"`
+	Host          string `json:"host"`
+	GoVersion     string `json:"go_version"`
+	Reps          int    `json:"reps"`
+	// CalibNs is the wall time of the fixed calibration loop on this
+	// machine, letting Compare rescale snapshots recorded on different
+	// hardware (see Normalize).
+	CalibNs    int64         `json:"calib_ns,omitempty"`
+	Benchmarks []Measurement `json:"benchmarks"`
+}
+
+// SchemaVersion identifies the snapshot layout.
+const SchemaVersion = 1
+
+// Options tunes a harness run.
+type Options struct {
+	// Reps is the repetition count per benchmark; <= 0 selects 3.
+	Reps int
+	// Filter restricts the suite to benchmarks whose name matches; nil runs
+	// everything.
+	Filter *regexp.Regexp
+	// Workers is the fan-out for the Fig 8 sweeps (0 = GOMAXPROCS,
+	// 1 = serial).
+	Workers int
+	// Handicap scales every recorded wall time by the given factor when
+	// > 1 — a synthetic slowdown for demonstrating the regression gate
+	// (absweep -handicap). It never touches the workload itself.
+	Handicap float64
+	// Log, when non-nil, receives one progress line per benchmark.
+	Log func(format string, args ...interface{})
+}
+
+func (o Options) reps() int {
+	if o.Reps <= 0 {
+		return 3
+	}
+	return o.Reps
+}
+
+func (o Options) logf(format string, args ...interface{}) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// Benchmark is one named harness workload. Run executes the workload once
+// and returns its figures of merit (or an error, which aborts the harness —
+// a benchmark that cannot run is a broken tree, not a slow one).
+type Benchmark struct {
+	Name string
+	Run  func() (map[string]float64, error)
+}
+
+// Measure runs fn reps times and aggregates wall clock and allocation
+// deltas. The garbage collector is forced between repetitions so one rep's
+// garbage is not charged to the next; handicap <= 1 means none.
+func Measure(name string, reps int, handicap float64, fn func() (map[string]float64, error)) (Measurement, error) {
+	m := Measurement{Name: name, Reps: reps, Samples: make([]Sample, 0, reps)}
+	var ms0, ms1 runtime.MemStats
+	for r := 0; r < reps; r++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		metrics, err := fn()
+		ns := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			return m, fmt.Errorf("benchmarks: %s: %w", name, err)
+		}
+		if handicap > 1 {
+			ns = int64(float64(ns) * handicap)
+		}
+		s := Sample{
+			Ns:     ns,
+			Bytes:  int64(ms1.TotalAlloc - ms0.TotalAlloc),
+			Allocs: int64(ms1.Mallocs - ms0.Mallocs),
+		}
+		m.Samples = append(m.Samples, s)
+		if r == 0 {
+			m.Metrics = metrics
+		} else if !sameMetrics(m.Metrics, metrics) {
+			return m, fmt.Errorf("benchmarks: %s: metrics drifted between repetitions (%v vs %v) — the workload is not deterministic", name, m.Metrics, metrics)
+		}
+	}
+	m.finalize()
+	return m, nil
+}
+
+// finalize computes the aggregate fields from the samples.
+func (m *Measurement) finalize() {
+	if len(m.Samples) == 0 {
+		return
+	}
+	best := m.Samples[0]
+	var sum int64
+	for _, s := range m.Samples {
+		sum += s.Ns
+		if s.Ns > m.NsMax {
+			m.NsMax = s.Ns
+		}
+		if s.Ns < best.Ns {
+			best = s
+		}
+	}
+	m.NsPerOp = best.Ns
+	m.BPerOp = best.Bytes
+	m.AllocsPerOp = best.Allocs
+	m.NsMean = sum / int64(len(m.Samples))
+}
+
+// Observational reports whether a metric key is excluded from determinism
+// and drift checks (see Measurement.Metrics).
+func Observational(key string) bool { return strings.HasPrefix(key, "obs_") }
+
+func sameMetrics(a, b map[string]float64) bool {
+	count := func(m map[string]float64) int {
+		n := 0
+		for k := range m {
+			if !Observational(k) {
+				n++
+			}
+		}
+		return n
+	}
+	if count(a) != count(b) {
+		return false
+	}
+	for k, v := range a {
+		if Observational(k) {
+			continue
+		}
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the given benchmarks under opts and packages the snapshot.
+func Run(benches []Benchmark, opts Options) (*Snapshot, error) {
+	snap := &Snapshot{
+		SchemaVersion: SchemaVersion,
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		Host:          runtime.GOOS + "/" + runtime.GOARCH,
+		GoVersion:     runtime.Version(),
+		Reps:          opts.reps(),
+		CalibNs:       Calibrate(),
+	}
+	for _, b := range benches {
+		if opts.Filter != nil && !opts.Filter.MatchString(b.Name) {
+			continue
+		}
+		opts.logf("measuring %s (%d reps)", b.Name, opts.reps())
+		m, err := Measure(b.Name, opts.reps(), opts.Handicap, b.Run)
+		if err != nil {
+			return nil, err
+		}
+		opts.logf("  %s: %.3fs min (%.3fs max), %d MB, metrics %v",
+			b.Name, float64(m.NsPerOp)/1e9, float64(m.NsMax)/1e9, m.BPerOp>>20, m.Metrics)
+		snap.Benchmarks = append(snap.Benchmarks, m)
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchmarks: filter matched no benchmarks")
+	}
+	return snap, nil
+}
+
+// Calibrate times a fixed CPU-bound reference loop (min of three runs).
+// The loop's work is identical on every machine, so the ratio of two
+// snapshots' CalibNs approximates their single-core speed ratio — the
+// scaling factor Compare applies under Normalize to make a snapshot
+// recorded on different hardware comparable.
+func Calibrate() int64 {
+	best := int64(0)
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		x := uint64(0x9E3779B97F4A7C15)
+		var acc uint64
+		for i := 0; i < 1<<24; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			acc += x
+		}
+		ns := time.Since(start).Nanoseconds()
+		if acc == 0 { // defeat dead-code elimination; never true for this seed
+			return 0
+		}
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}

@@ -1,0 +1,277 @@
+package benchmarks
+
+import (
+	"errors"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fakeBench builds a benchmark whose metrics are fixed; the workload burns
+// a trivial amount of CPU so wall times are non-zero.
+func fakeBench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Run: func() (map[string]float64, error) {
+		x := 1
+		for i := 0; i < 1000; i++ {
+			x = x*31 + i
+		}
+		if x == 42 {
+			return nil, errors.New("unreachable")
+		}
+		return metrics, nil
+	}}
+}
+
+func TestMeasureAggregates(t *testing.T) {
+	m, err := Measure("m", 4, 0, func() (map[string]float64, error) {
+		return map[string]float64{"v": 1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reps != 4 || len(m.Samples) != 4 {
+		t.Fatalf("reps=%d samples=%d, want 4/4", m.Reps, len(m.Samples))
+	}
+	if m.NsPerOp <= 0 || m.NsMean < m.NsPerOp || m.NsMax < m.NsMean {
+		t.Fatalf("ordering violated: min=%d mean=%d max=%d", m.NsPerOp, m.NsMean, m.NsMax)
+	}
+	if m.Metrics["v"] != 1 {
+		t.Fatalf("metrics not carried: %v", m.Metrics)
+	}
+}
+
+func TestMeasureHandicapScalesWallTime(t *testing.T) {
+	plain, err := Measure("m", 3, 0, func() (map[string]float64, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowed, err := Measure("m", 3, 1000, func() (map[string]float64, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1000x handicap dwarfs scheduler noise even on a loaded machine.
+	if slowed.NsPerOp < plain.NsPerOp*10 {
+		t.Fatalf("handicap did not scale: plain=%d slowed=%d", plain.NsPerOp, slowed.NsPerOp)
+	}
+}
+
+func TestMeasureRejectsMetricDriftAcrossReps(t *testing.T) {
+	calls := 0
+	_, err := Measure("m", 2, 0, func() (map[string]float64, error) {
+		calls++
+		return map[string]float64{"v": float64(calls)}, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "drifted") {
+		t.Fatalf("want drift error, got %v", err)
+	}
+}
+
+func TestMeasureAllowsObservationalDrift(t *testing.T) {
+	calls := 0
+	m, err := Measure("m", 3, 0, func() (map[string]float64, error) {
+		calls++
+		return map[string]float64{"v": 7, "obs_latency": float64(calls)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Metrics["v"] != 7 {
+		t.Fatalf("deterministic metric lost: %v", m.Metrics)
+	}
+}
+
+func TestRunFilters(t *testing.T) {
+	benches := []Benchmark{
+		fakeBench("fig8/tokyo", map[string]float64{"s": 1}),
+		fakeBench("service/replay", map[string]float64{"s": 2}),
+	}
+	snap, err := Run(benches, Options{Reps: 1, Filter: regexp.MustCompile(`^fig8/`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 1 || snap.Benchmarks[0].Name != "fig8/tokyo" {
+		t.Fatalf("filter failed: %+v", snap.Benchmarks)
+	}
+	if snap.CalibNs <= 0 {
+		t.Fatal("snapshot missing calibration time")
+	}
+	if _, err := Run(benches, Options{Reps: 1, Filter: regexp.MustCompile(`nothing`)}); err == nil {
+		t.Fatal("empty filter result should error")
+	}
+}
+
+func snapWith(calib int64, ms ...Measurement) *Snapshot {
+	return &Snapshot{SchemaVersion: SchemaVersion, Reps: 1, CalibNs: calib, Benchmarks: ms}
+}
+
+func meas(name string, ns, bytes int64, metrics map[string]float64) Measurement {
+	return Measurement{Name: name, Reps: 1, NsPerOp: ns, NsMean: ns, NsMax: ns,
+		BPerOp: bytes, Metrics: metrics}
+}
+
+func TestCompareGatesOnTolerance(t *testing.T) {
+	base := snapWith(100, meas("a", 1000, 500, nil), meas("b", 1000, 500, nil))
+	head := snapWith(100, meas("a", 1050, 500, nil), meas("b", 1200, 500, nil))
+	cmp, err := Compare(base, head, CompareOptions{Tolerance: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Ok() {
+		t.Fatal("b regressed 20% but comparison passed")
+	}
+	if len(cmp.Regressed) != 1 || cmp.Regressed[0] != "b" {
+		t.Fatalf("regressed=%v, want [b]", cmp.Regressed)
+	}
+	// a is within tolerance.
+	for _, d := range cmp.Deltas {
+		if d.Name == "a" && d.Regressed {
+			t.Fatal("a (5% slower) should pass a 10% gate")
+		}
+	}
+}
+
+func TestCompareWallAndBytesRatios(t *testing.T) {
+	base := snapWith(0, meas("a", 2000, 1000, nil))
+	head := snapWith(0, meas("a", 1000, 500, nil))
+	cmp, err := Compare(base, head, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cmp.Deltas[0]
+	if d.WallRatio != 2.0 || d.BytesRatio != 2.0 {
+		t.Fatalf("ratios wall=%g bytes=%g, want 2/2", d.WallRatio, d.BytesRatio)
+	}
+}
+
+func TestCompareNormalizeRescalesBaseline(t *testing.T) {
+	// The baseline machine's calibration loop ran 2x faster than head's
+	// (calib 100 vs 200), so base wall times double under -normalize: a
+	// head time of 1900 vs raw base 1000 regresses unnormalized but passes
+	// once rescaled to 2000.
+	base := snapWith(100, meas("a", 1000, 0, nil))
+	head := snapWith(200, meas("a", 1900, 0, nil))
+
+	raw, err := Compare(base, head, CompareOptions{Tolerance: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Ok() {
+		t.Fatal("unnormalized comparison should regress")
+	}
+	norm, err := Compare(base, head, CompareOptions{Tolerance: 0.10, Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !norm.Ok() {
+		t.Fatalf("normalized comparison should pass: %v", norm.Regressed)
+	}
+	if norm.Deltas[0].ScaledBaseNs != 2000 {
+		t.Fatalf("scaled base = %d, want 2000", norm.Deltas[0].ScaledBaseNs)
+	}
+}
+
+func TestCompareNormalizeNeedsCalibration(t *testing.T) {
+	base := snapWith(0, meas("a", 1000, 0, nil))
+	head := snapWith(100, meas("a", 1000, 0, nil))
+	if _, err := Compare(base, head, CompareOptions{Normalize: true}); err == nil {
+		t.Fatal("normalize without calib_ns should error")
+	}
+}
+
+func TestCompareReportsMetricDriftAndMissing(t *testing.T) {
+	base := snapWith(0,
+		meas("a", 1000, 0, map[string]float64{"avg_speedup": 1.133, "obs_p50": 4}),
+		meas("gone", 1000, 0, nil))
+	head := snapWith(0,
+		meas("a", 1000, 0, map[string]float64{"avg_speedup": 1.130, "obs_p50": 9}),
+		meas("new", 1000, 0, nil))
+	cmp, err := Compare(base, head, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Drifted) != 1 || cmp.Drifted[0] != "a" {
+		t.Fatalf("drifted=%v, want [a]", cmp.Drifted)
+	}
+	var a, gone, new_ *Delta
+	for i := range cmp.Deltas {
+		switch cmp.Deltas[i].Name {
+		case "a":
+			a = &cmp.Deltas[i]
+		case "gone":
+			gone = &cmp.Deltas[i]
+		case "new":
+			new_ = &cmp.Deltas[i]
+		}
+	}
+	if a == nil || len(a.MetricDrift) != 1 || a.MetricDrift[0] != "avg_speedup" {
+		t.Fatalf("metric drift on a: %+v", a)
+	}
+	if gone == nil || gone.OnlyIn != "base" || new_ == nil || new_.OnlyIn != "head" {
+		t.Fatalf("one-sided rows wrong: gone=%+v new=%+v", gone, new_)
+	}
+	// Drift must not trip the perf gate.
+	if !cmp.Ok() {
+		t.Fatal("drift alone must not fail the wall-clock gate")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	snap := snapWith(123, meas("a", 1000, 64, map[string]float64{"v": 1}))
+	snap.Commit = "abc1234"
+	if err := WriteSnapshot(snap, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Commit != "abc1234" || len(got.Benchmarks) != 1 || got.Benchmarks[0].NsPerOp != 1000 {
+		t.Fatalf("round trip mangled: %+v", got)
+	}
+}
+
+func TestReadSnapshotRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	snap := snapWith(0, meas("a", 1, 0, nil))
+	snap.SchemaVersion = SchemaVersion + 1
+	if err := WriteSnapshot(snap, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(path); err == nil {
+		t.Fatal("wrong schema version should be rejected")
+	}
+}
+
+// TestSuiteSmoke runs the cheapest slice of the real suite end to end (the
+// service replay over in-process HTTP), proving the wiring works without
+// paying for a Fig 8 sweep in unit tests. The full suite runs in CI's
+// perf-guard job and in absweep.
+func TestSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service replay is a few seconds")
+	}
+	var found *Benchmark
+	for _, b := range Suite(Options{}) {
+		b := b
+		if b.Name == "service/replay" {
+			found = &b
+		}
+	}
+	if found == nil {
+		t.Fatal("suite is missing service/replay")
+	}
+	m, err := Measure(found.Name, 1, 0, found.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Metrics["requests"] != 2*replayCircuits {
+		t.Fatalf("requests=%v, want %d", m.Metrics["requests"], 2*replayCircuits)
+	}
+	if m.Metrics["hit_rate"] != 0.5 {
+		t.Fatalf("hit_rate=%v, want exactly 0.5 (pass 1 misses, pass 2 hits)", m.Metrics["hit_rate"])
+	}
+}

@@ -1,0 +1,260 @@
+package benchmarks
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// CompareOptions tunes Compare.
+type CompareOptions struct {
+	// Tolerance is the relative wall-clock regression bound: head slower
+	// than base by more than this fraction fails the gate. <= 0 selects
+	// DefaultTolerance.
+	Tolerance float64
+	// Normalize rescales the base snapshot's wall times by the ratio of
+	// the two snapshots' calibration-loop times, compensating for the two
+	// runs having executed on machines of different single-core speed
+	// (e.g. a baseline recorded on a developer laptop vs a CI runner).
+	// It requires both snapshots to carry CalibNs.
+	Normalize bool
+}
+
+// DefaultTolerance is the CI regression gate: 10% wall clock.
+const DefaultTolerance = 0.10
+
+// Delta is one benchmark's base-vs-head comparison.
+type Delta struct {
+	Name string `json:"name"`
+	// Base/Head are the two measurements (base possibly rescaled, see
+	// ScaledBaseNs).
+	Base Measurement `json:"base"`
+	Head Measurement `json:"head"`
+	// ScaledBaseNs is the normalization-adjusted baseline wall time the
+	// gate compared against (equal to Base.NsPerOp when Normalize is off).
+	ScaledBaseNs int64 `json:"scaled_base_ns"`
+	// WallRatio is ScaledBaseNs / Head.NsPerOp: > 1 means head is faster.
+	WallRatio float64 `json:"wall_ratio"`
+	// BytesRatio is Base.BPerOp / Head.BPerOp (> 1 means head allocates
+	// less); 0 when the base measured no allocations.
+	BytesRatio float64 `json:"bytes_ratio"`
+	// Regressed marks head slower than the tolerance allows.
+	Regressed bool `json:"regressed,omitempty"`
+	// MetricDrift lists deterministic metrics whose values differ between
+	// the snapshots — a behaviour change, reported but not gated here
+	// (the fig8-guard pins gate behaviour).
+	MetricDrift []string `json:"metric_drift,omitempty"`
+	// OnlyIn marks a benchmark present in just one snapshot ("base" or
+	// "head"); such rows carry no ratios.
+	OnlyIn string `json:"only_in,omitempty"`
+}
+
+// Comparison is the full A/B result. PR, Title, Note and Command are
+// caller-supplied provenance (absweep -pr/-title/-note), making the
+// comparison file self-describing enough to check in as BENCH_N.json.
+type Comparison struct {
+	SchemaVersion int     `json:"schema_version"`
+	PR            int     `json:"pr,omitempty"`
+	Title         string  `json:"title,omitempty"`
+	Note          string  `json:"note,omitempty"`
+	Command       string  `json:"command,omitempty"`
+	Tolerance     float64 `json:"tolerance"`
+	Normalized    bool    `json:"normalized"`
+	// CalibRatio is base CalibNs / head CalibNs (1 when not normalizing):
+	// the machine-speed factor applied to the base wall times.
+	CalibRatio float64  `json:"calib_ratio"`
+	Base       SnapInfo `json:"base"`
+	Head       SnapInfo `json:"head"`
+	Deltas     []Delta  `json:"deltas"`
+	Regressed  []string `json:"regressed,omitempty"`
+	Drifted    []string `json:"drifted,omitempty"`
+}
+
+// SnapInfo is the provenance stub of one side of a comparison.
+type SnapInfo struct {
+	Commit    string `json:"commit,omitempty"`
+	Date      string `json:"date"`
+	Host      string `json:"host"`
+	GoVersion string `json:"go_version"`
+	Reps      int    `json:"reps"`
+	CalibNs   int64  `json:"calib_ns,omitempty"`
+}
+
+func info(s *Snapshot) SnapInfo {
+	return SnapInfo{Commit: s.Commit, Date: s.Date, Host: s.Host,
+		GoVersion: s.GoVersion, Reps: s.Reps, CalibNs: s.CalibNs}
+}
+
+// Compare evaluates head against base. The returned Comparison carries one
+// Delta per benchmark name in either snapshot; Regressed lists benchmarks
+// where head's best wall time exceeds base's (scaled) best wall time by
+// more than the tolerance.
+func Compare(base, head *Snapshot, opts CompareOptions) (*Comparison, error) {
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	ratio := 1.0
+	if opts.Normalize {
+		if base.CalibNs <= 0 || head.CalibNs <= 0 {
+			return nil, fmt.Errorf("benchmarks: -normalize needs calib_ns in both snapshots (base=%d head=%d)", base.CalibNs, head.CalibNs)
+		}
+		// base ran on a machine head.CalibNs/base.CalibNs times faster (or
+		// slower): rescale base's times into head-machine terms.
+		ratio = float64(head.CalibNs) / float64(base.CalibNs)
+	}
+	cmp := &Comparison{
+		SchemaVersion: SchemaVersion,
+		Tolerance:     tol,
+		Normalized:    opts.Normalize,
+		CalibRatio:    ratio,
+		Base:          info(base),
+		Head:          info(head),
+	}
+
+	baseBy := map[string]Measurement{}
+	for _, m := range base.Benchmarks {
+		baseBy[m.Name] = m
+	}
+	headBy := map[string]Measurement{}
+	for _, m := range head.Benchmarks {
+		headBy[m.Name] = m
+	}
+	names := make([]string, 0, len(baseBy))
+	for n := range baseBy {
+		names = append(names, n)
+	}
+	for n := range headBy {
+		if _, ok := baseBy[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	for _, n := range names {
+		bm, inBase := baseBy[n]
+		hm, inHead := headBy[n]
+		switch {
+		case !inHead:
+			cmp.Deltas = append(cmp.Deltas, Delta{Name: n, Base: bm, OnlyIn: "base"})
+			continue
+		case !inBase:
+			cmp.Deltas = append(cmp.Deltas, Delta{Name: n, Head: hm, OnlyIn: "head"})
+			continue
+		}
+		d := Delta{Name: n, Base: bm, Head: hm}
+		d.ScaledBaseNs = int64(float64(bm.NsPerOp) * ratio)
+		if hm.NsPerOp > 0 {
+			d.WallRatio = float64(d.ScaledBaseNs) / float64(hm.NsPerOp)
+		}
+		if bm.BPerOp > 0 && hm.BPerOp > 0 {
+			d.BytesRatio = float64(bm.BPerOp) / float64(hm.BPerOp)
+		}
+		d.Regressed = float64(hm.NsPerOp) > float64(d.ScaledBaseNs)*(1+tol)
+		d.MetricDrift = driftKeys(bm.Metrics, hm.Metrics)
+		if d.Regressed {
+			cmp.Regressed = append(cmp.Regressed, n)
+		}
+		if len(d.MetricDrift) > 0 {
+			cmp.Drifted = append(cmp.Drifted, n)
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	return cmp, nil
+}
+
+// driftKeys lists deterministic metric keys whose values differ (or exist
+// on only one side).
+func driftKeys(a, b map[string]float64) []string {
+	var out []string
+	for k, v := range a {
+		if Observational(k) {
+			continue
+		}
+		if bv, ok := b[k]; !ok || bv != v {
+			out = append(out, k)
+		}
+	}
+	for k := range b {
+		if Observational(k) {
+			continue
+		}
+		if _, ok := a[k]; !ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ok reports whether the comparison passes the regression gate.
+func (c *Comparison) Ok() bool { return len(c.Regressed) == 0 }
+
+// WriteText renders the comparison as an aligned human-readable table.
+func (c *Comparison) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "%-24s %14s %14s %8s %8s  %s\n", "benchmark", "base ns", "head ns", "wall x", "bytes x", "status")
+	for _, d := range c.Deltas {
+		if d.OnlyIn != "" {
+			fmt.Fprintf(w, "%-24s %14s %14s %8s %8s  only in %s\n", d.Name, "-", "-", "-", "-", d.OnlyIn)
+			continue
+		}
+		status := "ok"
+		if d.Regressed {
+			status = fmt.Sprintf("REGRESSED (>%.0f%%)", c.Tolerance*100)
+		}
+		if len(d.MetricDrift) > 0 {
+			status += fmt.Sprintf(" drift:%v", d.MetricDrift)
+		}
+		fmt.Fprintf(w, "%-24s %14d %14d %7.3fx %7.3fx  %s\n",
+			d.Name, d.ScaledBaseNs, d.Head.NsPerOp, d.WallRatio, d.BytesRatio, status)
+	}
+	if c.Normalized {
+		fmt.Fprintf(w, "normalized: base wall times scaled by %.4f (calibration-loop ratio)\n", c.CalibRatio)
+	}
+	if !c.Ok() {
+		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed beyond %.0f%%: %v\n", len(c.Regressed), c.Tolerance*100, c.Regressed)
+	}
+	return nil
+}
+
+// WriteSnapshot writes a snapshot as indented JSON to path ("-" = stdout).
+func WriteSnapshot(s *Snapshot, path string) error {
+	return writeJSON(s, path)
+}
+
+// WriteComparison writes a comparison as indented JSON to path ("-" =
+// stdout).
+func WriteComparison(c *Comparison, path string) error {
+	return writeJSON(c, path)
+}
+
+func writeJSON(v interface{}, path string) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadSnapshot loads a snapshot JSON from disk and checks its schema.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchmarks: %s: %w", path, err)
+	}
+	if s.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("benchmarks: %s: schema_version %d, this binary speaks %d", path, s.SchemaVersion, SchemaVersion)
+	}
+	return &s, nil
+}

@@ -1,0 +1,203 @@
+package benchmarks
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+
+	"codar/internal/arch"
+	"codar/internal/core"
+	"codar/internal/experiments"
+	"codar/internal/pool"
+	"codar/internal/portfolio"
+	"codar/internal/qasm"
+	"codar/internal/service"
+	"codar/internal/workloads"
+)
+
+// portfolioSubset mirrors bench_test.go's ablationSubset: a representative
+// slice of the suite that keeps the portfolio row (16 candidates per
+// benchmark) affordable at several repetitions.
+var portfolioSubset = []string{
+	"qft_10", "qft_16", "rand_10_g300", "rand_16_g1000",
+	"qv_12_d12", "revnet_12_s1", "ising_12_6", "adder_6", "grover_5",
+}
+
+// replayCircuits is the number of distinct suite circuits the service
+// replay posts (each twice: a miss pass then a hit pass).
+const replayCircuits = 20
+
+// replayConcurrency is the client fan-out of the service replay, matching
+// cmd/codarload's default -concurrency.
+const replayConcurrency = 4
+
+// LargeGates is the size of the forward-looking generation row: the
+// 1M-gate workload named in ROADMAP item 3 (generation only; streaming
+// mapping is out of scope).
+const LargeGates = 1_000_000
+
+// Suite returns the standard harness benchmarks: the four Fig 8 sweeps,
+// the portfolio study on the Tokyo subset, the in-process codarload replay
+// and the large-circuit generation row.
+func Suite(opts Options) []Benchmark {
+	benches := []Benchmark{
+		fig8Bench("fig8/melbourne", arch.IBMQ16Melbourne, opts.Workers),
+		fig8Bench("fig8/enfield6x6", arch.Enfield6x6, opts.Workers),
+		fig8Bench("fig8/tokyo", arch.IBMQ20Tokyo, opts.Workers),
+		fig8Bench("fig8/sycamore", arch.SycamoreQ54, opts.Workers),
+		portfolioBench("portfolio/tokyo-subset"),
+		serviceBench("service/replay"),
+		generateBench("workloads/generate-1m"),
+	}
+	return benches
+}
+
+// fig8Bench wraps one device's Fig 8 sweep. The avg_speedup metric is
+// rounded to the three decimals the CI pin check asserts on, so a perf
+// comparison that passes also re-proves the pins.
+func fig8Bench(name string, dev func() *arch.Device, workers int) Benchmark {
+	return Benchmark{Name: name, Run: func() (map[string]float64, error) {
+		res, err := experiments.RunFig8DeviceWorkers(dev(), core.Options{}, workers)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"avg_speedup": math.Round(res.AverageSpeedup()*1000) / 1000,
+			"benchmarks":  float64(len(res.Rows)),
+		}, nil
+	}}
+}
+
+// portfolioBench wraps the multi-start portfolio study over the Tokyo
+// subset: for each benchmark the single-shot pipeline plus the full
+// 16-candidate grid (2 seeds × 4 placements × 2 algorithms), exactly the
+// per-benchmark work RunPortfolioStudy does.
+func portfolioBench(name string) Benchmark {
+	return Benchmark{Name: name, Run: func() (map[string]float64, error) {
+		dev := arch.IBMQ20Tokyo()
+		spec := portfolio.Spec{
+			Objective:    portfolio.ObjectiveMinDepth,
+			EarlyAbandon: true,
+			Workers:      1,
+		}
+		var ratioSum float64
+		wins := 0
+		for _, bname := range portfolioSubset {
+			b, err := workloads.ByName(bname)
+			if err != nil {
+				return nil, err
+			}
+			row, _, err := experiments.PortfolioCompareOn(b, dev, nil, spec)
+			if err != nil {
+				return nil, err
+			}
+			if row.SingleWD > 0 {
+				ratioSum += float64(row.PortWD) / float64(row.SingleWD)
+			}
+			if row.PortWD < row.SingleWD {
+				wins++
+			}
+		}
+		return map[string]float64{
+			"mean_depth_ratio": math.Round(ratioSum/float64(len(portfolioSubset))*1e6) / 1e6,
+			"depth_wins":       float64(wins),
+			"benchmarks":       float64(len(portfolioSubset)),
+		}, nil
+	}}
+}
+
+// serviceBench replays suite circuits against an in-process codard server —
+// the harness equivalent of cmd/codarload, minus the network. Each
+// repetition starts a fresh server, posts replayCircuits distinct circuits
+// (all cache misses), then the same circuits again (all cache hits), with
+// replayConcurrency client workers. Deterministic metrics: request count
+// and hit rate. Observational (obs_, excluded from drift gating): latency
+// percentiles from /v1/stats.
+func serviceBench(name string) Benchmark {
+	// Pre-render the QASM once: request construction is not the serving
+	// path under measurement.
+	var sources []string
+	for _, b := range workloads.SmallSuite() {
+		if len(sources) == replayCircuits {
+			break
+		}
+		sources = append(sources, qasm.Write(b.Circuit()))
+	}
+	return Benchmark{Name: name, Run: func() (map[string]float64, error) {
+		srv := service.New(service.Config{Workers: replayConcurrency})
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+
+		post := func(body []byte) error {
+			resp, err := http.Post(ts.URL+"/v1/map", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+				return fmt.Errorf("service replay: /v1/map returned %d: %s", resp.StatusCode, msg)
+			}
+			_, err = io.Copy(io.Discard, resp.Body)
+			return err
+		}
+
+		bodies := make([][]byte, len(sources))
+		for i, src := range sources {
+			b, err := json.Marshal(service.MapRequest{QASM: src, Arch: "tokyo", Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			bodies[i] = b
+		}
+
+		// Two passes: every circuit distinct within a pass, so pass 1 is
+		// all misses and pass 2 all hits regardless of client interleaving.
+		for pass := 0; pass < 2; pass++ {
+			errs := make([]error, len(bodies))
+			pool.Run(len(bodies), replayConcurrency, func(i int) {
+				errs[i] = post(bodies[i])
+			})
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		statsResp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			return nil, err
+		}
+		defer statsResp.Body.Close()
+		var stats service.StatsResponse
+		if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"requests":   float64(2 * len(bodies)),
+			"hit_rate":   stats.CacheHitRate,
+			"obs_p50_ms": stats.Latency.P50,
+			"obs_p90_ms": stats.Latency.P90,
+			"obs_p99_ms": stats.Latency.P99,
+			"obs_max_ms": stats.Latency.Max,
+		}, nil
+	}}
+}
+
+// generateBench times generation of the 1M-gate random workload (the
+// benchgen -gates path). Mapping it stays out of scope; the row exists so
+// generator-side regressions surface before streaming mapping lands.
+func generateBench(name string) Benchmark {
+	return Benchmark{Name: name, Run: func() (map[string]float64, error) {
+		c := workloads.Random(16, LargeGates, 45, 1)
+		if c.Len() < LargeGates {
+			return nil, fmt.Errorf("generate-1m: got %d gates, want >= %d", c.Len(), LargeGates)
+		}
+		return map[string]float64{"gates": float64(c.Len())}, nil
+	}}
+}

@@ -1,0 +1,226 @@
+// Command absweep is the continuous A/B perf harness driver: it runs the
+// standard benchmark suite (internal/../benchmarks) — the four Fig 8
+// sweeps, the Tokyo portfolio study, the in-process codarload replay and
+// the 1M-gate generation row — and records or compares machine-readable
+// perf snapshots.
+//
+// Usage:
+//
+//	absweep -record FILE            measure this tree, write a snapshot
+//	absweep -baseline FILE          measure this tree, compare against a
+//	                                recorded snapshot, exit 1 on regression
+//	absweep -diff BASE HEAD         compare two recorded snapshots
+//
+// Common flags: -reps N (repetitions, default 3), -bench RE (filter),
+// -workers N (Fig 8 fan-out), -out FILE (write the comparison JSON, "-" =
+// stdout), -tolerance F (regression gate, default 0.10), -normalize
+// (rescale by the calibration-loop ratio when the two snapshots ran on
+// different machines), -handicap F (scale measured wall times — a synthetic
+// regression for testing the gate), -pr/-title/-note (provenance stamped
+// into the comparison, so the output doubles as BENCH_N.json).
+//
+// To A/B two commits, record a snapshot at each (scripts/ab_commits.sh
+// automates the worktree dance) and -diff them.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+
+	"codar/benchmarks"
+)
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "absweep:", err)
+		os.Exit(2)
+	}
+	code, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "absweep:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// config is the parsed absweep command line.
+type config struct {
+	record    string
+	baseline  string
+	diff      bool
+	diffBase  string
+	diffHead  string
+	out       string
+	reps      int
+	bench     string
+	workers   int
+	tolerance float64
+	handicap  float64
+	normalize bool
+	pr        int
+	title     string
+	note      string
+	command   string
+}
+
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("absweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	fs.StringVar(&cfg.record, "record", "", "measure this tree and write the snapshot JSON to `file`")
+	fs.StringVar(&cfg.baseline, "baseline", "", "measure this tree and compare against the snapshot in `file`; exit 1 on regression")
+	fs.BoolVar(&cfg.diff, "diff", false, "compare two recorded snapshots: absweep -diff base.json head.json")
+	fs.StringVar(&cfg.out, "out", "", "write the comparison JSON to `file` (\"-\" = stdout)")
+	fs.IntVar(&cfg.reps, "reps", 3, "repetitions per benchmark (min/mean/max bound the noise)")
+	fs.StringVar(&cfg.bench, "bench", "", "regexp filtering benchmark names (e.g. 'fig8/', 'service')")
+	fs.IntVar(&cfg.workers, "workers", 0, "worker-pool size for the Fig 8 fan-out (0 = GOMAXPROCS, 1 = serial)")
+	fs.Float64Var(&cfg.tolerance, "tolerance", benchmarks.DefaultTolerance, "relative wall-clock regression gate")
+	fs.Float64Var(&cfg.handicap, "handicap", 0, "scale measured wall times by this factor (> 1 simulates a regression; for testing the gate)")
+	fs.BoolVar(&cfg.normalize, "normalize", false, "rescale the baseline by the calibration-loop ratio (cross-machine comparison)")
+	fs.IntVar(&cfg.pr, "pr", 0, "PR number stamped into the comparison output")
+	fs.StringVar(&cfg.title, "title", "", "title stamped into the comparison output")
+	fs.StringVar(&cfg.note, "note", "", "free-form note stamped into the comparison output")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	modes := 0
+	for _, on := range []bool{cfg.record != "", cfg.baseline != "", cfg.diff} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fs.Usage()
+		return nil, fmt.Errorf("exactly one of -record, -baseline or -diff is required")
+	}
+	if cfg.diff {
+		if fs.NArg() != 2 {
+			return nil, fmt.Errorf("-diff takes exactly two snapshot files, got %d", fs.NArg())
+		}
+		cfg.diffBase, cfg.diffHead = fs.Arg(0), fs.Arg(1)
+	} else if fs.NArg() > 0 {
+		fs.Usage()
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.reps < 1 {
+		return nil, fmt.Errorf("-reps must be >= 1, got %d", cfg.reps)
+	}
+	if cfg.tolerance <= 0 {
+		return nil, fmt.Errorf("-tolerance must be > 0, got %g", cfg.tolerance)
+	}
+	if cfg.handicap < 0 {
+		return nil, fmt.Errorf("-handicap must be >= 0, got %g", cfg.handicap)
+	}
+	cfg.command = "absweep " + strings.Join(args, " ")
+	return cfg, nil
+}
+
+// run executes the selected mode and returns the process exit code:
+// 0 pass, 1 regression. Errors map to exit 2 in main.
+func run(cfg *config) (int, error) {
+	opts := benchmarks.Options{
+		Reps:     cfg.reps,
+		Workers:  cfg.workers,
+		Handicap: cfg.handicap,
+		Log: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if cfg.bench != "" {
+		re, err := regexp.Compile(cfg.bench)
+		if err != nil {
+			return 0, fmt.Errorf("-bench: %w", err)
+		}
+		opts.Filter = re
+	}
+
+	measure := func() (*benchmarks.Snapshot, error) {
+		snap, err := benchmarks.Run(benchmarks.Suite(opts), opts)
+		if err != nil {
+			return nil, err
+		}
+		snap.Commit = gitCommit()
+		return snap, nil
+	}
+
+	switch {
+	case cfg.record != "":
+		snap, err := measure()
+		if err != nil {
+			return 0, err
+		}
+		if err := benchmarks.WriteSnapshot(snap, cfg.record); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d benchmarks to %s\n", len(snap.Benchmarks), cfg.record)
+		return 0, nil
+
+	case cfg.baseline != "":
+		base, err := benchmarks.ReadSnapshot(cfg.baseline)
+		if err != nil {
+			return 0, err
+		}
+		head, err := measure()
+		if err != nil {
+			return 0, err
+		}
+		return compare(cfg, base, head)
+
+	default: // -diff
+		base, err := benchmarks.ReadSnapshot(cfg.diffBase)
+		if err != nil {
+			return 0, err
+		}
+		head, err := benchmarks.ReadSnapshot(cfg.diffHead)
+		if err != nil {
+			return 0, err
+		}
+		return compare(cfg, base, head)
+	}
+}
+
+func compare(cfg *config, base, head *benchmarks.Snapshot) (int, error) {
+	cmp, err := benchmarks.Compare(base, head, benchmarks.CompareOptions{
+		Tolerance: cfg.tolerance,
+		Normalize: cfg.normalize,
+	})
+	if err != nil {
+		return 0, err
+	}
+	cmp.PR = cfg.pr
+	cmp.Title = cfg.title
+	cmp.Note = cfg.note
+	cmp.Command = cfg.command
+	if err := cmp.WriteText(os.Stdout); err != nil {
+		return 0, err
+	}
+	if cfg.out != "" {
+		if err := benchmarks.WriteComparison(cmp, cfg.out); err != nil {
+			return 0, err
+		}
+	}
+	if !cmp.Ok() {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// gitCommit best-effort resolves the working tree's short commit hash
+// (empty outside a git checkout — snapshots stay usable either way).
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -37,8 +37,10 @@ func main() {
 
 // config is the parsed benchgen command line.
 type config struct {
-	dir string
-	raw bool
+	dir   string
+	raw   bool
+	gates int
+	seed  int64
 }
 
 // parseFlags parses and validates the command line; leftover positional
@@ -50,6 +52,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	cfg := &config{}
 	fs.StringVar(&cfg.dir, "dir", "benchmarks", "output directory")
 	fs.BoolVar(&cfg.raw, "raw", false, "emit circuits before lowering (keep ccx/cp/rzz/swap)")
+	fs.IntVar(&cfg.gates, "gates", 0, "instead of the suite, emit one 16-qubit random workload with this many gates (e.g. 1000000 for the harness's 1M-gate row)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "generator seed for -gates workloads")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -60,12 +64,21 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	if cfg.dir == "" {
 		return nil, fmt.Errorf("-dir must be non-empty")
 	}
+	if cfg.gates < 0 {
+		return nil, fmt.Errorf("-gates must be >= 0, got %d", cfg.gates)
+	}
+	if cfg.gates > 0 && cfg.raw {
+		return nil, fmt.Errorf("-gates workloads are already lowered; -raw does not apply")
+	}
 	return cfg, nil
 }
 
 func run(cfg *config) error {
 	if err := os.MkdirAll(cfg.dir, 0o755); err != nil {
 		return err
+	}
+	if cfg.gates > 0 {
+		return runLarge(cfg)
 	}
 	f, err := os.Create(filepath.Join(cfg.dir, "MANIFEST.txt"))
 	if err != nil {
@@ -97,5 +110,19 @@ func run(cfg *config) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "benchgen: wrote %d circuits to %s\n", len(workloads.Suite()), cfg.dir)
+	return nil
+}
+
+// runLarge emits a single large random workload (the -gates mode), mirroring
+// the perf harness's generation row (workloads.Random at 45% CX on 16
+// qubits) so a 1M-gate circuit can be materialised for external toolchains
+// without running the whole suite.
+func runLarge(cfg *config) error {
+	c := workloads.Random(16, cfg.gates, 45, cfg.seed)
+	path := filepath.Join(cfg.dir, c.Name+".qasm")
+	if err := os.WriteFile(path, []byte(qasm.Write(c)), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchgen: wrote %s (%d gates) to %s\n", c.Name, c.Len(), cfg.dir)
 	return nil
 }

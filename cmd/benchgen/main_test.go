@@ -18,6 +18,8 @@ func TestParseFlagsErrorPaths(t *testing.T) {
 		{"positional junk", []string{"outdir"}, "unexpected arguments"},
 		{"unknown flag", []string{"-out", "x"}, "flag provided but not defined"},
 		{"empty dir", []string{"-dir", ""}, "-dir must be non-empty"},
+		{"negative gates", []string{"-gates", "-5"}, "-gates must be >= 0"},
+		{"gates with raw", []string{"-gates", "100", "-raw"}, "-raw does not apply"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -30,5 +32,25 @@ func TestParseFlagsErrorPaths(t *testing.T) {
 				t.Errorf("error %q / stderr %q missing %q", err, stderr.String(), tc.want)
 			}
 		})
+	}
+}
+
+// TestParseFlagsGates: the large-workload knob parses with its seed and
+// defaults to suite mode when absent.
+func TestParseFlagsGates(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseFlags([]string{"-gates", "1000000", "-seed", "7", "-dir", "out"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.gates != 1000000 || cfg.seed != 7 || cfg.dir != "out" {
+		t.Errorf("unexpected config: %+v", cfg)
+	}
+	cfg, err = parseFlags(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.gates != 0 || cfg.seed != 1 {
+		t.Errorf("unexpected defaults: %+v", cfg)
 	}
 }

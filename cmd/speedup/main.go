@@ -84,8 +84,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	if cfg.workers < 0 {
 		return nil, fmt.Errorf("-workers must be >= 0, got %d", cfg.workers)
 	}
-	if cfg.portfolio && (cfg.csvPath != "" || cfg.ablate || cfg.durSweep || cfg.initial || cfg.cpuprofile != "" || cfg.memprofile != "") {
-		return nil, fmt.Errorf("-portfolio runs the portfolio study only; it cannot be combined with -csv, -ablate, -dursweep, -initial or the profile flags")
+	if cfg.portfolio && (cfg.csvPath != "" || cfg.ablate || cfg.durSweep || cfg.initial) {
+		return nil, fmt.Errorf("-portfolio runs the portfolio study only; it cannot be combined with -csv, -ablate, -dursweep or -initial")
 	}
 	if cfg.portfolio && cfg.archName == "all" {
 		// The unspelled default narrows to the study's reference device;

@@ -17,6 +17,20 @@ func TestParseFlagsDefaults(t *testing.T) {
 	}
 }
 
+// TestPortfolioAllowsProfiling: the profiler flags are observability, not a
+// study selector — they must compose with -portfolio (the portfolio pipeline
+// is exactly what the shared-placement work needs profiles of).
+func TestPortfolioAllowsProfiling(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseFlags([]string{"-portfolio", "-cpuprofile", "cpu.prof", "-memprofile", "mem.prof"}, &stderr)
+	if err != nil {
+		t.Fatalf("-portfolio with profile flags rejected: %v", err)
+	}
+	if !cfg.portfolio || cfg.cpuprofile != "cpu.prof" || cfg.memprofile != "mem.prof" {
+		t.Errorf("unexpected config: %+v", cfg)
+	}
+}
+
 // TestParseFlagsErrorPaths extends the PR 4 flag-hardening contract to
 // speedup: malformed lines must error so main exits non-zero (package
 // flag's global FlagSet silently ignored the positional-junk case).
@@ -31,6 +45,7 @@ func TestParseFlagsErrorPaths(t *testing.T) {
 		{"unknown flag", []string{"-device", "tokyo"}, "flag provided but not defined"},
 		{"bad workers", []string{"-workers", "few"}, "invalid value"},
 		{"negative workers", []string{"-workers", "-3"}, "-workers must be >= 0"},
+		{"portfolio with csv", []string{"-portfolio", "-csv", "out.csv"}, "cannot be combined"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

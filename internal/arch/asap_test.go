@@ -1,0 +1,102 @@
+package arch
+
+import "testing"
+
+// refASAP is an independent reference for the tracker's recurrence: replay
+// the sequence against per-qubit free times and return the final makespan.
+func refASAP(numQubits int, seq [][]int, durs []int) int {
+	free := make([]int, numQubits)
+	span := 0
+	for i, qs := range seq {
+		start := 0
+		for _, q := range qs {
+			if free[q] > start {
+				start = free[q]
+			}
+		}
+		end := start + durs[i]
+		for _, q := range qs {
+			free[q] = end
+		}
+		if end > span {
+			span = end
+		}
+	}
+	return span
+}
+
+func TestASAPTrackerSerialChain(t *testing.T) {
+	tr := NewASAPTracker(2)
+	for i := 1; i <= 4; i++ {
+		if got := tr.Note([]int{0}, 3); got != 3*i {
+			t.Fatalf("after %d gates span = %d, want %d", i, got, 3*i)
+		}
+	}
+	if tr.Span() != 12 {
+		t.Fatalf("Span() = %d, want 12", tr.Span())
+	}
+}
+
+func TestASAPTrackerDisjointQubitsOverlap(t *testing.T) {
+	tr := NewASAPTracker(3)
+	tr.Note([]int{0}, 5)
+	if got := tr.Note([]int{1}, 2); got != 5 {
+		t.Fatalf("disjoint gate extended the span to %d, want 5", got)
+	}
+	if got := tr.Note([]int{2}, 9); got != 9 {
+		t.Fatalf("span = %d, want 9", got)
+	}
+}
+
+func TestASAPTrackerTwoQubitJoinsAtLatestOperand(t *testing.T) {
+	tr := NewASAPTracker(2)
+	tr.Note([]int{0}, 7) // qubit 0 free at 7
+	tr.Note([]int{1}, 2) // qubit 1 free at 2
+	// The 2q gate must wait for the later operand: starts at 7, ends at 10.
+	if got := tr.Note([]int{0, 1}, 3); got != 10 {
+		t.Fatalf("join span = %d, want 10", got)
+	}
+	// Both operands are now free at 10.
+	if got := tr.Note([]int{1}, 1); got != 11 {
+		t.Fatalf("post-join span = %d, want 11", got)
+	}
+}
+
+// TestASAPTrackerMatchesReference replays pseudo-random mixed 1q/2q
+// sequences and checks the incremental span against an independent replay,
+// plus the monotonicity the early-abandon soundness argument rests on.
+func TestASAPTrackerMatchesReference(t *testing.T) {
+	const nq = 6
+	s := uint64(42)
+	next := func(mod int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(mod))
+	}
+	var seq [][]int
+	var durs []int
+	tr := NewASAPTracker(nq)
+	prev := 0
+	for i := 0; i < 500; i++ {
+		var qs []int
+		if next(3) == 0 {
+			a := next(nq)
+			b := (a + 1 + next(nq-1)) % nq
+			qs = []int{a, b}
+		} else {
+			qs = []int{next(nq)}
+		}
+		d := 1 + next(4)
+		seq = append(seq, qs)
+		durs = append(durs, d)
+		got := tr.Note(qs, d)
+		if got < prev {
+			t.Fatalf("gate %d: span decreased %d -> %d", i, prev, got)
+		}
+		prev = got
+		if want := refASAP(nq, seq, durs); got != want {
+			t.Fatalf("gate %d: span = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -35,3 +35,24 @@ func (a *IntArena) Take(n int) []int {
 func (a *IntArena) Reset() {
 	a.buf = nil
 }
+
+// FloatArena is IntArena over float64 blocks: batch storage for per-gate
+// parameter slices when a whole circuit is copied at once (Schedule.Circuit),
+// where one allocation per gate would dominate the copy.
+type FloatArena struct {
+	buf []float64
+}
+
+// Take returns a zeroed slice of length n from the arena.
+func (a *FloatArena) Take(n int) []float64 {
+	if len(a.buf)+n > cap(a.buf) {
+		size := arenaBlock
+		if n > size {
+			size = n
+		}
+		a.buf = make([]float64, 0, size)
+	}
+	off := len(a.buf)
+	a.buf = a.buf[:off+n]
+	return a.buf[off : off+n : off+n]
+}

@@ -13,62 +13,95 @@ package circuit
 // Barriers, measurements and resets pass through unchanged. The original
 // circuit is not modified.
 func Decompose(c *Circuit) *Circuit {
-	out := &Circuit{Name: c.Name, NumQubits: c.NumQubits, NumClbits: c.NumClbits}
+	out := &Circuit{
+		Name:      c.Name,
+		NumQubits: c.NumQubits,
+		NumClbits: c.NumClbits,
+		// Lower bound: every input gate yields at least one output gate.
+		Gates: make([]Gate, 0, len(c.Gates)),
+	}
+	d := decomposer{out: out}
 	for _, g := range c.Gates {
-		decomposeInto(out, g)
+		d.gate(g)
 	}
 	return out
 }
 
+// decomposer batches the pass-through copies of already-lowered gates
+// through arenas; compound expansions go through the circuit builders.
+type decomposer struct {
+	out    *Circuit
+	qubits IntArena
+	params FloatArena
+}
+
+func (d *decomposer) gate(g Gate) {
+	decomposeInto(d, g)
+}
+
+// passThrough appends a deep copy of an already-base gate, with its qubit
+// and parameter slices carved from the decomposer's arenas.
+func (d *decomposer) passThrough(g Gate) {
+	qs := d.qubits.Take(len(g.Qubits))
+	copy(qs, g.Qubits)
+	g.Qubits = qs
+	if g.Params != nil {
+		ps := d.params.Take(len(g.Params))
+		copy(ps, g.Params)
+		g.Params = ps
+	}
+	d.out.Add(g)
+}
+
 // decomposeInto appends the base-set expansion of g to out.
-func decomposeInto(out *Circuit, g Gate) {
+func decomposeInto(d *decomposer, g Gate) {
 	switch g.Op {
 	case OpCCX:
 		a, b, t := g.Qubits[0], g.Qubits[1], g.Qubits[2]
-		out.H(t)
-		out.CX(b, t)
-		out.Tdg(t)
-		out.CX(a, t)
-		out.T(t)
-		out.CX(b, t)
-		out.Tdg(t)
-		out.CX(a, t)
-		out.T(b)
-		out.T(t)
-		out.H(t)
-		out.CX(a, b)
-		out.T(a)
-		out.Tdg(b)
-		out.CX(a, b)
+		d.out.H(t)
+		d.out.CX(b, t)
+		d.out.Tdg(t)
+		d.out.CX(a, t)
+		d.out.T(t)
+		d.out.CX(b, t)
+		d.out.Tdg(t)
+		d.out.CX(a, t)
+		d.out.T(b)
+		d.out.T(t)
+		d.out.H(t)
+		d.out.CX(a, b)
+		d.out.T(a)
+		d.out.Tdg(b)
+		d.out.CX(a, b)
 	case OpCP:
 		a, b := g.Qubits[0], g.Qubits[1]
 		l := g.Params[0]
-		out.U1(l/2, a)
-		out.CX(a, b)
-		out.U1(-l/2, b)
-		out.CX(a, b)
-		out.U1(l/2, b)
+		d.out.U1(l/2, a)
+		d.out.CX(a, b)
+		d.out.U1(-l/2, b)
+		d.out.CX(a, b)
+		d.out.U1(l/2, b)
 	case OpRZZ:
 		a, b := g.Qubits[0], g.Qubits[1]
-		out.CX(a, b)
-		out.RZ(g.Params[0], b)
-		out.CX(a, b)
+		d.out.CX(a, b)
+		d.out.RZ(g.Params[0], b)
+		d.out.CX(a, b)
 	case OpRXX:
 		a, b := g.Qubits[0], g.Qubits[1]
-		out.H(a)
-		out.H(b)
-		out.CX(a, b)
-		out.RZ(g.Params[0], b)
-		out.CX(a, b)
-		out.H(a)
-		out.H(b)
+		d.out.H(a)
+		d.out.H(b)
+		d.out.CX(a, b)
+		d.out.RZ(g.Params[0], b)
+		d.out.CX(a, b)
+		d.out.H(a)
+		d.out.H(b)
 	case OpSwap:
 		a, b := g.Qubits[0], g.Qubits[1]
-		out.CX(a, b)
-		out.CX(b, a)
-		out.CX(a, b)
+		d.out.CX(a, b)
+		d.out.CX(b, a)
+		d.out.CX(a, b)
 	default:
-		out.Add(g.Clone())
+		d.passThrough(g)
 	}
 }
 

@@ -1,0 +1,89 @@
+package circuit
+
+// SoA is the struct-of-arrays mirror of a circuit's gate sequence, built
+// once per circuit and shared by every traversal that only needs ops and
+// operands (the CODAR commutative-front walk, the SWAP-candidate search,
+// SABRE's front/extended-set scans). The gate slice ([]Gate, ~64 bytes per
+// element with two pointer-backed slices) is cache-hostile for these loops:
+// each step loads a full Gate value and chases Qubits through a separate
+// allocation. Here the same information is four dense parallel arrays —
+// an op byte, a two-qubit flag, and a flat operand pool addressed by
+// offsets — so a window scan touches contiguous memory and the common
+// "is gate i a blocked two-qubit gate, and on which pair?" question costs
+// three indexed loads with no pointer chase.
+//
+// The offset scheme is the one the frontier engine already used privately:
+// operand k of gate i lives at flat slot QOff[i]+k, and SlotGate inverts
+// the mapping (slot → gate) for per-qubit chain bookkeeping. Lifting it
+// here lets the frontier drop its private copies and every other consumer
+// share one build.
+type SoA struct {
+	// Ops[i] is gate i's operation.
+	Ops []Op
+	// Is2Q[i] caches Ops[i].TwoQubit() — the hottest per-gate predicate.
+	Is2Q []bool
+	// QOff has len(Ops)+1 entries; gate i's operands occupy
+	// Qubits[QOff[i]:QOff[i+1]].
+	QOff []int32
+	// Qubits is the flat operand pool.
+	Qubits []int32
+	// SlotGate[s] is the gate owning flat slot s (the inverse of QOff).
+	SlotGate []int32
+	// Basis[s] is the gate's commutation basis on the operand at slot s
+	// (Gate.BasisOn of that qubit), so position-dependent commutation
+	// checks compare two table bytes instead of walking Gate values.
+	Basis []Basis
+}
+
+// NewSoA builds the struct-of-arrays layout for c's gates.
+func NewSoA(c *Circuit) *SoA {
+	n := len(c.Gates)
+	total := 0
+	for i := range c.Gates {
+		total += len(c.Gates[i].Qubits)
+	}
+	s := &SoA{
+		Ops:      make([]Op, n),
+		Is2Q:     make([]bool, n),
+		QOff:     make([]int32, n+1),
+		Qubits:   make([]int32, 0, total),
+		SlotGate: make([]int32, total),
+		Basis:    make([]Basis, total),
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		s.Ops[i] = g.Op
+		s.Is2Q[i] = g.Op.TwoQubit()
+		s.QOff[i] = int32(len(s.Qubits))
+		for k, q := range g.Qubits {
+			if g.Op < numOps && k < 3 {
+				s.Basis[len(s.Qubits)] = basisTab[g.Op][k]
+			}
+			s.SlotGate[len(s.Qubits)] = int32(i)
+			s.Qubits = append(s.Qubits, int32(q))
+		}
+	}
+	s.QOff[n] = int32(len(s.Qubits))
+	return s
+}
+
+// Len returns the number of gates.
+func (s *SoA) Len() int { return len(s.Ops) }
+
+// NumQubits returns gate i's operand count.
+func (s *SoA) NumQubits(i int) int { return int(s.QOff[i+1] - s.QOff[i]) }
+
+// Qubit returns operand k of gate i.
+func (s *SoA) Qubit(i, k int) int { return int(s.Qubits[int(s.QOff[i])+k]) }
+
+// Pair returns the two operands of two-qubit gate i.
+func (s *SoA) Pair(i int) (int, int) {
+	off := s.QOff[i]
+	return int(s.Qubits[off]), int(s.Qubits[off+1])
+}
+
+// Operands returns gate i's operand slice (a view into the flat pool; the
+// caller must not mutate it).
+func (s *SoA) Operands(i int) []int32 {
+	return s.Qubits[s.QOff[i]:s.QOff[i+1]]
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+)
+
+// TestRemapAssembledReuseMatchesFresh pins the assembly-sharing contract on
+// the CODAR side: one Assembly reused across several RemapAssembled calls
+// produces outputs byte-identical to per-call Remap, which assembles from
+// scratch each time.
+func TestRemapAssembledReuseMatchesFresh(t *testing.T) {
+	dev := arch.IBMQ20Tokyo()
+	for seed := int64(1); seed <= 4; seed++ {
+		c := randCircuit(seed, 12, 350)
+		asm := circuit.Assemble(c)
+		fresh, err := Remap(c, dev, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			shared, err := RemapAssembled(asm, dev, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fresh.Circuit.Equal(shared.Circuit) {
+				t.Fatalf("seed %d reuse %d: shared-assembly output differs from fresh", seed, i)
+			}
+			if fresh.Makespan != shared.Makespan || fresh.SwapCount != shared.SwapCount {
+				t.Fatalf("seed %d reuse %d: makespan/swaps differ", seed, i)
+			}
+			if !fresh.FinalLayout.Equal(shared.FinalLayout) {
+				t.Fatalf("seed %d reuse %d: final layout differs", seed, i)
+			}
+		}
+	}
+}

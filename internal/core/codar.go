@@ -164,11 +164,17 @@ type Result struct {
 // lowered to the base gate set (circuit.Decompose) and must fit the device
 // (c.NumQubits <= dev.NumQubits).
 func Remap(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Options) (*Result, error) {
-	if err := c.Validate(); err != nil {
+	return RemapAssembled(circuit.Assemble(c), dev, initial, opts)
+}
+
+// RemapAssembled is Remap over a pre-built assembly. Callers running the
+// same circuit several times (the portfolio, the Fig 8 CODAR/SABRE pairs)
+// share one assembly so the SoA gate layout and the validity walk are paid
+// once; the output is byte-identical to Remap.
+func RemapAssembled(a *circuit.Assembly, dev *arch.Device, initial *arch.Layout, opts Options) (*Result, error) {
+	c := a.Circ
+	if err := a.Checked(); err != nil {
 		return nil, fmt.Errorf("codar: %w", err)
-	}
-	if !circuit.IsLowered(c) {
-		return nil, fmt.Errorf("codar: circuit %q contains compound gates; apply circuit.Decompose first", c.Name)
 	}
 	if c.NumQubits > dev.NumQubits {
 		return nil, fmt.Errorf("codar: circuit %q needs %d qubits but device %s has %d", c.Name, c.NumQubits, dev.Name, dev.NumQubits)
@@ -192,7 +198,7 @@ func Remap(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Opti
 		}
 	}
 
-	r := newRemapper(c, dev, initial, opts)
+	r := newRemapper(a, dev, initial, opts)
 	r.run()
 	if r.exceeded {
 		return nil, ErrDepthBound
@@ -205,6 +211,11 @@ type remapper struct {
 	opts  Options
 	dev   *arch.Device
 	gates []circuit.Gate // input gates, indexed by original position
+	// soa is the shared struct-of-arrays view of gates: the hot loops
+	// (front walk, executability, candidate search) read ops and operands
+	// from its dense parallel arrays instead of loading 64-byte Gate
+	// values and chasing their Qubits slices.
+	soa *circuit.SoA
 
 	// Remaining-sequence doubly linked list over gate indices.
 	next, prev []int
@@ -226,6 +237,9 @@ type remapper struct {
 	hopTab   []int32
 	weighted bool
 	nq       int
+	// swapDur caches dev.Durations.Of(OpSwap): launchSwap runs tens of
+	// thousands of times per mapping and the duration never changes.
+	swapDur int
 
 	out       []schedule.ScheduledGate
 	makespan  int
@@ -276,12 +290,14 @@ type remapper struct {
 	edgeEpoch int32
 }
 
-func newRemapper(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Options) *remapper {
+func newRemapper(a *circuit.Assembly, dev *arch.Device, initial *arch.Layout, opts Options) *remapper {
+	c := a.Circ
 	n := len(c.Gates)
 	r := &remapper{
 		opts:      opts,
 		dev:       dev,
 		gates:     c.Gates,
+		soa:       a.SoA,
 		next:      make([]int, n),
 		prev:      make([]int, n),
 		head:      -1,
@@ -296,6 +312,7 @@ func newRemapper(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opt
 		out: make([]schedule.ScheduledGate, 0, n+n/4+16),
 	}
 	r.nq = dev.NumQubits
+	r.swapDur = dev.Durations.Of(circuit.OpSwap)
 	r.hopTab = dev.DistTable()
 	if opts.Cost != nil {
 		r.distTab = opts.Cost.Table()
@@ -411,14 +428,14 @@ func (r *remapper) run() {
 // physical qubit is lock-free, and two-qubit operands are coupled
 // (paper §IV-C step 2).
 func (r *remapper) executable(i, t int) bool {
-	g := r.gates[i]
-	for _, q := range g.Qubits {
-		if r.locks[r.layout.Phys(q)] > t {
+	for _, q := range r.soa.Operands(i) {
+		if r.locks[r.layout.Phys(int(q))] > t {
 			return false
 		}
 	}
-	if g.Op.TwoQubit() {
-		return r.dev.Adjacent(r.layout.Phys(g.Qubits[0]), r.layout.Phys(g.Qubits[1]))
+	if r.soa.Is2Q[i] {
+		q1, q2 := r.soa.Pair(i)
+		return r.dev.Adjacent(r.layout.Phys(q1), r.layout.Phys(q2))
 	}
 	return true
 }
@@ -426,13 +443,13 @@ func (r *remapper) executable(i, t int) bool {
 // launchGate schedules gate i at time t on its current physical qubits,
 // updates the locks and removes it from the remaining sequence.
 func (r *remapper) launchGate(i, t int) {
-	g := r.gates[i]
-	phys := g
-	phys.Qubits = r.arena.Take(len(g.Qubits))
-	for k, q := range g.Qubits {
-		phys.Qubits[k] = r.layout.Phys(q)
+	phys := r.gates[i]
+	ops := r.soa.Operands(i)
+	phys.Qubits = r.arena.Take(len(ops))
+	for k, q := range ops {
+		phys.Qubits[k] = r.layout.Phys(int(q))
 	}
-	dur := r.dev.Durations.Of(g.Op)
+	dur := r.dev.Durations.Of(r.soa.Ops[i])
 	end := t + dur
 	for _, p := range phys.Qubits {
 		if end > r.locks[p] {
@@ -453,7 +470,7 @@ func (r *remapper) launchGate(i, t int) {
 // (gates touching a or b cannot start before the SWAP's locks expire, so
 // the early layout update is safe).
 func (r *remapper) launchSwap(a, b, start int) {
-	dur := r.dev.Durations.Of(circuit.OpSwap)
+	dur := r.swapDur
 	end := start + dur
 	r.locks[a] = end
 	r.locks[b] = end
@@ -590,8 +607,11 @@ func (r *remapper) nextEventScan(t int) int {
 func (r *remapper) directRoute(front []int, t int) {
 	target := -1
 	for _, i := range front {
-		g := r.gates[i]
-		if g.Op.TwoQubit() && r.dev.Distance(r.layout.Phys(g.Qubits[0]), r.layout.Phys(g.Qubits[1])) > 1 {
+		if !r.soa.Is2Q[i] {
+			continue
+		}
+		q1, q2 := r.soa.Pair(i)
+		if r.dev.Distance(r.layout.Phys(q1), r.layout.Phys(q2)) > 1 {
 			target = i
 			break
 		}
@@ -599,9 +619,9 @@ func (r *remapper) directRoute(front []int, t int) {
 	if target < 0 {
 		return
 	}
-	g := r.gates[target]
-	p1 := r.layout.Phys(g.Qubits[0])
-	p2 := r.layout.Phys(g.Qubits[1])
+	q1, q2 := r.soa.Pair(target)
+	p1 := r.layout.Phys(q1)
+	p2 := r.layout.Phys(q2)
 	// Under a calibrated metric the escape route follows the minimum-weight
 	// path (fewest expected errors), not the fewest hops; with zero
 	// calibration the two coincide, tie-breaks included.

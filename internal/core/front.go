@@ -90,7 +90,7 @@ func (r *remapper) computeFrontNaive() []int {
 func (r *remapper) frontTwoQubit(front []int) []int {
 	r.front2q = r.front2q[:0]
 	for _, i := range front {
-		if r.gates[i].Op.TwoQubit() {
+		if r.soa.Is2Q[i] {
 			r.front2q = append(r.front2q, i)
 		}
 	}

@@ -12,7 +12,7 @@ func TestComputeFrontMatchesCircuitPackage(t *testing.T) {
 	// implementation over the full sequence.
 	dev := arch.Linear(6)
 	c := randCircuit(17, 6, 60)
-	r := newRemapper(c, dev, arch.NewTrivialLayout(6, 6), Options{Window: 1 << 20})
+	r := newRemapper(circuit.Assemble(c), dev, arch.NewTrivialLayout(6, 6), Options{Window: 1 << 20})
 	got := append([]int(nil), r.computeFront()...)
 	want := circuit.CommutativeFront(c.Gates, 0)
 	if len(got) != len(want) {
@@ -28,7 +28,7 @@ func TestComputeFrontMatchesCircuitPackage(t *testing.T) {
 func TestComputeFrontAfterUnlink(t *testing.T) {
 	dev := arch.Linear(3)
 	c := circuit.New(3).H(0).T(0).H(1)
-	r := newRemapper(c, dev, arch.NewTrivialLayout(3, 3), Options{})
+	r := newRemapper(circuit.Assemble(c), dev, arch.NewTrivialLayout(3, 3), Options{})
 	front := r.computeFront()
 	// h q0 and h q1 are CF; t q0 is blocked by h q0.
 	if len(front) != 2 {
@@ -52,7 +52,7 @@ func TestLookaheadSetContents(t *testing.T) {
 	// Serial chain: cx(0,1); cx(1,2); cx(2,3) — front is only the first;
 	// the look-ahead set holds the next two-qubit gates.
 	c := circuit.New(4).CX(0, 1).CX(1, 2).CX(2, 3)
-	r := newRemapper(c, dev, arch.NewTrivialLayout(4, 4), Options{Lookahead: 10})
+	r := newRemapper(circuit.Assemble(c), dev, arch.NewTrivialLayout(4, 4), Options{Lookahead: 10})
 	front := r.computeFront()
 	if len(front) != 1 || front[0] != 0 {
 		t.Fatalf("front = %v", front)
@@ -61,7 +61,7 @@ func TestLookaheadSetContents(t *testing.T) {
 		t.Fatalf("lookSet = %v, want the two blocked CXs", r.lookSet)
 	}
 	// Lookahead disabled: the set stays empty.
-	r2 := newRemapper(c, dev, arch.NewTrivialLayout(4, 4), Options{Lookahead: -1})
+	r2 := newRemapper(circuit.Assemble(c), dev, arch.NewTrivialLayout(4, 4), Options{Lookahead: -1})
 	r2.computeFront()
 	if len(r2.lookSet) != 0 {
 		t.Fatalf("lookSet with lookahead off = %v", r2.lookSet)
@@ -79,7 +79,7 @@ func TestLookaheadSetExtendsPastWindow(t *testing.T) {
 	c.CX(2, 3)
 	c.CX(3, 4)
 	c.CX(4, 5)
-	r := newRemapper(c, dev, arch.NewTrivialLayout(6, 6), Options{Window: 4, Lookahead: 3})
+	r := newRemapper(circuit.Assemble(c), dev, arch.NewTrivialLayout(6, 6), Options{Window: 4, Lookahead: 3})
 	r.computeFront()
 	// The window covers only the serial 1q prefix; the look-ahead set must
 	// still reach the two-qubit gates beyond it.
@@ -91,7 +91,7 @@ func TestLookaheadSetExtendsPastWindow(t *testing.T) {
 func TestFrontTwoQubitFilter(t *testing.T) {
 	dev := arch.Linear(4)
 	c := circuit.New(4).H(0).CX(1, 2).T(3)
-	r := newRemapper(c, dev, arch.NewTrivialLayout(4, 4), Options{})
+	r := newRemapper(circuit.Assemble(c), dev, arch.NewTrivialLayout(4, 4), Options{})
 	front := r.computeFront()
 	two := r.frontTwoQubit(front)
 	if len(two) != 1 || r.gates[two[0]].Op != circuit.OpCX {
@@ -104,12 +104,12 @@ func TestDisableCommutativityFrontIsPrefix(t *testing.T) {
 	// cx(0,1); cx(0,2): share the control and commute, but with
 	// commutativity disabled the second must not be in the front.
 	c := circuit.New(4).CX(0, 1).CX(0, 2)
-	r := newRemapper(c, dev, arch.NewTrivialLayout(4, 4), Options{DisableCommutativity: true})
+	r := newRemapper(circuit.Assemble(c), dev, arch.NewTrivialLayout(4, 4), Options{DisableCommutativity: true})
 	front := r.computeFront()
 	if len(front) != 1 || front[0] != 0 {
 		t.Fatalf("dependency front = %v, want [0]", front)
 	}
-	r2 := newRemapper(c, dev, arch.NewTrivialLayout(4, 4), Options{})
+	r2 := newRemapper(circuit.Assemble(c), dev, arch.NewTrivialLayout(4, 4), Options{})
 	if got := r2.computeFront(); len(got) != 2 {
 		t.Fatalf("commutative front = %v, want both gates", got)
 	}

@@ -29,11 +29,13 @@ type frontier struct {
 	r      *remapper
 	window int
 
-	// Static gate metadata. Slot s is one (gate, operand) incidence;
-	// gate i owns slots [slotOff[i], slotOff[i+1]).
+	// Static gate metadata, aliased from the remapper's shared SoA view.
+	// Slot s is one (gate, operand) incidence; gate i owns slots
+	// [slotOff[i], slotOff[i+1]).
 	slotOff  []int32
 	slotGate []int32
 	is2q     []bool
+	ops      []circuit.Op
 
 	// Per-qubit chains over the in-window gates, in sequence order,
 	// linked by slot index.
@@ -65,10 +67,6 @@ type frontier struct {
 	// removal (or first use) invalidates it — SWAPs change the layout, not
 	// the logical sequence the front is defined over.
 	frontValid bool
-
-	// Pair-verdict memo for position-dependent op pairs, keyed
-	// pred<<32|succ. Lazily allocated: many circuits never need it.
-	memo map[uint64]bool
 }
 
 // bitset marks qubits; paired with an explicit position list (dirtyQ) so
@@ -80,8 +78,10 @@ func newFrontier(r *remapper, numQubits int) *frontier {
 	f := &frontier{
 		r:        r,
 		window:   r.opts.window(),
-		slotOff:  make([]int32, n+1),
-		is2q:     make([]bool, n),
+		slotOff:  r.soa.QOff,
+		slotGate: r.soa.SlotGate,
+		is2q:     r.soa.Is2Q,
+		ops:      r.soa.Ops,
 		qhead:    make([]int32, numQubits),
 		qtail:    make([]int32, numQubits),
 		inWindow: make([]bool, n),
@@ -92,22 +92,12 @@ func newFrontier(r *remapper, numQubits int) *frontier {
 		qDirty:   make(bitset, numQubits),
 		dirtyQ:   make([]int32, 0, numQubits),
 	}
-	total := int32(0)
-	for i, g := range r.gates {
-		f.slotOff[i] = total
-		total += int32(len(g.Qubits))
-		f.is2q[i] = g.Op.TwoQubit()
+	for i := range f.blocker {
 		f.blocker[i] = -1
 	}
-	f.slotOff[n] = total
-	f.slotGate = make([]int32, total)
+	total := len(r.soa.SlotGate)
 	f.chainNext = make([]int32, total)
 	f.chainPrev = make([]int32, total)
-	for i := range r.gates {
-		for s := f.slotOff[i]; s < f.slotOff[i+1]; s++ {
-			f.slotGate[s] = int32(i)
-		}
-	}
 	for q := range f.qhead {
 		f.qhead[q] = -1
 		f.qtail[q] = -1
@@ -116,22 +106,31 @@ func newFrontier(r *remapper, numQubits int) *frontier {
 }
 
 // commute reports whether live predecessor j and gate i commute, through
-// the op-pair classification and the pair memo.
+// the op-pair classification and, for position-dependent pairs (CX/CX and
+// friends), a per-shared-qubit comparison of the SoA slot bases — the same
+// rule circuit.CommuteSharing applies, read from two precomputed bytes
+// instead of walking Gate values. A matching non-trivial basis on every
+// shared qubit proves commutation outright; anything else (a mismatch or a
+// NoBasis operand, where CommuteSharing's identical-gate escape could still
+// fire) falls through to the full check, which is allocation-free.
 func (f *frontier) commute(j, i int32) bool {
-	gj, gi := f.r.gates[j], f.r.gates[i]
-	if v, ok := circuit.CommuteClass(gj.Op, gi.Op); ok {
+	if v, ok := circuit.CommuteClass(f.ops[j], f.ops[i]); ok {
 		return v
 	}
-	key := uint64(uint32(j))<<32 | uint64(uint32(i))
-	if v, ok := f.memo[key]; ok {
-		return v
+	soa := f.r.soa
+	for sj := f.slotOff[j]; sj < f.slotOff[j+1]; sj++ {
+		q := soa.Qubits[sj]
+		for si := f.slotOff[i]; si < f.slotOff[i+1]; si++ {
+			if soa.Qubits[si] != q {
+				continue
+			}
+			bj, bi := soa.Basis[sj], soa.Basis[si]
+			if bj == circuit.NoBasis || bj != bi {
+				return circuit.CommuteSharing(f.r.gates[j], f.r.gates[i])
+			}
+		}
 	}
-	v := circuit.CommuteSharing(gj, gi)
-	if f.memo == nil {
-		f.memo = make(map[uint64]bool, 64)
-	}
-	f.memo[key] = v
-	return v
+	return true
 }
 
 // membership computes gate i's CF membership from its current in-window
@@ -164,8 +163,7 @@ func (f *frontier) membership(i int) bool {
 // chains and computes its membership once, against exactly the gates the
 // naive scan would have seen before it.
 func (f *frontier) admit(i int) {
-	g := f.r.gates[i]
-	for k, q := range g.Qubits {
+	for k, q := range f.r.soa.Operands(i) {
 		s := f.slotOff[i] + int32(k)
 		f.chainNext[s] = -1
 		f.chainPrev[s] = f.qtail[q]
@@ -195,8 +193,7 @@ func (f *frontier) remove(i int) {
 	if !f.inWindow[i] {
 		return
 	}
-	g := f.r.gates[i]
-	for k, q := range g.Qubits {
+	for k, q := range f.r.soa.Operands(i) {
 		s := f.slotOff[i] + int32(k)
 		p, n := f.chainPrev[s], f.chainNext[s]
 		if p >= 0 {

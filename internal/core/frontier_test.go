@@ -56,7 +56,7 @@ func TestIncrementalFrontMatchesNaiveEveryCycle(t *testing.T) {
 				qubits = 7
 			}
 			c := randCircuit(seed*31+int64(oi), qubits, 70)
-			r := newRemapper(c, dev, arch.NewTrivialLayout(qubits, dev.NumQubits), opts)
+			r := newRemapper(circuit.Assemble(c), dev, arch.NewTrivialLayout(qubits, dev.NumQubits), opts)
 			var failure error
 			checks := 0
 			r.frontCheck = func(front []int) {

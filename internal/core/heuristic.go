@@ -41,12 +41,12 @@ func (r *remapper) collectCandidates(front []int, t int) []swapCand {
 	epoch := r.edgeEpoch
 	cands := r.cands[:0]
 	for _, i := range front {
-		g := r.gates[i]
-		if !g.Op.TwoQubit() {
+		if !r.soa.Is2Q[i] {
 			continue
 		}
-		p1 := r.layout.Phys(g.Qubits[0])
-		p2 := r.layout.Phys(g.Qubits[1])
+		q1, q2 := r.soa.Pair(i)
+		p1 := r.layout.Phys(q1)
+		p2 := r.layout.Phys(q2)
 		if r.dev.Distance(p1, p2) <= 1 {
 			continue // already executable; only locks are in the way
 		}

@@ -12,7 +12,7 @@ import (
 func newTestRemapper(t *testing.T, c *circuit.Circuit, dev *arch.Device) *remapper {
 	t.Helper()
 	l := arch.NewTrivialLayout(c.NumQubits, dev.NumQubits)
-	return newRemapper(c, dev, l, Options{})
+	return newRemapper(circuit.Assemble(c), dev, l, Options{})
 }
 
 // TestFig5CandidateCollection reproduces the Fig 5 remapping cycle on a

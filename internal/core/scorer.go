@@ -70,8 +70,8 @@ func newScorer(r *remapper) *scorer {
 
 // phys returns the current physical operands of two-qubit gate i.
 func (s *scorer) phys(i int32) (int, int) {
-	g := s.r.gates[i]
-	return s.r.layout.Phys(g.Qubits[0]), s.r.layout.Phys(g.Qubits[1])
+	q1, q2 := s.r.soa.Pair(int(i))
+	return s.r.layout.Phys(q1), s.r.layout.Phys(q2)
 }
 
 // dirtyAround invalidates the cached key of every edge incident to

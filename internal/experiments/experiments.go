@@ -12,6 +12,7 @@ import (
 	"io"
 
 	"codar/internal/arch"
+	"codar/internal/circuit"
 	"codar/internal/core"
 	"codar/internal/metrics"
 	"codar/internal/sabre"
@@ -48,15 +49,19 @@ type SpeedupRow struct {
 // depth of both outputs under the device duration map.
 func CompareOn(b workloads.Benchmark, dev *arch.Device, opts core.Options) (SpeedupRow, error) {
 	c := b.Circuit()
-	initial, err := sabre.InitialLayout(c, dev, Seed, sabre.Options{})
+	// One shared assembly: the initial-layout passes, the SABRE run and the
+	// CODAR run reuse the same SoA gate layout, DAG, reversed circuit and
+	// validity verdict instead of rebuilding them per call.
+	asm := circuit.Assemble(c)
+	initial, err := sabre.InitialLayoutAssembled(asm, dev, Seed, sabre.Options{})
 	if err != nil {
 		return SpeedupRow{}, fmt.Errorf("experiments: %s on %s: %w", b.Name, dev.Name, err)
 	}
-	sres, err := sabre.Remap(c, dev, initial, sabre.Options{})
+	sres, err := sabre.RemapAssembled(asm, dev, initial, sabre.Options{})
 	if err != nil {
 		return SpeedupRow{}, fmt.Errorf("experiments: %s on %s: %w", b.Name, dev.Name, err)
 	}
-	cres, err := core.Remap(c, dev, initial, opts)
+	cres, err := core.RemapAssembled(asm, dev, initial, opts)
 	if err != nil {
 		return SpeedupRow{}, fmt.Errorf("experiments: %s on %s: %w", b.Name, dev.Name, err)
 	}

@@ -6,11 +6,13 @@ import (
 
 	"codar/internal/arch"
 	"codar/internal/calib"
+	"codar/internal/circuit"
 	"codar/internal/core"
 	"codar/internal/metrics"
 	"codar/internal/portfolio"
 	"codar/internal/sabre"
 	"codar/internal/schedule"
+	"codar/internal/workloads"
 )
 
 // PortfolioStudyRow is one benchmark of the portfolio study: the single-shot
@@ -81,6 +83,46 @@ func (r PortfolioStudyResult) MeanDepthRatio() float64 {
 	return metrics.Mean(ratios)
 }
 
+// PortfolioCompareOn runs one benchmark of the portfolio study: the
+// single-shot pipeline (SABRE reverse-traversal placement at the fixed
+// seed, then CODAR under spec.Codar) against the full candidate grid of
+// spec. snap may be nil (ESP columns read 0). The circuit is assembled
+// once and shared between the single-shot run and every grid candidate.
+func PortfolioCompareOn(b workloads.Benchmark, dev *arch.Device, snap *calib.Snapshot, spec portfolio.Spec) (PortfolioStudyRow, *portfolio.Result, error) {
+	c := b.Circuit()
+	row := PortfolioStudyRow{Benchmark: b.Name, Qubits: b.Qubits, Gates: c.Len()}
+	spec.Snapshot = snap
+
+	asm := circuit.Assemble(c)
+	initial, err := sabre.InitialLayoutAssembled(asm, dev, Seed, sabre.Options{})
+	if err != nil {
+		return row, nil, fmt.Errorf("experiments: %s on %s: %w", b.Name, dev.Name, err)
+	}
+	single, err := core.RemapAssembled(asm, dev, initial, spec.Codar)
+	if err != nil {
+		return row, nil, fmt.Errorf("experiments: %s on %s: %w", b.Name, dev.Name, err)
+	}
+	sSched := schedule.ASAP(single.Circuit, dev.Durations)
+	row.SingleWD = sSched.Makespan
+
+	pres, err := portfolio.RunAssembled(asm, dev, spec)
+	if err != nil {
+		return row, nil, fmt.Errorf("experiments: %s on %s: %w", b.Name, dev.Name, err)
+	}
+	row.PortWD = pres.Winner.Depth
+	row.Winner = pres.WinnerReport().Candidate
+	row.Candidates = len(pres.Candidates)
+	row.Completed = pres.Completed
+	row.Abandoned = pres.Abandoned
+	if snap != nil {
+		if row.SingleESP, err = snap.Success(sSched, dev); err != nil {
+			return row, nil, fmt.Errorf("experiments: %s on %s: %w", b.Name, dev.Name, err)
+		}
+		row.PortESP = pres.Winner.ESP
+	}
+	return row, pres, nil
+}
+
 // RunPortfolioStudy measures the portfolio against the single-shot pipeline
 // over the device's Fig 8 suite slice. snap may be nil (ESP columns read 0);
 // when non-nil it scores both outputs but does not steer routing, isolating
@@ -100,35 +142,9 @@ func RunPortfolioStudy(dev *arch.Device, snap *calib.Snapshot, opts core.Options
 	eligible := EligibleSuite(dev)
 	rows := make([]PortfolioStudyRow, len(eligible))
 	err := RunBatch(len(eligible), workers, func(i int) error {
-		b := eligible[i]
-		c := b.Circuit()
-		row := PortfolioStudyRow{Benchmark: b.Name, Qubits: b.Qubits, Gates: c.Len()}
-
-		initial, err := sabre.InitialLayout(c, dev, Seed, sabre.Options{})
-		if err != nil {
-			return fmt.Errorf("experiments: %s on %s: %w", b.Name, dev.Name, err)
-		}
-		single, err := core.Remap(c, dev, initial, opts)
-		if err != nil {
-			return fmt.Errorf("experiments: %s on %s: %w", b.Name, dev.Name, err)
-		}
-		sSched := schedule.ASAP(single.Circuit, dev.Durations)
-		row.SingleWD = sSched.Makespan
-
-		pres, err := portfolio.Run(c, dev, spec)
-		if err != nil {
-			return fmt.Errorf("experiments: %s on %s: %w", b.Name, dev.Name, err)
-		}
-		row.PortWD = pres.Winner.Depth
-		row.Winner = pres.WinnerReport().Candidate
-		row.Candidates = len(pres.Candidates)
-		row.Completed = pres.Completed
-		row.Abandoned = pres.Abandoned
-		if snap != nil {
-			if row.SingleESP, err = snap.Success(sSched, dev); err != nil {
-				return fmt.Errorf("experiments: %s on %s: %w", b.Name, dev.Name, err)
-			}
-			row.PortESP = pres.Winner.ESP
+		row, _, jerr := PortfolioCompareOn(eligible[i], dev, snap, spec)
+		if jerr != nil {
+			return jerr
 		}
 		rows[i] = row
 		return nil

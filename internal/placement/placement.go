@@ -179,6 +179,19 @@ func Generate(m Method, c *circuit.Circuit, dev *arch.Device, seed int64) (*arch
 // single-shot pipeline), the structural strategies ignore it. nil cost is
 // exactly Generate.
 func GenerateCost(m Method, c *circuit.Circuit, dev *arch.Device, seed int64, cost *arch.CostModel) (*arch.Layout, error) {
+	return generateCost(m, c, nil, dev, seed, cost)
+}
+
+// GenerateCostAssembled is GenerateCost over a pre-built assembly: the
+// sabre-reverse strategy (two full SABRE passes) reuses the assembly's
+// DAG, SoA layout and cached reversed circuit; the structural strategies
+// just read the raw circuit. The portfolio calls this once per distinct
+// (placement, seed) pair and shares the result across algorithms.
+func GenerateCostAssembled(m Method, a *circuit.Assembly, dev *arch.Device, seed int64, cost *arch.CostModel) (*arch.Layout, error) {
+	return generateCost(m, a.Circ, a, dev, seed, cost)
+}
+
+func generateCost(m Method, c *circuit.Circuit, a *circuit.Assembly, dev *arch.Device, seed int64, cost *arch.CostModel) (*arch.Layout, error) {
 	switch m {
 	case MethodTrivial:
 		return Trivial(c, dev)
@@ -187,6 +200,9 @@ func GenerateCost(m Method, c *circuit.Circuit, dev *arch.Device, seed int64, co
 	case MethodDense:
 		return Dense(c, dev)
 	case MethodSabreReverse:
+		if a != nil {
+			return sabre.InitialLayoutAssembled(a, dev, seed, sabre.Options{Cost: cost})
+		}
 		return SabreReverseCost(c, dev, seed, cost)
 	default:
 		names := make([]string, 0, len(Methods()))

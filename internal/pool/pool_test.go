@@ -31,3 +31,69 @@ func TestRunExecutesEveryJobOnce(t *testing.T) {
 	}
 	Run(0, 4, func(int) { t.Fatal("job ran for n=0") })
 }
+
+// TestRunSerialIsOrdered pins the workers == 1 degeneration: a plain loop,
+// so jobs observe strict index order with no goroutine hand-off.
+func TestRunSerialIsOrdered(t *testing.T) {
+	var order []int
+	Run(25, 1, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial run out of order at %d: %v", i, order)
+		}
+	}
+	if len(order) != 25 {
+		t.Fatalf("serial run executed %d of 25 jobs", len(order))
+	}
+}
+
+// TestRunNegativeAndZero: non-positive batch sizes are no-ops, not panics.
+func TestRunNegativeAndZero(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		Run(n, 4, func(int) { t.Fatalf("job ran for n=%d", n) })
+	}
+}
+
+// TestRunMoreWorkersThanJobs: the clamp keeps a 2-job batch from spawning
+// idle goroutines, and every job still runs exactly once.
+func TestRunMoreWorkersThanJobs(t *testing.T) {
+	var counts [2]int32
+	Run(2, 64, func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestRunParallelismIsBounded checks the pool never runs more jobs
+// concurrently than the worker budget.
+func TestRunParallelismIsBounded(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int32
+	Run(40, workers, func(int) {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		atomic.AddInt32(&inFlight, -1)
+	})
+	if peak > workers {
+		t.Fatalf("observed %d concurrent jobs with a %d-worker budget", peak, workers)
+	}
+}
+
+// TestWorkersGOMAXPROCSClampedToBatch: the <=0 default resolves to
+// GOMAXPROCS but still clamps to the batch size.
+func TestWorkersGOMAXPROCSClampedToBatch(t *testing.T) {
+	if got := Workers(0, 1); got != 1 {
+		t.Errorf("Workers(0, 1) = %d, want 1", got)
+	}
+	if got := Workers(-5, 2); got != 2 && got != 1 {
+		// GOMAXPROCS may be 1 on a constrained runner; either clamp is fine.
+		t.Errorf("Workers(-5, 2) = %d, want <= 2", got)
+	}
+}

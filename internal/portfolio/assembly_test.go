@@ -1,0 +1,72 @@
+package portfolio
+
+import (
+	"testing"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+)
+
+// TestRunAssembledMatchesRun pins the shared-placement batch contract: Run
+// (which assembles internally) and RunAssembled over an externally shared
+// Assembly — with its stage-one layout precompute feeding every candidate —
+// select the same winner with byte-identical output and identical
+// per-candidate reports.
+func TestRunAssembledMatchesRun(t *testing.T) {
+	cases := []struct {
+		bench string
+		dev   *arch.Device
+	}{
+		{"qft_10", arch.IBMQ20Tokyo()},
+		{"ghz_16", arch.IBMQ16Melbourne()},
+		{"adder_6", arch.Enfield6x6()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.bench+"/"+tc.dev.Name, func(t *testing.T) {
+			c := benchCircuit(t, tc.bench).Circuit()
+			// No early abandon: which losers get cut is the one
+			// timing-dependent report field (DESIGN.md §9), and this test
+			// wants the full per-candidate report byte-comparable.
+			spec := Spec{Workers: 4}
+			plain, err := Run(c, tc.dev, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			asm := circuit.Assemble(c)
+			for i := 0; i < 2; i++ { // reuse the same assembly twice
+				shared, err := RunAssembled(asm, tc.dev, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if shared.WinnerIndex != plain.WinnerIndex {
+					t.Fatalf("reuse %d: winner index %d, want %d", i, shared.WinnerIndex, plain.WinnerIndex)
+				}
+				if got, want := fingerprint(t, shared), fingerprint(t, plain); got != want {
+					t.Fatalf("reuse %d: winner output bytes diverged", i)
+				}
+				pr, sr := plain.Candidates, shared.Candidates
+				if len(pr) != len(sr) {
+					t.Fatalf("reuse %d: report count %d != %d", i, len(sr), len(pr))
+				}
+				for k := range pr {
+					if pr[k].Depth != sr[k].Depth || pr[k].Swaps != sr[k].Swaps ||
+						pr[k].Abandoned != sr[k].Abandoned || pr[k].Err != sr[k].Err {
+						t.Fatalf("reuse %d: report %d diverged: %+v vs %+v", i, k, sr[k], pr[k])
+					}
+				}
+			}
+			// With early abandon racing, the winner (index and bytes) must
+			// still match the no-abandon shared run.
+			cut, err := RunAssembled(asm, tc.dev, Spec{Workers: 4, EarlyAbandon: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cut.WinnerIndex != plain.WinnerIndex {
+				t.Fatalf("early abandon: winner index %d, want %d", cut.WinnerIndex, plain.WinnerIndex)
+			}
+			if got, want := fingerprint(t, cut), fingerprint(t, plain); got != want {
+				t.Fatal("early abandon: winner output bytes diverged")
+			}
+		})
+	}
+}

@@ -267,6 +267,18 @@ func better(a, b *outcome) bool {
 // core.Remap. At least one candidate must complete, or the first failure is
 // returned.
 func Run(c *circuit.Circuit, dev *arch.Device, spec Spec) (*Result, error) {
+	return RunAssembled(circuit.Assemble(c), dev, spec)
+}
+
+// RunAssembled is Run over a pre-built assembly. All candidates share the
+// assembly's derived structures (SoA gate layout, DAG, reversed circuit,
+// validity verdict), and the initial layouts are computed once per
+// distinct (placement, seed) pair and shared across algorithms — a
+// sabre-reverse placement is two full SABRE passes, so scoring both
+// mappers from it for the price of one halves the grid's dominant cost.
+// Output is byte-identical to Run: layouts are read-only to the mappers
+// (each clones before mutating) and the selection order is unchanged.
+func RunAssembled(a *circuit.Assembly, dev *arch.Device, spec Spec) (*Result, error) {
 	spec = spec.normalized()
 	if _, err := ParseObjective(string(spec.Objective)); err != nil {
 		return nil, err
@@ -318,6 +330,56 @@ func Run(c *circuit.Circuit, dev *arch.Device, spec Spec) (*Result, error) {
 		work = append(work, i)
 	}
 
+	// Stage 1: compute each distinct (placement, seed) initial layout once.
+	// The grid pairs every layout with both algorithms; without sharing,
+	// the expensive sabre-reverse placement would run once per algorithm.
+	// Seed-insensitive methods collapse further (their work entries above
+	// already dedupe per algorithm, but both algorithms' entries still
+	// name the same layout). Layouts are read-only downstream — every
+	// mapper clones before mutating — so sharing is race-free.
+	//
+	// Placement runs under the same calibration metric as routing (the
+	// sabre-reverse strategy consumes it, the structural ones ignore it),
+	// so the grid point (seed 1, sabre-reverse, codar) reproduces the
+	// calibrated single-shot pipeline exactly. Placement is SABRE-based,
+	// so Sabre.Cost is the natural source, but a caller who only set
+	// Codar.Cost still gets consistent calibrated placement.
+	pcost := spec.Sabre.Cost
+	if pcost == nil {
+		pcost = spec.Codar.Cost
+	}
+	type placed struct {
+		layout *arch.Layout
+		err    error
+	}
+	layIdx := make([]int, len(work))
+	layKeys := make(map[[2]string]int)
+	var layJobs []Candidate
+	for k, i := range work {
+		cand := cands[i]
+		key := [2]string{string(cand.Placement), ""}
+		if cand.Placement.Seeded() {
+			key[1] = fmt.Sprint(cand.Seed)
+		}
+		j, ok := layKeys[key]
+		if !ok {
+			j = len(layJobs)
+			layKeys[key] = j
+			layJobs = append(layJobs, cand)
+		}
+		layIdx[k] = j
+	}
+	layouts := make([]placed, len(layJobs))
+	pool.Run(len(layJobs), spec.Workers, func(j int) {
+		defer func() {
+			if r := recover(); r != nil {
+				layouts[j] = placed{err: fmt.Errorf("candidate panicked: %v", r)}
+			}
+		}()
+		l, err := placement.GenerateCostAssembled(layJobs[j].Placement, a, dev, layJobs[j].Seed, pcost)
+		layouts[j] = placed{layout: l, err: err}
+	})
+
 	res := &Result{Objective: spec.Objective, Candidates: make([]Report, len(cands)), WinnerIndex: -1}
 	var (
 		mu   sync.Mutex
@@ -325,7 +387,7 @@ func Run(c *circuit.Circuit, dev *arch.Device, spec Spec) (*Result, error) {
 	)
 	pool.Run(len(work), spec.Workers, func(k int) {
 		i := work[k]
-		o := runCandidate(c, dev, spec, cands[i], bound)
+		o := runCandidate(a, dev, spec, cands[i], bound, layouts[layIdx[k]].layout, layouts[layIdx[k]].err)
 		mu.Lock()
 		defer mu.Unlock()
 		res.Candidates[i] = o.rep
@@ -376,12 +438,14 @@ func Run(c *circuit.Circuit, dev *arch.Device, spec Spec) (*Result, error) {
 	return res, nil
 }
 
-// runCandidate executes one grid point: generate the placement, map with
-// the candidate's algorithm under the shared bound, schedule and score. A
+// runCandidate executes one grid point: map the shared initial layout with
+// the candidate's algorithm under the shared bound, schedule and score.
+// Placement happened in the caller's stage-1 pool (initial/layErr); its
+// errors surface here so the report rows match the pre-staged pipeline. A
 // panic in any stage becomes the candidate's error instead of killing the
 // host process with pool workers mid-flight (the experiments.RunBatch
 // contract).
-func runCandidate(c *circuit.Circuit, dev *arch.Device, spec Spec, cand Candidate, bound *arch.DepthBound) (o *outcome) {
+func runCandidate(a *circuit.Assembly, dev *arch.Device, spec Spec, cand Candidate, bound *arch.DepthBound, initial *arch.Layout, layErr error) (o *outcome) {
 	o = &outcome{rep: Report{Candidate: cand}}
 	defer func() {
 		if r := recover(); r != nil {
@@ -394,26 +458,15 @@ func runCandidate(c *circuit.Circuit, dev *arch.Device, spec Spec, cand Candidat
 		o.rep.Err = err.Error()
 		return o
 	}
-	// Placement runs under the same calibration metric as routing (the
-	// sabre-reverse strategy consumes it, the structural ones ignore it),
-	// so the grid point (seed 1, sabre-reverse, codar) reproduces the
-	// calibrated single-shot pipeline exactly. Placement is SABRE-based,
-	// so Sabre.Cost is the natural source, but a caller who only set
-	// Codar.Cost still gets consistent calibrated placement.
-	pcost := spec.Sabre.Cost
-	if pcost == nil {
-		pcost = spec.Codar.Cost
-	}
-	initial, err := placement.GenerateCost(cand.Placement, c, dev, cand.Seed, pcost)
-	if err != nil {
-		return fail(err)
+	if layErr != nil {
+		return fail(layErr)
 	}
 	m := &Mapped{}
 	switch cand.Algorithm {
 	case AlgoCodar:
 		opts := spec.Codar
 		opts.DepthBound = bound
-		res, err := core.Remap(c, dev, initial, opts)
+		res, err := core.RemapAssembled(a, dev, initial, opts)
 		if err == core.ErrDepthBound {
 			o.rep.Abandoned = true
 			return o
@@ -427,7 +480,7 @@ func runCandidate(c *circuit.Circuit, dev *arch.Device, spec Spec, cand Candidat
 	case AlgoSabre:
 		opts := spec.Sabre
 		opts.DepthBound = bound
-		res, err := sabre.Remap(c, dev, initial, opts)
+		res, err := sabre.RemapAssembled(a, dev, initial, opts)
 		if err == sabre.ErrDepthBound {
 			o.rep.Abandoned = true
 			return o

@@ -6,6 +6,7 @@ import (
 
 	"codar/internal/arch"
 	"codar/internal/calib"
+	"codar/internal/circuit"
 	"codar/internal/core"
 	"codar/internal/placement"
 	"codar/internal/qasm"
@@ -303,7 +304,8 @@ func TestCalibratedPlacementMatchesSingleShot(t *testing.T) {
 func TestCandidatePanicBecomesError(t *testing.T) {
 	c := benchCircuit(t, "adder_6").Circuit()
 	cand := Candidate{Index: 0, Seed: 1, Placement: placement.MethodTrivial, Algorithm: AlgoCodar}
-	o := runCandidate(c, nil, Spec{}.normalized(), cand, nil)
+	initial := arch.NewTrivialLayout(c.NumQubits, c.NumQubits)
+	o := runCandidate(circuit.Assemble(c), nil, Spec{}.normalized(), cand, nil, initial, nil)
 	if o.rep.Err == "" || !strings.Contains(o.rep.Err, "panicked") {
 		t.Fatalf("panicking candidate reported %+v, want a panicked error", o.rep)
 	}

@@ -109,11 +109,29 @@ type Result struct {
 // layout (nil means trivial). Requirements mirror core.Remap: the circuit
 // must be lowered and fit the device.
 func Remap(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Options) (*Result, error) {
-	if err := c.Validate(); err != nil {
+	return RemapAssembled(circuit.Assemble(c), dev, initial, opts)
+}
+
+// RemapAssembled is Remap over a pre-built assembly. Callers running the
+// same circuit several times (the initial-layout forward/backward passes,
+// the portfolio candidates) share one assembly so the DAG, the SoA gate
+// layout and the validity walk are paid once; the output is byte-identical
+// to Remap.
+func RemapAssembled(a *circuit.Assembly, dev *arch.Device, initial *arch.Layout, opts Options) (*Result, error) {
+	return remapAssembled(a, dev, initial, opts, false)
+}
+
+// remapAssembled optionally runs in layout-only mode (discard): the output
+// circuit is never materialised — no presized gate buffer, no arena, no
+// per-gate physical images — because the caller (the InitialLayout
+// forward/backward passes) only reads FinalLayout. Every routing decision
+// is a function of the layout and the DAG, never of the emitted output, so
+// the resulting layout is byte-identical to a full run. Discard is ignored
+// when a DepthBound is attached: the bound tracks emitted gates.
+func remapAssembled(a *circuit.Assembly, dev *arch.Device, initial *arch.Layout, opts Options, discard bool) (*Result, error) {
+	c := a.Circ
+	if err := a.Checked(); err != nil {
 		return nil, fmt.Errorf("sabre: %w", err)
-	}
-	if !circuit.IsLowered(c) {
-		return nil, fmt.Errorf("sabre: circuit %q contains compound gates; apply circuit.Decompose first", c.Name)
 	}
 	if c.NumQubits > dev.NumQubits {
 		return nil, fmt.Errorf("sabre: circuit %q needs %d qubits but device %s has %d", c.Name, c.NumQubits, dev.Name, dev.NumQubits)
@@ -133,20 +151,28 @@ func Remap(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Opti
 			return nil, fmt.Errorf("sabre: %w", err)
 		}
 	}
+	if opts.DepthBound != nil {
+		discard = false
+	}
 	m := &mapper{
 		opts:    opts,
 		dev:     dev,
-		dag:     circuit.NewDAG(c),
+		dag:     a.DAG(),
+		soa:     a.SoA,
+		gates:   c.Gates,
+		discard: discard,
 		layout:  initial.Clone(),
 		initial: initial.Clone(),
 		decay:   make([]float64, dev.NumQubits),
 		out: &circuit.Circuit{
 			Name:      "sabre",
 			NumQubits: dev.NumQubits,
-			// Pre-size for the input plus a typical swap overhead; resizing
-			// a 30k-gate output mid-run showed up in the allocation profile.
-			Gates: make([]circuit.Gate, 0, len(c.Gates)+len(c.Gates)/4+16),
 		},
+	}
+	if !discard {
+		// Pre-size for the input plus a typical swap overhead; resizing
+		// a 30k-gate output mid-run showed up in the allocation profile.
+		m.out.Gates = make([]circuit.Gate, 0, len(c.Gates)+len(c.Gates)/4+16)
 	}
 	m.nq = dev.NumQubits
 	if opts.Cost != nil {
@@ -171,9 +197,19 @@ func Remap(c *circuit.Circuit, dev *arch.Device, initial *arch.Layout, opts Opti
 }
 
 type mapper struct {
-	opts    Options
-	dev     *arch.Device
-	dag     *circuit.DAG
+	opts Options
+	dev  *arch.Device
+	dag  *circuit.DAG
+	// soa is the shared struct-of-arrays view of the input gates; the hot
+	// loops (executability, extended-set BFS, candidate enumeration, the
+	// incidence index) read ops and operands from its dense arrays instead
+	// of copying 64-byte Gate values out of the DAG. gates backs the
+	// emission path, which needs full Gate values (params, cbits).
+	soa   *circuit.SoA
+	gates []circuit.Gate
+	// discard marks a layout-only pass: no gate is ever appended to out.
+	// Routing never reads out, so FinalLayout is unaffected.
+	discard bool
 	layout  *arch.Layout
 	initial *arch.Layout
 	decay   []float64
@@ -279,9 +315,8 @@ func (m *mapper) run() {
 		executed := false
 		next := m.spare[:0]
 		for _, k := range front {
-			g := m.dag.Gate(k)
-			if m.executable(g) {
-				m.emit(g)
+			if m.executable(k) {
+				m.emit(k)
 				executed = true
 				for _, s := range m.dag.Succs[k] {
 					indeg[s]--
@@ -329,24 +364,36 @@ func (m *mapper) run() {
 	}
 }
 
-// executable reports whether gate g can be emitted under the current layout.
-func (m *mapper) executable(g circuit.Gate) bool {
-	if !g.Op.TwoQubit() {
+// executable reports whether gate k can be emitted under the current layout.
+func (m *mapper) executable(k int) bool {
+	if !m.soa.Is2Q[k] {
 		return true // single-qubit gates and directives always execute
 	}
-	return m.dev.Adjacent(m.layout.Phys(g.Qubits[0]), m.layout.Phys(g.Qubits[1]))
+	q1, q2 := m.soa.Pair(k)
+	return m.dev.Adjacent(m.layout.Phys(q1), m.layout.Phys(q2))
 }
 
-// emit appends the physical image of logical gate g to the output.
-func (m *mapper) emit(g circuit.Gate) {
-	phys := g
-	phys.Qubits = m.arena.Take(len(g.Qubits))
-	for i, q := range g.Qubits {
-		phys.Qubits[i] = m.layout.Phys(q)
+// emit appends the physical image of logical gate k to the output. The
+// input circuit already passed Checked and the layout maps into the device
+// range, so the gate is appended directly instead of through out.Add's
+// re-validation; the measure classical-bit growth Add would have done is
+// replicated.
+func (m *mapper) emit(k int) {
+	if m.discard {
+		return // layout-only pass: the output circuit is thrown away
 	}
-	m.out.Add(phys)
+	phys := m.gates[k]
+	ops := m.soa.Operands(k)
+	phys.Qubits = m.arena.Take(len(ops))
+	for i, q := range ops {
+		phys.Qubits[i] = m.layout.Phys(int(q))
+	}
+	if phys.Op == circuit.OpMeasure && phys.Cbit >= m.out.NumClbits {
+		m.out.NumClbits = phys.Cbit + 1
+	}
+	m.out.Gates = append(m.out.Gates, phys)
 	if m.asap != nil {
-		m.note(g.Op, phys.Qubits)
+		m.note(phys.Op, phys.Qubits)
 	}
 }
 
@@ -375,7 +422,7 @@ func (m *mapper) extendedSet(front []int) []int {
 				continue
 			}
 			m.visitStamp[s] = m.visitEpoch
-			if m.dag.Gate(s).Op.TwoQubit() {
+			if m.soa.Is2Q[s] {
 				ext = append(ext, s)
 				if len(ext) >= limit {
 					break
@@ -404,12 +451,11 @@ func (m *mapper) candidates(front []int) []swapCand {
 	m.edgeEpoch++
 	out := m.candBuf[:0]
 	for _, k := range front {
-		g := m.dag.Gate(k)
-		if !g.Op.TwoQubit() {
+		if !m.soa.Is2Q[k] {
 			continue
 		}
-		for _, q := range g.Qubits {
-			p := m.layout.Phys(q)
+		for _, q := range m.soa.Operands(k) {
+			p := m.layout.Phys(int(q))
 			for _, nb := range m.dev.Neighbors(p) {
 				a, b := p, nb
 				if a > b {
@@ -448,11 +494,10 @@ func (m *mapper) indexRound(front, ext []int) {
 
 func (m *mapper) index(set []int, inc [][]int32) (base, n int) {
 	for _, k := range set {
-		g := m.dag.Gate(k)
-		if !g.Op.TwoQubit() {
+		if !m.soa.Is2Q[k] {
 			continue
 		}
-		q1, q2 := g.Qubits[0], g.Qubits[1]
+		q1, q2 := m.soa.Pair(k)
 		p1 := m.layout.Phys(q1)
 		p2 := m.layout.Phys(q2)
 		base += m.distance(p1, p2)
@@ -661,9 +706,13 @@ func (m *mapper) applySwap(c swapCand) {
 	if m.idxValid {
 		m.noteSwap(c)
 	}
-	m.out.Swap(c.a, c.b)
-	if m.asap != nil {
-		m.note(circuit.OpSwap, []int{c.a, c.b})
+	if !m.discard {
+		qs := m.arena.Take(2)
+		qs[0], qs[1] = c.a, c.b
+		m.out.Gates = append(m.out.Gates, circuit.Gate{Op: circuit.OpSwap, Qubits: qs})
+		if m.asap != nil {
+			m.note(circuit.OpSwap, qs)
+		}
 	}
 	m.layout.SwapPhysical(c.a, c.b)
 	m.decay[c.a] += m.opts.decayDelta()
@@ -675,12 +724,12 @@ func (m *mapper) applySwap(c swapCand) {
 // front gate along a shortest path, mirroring core's deadlock hatch.
 func (m *mapper) directRoute(front []int) {
 	for _, k := range front {
-		g := m.dag.Gate(k)
-		if !g.Op.TwoQubit() {
+		if !m.soa.Is2Q[k] {
 			continue
 		}
-		p1 := m.layout.Phys(g.Qubits[0])
-		p2 := m.layout.Phys(g.Qubits[1])
+		q1, q2 := m.soa.Pair(k)
+		p1 := m.layout.Phys(q1)
+		p2 := m.layout.Phys(q2)
 		if m.dev.Adjacent(p1, p2) {
 			continue
 		}
@@ -709,6 +758,15 @@ func (m *mapper) directRoute(front []int) {
 // both algorithms ("for a fair comparison, we use the same method as SABRE
 // to create the initial mapping", §V-A).
 func InitialLayout(c *circuit.Circuit, dev *arch.Device, seed int64, opts Options) (*arch.Layout, error) {
+	return InitialLayoutAssembled(circuit.Assemble(c), dev, seed, opts)
+}
+
+// InitialLayoutAssembled is InitialLayout over a pre-built assembly: the
+// backward pass runs on the assembly's cached reversed circuit, so callers
+// computing several seeded layouts of one circuit (the portfolio grid)
+// reverse and re-index it once instead of once per seed.
+func InitialLayoutAssembled(a *circuit.Assembly, dev *arch.Device, seed int64, opts Options) (*arch.Layout, error) {
+	c := a.Circ
 	if c.NumQubits > dev.NumQubits {
 		return nil, fmt.Errorf("sabre: circuit %q needs %d qubits but device %s has %d", c.Name, c.NumQubits, dev.Name, dev.NumQubits)
 	}
@@ -718,11 +776,11 @@ func InitialLayout(c *circuit.Circuit, dev *arch.Device, seed int64, opts Option
 	if err != nil {
 		return nil, err
 	}
-	fwd, err := Remap(c, dev, start, opts)
+	fwd, err := remapAssembled(a, dev, start, opts, true)
 	if err != nil {
 		return nil, err
 	}
-	bwd, err := Remap(c.Reversed(), dev, fwd.FinalLayout, opts)
+	bwd, err := remapAssembled(a.Reversed(), dev, fwd.FinalLayout, opts, true)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# ab_commits.sh — A/B two commits with the absweep harness: check each one
+# out into a temporary git worktree, record a snapshot there, then diff the
+# snapshots with the regression gate.
+#
+# Usage:
+#   scripts/ab_commits.sh [-r REPS] [-b BENCH_REGEX] [-t TOLERANCE] BASE [HEAD]
+#
+# HEAD defaults to the current checkout (measured in place, uncommitted
+# changes included — that is the point: "did my edit regress anything?").
+# Both commits must contain cmd/absweep; for older history, record the
+# baseline by hand and use `absweep -baseline` instead.
+#
+# Exit codes follow absweep: 0 pass, 1 regression, 2 error.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+reps=3 bench='' tol=0.10
+while getopts "r:b:t:h" opt; do
+  case "$opt" in
+    r) reps=$OPTARG ;;
+    b) bench=$OPTARG ;;
+    t) tol=$OPTARG ;;
+    h|*) sed -n '2,15p' "$0"; exit 0 ;;
+  esac
+done
+shift $((OPTIND - 1))
+[ $# -ge 1 ] || { echo "usage: scripts/ab_commits.sh [-r REPS] [-b RE] [-t TOL] BASE [HEAD]" >&2; exit 2; }
+base_ref=$1
+head_ref=${2:-}
+
+filter_args=()
+[ -n "$bench" ] && filter_args=(-bench "$bench")
+
+tmp=$(mktemp -d)
+cleanup() {
+  git worktree remove --force "$tmp/base" 2>/dev/null || true
+  [ -n "$head_ref" ] && git worktree remove --force "$tmp/head" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+record_at() { # record_at DIR OUT
+  (cd "$1" && go run ./cmd/absweep -record "$2" -reps "$reps" "${filter_args[@]}")
+}
+
+echo "recording baseline at $base_ref ..." >&2
+git worktree add --detach "$tmp/base" "$base_ref" >/dev/null
+record_at "$tmp/base" "$tmp/base.json"
+
+if [ -n "$head_ref" ]; then
+  echo "recording head at $head_ref ..." >&2
+  git worktree add --detach "$tmp/head" "$head_ref" >/dev/null
+  record_at "$tmp/head" "$tmp/head.json"
+else
+  echo "recording head in the current tree ..." >&2
+  record_at . "$tmp/head.json"
+fi
+
+go run ./cmd/absweep -diff "$tmp/base.json" "$tmp/head.json" -tolerance "$tol" -out ab_comparison.json
+echo "wrote ab_comparison.json" >&2

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# capture_pprof.sh — grab CPU + heap profiles for any go test benchmark and
+# render the top-N reports, so "what got slower" always has a profile next
+# to it (EXPERIMENTS.md "Benchmarking & regression guard").
+#
+# Usage:
+#   scripts/capture_pprof.sh [-o OUTDIR] [BENCH_REGEX]
+#
+# BENCH_REGEX defaults to BenchmarkFig8IBMQ20Tokyo (the profile that drove
+# the PR 6 SoA work). Artifacts land in OUTDIR (default ./pprof):
+#   cpu.prof, mem.prof        raw profiles (go tool pprof)
+#   cpu.top.txt, mem.top.txt  -top40 text reports
+#   bench.out                 the benchmark's own output
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+outdir=pprof
+while getopts "o:h" opt; do
+  case "$opt" in
+    o) outdir=$OPTARG ;;
+    h|*) sed -n '2,14p' "$0"; exit 0 ;;
+  esac
+done
+shift $((OPTIND - 1))
+bench=${1:-'^BenchmarkFig8IBMQ20Tokyo$'}
+
+mkdir -p "$outdir"
+
+echo "profiling $bench -> $outdir/" >&2
+go test -run '^$' -bench "$bench" -benchtime 1x \
+  -cpuprofile "$outdir/cpu.prof" -memprofile "$outdir/mem.prof" \
+  . | tee "$outdir/bench.out"
+
+go tool pprof -top -nodecount=40 "$outdir/cpu.prof" > "$outdir/cpu.top.txt"
+go tool pprof -top -nodecount=40 -sample_index=alloc_space "$outdir/mem.prof" > "$outdir/mem.top.txt"
+
+echo "wrote $outdir/{cpu.prof,mem.prof,cpu.top.txt,mem.top.txt,bench.out}" >&2
