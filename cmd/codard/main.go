@@ -6,10 +6,21 @@
 // Usage:
 //
 //	codard [-addr :8723] [-workers 0] [-cache 512] [-max-batch 64]
+//	       [-queue 64] [-queue-wait 30s] [-timeout 2m] [-max-timeout 10m]
+//	       [-grace 10s] [-chaos-slow 0] [-chaos-panic-every 0]
 //
 // -addr 127.0.0.1:0 binds an ephemeral port; the chosen address is printed
 // on stdout as "codard: listening on http://HOST:PORT" (the CI smoke job
 // parses this line).
+//
+// Robustness knobs (DESIGN.md §11): -queue/-queue-wait bound the admission
+// queue in front of the worker pool (beyond them requests get 429 +
+// Retry-After), -timeout is the default per-request mapping deadline
+// (clients may lower/raise it via the X-Codard-Timeout header, capped at
+// -max-timeout), and -grace bounds shutdown: in-flight mappings that
+// outlive it are hard-canceled and codard exits non-zero. The -chaos-*
+// flags inject faults (slow mappers, periodic panics) for the CI
+// chaos-smoke job; never set them in production.
 //
 // Endpoints: POST /v1/map, POST /v1/map/batch, GET|POST /v1/devices,
 // GET|POST /v1/devices/{name}/calibration, GET /v1/stats, GET /healthz.
@@ -31,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"codar/internal/chaos"
 	"codar/internal/service"
 )
 
@@ -59,6 +71,16 @@ type config struct {
 	workers  int
 	cache    int
 	maxBatch int
+	queue    int
+	// grace bounds the shutdown drain: in-flight mappings get this long to
+	// finish before they are hard-canceled (and codard exits non-zero).
+	grace      time.Duration
+	queueWait  time.Duration
+	timeout    time.Duration
+	maxTimeout time.Duration
+	// Chaos fault injection (tests and the CI chaos-smoke job only).
+	chaosSlow       time.Duration
+	chaosPanicEvery int
 }
 
 // parseFlags parses and validates the command line. Errors (including
@@ -72,6 +94,13 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.IntVar(&cfg.workers, "workers", 0, "max concurrent mapping jobs (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.cache, "cache", service.DefaultCacheSize, "result-cache capacity in entries (negative disables)")
 	fs.IntVar(&cfg.maxBatch, "max-batch", service.DefaultMaxBatch, "max circuits per /v1/map/batch request")
+	fs.IntVar(&cfg.queue, "queue", service.DefaultMaxQueue, "max mapping jobs queued beyond the executing ones; more are rejected with 429 (negative = no queue)")
+	fs.DurationVar(&cfg.queueWait, "queue-wait", service.DefaultQueueWait, "max time a job waits for a worker slot before 429 (negative = unbounded)")
+	fs.DurationVar(&cfg.timeout, "timeout", service.DefaultRequestTimeout, "default per-request mapping deadline (negative disables)")
+	fs.DurationVar(&cfg.maxTimeout, "max-timeout", service.DefaultMaxTimeout, "cap on client-requested X-Codard-Timeout deadlines")
+	fs.DurationVar(&cfg.grace, "grace", 10*time.Second, "shutdown grace: in-flight mappings get this long before hard cancel")
+	fs.DurationVar(&cfg.chaosSlow, "chaos-slow", 0, "fault injection: delay every mapping job by this much (0 disables)")
+	fs.IntVar(&cfg.chaosPanicEvery, "chaos-panic-every", 0, "fault injection: panic every Nth mapping job (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -88,15 +117,36 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	if cfg.addr == "" {
 		return nil, fmt.Errorf("-addr must be non-empty")
 	}
+	if cfg.maxTimeout <= 0 {
+		return nil, fmt.Errorf("-max-timeout must be positive, got %v", cfg.maxTimeout)
+	}
+	if cfg.grace <= 0 {
+		return nil, fmt.Errorf("-grace must be positive, got %v", cfg.grace)
+	}
+	if cfg.chaosSlow < 0 {
+		return nil, fmt.Errorf("-chaos-slow must be >= 0, got %v", cfg.chaosSlow)
+	}
+	if cfg.chaosPanicEvery < 0 {
+		return nil, fmt.Errorf("-chaos-panic-every must be >= 0, got %d", cfg.chaosPanicEvery)
+	}
 	return cfg, nil
 }
 
 func run(cfg *config) error {
-	srv := service.New(service.Config{
-		Workers:   cfg.workers,
-		CacheSize: cfg.cache,
-		MaxBatch:  cfg.maxBatch,
-	})
+	svcCfg := service.Config{
+		Workers:        cfg.workers,
+		CacheSize:      cfg.cache,
+		MaxBatch:       cfg.maxBatch,
+		MaxQueue:       cfg.queue,
+		QueueWait:      cfg.queueWait,
+		RequestTimeout: cfg.timeout,
+		MaxTimeout:     cfg.maxTimeout,
+	}
+	if cfg.chaosSlow > 0 || cfg.chaosPanicEvery > 0 {
+		svcCfg.Chaos = &chaos.Injector{SlowMapper: cfg.chaosSlow, PanicEvery: cfg.chaosPanicEvery}
+		fmt.Fprintf(os.Stderr, "codard: CHAOS MODE: slow=%v panic-every=%d\n", cfg.chaosSlow, cfg.chaosPanicEvery)
+	}
+	srv := service.New(svcCfg)
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
@@ -116,9 +166,21 @@ func run(cfg *config) error {
 	case err := <-errc:
 		return err
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "codard: %v, shutting down\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fmt.Fprintf(os.Stderr, "codard: %v, shutting down (grace %v)\n", s, cfg.grace)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.grace)
 		defer cancel()
-		return hs.Shutdown(ctx)
+		// Stop the listener and drain concurrently: Shutdown refuses new
+		// connections and waits for handlers, Drain watches the mapping
+		// jobs themselves and — when the grace window expires — hard-cancels
+		// them through the pipeline's cancellation plumbing so the handlers
+		// Shutdown is waiting on actually return.
+		shutdownErr := make(chan error, 1)
+		go func() { shutdownErr <- hs.Shutdown(ctx) }()
+		hard := srv.Drain(ctx)
+		err := <-shutdownErr
+		if hard {
+			return fmt.Errorf("shutdown: in-flight mappings hard-canceled after %v grace", cfg.grace)
+		}
+		return err
 	}
 }

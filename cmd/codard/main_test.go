@@ -15,6 +15,12 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.addr != ":8723" || cfg.workers != 0 || cfg.cache <= 0 || cfg.maxBatch <= 0 {
 		t.Errorf("unexpected defaults: %+v", cfg)
 	}
+	if cfg.queue <= 0 || cfg.queueWait <= 0 || cfg.timeout <= 0 || cfg.maxTimeout <= 0 || cfg.grace <= 0 {
+		t.Errorf("robustness defaults not positive: %+v", cfg)
+	}
+	if cfg.chaosSlow != 0 || cfg.chaosPanicEvery != 0 {
+		t.Errorf("chaos injection on by default: %+v", cfg)
+	}
 	if stderr.Len() != 0 {
 		t.Errorf("defaults wrote to stderr: %q", stderr.String())
 	}
@@ -37,6 +43,10 @@ func TestParseFlagsErrorPaths(t *testing.T) {
 		{"negative workers", []string{"-workers", "-2"}, "-workers must be >= 0"},
 		{"zero max-batch", []string{"-max-batch", "0"}, "-max-batch must be >= 1"},
 		{"empty addr", []string{"-addr", ""}, "-addr must be non-empty"},
+		{"zero max-timeout", []string{"-max-timeout", "0s"}, "-max-timeout must be positive"},
+		{"zero grace", []string{"-grace", "0s"}, "-grace must be positive"},
+		{"negative chaos-slow", []string{"-chaos-slow", "-1ms"}, "-chaos-slow must be >= 0"},
+		{"negative chaos-panic-every", []string{"-chaos-panic-every", "-1"}, "-chaos-panic-every must be >= 0"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

@@ -11,10 +11,21 @@
 //
 // -repeat > 1 replays the same circuits, so the steady-state hit rate of
 // the server's result cache shows up directly in the report.
+//
+// Chaos mode (DESIGN.md §11): -timeout sets the per-request mapping
+// deadline via the X-Codard-Timeout header, and -cancel-fraction abandons
+// that fraction of requests client-side shortly after dispatch, exercising
+// the server's disconnect-cancellation path. Canceled, rejected (429) and
+// deadline-exceeded (504) outcomes are reported separately from failures
+// and do not fail the run — only unexpected errors do. The CI chaos-smoke
+// job drives this against a codard started with -chaos-* flags:
+//
+//	codarload -cancel-fraction 0.3 -timeout 50ms
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -61,7 +72,16 @@ type loadConfig struct {
 	limit       int
 	repeat      int
 	concurrency int
-	timeout     time.Duration
+	// timeout is the per-request mapping deadline: sent to the server as
+	// the X-Codard-Timeout header (so expiry shows up as a 504 and the
+	// deadline-exceeded counter, not a client-side abort) and enforced
+	// client-side with slack on top. 0 disables the header.
+	timeout time.Duration
+	// cancelFraction abandons this fraction of requests client-side shortly
+	// after dispatch — the load-generator half of the fault-injection
+	// harness, driving the server's disconnect-cancellation path (499s and
+	// the canceled counter) under real HTTP. 0 disables.
+	cancelFraction float64
 }
 
 // parseFlags parses and validates the command line. Leftover positional
@@ -81,7 +101,8 @@ func parseFlags(args []string, stderr io.Writer) (*loadConfig, error) {
 	fs.IntVar(&cfg.limit, "limit", 0, "cap the number of distinct circuits (0 = all eligible)")
 	fs.IntVar(&cfg.repeat, "repeat", 1, "times to replay the circuit set (>1 exercises the result cache)")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "concurrent in-flight requests")
-	fs.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "per-request timeout")
+	fs.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "per-request mapping deadline, sent as X-Codard-Timeout (0 disables)")
+	fs.Float64Var(&cfg.cancelFraction, "cancel-fraction", 0, "fraction of requests abandoned client-side mid-flight (0..1)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -104,8 +125,11 @@ func parseFlags(args []string, stderr io.Writer) (*loadConfig, error) {
 	if cfg.limit < 0 {
 		return nil, fmt.Errorf("-limit must be >= 0, got %d", cfg.limit)
 	}
-	if cfg.timeout <= 0 {
-		return nil, fmt.Errorf("-timeout must be positive, got %v", cfg.timeout)
+	if cfg.timeout < 0 {
+		return nil, fmt.Errorf("-timeout must be >= 0, got %v", cfg.timeout)
+	}
+	if cfg.cancelFraction < 0 || cfg.cancelFraction > 1 {
+		return nil, fmt.Errorf("-cancel-fraction must be in [0, 1], got %v", cfg.cancelFraction)
 	}
 	return cfg, nil
 }
@@ -138,33 +162,70 @@ func run(cfg *loadConfig) error {
 		reqs = append(reqs, circuits...)
 	}
 
-	client := &http.Client{Timeout: cfg.timeout}
+	// The client-side timeout is the mapping deadline plus slack: expiry
+	// should normally arrive as the server's 504, not a client abort.
+	clientTimeout := time.Duration(0)
+	if cfg.timeout > 0 {
+		clientTimeout = cfg.timeout + 5*time.Second
+	}
+	client := &http.Client{Timeout: clientTimeout}
 	if err := waitHealthy(client, cfg.server); err != nil {
 		return err
 	}
 
 	type outcome struct {
-		latency time.Duration
-		hit     bool
-		err     error
+		latency  time.Duration
+		hit      bool
+		status   int
+		abandond bool // deliberately canceled client-side
+		err      error
+	}
+	// Deterministic selection of the requests to abandon mid-flight: the
+	// same command line always cancels the same indices, so chaos runs are
+	// reproducible.
+	cancelEvery := 0
+	if cfg.cancelFraction > 0 {
+		cancelEvery = int(1 / cfg.cancelFraction)
 	}
 	outcomes := make([]outcome, len(reqs))
 	start := time.Now()
 	_ = experiments.RunBatch(len(reqs), cfg.concurrency, func(i int) error {
+		ctx := context.Background()
+		abandon := cancelEvery > 0 && i%cancelEvery == 0
+		if abandon {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithCancel(ctx)
+			timer := time.AfterFunc(clientCancelAfter, cancel)
+			defer timer.Stop()
+			defer cancel()
+		}
 		t0 := time.Now()
-		hit, err := postMap(client, cfg.server, reqs[i])
-		outcomes[i] = outcome{latency: time.Since(t0), hit: hit, err: err}
+		hit, status, err := postMap(ctx, client, cfg.server, reqs[i], cfg.timeout)
+		outcomes[i] = outcome{latency: time.Since(t0), hit: hit, status: status, abandond: abandon, err: err}
 		return nil
 	})
 	wall := time.Since(start)
 
 	var (
-		lats     []float64
-		hits     int
-		failures int
+		lats      []float64
+		hits      int
+		failures  int
+		canceled  int
+		rejected  int
+		deadlines int
 	)
 	for i, o := range outcomes {
-		if o.err != nil {
+		switch {
+		case o.abandond && o.err != nil && errors.Is(o.err, context.Canceled):
+			canceled++
+			continue
+		case o.status == http.StatusTooManyRequests:
+			rejected++
+			continue
+		case o.status == http.StatusGatewayTimeout:
+			deadlines++
+			continue
+		case o.err != nil:
 			failures++
 			if failures <= 3 {
 				fmt.Fprintf(os.Stderr, "codarload: request %d: %v\n", i, o.err)
@@ -179,9 +240,10 @@ func run(cfg *loadConfig) error {
 	sort.Float64s(lats)
 	ok := len(lats)
 	fmt.Printf("codarload: %d requests (%d circuits × %d) against %s\n", len(reqs), len(circuits), cfg.repeat, cfg.server)
-	fmt.Printf("  arch=%s algo=%s durations=%q seed=%d concurrency=%d\n", cfg.archName, cfg.algo, cfg.durations, cfg.seed, cfg.concurrency)
-	fmt.Printf("  ok=%d failed=%d cache-hits=%d wall=%.2fs throughput=%.1f req/s\n",
-		ok, failures, hits, wall.Seconds(), float64(ok)/wall.Seconds())
+	fmt.Printf("  arch=%s algo=%s durations=%q seed=%d concurrency=%d timeout=%v cancel-fraction=%v\n",
+		cfg.archName, cfg.algo, cfg.durations, cfg.seed, cfg.concurrency, cfg.timeout, cfg.cancelFraction)
+	fmt.Printf("  ok=%d failed=%d canceled=%d rejected=%d deadline=%d cache-hits=%d wall=%.2fs throughput=%.1f req/s\n",
+		ok, failures, canceled, rejected, deadlines, hits, wall.Seconds(), float64(ok)/wall.Seconds())
 	if ok > 0 {
 		fmt.Printf("  latency ms: p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
 			service.Percentile(lats, 0.50), service.Percentile(lats, 0.90),
@@ -225,33 +287,48 @@ func waitHealthy(client *http.Client, base string) error {
 	return fmt.Errorf("server never became healthy: %w", lastErr)
 }
 
+// clientCancelAfter is how long an abandoned request stays in flight before
+// its context is canceled. Long enough for the request to reach the server
+// and (usually) start mapping, short enough that the disconnect lands
+// mid-mapping on anything but trivial circuits.
+const clientCancelAfter = 10 * time.Millisecond
+
 // postMap sends one mapping request and reports whether it was served from
-// the result cache.
-func postMap(client *http.Client, base string, req service.MapRequest) (hit bool, err error) {
+// the result cache, plus the HTTP status for outcome classification (0 when
+// the request never completed).
+func postMap(ctx context.Context, client *http.Client, base string, req service.MapRequest, timeout time.Duration) (hit bool, status int, err error) {
 	enc, err := json.Marshal(req)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
-	resp, err := client.Post(base+"/v1/map", "application/json", bytes.NewReader(enc))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/map", bytes.NewReader(enc))
 	if err != nil {
-		return false, err
+		return false, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if timeout > 0 {
+		hreq.Header.Set("X-Codard-Timeout", timeout.String())
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return false, 0, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return false, err
+		return false, resp.StatusCode, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		return false, resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 	}
 	var mr service.MapResponse
 	if err := json.Unmarshal(body, &mr); err != nil {
-		return false, fmt.Errorf("bad response body: %w", err)
+		return false, resp.StatusCode, fmt.Errorf("bad response body: %w", err)
 	}
 	if mr.MappedQASM == "" {
-		return false, fmt.Errorf("empty mapped_qasm")
+		return false, resp.StatusCode, fmt.Errorf("empty mapped_qasm")
 	}
-	return resp.Header.Get("X-Codard-Cache") == "hit", nil
+	return resp.Header.Get("X-Codard-Cache") == "hit", resp.StatusCode, nil
 }
 
 // printServerStats fetches and prints the server-side /v1/stats view.
@@ -268,5 +345,8 @@ func printServerStats(client *http.Client, base string) error {
 	fmt.Printf("  server: requests=%d hit-rate=%.2f in-flight=%d workers=%d latency p50=%.1fms p99=%.1fms\n",
 		stats.Requests, stats.CacheHitRate, stats.InFlight, stats.Workers,
 		stats.Latency.P50, stats.Latency.P99)
+	fmt.Printf("  server: canceled=%d deadline-exceeded=%d rejected=%d panics=%d queue=%d/%d\n",
+		stats.Canceled, stats.DeadlineExceeded, stats.Rejected, stats.Panics,
+		stats.QueueDepth, stats.QueueCapacity)
 	return nil
 }

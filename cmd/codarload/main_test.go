@@ -19,6 +19,25 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.algo != "codar" {
 		t.Errorf("default algo %q", cfg.algo)
 	}
+	if cfg.cancelFraction != 0 {
+		t.Errorf("default cancel-fraction %v, want 0", cfg.cancelFraction)
+	}
+}
+
+// TestParseFlagsChaosMode: the fault-injection knobs parse and validate.
+func TestParseFlagsChaosMode(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseFlags([]string{"-cancel-fraction", "0.3", "-timeout", "50ms"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.cancelFraction != 0.3 || cfg.timeout != 50*time.Millisecond {
+		t.Errorf("chaos flags not applied: %+v", cfg)
+	}
+	// -timeout 0 disables the deadline entirely (no X-Codard-Timeout header).
+	if cfg, err = parseFlags([]string{"-timeout", "0s"}, &stderr); err != nil || cfg.timeout != 0 {
+		t.Errorf("-timeout 0s should be accepted, got cfg=%+v err=%v", cfg, err)
+	}
 }
 
 // TestParseFlagsErrorPaths: misconfigured load runs must fail loudly before
@@ -39,7 +58,9 @@ func TestParseFlagsErrorPaths(t *testing.T) {
 		{"negative concurrency", []string{"-concurrency", "-1"}, "-concurrency must be >= 1"},
 		{"zero max-qubits", []string{"-max-qubits", "0"}, "-max-qubits must be >= 1"},
 		{"negative limit", []string{"-limit", "-5"}, "-limit must be >= 0"},
-		{"zero timeout", []string{"-timeout", "0s"}, "-timeout must be positive"},
+		{"negative timeout", []string{"-timeout", "-1s"}, "-timeout must be >= 0"},
+		{"cancel-fraction above one", []string{"-cancel-fraction", "1.5"}, "-cancel-fraction must be in [0, 1]"},
+		{"negative cancel-fraction", []string{"-cancel-fraction", "-0.1"}, "-cancel-fraction must be in [0, 1]"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

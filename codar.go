@@ -84,6 +84,15 @@ type (
 	CostModel = arch.CostModel
 )
 
+// ErrCanceled and ErrDeadline are the pipeline-wide cancellation sentinels:
+// Remap, RemapSABRE and MapPortfolio return them (wrapped) when the context
+// carried in their options fires mid-run. errors.Is also matches
+// context.Canceled / context.DeadlineExceeded respectively.
+var (
+	ErrCanceled = core.ErrCanceled
+	ErrDeadline = core.ErrDeadline
+)
+
 // Commonly used gate kinds, re-exported for building circuits directly.
 const (
 	OpX       = circuit.OpX

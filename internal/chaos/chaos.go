@@ -1,0 +1,65 @@
+// Package chaos is the fault-injection harness for the serving pipeline:
+// an Injector threaded into the service (service.Config.Chaos, surfaced as
+// codard -chaos-slow / -chaos-panic-every) that delays mapping jobs and
+// panics on a deterministic cadence, so the robustness machinery —
+// cancellation, deadlines, backpressure, panic recovery — is exercised by
+// tests and the CI chaos-smoke job rather than trusted. A nil *Injector is
+// inert, so production paths carry no chaos branches beyond one nil check.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"codar/internal/interrupt"
+)
+
+// Injector injects faults into mapping jobs. The zero value injects
+// nothing; fields can be combined. Safe for concurrent use.
+type Injector struct {
+	// SlowMapper delays every mapping job by this much before it starts,
+	// honoring the job's context — a canceled request does not sit out the
+	// full delay. It simulates pathological circuits and starved CPUs, the
+	// conditions that make queue-wait budgets and deadlines fire.
+	SlowMapper time.Duration
+	// PanicEvery makes every Nth mapping job panic (1-based: the Nth, 2Nth,
+	// ... jobs fail). It proves panics surface as 500s with the process —
+	// and the cache — intact. 0 disables.
+	PanicEvery int
+
+	calls atomic.Uint64
+}
+
+// Enabled reports whether the injector would inject anything.
+func (inj *Injector) Enabled() bool {
+	return inj != nil && (inj.SlowMapper > 0 || inj.PanicEvery > 0)
+}
+
+// BeforeMap runs the injected faults for one mapping job: the slow-mapper
+// delay (aborted early, with the classified error, if ctx fires first),
+// then the panic cadence. Call it inside the worker slot, before the real
+// mapping work. A nil receiver returns nil immediately.
+func (inj *Injector) BeforeMap(ctx context.Context) error {
+	if inj == nil {
+		return nil
+	}
+	if inj.SlowMapper > 0 {
+		timer := time.NewTimer(inj.SlowMapper)
+		defer timer.Stop()
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
+		select {
+		case <-timer.C:
+		case <-done:
+			return interrupt.Classify(ctx)
+		}
+	}
+	if inj.PanicEvery > 0 && inj.calls.Add(1)%uint64(inj.PanicEvery) == 0 {
+		panic(fmt.Sprintf("chaos: injected panic (every %d jobs)", inj.PanicEvery))
+	}
+	return nil
+}

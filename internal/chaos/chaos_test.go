@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"codar/internal/interrupt"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if inj.Enabled() {
+		t.Error("nil injector reports Enabled")
+	}
+	if err := inj.BeforeMap(context.Background()); err != nil {
+		t.Errorf("nil injector injected error: %v", err)
+	}
+}
+
+func TestZeroValueInjectsNothing(t *testing.T) {
+	inj := &Injector{}
+	if inj.Enabled() {
+		t.Error("zero-value injector reports Enabled")
+	}
+	for i := 0; i < 10; i++ {
+		if err := inj.BeforeMap(context.Background()); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestSlowMapperDelays(t *testing.T) {
+	inj := &Injector{SlowMapper: 50 * time.Millisecond}
+	if !inj.Enabled() {
+		t.Error("slow injector not Enabled")
+	}
+	t0 := time.Now()
+	if err := inj.BeforeMap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 50*time.Millisecond {
+		t.Errorf("BeforeMap returned after %v, want >= 50ms", d)
+	}
+}
+
+// TestSlowMapperHonorsContext: a canceled request must not sit out the full
+// injected delay, and the error must be the classified sentinel so the
+// service maps it to 499/504 like any other aborted mapping.
+func TestSlowMapperHonorsContext(t *testing.T) {
+	inj := &Injector{SlowMapper: 10 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	err := inj.BeforeMap(ctx)
+	if !errors.Is(err, interrupt.ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Errorf("BeforeMap sat out %v of a canceled delay", d)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer dcancel()
+	if err := inj.BeforeMap(dctx); !errors.Is(err, interrupt.ErrDeadline) {
+		t.Errorf("deadline err = %v, want ErrDeadline", err)
+	}
+
+	// nil ctx (in-process callers that never cancel) takes the plain delay.
+	fast := &Injector{SlowMapper: time.Millisecond}
+	if err := fast.BeforeMap(nil); err != nil {
+		t.Errorf("nil ctx: %v", err)
+	}
+}
+
+// TestPanicEveryCadence: exactly every Nth call panics, 1-based, so
+// PanicEvery:2 fails calls 2, 4, 6, ...
+func TestPanicEveryCadence(t *testing.T) {
+	inj := &Injector{PanicEvery: 2}
+	if !inj.Enabled() {
+		t.Error("panic injector not Enabled")
+	}
+	panicked := func() (p bool) {
+		defer func() {
+			if recover() != nil {
+				p = true
+			}
+		}()
+		if err := inj.BeforeMap(context.Background()); err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return false
+	}
+	want := []bool{false, true, false, true, false, true}
+	for i, w := range want {
+		if got := panicked(); got != w {
+			t.Errorf("call %d: panicked=%v, want %v", i+1, got, w)
+		}
+	}
+}

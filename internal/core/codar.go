@@ -19,12 +19,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"codar/internal/arch"
 	"codar/internal/circuit"
+	"codar/internal/interrupt"
 	"codar/internal/schedule"
 )
 
@@ -33,9 +35,31 @@ import (
 // abandoned because it could no longer beat the portfolio incumbent.
 var ErrDepthBound = errors.New("codar: depth bound exceeded")
 
+// ErrCanceled and ErrDeadline are returned by Remap when Options.Ctx fires
+// mid-run: the mapping was abandoned because the caller no longer wants it
+// (client disconnect, portfolio abandon) or its deadline passed. They are
+// the shared pipeline sentinels — errors.Is also matches context.Canceled /
+// context.DeadlineExceeded.
+var (
+	ErrCanceled = interrupt.ErrCanceled
+	ErrDeadline = interrupt.ErrDeadline
+)
+
+// ctxCheckEvery is the amortized cancellation cadence: the main cycle loop
+// polls Options.Ctx every this many cycles (power of two). Cycles run in
+// microseconds, so the poll adds no measurable overhead while bounding
+// cancellation latency far below human-visible delays (DESIGN.md §11).
+const ctxCheckEvery = 64
+
 // Options tunes the CODAR remapper. The zero value selects the defaults
 // used throughout the evaluation.
 type Options struct {
+	// Ctx, when non-nil, makes the run cancelable: the main cycle loop
+	// polls it at an amortized cadence (every ctxCheckEvery cycles) and
+	// Remap returns ErrCanceled / ErrDeadline once it fires, discarding all
+	// partial output. nil (or a never-done context) leaves the run — and
+	// its output bytes — untouched.
+	Ctx context.Context
 	// Window bounds the commutative-front scan over the remaining gate
 	// sequence. 0 means DefaultWindow. Larger windows expose more
 	// look-ahead context at higher cost.
@@ -198,8 +222,14 @@ func RemapAssembled(a *circuit.Assembly, dev *arch.Device, initial *arch.Layout,
 		}
 	}
 
+	if err := interrupt.Classify(opts.Ctx); err != nil {
+		return nil, fmt.Errorf("codar: %w", err)
+	}
 	r := newRemapper(a, dev, initial, opts)
 	r.run()
+	if r.ctxErr != nil {
+		return nil, fmt.Errorf("codar: %w", r.ctxErr)
+	}
 	if r.exceeded {
 		return nil, ErrDepthBound
 	}
@@ -257,6 +287,12 @@ type remapper struct {
 	// sound (DESIGN.md §9).
 	asap     *arch.ASAPTracker
 	exceeded bool
+
+	// Cancellation state (Options.Ctx): the amortized context checker the
+	// cycle loop polls, and the sticky typed error a fired context leaves
+	// behind (DESIGN.md §11).
+	check  interrupt.Checker
+	ctxErr error
 
 	initial *arch.Layout
 
@@ -337,6 +373,7 @@ func newRemapper(a *circuit.Assembly, dev *arch.Device, initial *arch.Layout, op
 	if opts.DepthBound != nil {
 		r.asap = arch.NewASAPTracker(dev.NumQubits)
 	}
+	r.check = interrupt.NewChecker(opts.Ctx, ctxCheckEvery)
 	return r
 }
 
@@ -362,6 +399,10 @@ func (r *remapper) run() {
 	t := 0
 	for r.live > 0 {
 		if r.exceeded {
+			return
+		}
+		if err := r.check.Check(); err != nil {
+			r.ctxErr = err
 			return
 		}
 		r.cycles++

@@ -1,0 +1,107 @@
+// Package interrupt is the cancellation vocabulary shared by the mapping
+// pipeline: the typed errors a canceled or deadline-exceeded run returns,
+// and an amortized context checker cheap enough to sit inside the mappers'
+// hot loops.
+//
+// The mappers (internal/core, internal/sabre) simulate tens of thousands of
+// cycles or swap rounds per mapping; polling a context's done channel on
+// every iteration would put a select on the hottest path in the tree. The
+// Checker instead counts calls and polls only every power-of-two-th call,
+// so the common case is one increment and one mask test, and an inactive
+// checker (nil context, or a context that can never be canceled) is a
+// single branch. The cadence bounds cancellation latency to the cost of
+// `every` loop iterations — microseconds for realistic circuits — which is
+// what lets a dead client's mapping abort within milliseconds without
+// perturbing the bit-identical output of uncanceled runs (DESIGN.md §11).
+package interrupt
+
+import (
+	"context"
+	"fmt"
+)
+
+// ErrCanceled is returned by a mapping run abandoned because its context
+// was canceled (client disconnect, portfolio abandon, service shutdown).
+// It wraps context.Canceled, so errors.Is works against either sentinel.
+var ErrCanceled = fmt.Errorf("mapping canceled: %w", context.Canceled)
+
+// ErrDeadline is returned by a mapping run abandoned because its context's
+// deadline passed. It wraps context.DeadlineExceeded, so errors.Is works
+// against either sentinel.
+var ErrDeadline = fmt.Errorf("mapping deadline exceeded: %w", context.DeadlineExceeded)
+
+// Classify maps a context's error to the pipeline's typed sentinels:
+// ErrCanceled, ErrDeadline, or nil when ctx is nil or still live. Any other
+// (custom) context error is returned as-is.
+func Classify(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	switch err := ctx.Err(); err {
+	case nil:
+		return nil
+	case context.Canceled:
+		return ErrCanceled
+	case context.DeadlineExceeded:
+		return ErrDeadline
+	default:
+		return err
+	}
+}
+
+// Checker polls a context at an amortized cadence. The zero value (and any
+// checker built from a nil or never-done context) is inactive: Check always
+// returns nil at the cost of one branch. Once the context fires, Check
+// returns the classified error on every subsequent call (sticky), so a loop
+// can treat it as its abort condition.
+//
+// A Checker is not safe for concurrent use; each mapping run owns its own.
+type Checker struct {
+	done <-chan struct{}
+	ctx  context.Context
+	mask uint32
+	n    uint32
+	err  error
+}
+
+// NewChecker builds a checker that polls ctx every `every` Check calls
+// (rounded up to a power of two; every <= 1 polls on every call). A nil
+// ctx, or one whose Done returns nil, yields an inactive checker.
+func NewChecker(ctx context.Context, every uint32) Checker {
+	if ctx == nil {
+		return Checker{}
+	}
+	done := ctx.Done()
+	if done == nil {
+		return Checker{}
+	}
+	mask := uint32(1)
+	for mask < every {
+		mask <<= 1
+	}
+	return Checker{done: done, ctx: ctx, mask: mask - 1}
+}
+
+// Check returns the context's classified error once it has fired, nil
+// before then. The done channel is polled only every `every`-th call; all
+// other calls cost an increment and a mask test.
+func (c *Checker) Check() error {
+	if c.done == nil {
+		return c.err
+	}
+	c.n++
+	if c.n&c.mask != 0 {
+		return nil
+	}
+	select {
+	case <-c.done:
+		c.err = Classify(c.ctx)
+		c.done = nil
+		return c.err
+	default:
+		return nil
+	}
+}
+
+// Err returns the sticky error observed by Check, without polling.
+func (c *Checker) Err() error { return c.err }

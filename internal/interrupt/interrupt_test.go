@@ -1,0 +1,109 @@
+package interrupt
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	if err := Classify(nil); err != nil {
+		t.Fatalf("Classify(nil) = %v, want nil", err)
+	}
+	if err := Classify(context.Background()); err != nil {
+		t.Fatalf("Classify(background) = %v, want nil", err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Classify(canceled); err != ErrCanceled {
+		t.Fatalf("Classify(canceled) = %v, want ErrCanceled", err)
+	}
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if err := Classify(expired); err != ErrDeadline {
+		t.Fatalf("Classify(expired) = %v, want ErrDeadline", err)
+	}
+}
+
+func TestTypedErrorsWrapContextSentinels(t *testing.T) {
+	if !errors.Is(ErrCanceled, context.Canceled) {
+		t.Error("ErrCanceled must wrap context.Canceled")
+	}
+	if !errors.Is(ErrDeadline, context.DeadlineExceeded) {
+		t.Error("ErrDeadline must wrap context.DeadlineExceeded")
+	}
+	if errors.Is(ErrCanceled, context.DeadlineExceeded) || errors.Is(ErrDeadline, context.Canceled) {
+		t.Error("sentinels must stay distinct")
+	}
+}
+
+func TestInactiveChecker(t *testing.T) {
+	var zero Checker
+	for i := 0; i < 1000; i++ {
+		if err := zero.Check(); err != nil {
+			t.Fatalf("zero checker fired: %v", err)
+		}
+	}
+	bg := NewChecker(context.Background(), 64)
+	for i := 0; i < 1000; i++ {
+		if err := bg.Check(); err != nil {
+			t.Fatalf("background checker fired: %v", err)
+		}
+	}
+}
+
+func TestCheckerFiresWithinCadence(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewChecker(ctx, 64)
+	cancel()
+	// The poll happens at most every 64 calls (rounded to a power of two),
+	// so the error must surface within 2*64 calls of the cancellation.
+	for i := 0; i < 128; i++ {
+		if err := c.Check(); err != nil {
+			if err != ErrCanceled {
+				t.Fatalf("Check = %v, want ErrCanceled", err)
+			}
+			// Sticky: every later call returns the same error cheaply.
+			for j := 0; j < 10; j++ {
+				if err := c.Check(); err != ErrCanceled {
+					t.Fatalf("sticky Check = %v, want ErrCanceled", err)
+				}
+			}
+			if c.Err() != ErrCanceled {
+				t.Fatalf("Err() = %v, want ErrCanceled", c.Err())
+			}
+			return
+		}
+	}
+	t.Fatal("checker never observed the canceled context within 2x cadence")
+}
+
+func TestCheckerEveryOne(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewChecker(ctx, 1)
+	if err := c.Check(); err != nil {
+		t.Fatalf("live context: Check = %v", err)
+	}
+	cancel()
+	// every=1 rounds to mask 0: the very next call must observe it.
+	if err := c.Check(); err != ErrCanceled {
+		t.Fatalf("Check after cancel = %v, want ErrCanceled", err)
+	}
+}
+
+func TestCheckerCustomCause(t *testing.T) {
+	cause := errors.New("upstream gave up")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	c := NewChecker(ctx, 1)
+	var err error
+	for i := 0; i < 4 && err == nil; i++ {
+		err = c.Check()
+	}
+	// WithCancelCause still reports context.Canceled from Err(); the typed
+	// sentinel is what the pipeline keys on.
+	if err != ErrCanceled {
+		t.Fatalf("Check = %v, want ErrCanceled", err)
+	}
+}

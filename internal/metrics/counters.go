@@ -1,0 +1,30 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing operational counter (requests
+// canceled, panics recovered, ...). The zero value is ready to use; all
+// methods are safe for concurrent use. It complements the statistical
+// helpers in this package: those summarise experiment outputs, Counter and
+// Gauge observe a running process.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (queue depth, in-flight jobs): it moves
+// both ways. The zero value is ready to use; all methods are safe for
+// concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }

@@ -179,7 +179,7 @@ func Generate(m Method, c *circuit.Circuit, dev *arch.Device, seed int64) (*arch
 // single-shot pipeline), the structural strategies ignore it. nil cost is
 // exactly Generate.
 func GenerateCost(m Method, c *circuit.Circuit, dev *arch.Device, seed int64, cost *arch.CostModel) (*arch.Layout, error) {
-	return generateCost(m, c, nil, dev, seed, cost)
+	return generateOpts(m, c, nil, dev, seed, sabre.Options{Cost: cost})
 }
 
 // GenerateCostAssembled is GenerateCost over a pre-built assembly: the
@@ -188,10 +188,20 @@ func GenerateCost(m Method, c *circuit.Circuit, dev *arch.Device, seed int64, co
 // just read the raw circuit. The portfolio calls this once per distinct
 // (placement, seed) pair and shares the result across algorithms.
 func GenerateCostAssembled(m Method, a *circuit.Assembly, dev *arch.Device, seed int64, cost *arch.CostModel) (*arch.Layout, error) {
-	return generateCost(m, a.Circ, a, dev, seed, cost)
+	return generateOpts(m, a.Circ, a, dev, seed, sabre.Options{Cost: cost})
 }
 
-func generateCost(m Method, c *circuit.Circuit, a *circuit.Assembly, dev *arch.Device, seed int64, cost *arch.CostModel) (*arch.Layout, error) {
+// GenerateOptsAssembled is GenerateCostAssembled with full SABRE options —
+// most usefully Options.Ctx, so canceling a portfolio request also aborts
+// its in-flight placement passes (a sabre-reverse placement is two full
+// SABRE runs, the grid's dominant cost). Only the sabre-reverse strategy
+// consumes the options; the structural strategies are cheap enough that
+// they always run to completion.
+func GenerateOptsAssembled(m Method, a *circuit.Assembly, dev *arch.Device, seed int64, opts sabre.Options) (*arch.Layout, error) {
+	return generateOpts(m, a.Circ, a, dev, seed, opts)
+}
+
+func generateOpts(m Method, c *circuit.Circuit, a *circuit.Assembly, dev *arch.Device, seed int64, opts sabre.Options) (*arch.Layout, error) {
 	switch m {
 	case MethodTrivial:
 		return Trivial(c, dev)
@@ -201,9 +211,9 @@ func generateCost(m Method, c *circuit.Circuit, a *circuit.Assembly, dev *arch.D
 		return Dense(c, dev)
 	case MethodSabreReverse:
 		if a != nil {
-			return sabre.InitialLayoutAssembled(a, dev, seed, sabre.Options{Cost: cost})
+			return sabre.InitialLayoutAssembled(a, dev, seed, opts)
 		}
-		return SabreReverseCost(c, dev, seed, cost)
+		return sabre.InitialLayout(c, dev, seed, opts)
 	default:
 		names := make([]string, 0, len(Methods()))
 		for _, k := range Methods() {

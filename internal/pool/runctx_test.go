@@ -1,0 +1,118 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"codar/internal/interrupt"
+	"codar/internal/testutil"
+)
+
+// TestRunCtxNilIsRun: nil and never-done contexts take the plain Run path
+// and report no error.
+func TestRunCtxNilIsRun(t *testing.T) {
+	for name, ctx := range map[string]context.Context{"nil": nil, "background": context.Background()} {
+		const n = 30
+		var counts [n]int32
+		if err := RunCtx(ctx, n, 4, func(i int) { atomic.AddInt32(&counts[i], 1) }); err != nil {
+			t.Fatalf("%s: err = %v, want nil", name, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("%s: job %d ran %d times", name, i, c)
+			}
+		}
+	}
+}
+
+// TestRunCtxCompletesWhenUnfired: a live cancelable context that never
+// fires runs every job exactly once and returns nil.
+func TestRunCtxCompletesWhenUnfired(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, workers := range []int{1, 4} {
+		const n = 40
+		var counts [n]int32
+		if err := RunCtx(ctx, n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) }); err != nil {
+			t.Fatalf("workers=%d: err = %v, want nil", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestRunCtxPreCanceledRunsNothing: a dead context dispatches no jobs at
+// all, serial and parallel alike, and classifies the error.
+func TestRunCtxPreCanceledRunsNothing(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran int32
+		err := RunCtx(ctx, 20, workers, func(int) { atomic.AddInt32(&ran, 1) })
+		if !errors.Is(err, interrupt.ErrCanceled) {
+			t.Fatalf("workers=%d: err = %v, want ErrCanceled", workers, err)
+		}
+		if n := atomic.LoadInt32(&ran); n != 0 {
+			t.Fatalf("workers=%d: %d jobs ran under a dead ctx", workers, n)
+		}
+	}
+}
+
+// TestRunCtxStopsDispatchingOnCancel: jobs already started finish, but no
+// new job starts once the context fires, and every worker exits (the leak
+// check is the real assertion).
+func TestRunCtxStopsDispatchingOnCancel(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started int32
+		const n = 1000
+		err := RunCtx(ctx, n, workers, func(i int) {
+			if atomic.AddInt32(&started, 1) == 2 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, interrupt.ErrCanceled) {
+			t.Fatalf("workers=%d: err = %v, want ErrCanceled", workers, err)
+		}
+		// After the cancel lands, at most the in-flight jobs (bounded by the
+		// worker count) plus a race-window hand-off can still start; the
+		// dispatcher itself must stop far short of the full batch.
+		if s := atomic.LoadInt32(&started); int(s) >= n {
+			t.Fatalf("workers=%d: all %d jobs ran despite cancel", workers, s)
+		}
+	}
+}
+
+// TestRunCtxDeadlineClassified: a deadline-killed run reports ErrDeadline,
+// not ErrCanceled.
+func TestRunCtxDeadlineClassified(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	err := RunCtx(ctx, 10, 2, func(int) {})
+	if !errors.Is(err, interrupt.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}
+
+// TestRunCtxZeroJobs: n <= 0 still classifies the context instead of
+// silently succeeding under a dead one.
+func TestRunCtxZeroJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := RunCtx(ctx, 0, 4, func(int) { t.Fatal("job ran for n=0") }); !errors.Is(err, interrupt.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if err := RunCtx(context.Background(), 0, 4, func(int) { t.Fatal("job ran for n=0") }); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}

@@ -29,6 +29,7 @@
 package portfolio
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -36,10 +37,21 @@ import (
 	"codar/internal/calib"
 	"codar/internal/circuit"
 	"codar/internal/core"
+	"codar/internal/interrupt"
 	"codar/internal/placement"
 	"codar/internal/pool"
 	"codar/internal/sabre"
 	"codar/internal/schedule"
+)
+
+// ErrCanceled and ErrDeadline are returned by Run when Spec.Ctx fires: the
+// whole portfolio request was abandoned — queued candidates are never
+// dispatched and in-flight candidates abort at their mappers' amortized
+// cancellation cadence. They are the shared pipeline sentinels — errors.Is
+// also matches context.Canceled / context.DeadlineExceeded.
+var (
+	ErrCanceled = interrupt.ErrCanceled
+	ErrDeadline = interrupt.ErrDeadline
 )
 
 // Objective names a candidate-scoring rule. Scores are minimised; see
@@ -99,6 +111,13 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 // seeds {1, 2}, every placement method, both algorithms, min-depth, no
 // early abandon.
 type Spec struct {
+	// Ctx, when non-nil, makes the whole portfolio run cancelable:
+	// abandoning the request cancels every in-flight candidate (the
+	// mappers poll it at their amortized cadence), stops dispatching
+	// queued ones, and Run returns ErrCanceled / ErrDeadline instead of a
+	// result. It is copied into Codar.Ctx / Sabre.Ctx unless those are
+	// already set. nil leaves the run — and its output bytes — untouched.
+	Ctx context.Context
 	// Seeds drive the seeded placement methods (random, sabre-reverse).
 	// Seed-insensitive methods still enumerate once per seed so the
 	// candidate grid stays rectangular and the report exhaustive, but
@@ -149,6 +168,14 @@ func (s Spec) normalized() Spec {
 	}
 	if s.Objective == "" {
 		s.Objective = ObjectiveMinDepth
+	}
+	if s.Ctx != nil {
+		if s.Codar.Ctx == nil {
+			s.Codar.Ctx = s.Ctx
+		}
+		if s.Sabre.Ctx == nil {
+			s.Sabre.Ctx = s.Ctx
+		}
 	}
 	return s
 }
@@ -300,6 +327,9 @@ func RunAssembled(a *circuit.Assembly, dev *arch.Device, spec Spec) (*Result, er
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("portfolio: empty candidate grid")
 	}
+	if err := interrupt.Classify(spec.Ctx); err != nil {
+		return nil, fmt.Errorf("portfolio: %w", err)
+	}
 
 	// The shared bound is sound only under min-depth: other objectives can
 	// select a deeper schedule, so a depth cut could kill their winner.
@@ -369,23 +399,27 @@ func RunAssembled(a *circuit.Assembly, dev *arch.Device, spec Spec) (*Result, er
 		}
 		layIdx[k] = j
 	}
+	popts := sabre.Options{Cost: pcost, Ctx: spec.Ctx}
 	layouts := make([]placed, len(layJobs))
-	pool.Run(len(layJobs), spec.Workers, func(j int) {
+	playErr := pool.RunCtx(spec.Ctx, len(layJobs), spec.Workers, func(j int) {
 		defer func() {
 			if r := recover(); r != nil {
 				layouts[j] = placed{err: fmt.Errorf("candidate panicked: %v", r)}
 			}
 		}()
-		l, err := placement.GenerateCostAssembled(layJobs[j].Placement, a, dev, layJobs[j].Seed, pcost)
+		l, err := placement.GenerateOptsAssembled(layJobs[j].Placement, a, dev, layJobs[j].Seed, popts)
 		layouts[j] = placed{layout: l, err: err}
 	})
+	if playErr != nil {
+		return nil, fmt.Errorf("portfolio: %w", playErr)
+	}
 
 	res := &Result{Objective: spec.Objective, Candidates: make([]Report, len(cands)), WinnerIndex: -1}
 	var (
 		mu   sync.Mutex
 		best *outcome
 	)
-	pool.Run(len(work), spec.Workers, func(k int) {
+	runErr := pool.RunCtx(spec.Ctx, len(work), spec.Workers, func(k int) {
 		i := work[k]
 		o := runCandidate(a, dev, spec, cands[i], bound, layouts[layIdx[k]].layout, layouts[layIdx[k]].err)
 		mu.Lock()
@@ -408,6 +442,12 @@ func RunAssembled(a *circuit.Assembly, dev *arch.Device, spec Spec) (*Result, er
 			}
 		}
 	})
+	// A fired context outranks every per-candidate outcome: some candidates
+	// were never dispatched, so any "winner" would depend on timing. All
+	// in-flight mappers have aborted and all pool workers exited by now.
+	if runErr != nil {
+		return nil, fmt.Errorf("portfolio: %w", runErr)
+	}
 	// Fill the duplicate rows from their primaries and tally outcomes over
 	// the full grid, so the report stays rectangular and exhaustive.
 	for i := range cands {

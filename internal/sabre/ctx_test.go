@@ -1,0 +1,114 @@
+package sabre
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"codar/internal/arch"
+	"codar/internal/qasm"
+)
+
+// TestCtxPreCanceled: a dead context aborts Remap before any routing, with
+// the typed sentinel that also matches the stdlib cause.
+func TestCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := randCircuit(1, 8, 60)
+	_, err := Remap(c, arch.IBMQ20Tokyo(), nil, Options{Ctx: ctx})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, must also match context.Canceled", err)
+	}
+}
+
+// TestCtxExpiredDeadline: expired deadline → ErrDeadline, distinct from
+// ErrCanceled.
+func TestCtxExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	c := randCircuit(2, 8, 60)
+	_, err := Remap(c, arch.IBMQ20Tokyo(), nil, Options{Ctx: ctx})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v matches ErrCanceled; sentinels must stay distinct", err)
+	}
+}
+
+// TestCtxCancelMidRunAbortsPromptly: canceling a large mapping mid-run
+// aborts within the amortized cadence instead of finishing the run.
+func TestCtxCancelMidRunAbortsPromptly(t *testing.T) {
+	c := randCircuit(3, 54, 20000)
+	dev := arch.SycamoreQ54()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Remap(c, dev, nil, Options{Ctx: ctx})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	canceledAt := time.Now()
+	cancel()
+	err := <-done
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if lag := time.Since(canceledAt); lag > time.Second {
+		t.Fatalf("abort lagged cancel by %v, want well under 1s", lag)
+	}
+}
+
+// TestCtxInitialLayoutCanceled: the reverse-traversal placement (two full
+// SABRE passes) honors the context too.
+func TestCtxInitialLayoutCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := randCircuit(4, 10, 200)
+	_, err := InitialLayout(c, arch.IBMQ20Tokyo(), 1, Options{Ctx: ctx})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestCtxBackgroundIsByteIdentical: inert contexts (background or live but
+// never fired) must leave output and stats bit-identical to a nil ctx.
+func TestCtxBackgroundIsByteIdentical(t *testing.T) {
+	c := randCircuit(5, 12, 300)
+	dev := arch.IBMQ20Tokyo()
+	plain, err := Remap(c, dev, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for name, ctx := range map[string]context.Context{"background": context.Background(), "live": live} {
+		got, err := Remap(c, dev, nil, Options{Ctx: ctx})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if qasm.Write(plain.Circuit) != qasm.Write(got.Circuit) {
+			t.Fatalf("%s ctx changed the output", name)
+		}
+		if plain.SwapCount != got.SwapCount {
+			t.Fatalf("%s ctx changed SwapCount: %d vs %d", name, plain.SwapCount, got.SwapCount)
+		}
+	}
+	layPlain, err := InitialLayout(c, dev, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layCtx, err := InitialLayout(c, dev, 1, Options{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		if layPlain.Phys(q) != layCtx.Phys(q) {
+			t.Fatalf("background ctx changed the initial layout at q%d", q)
+		}
+	}
+}

@@ -9,12 +9,14 @@
 package sabre
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
 	"codar/internal/arch"
 	"codar/internal/circuit"
+	"codar/internal/interrupt"
 )
 
 // ErrDepthBound is returned by Remap when Options.DepthBound is set and the
@@ -22,8 +24,28 @@ import (
 // it could no longer beat the portfolio incumbent (DESIGN.md §9).
 var ErrDepthBound = errors.New("sabre: depth bound exceeded")
 
+// ErrCanceled and ErrDeadline are returned by Remap and InitialLayout when
+// Options.Ctx fires mid-run. They are the shared pipeline sentinels —
+// errors.Is also matches context.Canceled / context.DeadlineExceeded.
+var (
+	ErrCanceled = interrupt.ErrCanceled
+	ErrDeadline = interrupt.ErrDeadline
+)
+
+// ctxCheckEvery is the amortized cancellation cadence: the main loop polls
+// Options.Ctx every this many rounds (execute or swap). Rounds run in
+// microseconds, so the poll is free at this granularity while bounding
+// cancellation latency far below human-visible delays (DESIGN.md §11).
+const ctxCheckEvery = 64
+
 // Options tunes SABRE. The zero value selects the published defaults.
 type Options struct {
+	// Ctx, when non-nil, makes the run cancelable: the main loop polls it
+	// at an amortized cadence (every ctxCheckEvery rounds) and Remap /
+	// InitialLayout return ErrCanceled / ErrDeadline once it fires,
+	// discarding all partial output. nil (or a never-done context) leaves
+	// the run — and its output bytes — untouched.
+	Ctx context.Context
 	// ExtendedSize caps the extended set E. 0 means DefaultExtendedSize.
 	ExtendedSize int
 	// ExtendedWeight is W in H = H_F + W*H_E. 0 means DefaultExtendedWeight.
@@ -154,6 +176,9 @@ func remapAssembled(a *circuit.Assembly, dev *arch.Device, initial *arch.Layout,
 	if opts.DepthBound != nil {
 		discard = false
 	}
+	if err := interrupt.Classify(opts.Ctx); err != nil {
+		return nil, fmt.Errorf("sabre: %w", err)
+	}
 	m := &mapper{
 		opts:    opts,
 		dev:     dev,
@@ -183,8 +208,12 @@ func remapAssembled(a *circuit.Assembly, dev *arch.Device, initial *arch.Layout,
 	if opts.DepthBound != nil {
 		m.asap = arch.NewASAPTracker(dev.NumQubits)
 	}
+	m.check = interrupt.NewChecker(opts.Ctx, ctxCheckEvery)
 	m.resetDecay()
 	m.run()
+	if m.ctxErr != nil {
+		return nil, fmt.Errorf("sabre: %w", m.ctxErr)
+	}
 	if m.exceeded {
 		return nil, ErrDepthBound
 	}
@@ -279,6 +308,12 @@ type mapper struct {
 	// weighted depth — and the abandon flag run polls.
 	asap     *arch.ASAPTracker
 	exceeded bool
+
+	// Cancellation state (Options.Ctx): the amortized context checker the
+	// round loop polls, and the sticky typed error a fired context leaves
+	// behind (DESIGN.md §11).
+	check  interrupt.Checker
+	ctxErr error
 }
 
 func (m *mapper) resetDecay() {
@@ -307,6 +342,10 @@ func (m *mapper) run() {
 
 	for len(front) > 0 {
 		if m.exceeded {
+			return
+		}
+		if err := m.check.Check(); err != nil {
+			m.ctxErr = err
 			return
 		}
 		// Execute every executable front gate. The surviving/unlocked set

@@ -1,11 +1,13 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"codar/internal/core"
 	"codar/internal/experiments"
 	"codar/internal/placement"
+	"codar/internal/pool"
 	"codar/internal/portfolio"
 	"codar/internal/qasm"
 	"codar/internal/sabre"
@@ -292,9 +295,13 @@ func (s *Server) resolveDevice(req *MapRequest) (*arch.Device, *svcError) {
 
 // mapOne runs the full mapping pipeline for one normalized request on an
 // already-resolved device, under the device's calibration when cal is
-// non-nil. It is pure with respect to server state (no cache, no counters),
-// so the single and batch paths share it.
-func (s *Server) mapOne(req *MapRequest, dev *arch.Device, cal *Calibration) (*MapResponse, *svcError) {
+// non-nil. The context cancels the mapping mid-run (client disconnect,
+// deadline, drain). It is pure with respect to server state (no cache, no
+// counters), so the single and batch paths share it.
+func (s *Server) mapOne(ctx context.Context, req *MapRequest, dev *arch.Device, cal *Calibration) (*MapResponse, *svcError) {
+	if err := s.cfg.Chaos.BeforeMap(ctx); err != nil {
+		return nil, mapSvcError("chaos", err)
+	}
 	parsed, err := qasm.Parse(req.QASM)
 	if err != nil {
 		return nil, errBadRequest("bad qasm: %v", err)
@@ -314,31 +321,31 @@ func (s *Server) mapOne(req *MapRequest, dev *arch.Device, cal *Calibration) (*M
 	// The portfolio generates its own placements per candidate, so it
 	// branches off before the single-shot initial layout is computed.
 	if req.pspec != nil {
-		return s.mapPortfolio(req, dev, cal, c, resp)
+		return s.mapPortfolio(ctx, req, dev, cal, c, resp)
 	}
-	var coreOpts core.Options
-	var sabreOpts sabre.Options
+	coreOpts := core.Options{Ctx: ctx}
+	sabreOpts := sabre.Options{Ctx: ctx}
 	if cal != nil {
 		coreOpts.Cost = cal.Cost
 		sabreOpts.Cost = cal.Cost
 	}
 	initial, err := sabre.InitialLayout(c, dev, req.Seed, sabreOpts)
 	if err != nil {
-		return nil, errBadRequest("initial layout: %v", err)
+		return nil, mapSvcError("initial layout", err)
 	}
 	var mapped *circuit.Circuit
 	switch req.Algo {
 	case "codar":
 		res, err := core.Remap(c, dev, initial, coreOpts)
 		if err != nil {
-			return nil, errBadRequest("codar: %v", err)
+			return nil, mapSvcError("codar", err)
 		}
 		mapped = res.Circuit
 		resp.Swaps = res.SwapCount
 	case "sabre":
 		res, err := sabre.Remap(c, dev, initial, sabreOpts)
 		if err != nil {
-			return nil, errBadRequest("sabre: %v", err)
+			return nil, mapSvcError("sabre", err)
 		}
 		mapped = res.Circuit
 		resp.Swaps = res.SwapCount
@@ -358,7 +365,7 @@ func (s *Server) mapOne(req *MapRequest, dev *arch.Device, cal *Calibration) (*M
 	if *req.Baseline && req.Algo == "codar" {
 		base, err := sabre.Remap(c, dev, initial, sabreOpts)
 		if err != nil {
-			return nil, errBadRequest("sabre baseline: %v", err)
+			return nil, mapSvcError("sabre baseline", err)
 		}
 		resp.BaselineWeightedDepth, resp.BaselineEstSuccess, serr = depthAndESP(base.Circuit, dev, cal)
 		if serr != nil {
@@ -378,8 +385,9 @@ func (s *Server) mapOne(req *MapRequest, dev *arch.Device, cal *Calibration) (*M
 // abandon off — concurrent cold computations of one cache key must produce
 // byte-identical responses, and which losers get abandoned is the one
 // timing-dependent part of a portfolio report (DESIGN.md §9).
-func (s *Server) mapPortfolio(req *MapRequest, dev *arch.Device, cal *Calibration, c *circuit.Circuit, resp *MapResponse) (*MapResponse, *svcError) {
+func (s *Server) mapPortfolio(ctx context.Context, req *MapRequest, dev *arch.Device, cal *Calibration, c *circuit.Circuit, resp *MapResponse) (*MapResponse, *svcError) {
 	spec := *req.pspec
+	spec.Ctx = ctx
 	spec.Workers = 1
 	spec.EarlyAbandon = false
 	if cal != nil {
@@ -389,7 +397,7 @@ func (s *Server) mapPortfolio(req *MapRequest, dev *arch.Device, cal *Calibratio
 	}
 	pres, err := portfolio.Run(c, dev, spec)
 	if err != nil {
-		return nil, errBadRequest("portfolio: %v", err)
+		return nil, mapSvcError("portfolio", err)
 	}
 	w := pres.Winner
 	wr := pres.WinnerReport()
@@ -433,10 +441,13 @@ func depthAndESP(c *circuit.Circuit, dev *arch.Device, cal *Calibration) (int, *
 }
 
 // mapBytes answers one map request with the rendered response body,
-// serving from the cache when possible. On a miss, the mapping job runs
-// inside a worker-pool slot; the marshalled bytes are cached so a hit is
-// byte-identical to the original response.
-func (s *Server) mapBytes(req *MapRequest) (body []byte, hit bool, serr *svcError) {
+// serving from the cache when possible. On a miss, the mapping job is
+// admitted (acquire: bounded queue, 429 beyond it) and runs inside a
+// worker-pool slot under ctx; the marshalled bytes are cached so a hit is
+// byte-identical to the original response. A canceled or failed job never
+// reaches the cache — Put is only on the success path — so cancellation
+// cannot plant partial entries.
+func (s *Server) mapBytes(ctx context.Context, req *MapRequest) (body []byte, hit bool, serr *svcError) {
 	if serr := req.normalize(); serr != nil {
 		return nil, false, serr
 	}
@@ -461,9 +472,12 @@ func (s *Server) mapBytes(req *MapRequest) (body []byte, hit bool, serr *svcErro
 	if cached, ok := s.cache.Get(key); ok {
 		return cached, true, nil
 	}
-	release := s.acquire()
+	release, serr := s.acquire(ctx)
+	if serr != nil {
+		return nil, false, serr
+	}
 	defer release()
-	resp, serr := s.mapOne(req, dev, cal)
+	resp, serr := s.mapOne(ctx, req, dev, cal)
 	if serr != nil {
 		return nil, false, serr
 	}
@@ -488,7 +502,13 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, serr)
 		return
 	}
-	body, fromCache, serr := s.mapBytes(&req)
+	ctx, cancel, serr := s.requestCtx(r)
+	if serr != nil {
+		s.writeError(w, serr)
+		return
+	}
+	defer cancel()
+	body, fromCache, serr := s.mapBytes(ctx, &req)
 	s.stats.requests.Add(1)
 	s.stats.observe(time.Since(start))
 	if serr != nil {
@@ -524,9 +544,13 @@ type BatchResponse struct {
 }
 
 // handleMapBatch implements POST /v1/map/batch: the circuits fan out
-// across the worker pool via experiments.RunBatch (results land in
-// pre-indexed slots, so concurrency never reorders the response), while
-// the per-item cache path is identical to the single endpoint.
+// across the worker pool via pool.RunCtx (results land in pre-indexed
+// slots, so concurrency never reorders the response), while the per-item
+// cache path is identical to the single endpoint. The request context
+// governs the whole batch: once it fires — client disconnect, deadline,
+// drain — in-flight items abort mid-mapping and queued items are never
+// dispatched; undispatched items report the classified status instead of
+// silently burning workers on a dead request.
 func (s *Server) handleMapBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeError(w, &svcError{status: http.StatusMethodNotAllowed, msg: "map/batch is POST-only"})
@@ -546,25 +570,57 @@ func (s *Server) handleMapBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errBadRequest("batch of %d exceeds limit %d", n, max))
 		return
 	}
+	ctx, cancel, serr := s.requestCtx(r)
+	if serr != nil {
+		s.writeError(w, serr)
+		return
+	}
+	defer cancel()
 	items := make([]BatchItem, n)
 	// Each item acquires its own worker-pool slot inside mapBytes, so the
-	// RunBatch fan-out here only bounds goroutine count; total mapping
+	// RunCtx fan-out here only bounds goroutine count; total mapping
 	// concurrency stays capped at cfg.Workers across all in-flight
-	// requests, single and batch alike.
-	_ = experiments.RunBatch(n, s.workers, func(i int) error {
+	// requests, single and batch alike. A panicking item (chaos or real)
+	// becomes that item's 500 row, not the batch's.
+	_ = pool.RunCtx(ctx, n, s.workers, func(i int) {
 		start := time.Now()
-		body, hit, serr := s.mapBytes(&req.Requests[i])
+		body, hit, serr := s.batchItem(ctx, &req.Requests[i])
 		s.stats.requests.Add(1)
 		s.stats.observe(time.Since(start))
 		if serr != nil {
-			s.stats.errors.Add(1)
+			s.stats.countError(serr.status)
 			items[i] = BatchItem{Error: serr.msg, Status: serr.status}
-			return nil
+			return
 		}
 		items[i] = BatchItem{Result: json.RawMessage(body), Status: http.StatusOK, Cached: hit}
-		return nil
 	})
+	// Items never dispatched (context fired first) report why instead of a
+	// zero row. The response itself is still written: on a deadline the
+	// client is still listening, and on a disconnect the write just fails.
+	if cerr := ctx.Err(); cerr != nil {
+		skipped := ctxSvcError(ctx)
+		for i := range items {
+			if items[i].Status == 0 {
+				s.stats.countError(skipped.status)
+				items[i] = BatchItem{Error: skipped.msg, Status: skipped.status}
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
+}
+
+// batchItem maps one batch element, converting a panic into that item's
+// 500 row (the experiments.RunBatch contract, kept across the move to
+// pool.RunCtx) so one poisoned circuit cannot kill its siblings mid-pool.
+func (s *Server) batchItem(ctx context.Context, req *MapRequest) (body []byte, hit bool, serr *svcError) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.stats.panics.Inc()
+			s.logger.Printf("codard: panic mapping batch item: %v\n%s", rec, debug.Stack())
+			body, hit, serr = nil, false, &svcError{status: http.StatusInternalServerError, msg: "internal error"}
+		}
+	}()
+	return s.mapBytes(ctx, req)
 }
 
 // DeviceSpec is the POST /v1/devices body: an undirected coupling graph

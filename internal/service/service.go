@@ -5,8 +5,18 @@
 //   - a device registry (builtin models plus uploaded coupling graphs),
 //   - an LRU result cache keyed by (circuit hash, device, algorithm,
 //     durations, seed) so repeated circuits skip remapping entirely, and
-//   - a bounded worker pool (the experiments.RunBatch pattern) so a traffic
-//     burst degrades to queueing instead of unbounded goroutine fan-out.
+//   - a bounded admission queue in front of the worker pool, so a traffic
+//     burst degrades to bounded queueing and explicit 429s instead of
+//     unbounded goroutine fan-out or invisible head-of-line blocking.
+//
+// Robustness contract (DESIGN.md §11): every mapping request runs under a
+// context — the client disconnecting, the per-request deadline (server
+// default, capped override via the X-Codard-Timeout header) or a draining
+// server cancels the mapping mid-run through the pipeline's cancellation
+// plumbing. Backpressure is explicit: at most Workers mappings execute,
+// at most MaxQueue more wait (bounded by QueueWait), and everything beyond
+// that is rejected with 429 + Retry-After. A panicking mapping job answers
+// 500 with the process, the cache and the counters intact.
 //
 // Endpoints:
 //
@@ -14,26 +24,33 @@
 //	POST /v1/map/batch  map several circuits through the worker pool
 //	GET  /v1/devices    list builtin + uploaded devices
 //	POST /v1/devices    upload a custom coupling graph
-//	GET  /v1/stats      cache hit rate, in-flight gauge, latency percentiles
+//	GET  /v1/stats      cache hit rate, queue/cancellation counters, latency
 //	GET  /healthz       liveness probe
 //
 // See DESIGN.md §7 for the architecture and the cache-key rationale.
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"time"
 
+	"codar/internal/chaos"
 	"codar/internal/experiments"
+	"codar/internal/interrupt"
 )
 
 // Config tunes a Server. The zero value selects the defaults.
 type Config struct {
 	// Workers bounds the number of mapping jobs executing concurrently
-	// (requests beyond it queue on the pool). <= 0 selects GOMAXPROCS.
+	// (requests beyond it queue, bounded by MaxQueue/QueueWait). <= 0
+	// selects GOMAXPROCS.
 	Workers int
 	// CacheSize is the LRU result-cache capacity in entries.
 	// 0 selects DefaultCacheSize; negative disables caching.
@@ -43,14 +60,54 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes caps request body size. 0 selects DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// MaxQueue bounds how many mapping jobs may wait for a worker slot on
+	// top of the Workers executing ones; admission beyond Workers+MaxQueue
+	// answers 429 with Retry-After immediately. 0 selects DefaultMaxQueue;
+	// negative disables queueing (any busy worker pool rejects).
+	MaxQueue int
+	// QueueWait bounds how long an admitted job waits for a worker slot
+	// before giving up with 429 — the queue-wait budget that keeps a
+	// stuffed queue from turning into unbounded client latency. 0 selects
+	// DefaultQueueWait; negative waits as long as the request context
+	// allows.
+	QueueWait time.Duration
+	// RequestTimeout is the default per-request mapping deadline; the
+	// mapping is canceled mid-run and answered 504 when it expires. 0
+	// selects DefaultRequestTimeout; negative disables the default (client
+	// disconnect and X-Codard-Timeout still cancel).
+	RequestTimeout time.Duration
+	// MaxTimeout caps the client-supplied X-Codard-Timeout header: larger
+	// requests are silently clamped, so a client cannot hold a worker past
+	// the operator's bound. 0 selects DefaultMaxTimeout.
+	MaxTimeout time.Duration
+	// Chaos, when non-nil, injects faults into mapping jobs (slow mappers,
+	// panics) — the fault-injection harness behind codard -chaos-slow /
+	// -chaos-panic-every and the CI chaos-smoke job. nil in production.
+	Chaos *chaos.Injector
+	// ErrorLog receives panic stacks and drain warnings. nil selects the
+	// log package default.
+	ErrorLog *log.Logger
 }
 
 // Defaults for Config.
 const (
-	DefaultCacheSize    = 512
-	DefaultMaxBatch     = 64
-	DefaultMaxBodyBytes = 16 << 20 // 30k-gate QASM circuits run to a few MB
+	DefaultCacheSize      = 512
+	DefaultMaxBatch       = 64
+	DefaultMaxBodyBytes   = 16 << 20 // 30k-gate QASM circuits run to a few MB
+	DefaultMaxQueue       = 64
+	DefaultQueueWait      = 30 * time.Second
+	DefaultRequestTimeout = 2 * time.Minute
+	DefaultMaxTimeout     = 10 * time.Minute
 )
+
+// statusClientClosedRequest is the non-standard (nginx-convention) status
+// for requests whose client went away before the mapping finished. It never
+// reaches that client — it exists for the access log and the error counter.
+const statusClientClosedRequest = 499
+
+// timeoutHeader carries a client-requested per-request deadline as a Go
+// duration string ("500ms", "30s"); it is clamped to Config.MaxTimeout.
+const timeoutHeader = "X-Codard-Timeout"
 
 func (c Config) cacheSize() int {
 	switch {
@@ -76,6 +133,50 @@ func (c Config) maxBodyBytes() int64 {
 	return c.MaxBodyBytes
 }
 
+func (c Config) maxQueue() int {
+	switch {
+	case c.MaxQueue == 0:
+		return DefaultMaxQueue
+	case c.MaxQueue < 0:
+		return 0
+	}
+	return c.MaxQueue
+}
+
+func (c Config) queueWait() time.Duration {
+	switch {
+	case c.QueueWait == 0:
+		return DefaultQueueWait
+	case c.QueueWait < 0:
+		return 0
+	}
+	return c.QueueWait
+}
+
+func (c Config) requestTimeout() time.Duration {
+	switch {
+	case c.RequestTimeout == 0:
+		return DefaultRequestTimeout
+	case c.RequestTimeout < 0:
+		return 0
+	}
+	return c.RequestTimeout
+}
+
+func (c Config) maxTimeout() time.Duration {
+	if c.MaxTimeout <= 0 {
+		return DefaultMaxTimeout
+	}
+	return c.MaxTimeout
+}
+
+func (c Config) errorLog() *log.Logger {
+	if c.ErrorLog != nil {
+		return c.ErrorLog
+	}
+	return log.Default()
+}
+
 // Server is the codard HTTP handler set plus its shared state. It is safe
 // for concurrent use; construct with New.
 type Server struct {
@@ -86,6 +187,13 @@ type Server struct {
 	stats    *stats
 	sem      chan struct{} // worker-pool slots; nil only before New
 	mux      *http.ServeMux
+	logger   *log.Logger
+
+	// baseCtx parents every request context; baseCancel is the drain
+	// hammer — firing it aborts every in-flight mapping at the pipeline's
+	// cancellation cadence (Drain).
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 }
 
 // New builds a Server from cfg.
@@ -99,7 +207,9 @@ func New(cfg Config) *Server {
 		stats:    newStats(),
 		sem:      make(chan struct{}, workers),
 		mux:      http.NewServeMux(),
+		logger:   cfg.errorLog(),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/map", s.handleMap)
 	s.mux.HandleFunc("/v1/map/batch", s.handleMapBatch)
@@ -113,29 +223,133 @@ func New(cfg Config) *Server {
 // pre-register devices before serving).
 func (s *Server) Registry() *Registry { return s.registry }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. It is also the panic boundary: a
+// panicking handler (chaos-injected or real) answers 500 with the stack
+// logged and the panics counter bumped, instead of tearing down the
+// connection and leaving the client to diagnose an EOF.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.stats.panics.Inc()
+			s.logger.Printf("codard: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			s.writeError(w, &svcError{status: http.StatusInternalServerError, msg: "internal error"})
+		}
+	}()
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
 	s.mux.ServeHTTP(w, r)
 }
 
-// acquire blocks until a worker-pool slot is free; the returned func
-// releases it. The in-flight gauge brackets slot ownership, so /v1/stats
-// reports executing jobs, not queued ones.
-func (s *Server) acquire() func() {
-	s.sem <- struct{}{}
+// requestCtx derives the mapping context for one request: the client's
+// context (disconnect aborts the mapping), bounded by the per-request
+// deadline — the server default, or the X-Codard-Timeout header clamped to
+// Config.MaxTimeout — and parented on the server's drain context. The
+// returned cancel must be called when the request finishes.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, *svcError) {
+	d := s.cfg.requestTimeout()
+	if h := r.Header.Get(timeoutHeader); h != "" {
+		parsed, err := time.ParseDuration(h)
+		if err != nil || parsed <= 0 {
+			return nil, nil, errBadRequest("bad %s %q: want a positive Go duration like 500ms or 30s", timeoutHeader, h)
+		}
+		if max := s.cfg.maxTimeout(); parsed > max {
+			parsed = max
+		}
+		d = parsed
+	}
+	ctx := r.Context()
+	var cancel context.CancelFunc
+	if d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	// A draining server cancels in-flight requests through its own context;
+	// AfterFunc bridges it into the per-request one without a goroutine
+	// lingering past the request.
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }, nil
+}
+
+// acquire admits a mapping job and blocks until a worker-pool slot is free;
+// the returned release func must be called when the job finishes. Admission
+// is bounded: beyond workers+MaxQueue concurrently admitted jobs, or after
+// QueueWait in the queue, the job is rejected with 429 + Retry-After. The
+// job's context cancels the wait (client disconnect, deadline, drain). The
+// in-flight gauge brackets slot ownership, so /v1/stats reports executing
+// jobs; queued ones are admitted - in-flight.
+func (s *Server) acquire(ctx context.Context) (func(), *svcError) {
+	if s.stats.admitted.Add(1) > int64(s.workers+s.cfg.maxQueue()) {
+		s.stats.admitted.Add(-1)
+		return nil, errBusy("mapping queue full (%d executing, %d queued)", s.workers, s.cfg.maxQueue())
+	}
+	var waitC <-chan time.Time
+	if qw := s.cfg.queueWait(); qw > 0 {
+		timer := time.NewTimer(qw)
+		defer timer.Stop()
+		waitC = timer.C
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-done:
+		s.stats.admitted.Add(-1)
+		return nil, ctxSvcError(ctx)
+	case <-waitC:
+		s.stats.admitted.Add(-1)
+		return nil, errBusy("no worker slot within the %v queue-wait budget", s.cfg.queueWait())
+	}
 	s.stats.inFlight.Add(1)
 	return func() {
 		s.stats.inFlight.Add(-1)
 		<-s.sem
+		s.stats.admitted.Add(-1)
+	}, nil
+}
+
+// Drain waits for every admitted mapping job to finish. When ctx expires
+// first, it fires the server's base context — hard-canceling the in-flight
+// mappings through the pipeline's cancellation plumbing — waits (bounded)
+// for them to abort, and reports true. New requests admitted during a drain
+// are treated like any others; the caller is expected to have stopped the
+// listener (http.Server.Shutdown) first.
+func (s *Server) Drain(ctx context.Context) (hardCanceled bool) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
 	}
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for s.stats.admitted.Load() > 0 {
+		select {
+		case <-done:
+			s.baseCancel()
+			// In-flight mappings abort at their amortized cancellation
+			// cadence; give them a bounded window to unwind before the
+			// process exits underneath them.
+			deadline := time.Now().Add(5 * time.Second)
+			for s.stats.admitted.Load() > 0 && time.Now().Before(deadline) {
+				<-tick.C
+			}
+			if n := s.stats.admitted.Load(); n > 0 {
+				s.logger.Printf("codard: drain: %d mapping job(s) still running after hard cancel", n)
+			}
+			return true
+		case <-tick.C:
+		}
+	}
+	return false
 }
 
 // svcError is an error with an HTTP status, so the pipeline can signal
-// 400 vs 404 vs 409 without the handlers re-classifying message strings.
+// 400 vs 404 vs 429 without the handlers re-classifying message strings.
+// retryAfter > 0 adds a Retry-After header (429 rejections).
 type svcError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int // seconds
 }
 
 func (e *svcError) Error() string { return e.msg }
@@ -150,6 +364,34 @@ func errNotFound(format string, args ...interface{}) *svcError {
 
 func errConflict(format string, args ...interface{}) *svcError {
 	return &svcError{status: http.StatusConflict, msg: fmt.Sprintf(format, args...)}
+}
+
+// errBusy is the backpressure rejection: 429 with a Retry-After hint.
+func errBusy(format string, args ...interface{}) *svcError {
+	return &svcError{status: http.StatusTooManyRequests, msg: fmt.Sprintf(format, args...), retryAfter: 1}
+}
+
+// ctxSvcError classifies a fired request context: an exceeded deadline is
+// 504 (the server gave up on the mapping), anything else means the client
+// went away (499, log/counter only).
+func ctxSvcError(ctx context.Context) *svcError {
+	if errors.Is(interrupt.Classify(ctx), interrupt.ErrDeadline) {
+		return &svcError{status: http.StatusGatewayTimeout, msg: "mapping deadline exceeded"}
+	}
+	return &svcError{status: statusClientClosedRequest, msg: "client closed request"}
+}
+
+// mapSvcError classifies a mapping-stage failure: cancellation surfacing
+// through the pipeline keeps its transport meaning (504/499); everything
+// else is the caller's bad input (400).
+func mapSvcError(stage string, err error) *svcError {
+	switch {
+	case errors.Is(err, interrupt.ErrDeadline):
+		return &svcError{status: http.StatusGatewayTimeout, msg: fmt.Sprintf("%s: mapping deadline exceeded", stage)}
+	case errors.Is(err, interrupt.ErrCanceled):
+		return &svcError{status: statusClientClosedRequest, msg: fmt.Sprintf("%s: mapping canceled", stage)}
+	}
+	return errBadRequest("%s: %v", stage, err)
 }
 
 // decodeJSON decodes a request body into v, mapping the MaxBytesReader
@@ -182,9 +424,13 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Write(append(body, '\n'))
 }
 
-// writeError emits the uniform error body and bumps the error counter.
+// writeError emits the uniform error body and bumps the outcome counters
+// (every error status, plus the canceled/deadline/rejected breakdowns).
 func (s *Server) writeError(w http.ResponseWriter, e *svcError) {
-	s.stats.errors.Add(1)
+	s.stats.countError(e.status)
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
 	writeJSON(w, e.status, map[string]string{"error": e.msg})
 }
 
@@ -205,7 +451,13 @@ type StatsResponse struct {
 	Requests          uint64         `json:"requests"`
 	Errors            uint64         `json:"errors"`
 	InFlight          int64          `json:"in_flight"`
+	QueueDepth        int64          `json:"queue_depth"`
+	QueueCapacity     int            `json:"queue_capacity"`
 	Workers           int            `json:"workers"`
+	Canceled          uint64         `json:"canceled"`
+	DeadlineExceeded  uint64         `json:"deadline_exceeded"`
+	Rejected          uint64         `json:"rejected"`
+	Panics            uint64         `json:"panics"`
 	CacheHits         uint64         `json:"cache_hits"`
 	CacheMisses       uint64         `json:"cache_misses"`
 	CacheHitRate      float64        `json:"cache_hit_rate"`
@@ -224,11 +476,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hits, misses := s.cache.Counters()
+	inFlight := s.stats.inFlight.Load()
+	queued := s.stats.admitted.Load() - inFlight
+	if queued < 0 {
+		queued = 0
+	}
 	resp := StatsResponse{
 		Requests:          s.stats.requests.Load(),
 		Errors:            s.stats.errors.Load(),
-		InFlight:          s.stats.inFlight.Load(),
+		InFlight:          inFlight,
+		QueueDepth:        queued,
+		QueueCapacity:     s.cfg.maxQueue(),
 		Workers:           s.workers,
+		Canceled:          s.stats.canceled.Load(),
+		DeadlineExceeded:  s.stats.deadlines.Load(),
+		Rejected:          s.stats.rejected.Load(),
+		Panics:            s.stats.panics.Load(),
 		CacheHits:         hits,
 		CacheMisses:       misses,
 		CacheSize:         s.cache.Len(),

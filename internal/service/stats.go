@@ -1,10 +1,13 @@
 package service
 
 import (
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"codar/internal/metrics"
 )
 
 // latencyWindow is the number of recent request latencies retained for the
@@ -19,6 +22,13 @@ type stats struct {
 	requests atomic.Uint64 // completed /v1/map requests (batch items included)
 	errors   atomic.Uint64 // requests answered with a 4xx/5xx error body
 	inFlight atomic.Int64  // mapping jobs currently holding a worker slot
+	admitted atomic.Int64  // mapping jobs admitted (queued + executing)
+
+	// Robustness breakdowns of the error counter (DESIGN.md §11).
+	canceled  metrics.Counter // client gone before the mapping finished (499)
+	deadlines metrics.Counter // per-request deadline expired (504)
+	rejected  metrics.Counter // backpressure rejections (429)
+	panics    metrics.Counter // handler panics recovered to 500
 
 	mu    sync.Mutex
 	ring  [latencyWindow]float64 // milliseconds
@@ -28,6 +38,20 @@ type stats struct {
 }
 
 func newStats() *stats { return &stats{start: time.Now()} }
+
+// countError tallies one error outcome: the total plus the robustness
+// breakdown its status encodes.
+func (s *stats) countError(status int) {
+	s.errors.Add(1)
+	switch status {
+	case statusClientClosedRequest:
+		s.canceled.Inc()
+	case http.StatusGatewayTimeout:
+		s.deadlines.Inc()
+	case http.StatusTooManyRequests:
+		s.rejected.Inc()
+	}
+}
 
 // observe records one request latency.
 func (s *stats) observe(d time.Duration) {

@@ -1,0 +1,158 @@
+// Package testutil holds shared test helpers. The flagship is the
+// goroutine-leak check applied to every cancellation test in the tree
+// (service, pool, portfolio): cancellation plumbing that strands a worker
+// goroutine passes ordinary assertions — the result is still correct — and
+// only shows up as unbounded goroutine growth in production. The check
+// snapshots the goroutine set before the test body and fails the test if,
+// after a bounded settling period, goroutines born during the test are
+// still alive, printing their stacks.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakSettle is how long CheckGoroutineLeaks waits for goroutines to drain
+// before declaring a leak. Legitimate teardown (pool workers observing a
+// closed channel, HTTP keep-alive connections unwinding) finishes in
+// microseconds; a stranded goroutine never does.
+const leakSettle = 2 * time.Second
+
+// CheckGoroutineLeaks snapshots the current goroutine stacks and registers
+// a cleanup that fails t if goroutines created during the test are still
+// running once the test body finishes (after a bounded settling period).
+// Call it first thing in the test:
+//
+//	func TestCancelSomething(t *testing.T) {
+//	    testutil.CheckGoroutineLeaks(t)
+//	    ...
+//	}
+//
+// Runtime-internal and testing-harness goroutines are ignored; everything
+// else present at cleanup but absent at entry is reported with its stack.
+func CheckGoroutineLeaks(t testing.TB) {
+	t.Helper()
+	before := goroutineSet()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakSettle)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d goroutine(s) born during the test are still running after %v:\n%s",
+			len(leaked), leakSettle, strings.Join(leaked, "\n---\n"))
+	})
+}
+
+// goroutineSet returns the multiset of live goroutine signatures keyed by
+// their full stack header (function chain), with counts.
+func goroutineSet() map[string]int {
+	set := make(map[string]int)
+	for _, g := range stacks() {
+		set[signature(g)]++
+	}
+	return set
+}
+
+// leakedSince returns the stacks of goroutines whose signature count now
+// exceeds the before-snapshot count — goroutines born during the test.
+func leakedSince(before map[string]int) []string {
+	seen := make(map[string]int)
+	var leaked []string
+	for _, g := range stacks() {
+		sig := signature(g)
+		if ignorable(g) {
+			continue
+		}
+		seen[sig]++
+		if seen[sig] > before[sig] {
+			leaked = append(leaked, g)
+		}
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+// stacks dumps every goroutine's stack and splits the dump into one string
+// per goroutine.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	parts := strings.Split(string(buf), "\n\n")
+	out := parts[:0]
+	for _, p := range parts {
+		if strings.TrimSpace(p) != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// signature reduces a goroutine stack to a comparable identity: its state
+// and frame function names, without goroutine ids, addresses or line
+// numbers (which differ across otherwise-identical goroutines).
+func signature(g string) string {
+	var b strings.Builder
+	for i, line := range strings.Split(g, "\n") {
+		line = strings.TrimSpace(line)
+		if i == 0 {
+			// "goroutine 12 [chan receive]:" → keep only the state.
+			if k := strings.IndexByte(line, '['); k >= 0 {
+				fmt.Fprintf(&b, "%s|", line[k:])
+			}
+			continue
+		}
+		// Frame lines alternate "pkg.Func(args)" and "\tfile:line +0x..";
+		// keep only the function lines.
+		if strings.HasPrefix(line, "created by ") || !strings.Contains(line, ":") {
+			b.WriteString(line)
+			b.WriteByte('|')
+		}
+	}
+	return b.String()
+}
+
+// ignorable reports whether a goroutine belongs to the runtime or the test
+// harness rather than code under test.
+func ignorable(g string) bool {
+	for _, frame := range []string{
+		"testing.(*T).Run",
+		"testing.Main(",
+		"testing.tRunner(",
+		"runtime.goexit",
+		"runtime.MutexProfile",
+		"runtime.gc",
+		"runtime.ReadTrace",
+		"signal.signal_recv",
+		"runtime.ensureSigM",
+		"testutil.CheckGoroutineLeaks",
+		"os/signal.loop",
+	} {
+		if strings.Contains(g, frame) {
+			// Only ignore harness/runtime roots, identified by their first
+			// frame or creator; user goroutines that merely call into the
+			// runtime still show their own frames and are kept.
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNoLeakPasses(t *testing.T) {
+	CheckGoroutineLeaks(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func TestTransientGoroutineSettles(t *testing.T) {
+	CheckGoroutineLeaks(t)
+	// A goroutine still running at cleanup time but exiting within the
+	// settling window must not be reported.
+	go func() { time.Sleep(50 * time.Millisecond) }()
+}
+
+// TestLeakDetected drives the detector internals against a deliberately
+// stranded goroutine, so the failure is observed rather than failing this
+// test.
+func TestLeakDetected(t *testing.T) {
+	before := goroutineSet()
+	stop := make(chan struct{})
+	go func() { <-stop }() // stranded until we release it below
+	time.Sleep(10 * time.Millisecond)
+
+	leaked := leakedSince(before)
+	if len(leaked) == 0 {
+		close(stop)
+		t.Fatal("stranded goroutine not detected")
+	}
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "TestLeakDetected") {
+			found = true
+		}
+	}
+	if !found {
+		close(stop)
+		t.Fatalf("leak report does not name the leaking site:\n%s", strings.Join(leaked, "\n---\n"))
+	}
+	close(stop)
+}
