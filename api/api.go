@@ -1,0 +1,312 @@
+// Package api is the versioned wire contract of the codard mapping
+// service: every v1 request and response body, the machine-readable error
+// envelope, and the custom header names. It is the single source of truth
+// shared by the server (internal/service), the Go client (package client)
+// and any third-party consumer; docs/API.md is the written form of the
+// same contract.
+//
+// The package is intentionally dependency-free (standard library only) so
+// importing the contract never drags in the mapping pipeline.
+package api
+
+import "encoding/json"
+
+// Version is the API version every route in this package describes. Routes
+// are rooted at "/" + Version ("/v1/map", ...); unversioned endpoints
+// (/healthz, /metrics) sit outside it.
+const Version = "v1"
+
+// Custom header names. See docs/API.md for their semantics.
+const (
+	// HeaderCache reports the cache disposition of a /v1/map response:
+	// "hit" (served from the result cache), "miss" (computed by this
+	// request) or "collapsed" (computed once by a concurrent identical
+	// request and shared).
+	HeaderCache = "X-Codard-Cache"
+	// HeaderTimeout carries a client-requested per-request mapping
+	// deadline as a Go duration string ("500ms", "30s"); the server clamps
+	// it to its -max-timeout.
+	HeaderTimeout = "X-Codard-Timeout"
+	// HeaderRequestID is assigned by the server to every request and
+	// echoed in error envelopes, so a client-side error report can be
+	// joined with the server log.
+	HeaderRequestID = "X-Codard-Request-Id"
+	// HeaderClient names the calling client for per-client quota
+	// accounting. Requests without it share one anonymous bucket.
+	HeaderClient = "X-Codard-Client"
+	// HeaderRetryAfter is the standard Retry-After header, set on every
+	// 429 (queue_full / quota_exceeded) response.
+	HeaderRetryAfter = "Retry-After"
+)
+
+// MapRequest is the POST /v1/map body.
+type MapRequest struct {
+	// QASM is the OpenQASM 2.0 source of the circuit to map.
+	QASM string `json:"qasm"`
+	// Arch names the target device: a builtin (tokyo, melbourne, enfield,
+	// sycamore, q5, qx4, grid3x4, linear9, ring12, ...) or an uploaded one.
+	Arch string `json:"arch"`
+	// Algo selects the mapper: "codar" (default) or "sabre".
+	Algo string `json:"algo,omitempty"`
+	// Durations names a duration preset (superconducting, iontrap,
+	// neutralatom, uniform); empty keeps the device's own durations.
+	Durations string `json:"durations,omitempty"`
+	// Seed drives the SABRE reverse-traversal initial layout; 0 selects
+	// the server default (1).
+	Seed int64 `json:"seed,omitempty"`
+	// Baseline requests a SABRE baseline mapping for the speedup metric.
+	// Defaults to true when Algo is codar (nil = default).
+	Baseline *bool `json:"baseline,omitempty"`
+	// Calibrated requests fidelity-weighted mapping under the device's
+	// uploaded calibration snapshot (POST /v1/devices/{name}/calibration).
+	// 400 when the device has none. Default false: uncalibrated requests
+	// are untouched by calibration uploads, bytes included.
+	Calibrated bool `json:"calibrated,omitempty"`
+	// Portfolio, when present, replaces the single-shot pipeline with the
+	// multi-start portfolio search: seeds × placements × algorithms race,
+	// the objective picks the winner, and the response gains per-candidate
+	// stats. Algo, Seed and Baseline do not affect a portfolio mapping —
+	// they are canonicalized out of the cache key — but invalid enum
+	// values (e.g. an unknown algo) are still rejected.
+	Portfolio *PortfolioSpec `json:"portfolio,omitempty"`
+}
+
+// PortfolioSpec is the portfolio block of a MapRequest.
+type PortfolioSpec struct {
+	// Seeds drive the seeded placement methods; empty selects the server
+	// default ({1, 2}).
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Placements names the initial-layout strategies (trivial, random,
+	// dense, sabre-reverse); empty selects all four.
+	Placements []string `json:"placements,omitempty"`
+	// Algorithms names the mappers (codar, sabre); empty selects both.
+	Algorithms []string `json:"algorithms,omitempty"`
+	// Objective is min-depth (default), min-swaps, or max-esp (requires
+	// calibrated: true).
+	Objective string `json:"objective,omitempty"`
+}
+
+// MapResponse is the POST /v1/map body on success.
+type MapResponse struct {
+	MappedQASM string `json:"mapped_qasm"`
+	Device     string `json:"device"`
+	Algo       string `json:"algo"`
+	Durations  string `json:"durations,omitempty"`
+	Seed       int64  `json:"seed"`
+
+	InputQubits   int `json:"input_qubits"`
+	InputGates    int `json:"input_gates"`
+	OutputGates   int `json:"output_gates"`
+	Swaps         int `json:"swaps"`
+	Depth         int `json:"depth"`
+	WeightedDepth int `json:"weighted_depth"`
+
+	// Baseline block (present when a SABRE baseline was computed):
+	// Speedup is baseline weighted depth / this mapper's weighted depth,
+	// the paper's Fig 8 y-axis.
+	BaselineWeightedDepth int     `json:"baseline_weighted_depth,omitempty"`
+	BaselineSwaps         int     `json:"baseline_swaps,omitempty"`
+	Speedup               float64 `json:"speedup,omitempty"`
+
+	// Calibration block (present on calibrated requests): the snapshot
+	// hash the mapping was computed under, and the estimated success
+	// probabilities of this mapper's output (and the baseline's, when one
+	// was computed). The ESP fields are pointers so that a legitimate
+	// estimate of exactly 0 (deep circuits underflow the survival product)
+	// is still serialised rather than dropped by omitempty — presence
+	// tracks "was calibrated", not "is non-zero".
+	Calibration        string   `json:"calibration,omitempty"`
+	EstSuccess         *float64 `json:"est_success,omitempty"`
+	BaselineEstSuccess *float64 `json:"baseline_est_success,omitempty"`
+
+	// Portfolio block (present on portfolio requests): the objective, the
+	// winning candidate, and one stats row per grid point.
+	Portfolio *PortfolioStats `json:"portfolio,omitempty"`
+}
+
+// PortfolioStats is the portfolio block of a MapResponse. The winner's own
+// stats row is candidates[winner_index] — it is not duplicated.
+type PortfolioStats struct {
+	Objective   string            `json:"objective"`
+	WinnerIndex int               `json:"winner_index"`
+	Completed   int               `json:"completed"`
+	Candidates  []CandidateReport `json:"candidates"`
+}
+
+// WinnerReport returns the winning candidate's stats row.
+func (p *PortfolioStats) WinnerReport() CandidateReport { return p.Candidates[p.WinnerIndex] }
+
+// CandidateReport is one portfolio grid point's outcome.
+type CandidateReport struct {
+	// Index is the position in the fixed enumeration order (seed-major,
+	// then placement, then algorithm) — the final tie-break key.
+	Index     int    `json:"index"`
+	Seed      int64  `json:"seed"`
+	Placement string `json:"placement"`
+	Algorithm string `json:"algorithm"`
+	// Depth is the weighted depth (ASAP makespan) of the candidate's
+	// output; Swaps its inserted-SWAP count. Zero when the candidate did
+	// not complete.
+	Depth int `json:"depth,omitempty"`
+	Swaps int `json:"swaps,omitempty"`
+	// ESP is the calibration-estimated success probability (present only
+	// when the request was calibrated and the candidate completed).
+	ESP float64 `json:"esp,omitempty"`
+	// Score is the objective value (lower wins; max-esp negates).
+	Score float64 `json:"score,omitempty"`
+	// Abandoned marks a candidate cut by the early-abandon bound (never
+	// set on in-service runs, which disable abandon for determinism).
+	Abandoned bool `json:"abandoned,omitempty"`
+	// Err records a candidate that failed outright (e.g. a placement
+	// method rejecting the circuit).
+	Err string `json:"error,omitempty"`
+}
+
+// BatchRequest is the POST /v1/map/batch body.
+type BatchRequest struct {
+	Requests []MapRequest `json:"requests"`
+}
+
+// BatchItem is one element of the batch response: either a result or an
+// error envelope body, mirroring the single-request status codes. Cache is
+// the item's cache disposition (hit/miss/collapsed), same vocabulary as
+// the HeaderCache header; Cached is kept as its boolean shorthand
+// (Cache == "hit").
+type BatchItem struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *ErrorBody      `json:"error,omitempty"`
+	Status int             `json:"status"`
+	Cached bool            `json:"cached"`
+	Cache  string          `json:"cache,omitempty"`
+}
+
+// BatchResponse is the POST /v1/map/batch body: items in request order.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
+}
+
+// DeviceSpec is the POST /v1/devices body: an undirected coupling graph
+// with optional explicit durations or a named preset.
+type DeviceSpec struct {
+	Name   string   `json:"name"`
+	Qubits int      `json:"qubits"`
+	Edges  [][2]int `json:"edges"`
+	// Preset names a duration preset applied to the device; empty selects
+	// superconducting (the server default).
+	Preset string `json:"preset,omitempty"`
+	// Durations, when present, overrides Preset with explicit cycle counts.
+	Durations *DurationsSpec `json:"durations,omitempty"`
+}
+
+// DurationsSpec carries explicit gate durations (in cycles) for JSON upload.
+type DurationsSpec struct {
+	Single  int `json:"single"`
+	Two     int `json:"two"`
+	Swap    int `json:"swap"`
+	Measure int `json:"measure"`
+}
+
+// DeviceInfo is one row of the GET /v1/devices listing.
+type DeviceInfo struct {
+	Name     string `json:"name"`
+	Qubits   int    `json:"qubits"`
+	Couplers int    `json:"couplers"`
+	Diameter int    `json:"diameter"`
+	Builtin  bool   `json:"builtin"`
+}
+
+// DeviceList is the GET /v1/devices body.
+type DeviceList struct {
+	Devices []DeviceInfo `json:"devices"`
+	// ParametricFamilies are the name patterns the server synthesises on
+	// demand (e.g. grid3x4, linear9, ring12).
+	ParametricFamilies []string `json:"parametric_families"`
+}
+
+// CalibrationInfo summarises a stored calibration in responses.
+type CalibrationInfo struct {
+	Device   string `json:"device"`
+	Hash     string `json:"hash"`
+	Qubits   int    `json:"qubits"`
+	Couplers int    `json:"couplers"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// LatencySummary is the /v1/stats latency block, in milliseconds, computed
+// over the server's recent-latency window (max is all-time).
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// ShardStats is one result-cache shard's view in /v1/stats.
+type ShardStats struct {
+	Entries   int    `json:"entries"`
+	Pinned    int    `json:"pinned"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// PersistStats reports the warm-start persistence log in /v1/stats
+// (present only when the server runs with -persist).
+type PersistStats struct {
+	Path string `json:"path"`
+	// Loaded is the number of entries replayed into the cache at boot.
+	Loaded int `json:"loaded"`
+	// Appended/Dropped count entries written to (or dropped from, when the
+	// write queue or size cap overflows) the log since boot.
+	Appended uint64 `json:"appended"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	Requests         uint64 `json:"requests"`
+	Errors           uint64 `json:"errors"`
+	InFlight         int64  `json:"in_flight"`
+	QueueDepth       int64  `json:"queue_depth"`
+	QueueCapacity    int    `json:"queue_capacity"`
+	Workers          int    `json:"workers"`
+	Canceled         uint64 `json:"canceled"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	Rejected         uint64 `json:"rejected"`
+	QuotaRejected    uint64 `json:"quota_rejected"`
+	Panics           uint64 `json:"panics"`
+	// Mappings counts completed mapping computations — cache hits and
+	// singleflight followers do not move it, so under N concurrent
+	// identical requests it stays at 1.
+	Mappings uint64 `json:"mappings"`
+
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	CacheSize      int     `json:"cache_size"`
+	CacheCapacity  int     `json:"cache_capacity"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	CachePinned    int     `json:"cache_pinned"`
+	CacheShards    int     `json:"cache_shards"`
+	// Collapsed counts requests served by a concurrent identical request's
+	// computation (singleflight followers); Handoffs counts follower
+	// retakes after a canceled leader.
+	Collapsed uint64 `json:"collapsed"`
+	Handoffs  uint64 `json:"handoffs"`
+
+	Persist *PersistStats `json:"persist,omitempty"`
+	// Shards breaks the cache counters down per shard (same order as the
+	// shard index used in /metrics labels).
+	Shards []ShardStats `json:"shards,omitempty"`
+
+	CustomDevices     int            `json:"custom_devices"`
+	CalibratedDevices int            `json:"calibrated_devices"`
+	UptimeSeconds     float64        `json:"uptime_seconds"`
+	Latency           LatencySummary `json:"latency"`
+}

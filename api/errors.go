@@ -1,0 +1,64 @@
+package api
+
+// Error codes carried in the v1 error envelope. Codes are the
+// machine-readable half of the contract: clients branch on them (package
+// client maps each to an errors.Is-able sentinel), while messages are
+// human-readable and unstable.
+const (
+	// CodeBadRequest covers malformed bodies, invalid enum values and
+	// out-of-range parameters not covered by a more specific code (400).
+	CodeBadRequest = "bad_request"
+	// CodeBadQASM marks a circuit that failed to parse or that does not
+	// fit the target device (400).
+	CodeBadQASM = "bad_qasm"
+	// CodeUnknownDevice marks an Arch name no builtin, parametric or
+	// uploaded device answers to (404).
+	CodeUnknownDevice = "unknown_device"
+	// CodeNotFound covers every other unknown resource: unrecognised
+	// paths, a device without a calibration (404).
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed marks a known route addressed with the wrong
+	// HTTP method; the Allow header lists the accepted ones (405).
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeConflict marks a device upload colliding with an existing name
+	// or a full calibration store (409).
+	CodeConflict = "conflict"
+	// CodePayloadTooLarge marks a request body beyond the server's
+	// -max-body bound (413).
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeQueueFull is the backpressure rejection: the admission queue in
+	// front of the worker pool is full, or the queue-wait budget expired
+	// (429 with Retry-After).
+	CodeQueueFull = "queue_full"
+	// CodeQuotaExceeded is the per-client rate-limit rejection: the token
+	// bucket for this X-Codard-Client is empty (429 with Retry-After).
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeCanceled marks a request whose client went away before the
+	// mapping finished (499; normally only observable in batch items and
+	// server logs).
+	CodeCanceled = "canceled"
+	// CodeDeadline marks a mapping canceled by its per-request deadline
+	// (504).
+	CodeDeadline = "deadline"
+	// CodeInternal covers recovered panics and encoding failures (500).
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the inner object of the v1 error envelope.
+type ErrorBody struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable detail. Its wording is not part of the
+	// contract; branch on Code.
+	Message string `json:"message"`
+	// RequestID echoes the server-assigned X-Codard-Request-Id, so an
+	// error can be joined with the server log.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// ErrorEnvelope is the body of every non-2xx v1 response:
+//
+//	{"error": {"code": "queue_full", "message": "...", "request_id": "..."}}
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}

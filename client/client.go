@@ -1,0 +1,302 @@
+// Package client is the official Go client for the codard mapping service.
+// It speaks the versioned contract in package api (docs/API.md is the
+// written form), decodes the error envelope into errors.Is-able values (see
+// errors.go), and carries the service's custom headers — per-request
+// mapping deadlines, client identity for quota accounting, and the cache
+// disposition of each response.
+//
+//	c, err := client.New("http://127.0.0.1:8723", client.WithClientID("ci"))
+//	res, err := c.Map(ctx, &api.MapRequest{QASM: src, Arch: "tokyo"})
+//	if errors.Is(err, client.ErrQueueFull) { ... }
+//	fmt.Println(res.Cache, res.MappedQASM)
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"codar/api"
+)
+
+// Client is a codard API client. It is safe for concurrent use.
+type Client struct {
+	base     string
+	http     *http.Client
+	clientID string
+	timeout  time.Duration
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (transport tuning,
+// client-side timeouts, test doubles). The default has no client timeout —
+// mapping deadlines belong to WithTimeout / context deadlines.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithClientID sets the X-Codard-Client header on every request, naming
+// this caller for the server's per-client quota accounting.
+func WithClientID(id string) Option { return func(c *Client) { c.clientID = id } }
+
+// WithTimeout sets a default per-request mapping deadline, sent as the
+// X-Codard-Timeout header on Map and MapBatch. The server clamps it to its
+// -max-timeout; expiry surfaces as ErrDeadline (504), not a client abort.
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
+
+// New builds a client for the server at baseURL (scheme and host, no
+// trailing path: "http://127.0.0.1:8723").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("codard: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("codard: base URL %q must be http or https", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("codard: base URL %q has no host", baseURL)
+	}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), http: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// MapResult is a successful Map response plus its transport metadata.
+type MapResult struct {
+	api.MapResponse
+	// Cache is the response's cache disposition: "hit", "miss" or
+	// "collapsed" (api.HeaderCache).
+	Cache string
+	// RequestID is the server-assigned request ID.
+	RequestID string
+}
+
+// Map maps one circuit. A non-2xx response returns an *APIError.
+func (c *Client) Map(ctx context.Context, req *api.MapRequest) (*MapResult, error) {
+	res := &MapResult{}
+	hdr, err := c.do(ctx, http.MethodPost, "/v1/map", req, &res.MapResponse)
+	if err != nil {
+		return nil, err
+	}
+	res.Cache = hdr.Get(api.HeaderCache)
+	res.RequestID = hdr.Get(api.HeaderRequestID)
+	return res, nil
+}
+
+// MapBatch maps up to the server's batch limit of circuits in one request.
+// The call errors only when the batch itself is rejected (bad body, quota,
+// queue full); per-item failures land in the returned items' Error fields
+// — use DecodeItem to unpack each.
+func (c *Client) MapBatch(ctx context.Context, reqs []api.MapRequest) (*api.BatchResponse, error) {
+	var out api.BatchResponse
+	if _, err := c.do(ctx, http.MethodPost, "/v1/map/batch", api.BatchRequest{Requests: reqs}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DecodeItem unpacks one batch item into a MapResponse, converting a failed
+// item into the same *APIError (and sentinel relation) its single-request
+// form would have produced.
+func DecodeItem(item *api.BatchItem) (*api.MapResponse, error) {
+	if item.Error != nil {
+		return nil, &APIError{
+			Status:    item.Status,
+			Code:      item.Error.Code,
+			Message:   item.Error.Message,
+			RequestID: item.Error.RequestID,
+		}
+	}
+	var mr api.MapResponse
+	if err := json.Unmarshal(item.Result, &mr); err != nil {
+		return nil, fmt.Errorf("codard: bad batch item: %w", err)
+	}
+	return &mr, nil
+}
+
+// Devices lists the server's device catalogue.
+func (c *Client) Devices(ctx context.Context) (*api.DeviceList, error) {
+	var out api.DeviceList
+	if _, err := c.do(ctx, http.MethodGet, "/v1/devices", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// UploadDevice registers a custom device (POST /v1/devices).
+func (c *Client) UploadDevice(ctx context.Context, spec *api.DeviceSpec) (*api.DeviceInfo, error) {
+	var out api.DeviceInfo
+	if _, err := c.do(ctx, http.MethodPost, "/v1/devices", spec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Calibration fetches the stored calibration summary for a device;
+// ErrNotFound when none was uploaded.
+func (c *Client) Calibration(ctx context.Context, device string) (*api.CalibrationInfo, error) {
+	var out api.CalibrationInfo
+	if _, err := c.do(ctx, http.MethodGet, c.calibrationPath(device), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// UploadCalibration uploads a calibration snapshot for a device. The
+// snapshot is any JSON-marshalable value matching the calibration schema in
+// docs/API.md (typically json.RawMessage read from a snapshot file).
+func (c *Client) UploadCalibration(ctx context.Context, device string, snapshot interface{}) (*api.CalibrationInfo, error) {
+	var out api.CalibrationInfo
+	if _, err := c.do(ctx, http.MethodPut, c.calibrationPath(device), snapshot, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) calibrationPath(device string) string {
+	return "/v1/devices/" + url.PathEscape(device) + "/calibration"
+}
+
+// Stats fetches the server's operational counters.
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	var out api.StatsResponse
+	if _, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
+	var out api.HealthResponse
+	if _, err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitHealthy polls /healthz until the server answers 200 or ctx expires —
+// for launching a client right after the server process.
+func (c *Client) WaitHealthy(ctx context.Context) error {
+	var lastErr error
+	for {
+		if _, err := c.Health(ctx); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("codard: server never became healthy: %w (last: %v)", ctx.Err(), lastErr)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// Metrics fetches the raw Prometheus text exposition from /metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	c.setHeaders(req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp, body)
+	}
+	return string(body), nil
+}
+
+// do runs one JSON round-trip: marshal in (nil = no body), decode the
+// envelope on non-2xx, decode into out on success. Returns the response
+// headers for disposition/request-ID extraction.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) (http.Header, error) {
+	var body io.Reader
+	if in != nil {
+		enc, err := json.Marshal(in)
+		if err != nil {
+			return nil, fmt.Errorf("codard: marshal request: %w", err)
+		}
+		body = bytes.NewReader(enc)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	c.setHeaders(req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return resp.Header, decodeError(resp, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.Header, fmt.Errorf("codard: bad response body: %w", err)
+		}
+	}
+	return resp.Header, nil
+}
+
+func (c *Client) setHeaders(req *http.Request) {
+	if c.clientID != "" {
+		req.Header.Set(api.HeaderClient, c.clientID)
+	}
+	if c.timeout > 0 && req.Method == http.MethodPost && strings.HasPrefix(req.URL.Path, "/v1/map") {
+		req.Header.Set(api.HeaderTimeout, c.timeout.String())
+	}
+}
+
+// decodeError turns a non-2xx response into an *APIError. Responses that do
+// not carry the versioned envelope (a proxy in the path, an old server)
+// still produce an APIError with an empty Code.
+func decodeError(resp *http.Response, body []byte) error {
+	ae := &APIError{
+		Status:    resp.StatusCode,
+		RequestID: resp.Header.Get(api.HeaderRequestID),
+	}
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		ae.Code = env.Error.Code
+		ae.Message = env.Error.Message
+		if env.Error.RequestID != "" {
+			ae.RequestID = env.Error.RequestID
+		}
+	} else {
+		ae.Message = strings.TrimSpace(string(body))
+		if ae.Message == "" {
+			ae.Message = http.StatusText(resp.StatusCode)
+		}
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get(api.HeaderRetryAfter)); err == nil && secs > 0 {
+		ae.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return ae
+}

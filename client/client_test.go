@@ -1,0 +1,224 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"codar/api"
+	"codar/internal/service"
+)
+
+const ghzQASM = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+`
+
+// newServerAndClient runs a real service.Server behind httptest and points
+// a Client at it — the client tests double as a contract check between
+// package client and internal/service.
+func newServerAndClient(t *testing.T, cfg service.Config, opts ...Option) *Client {
+	t.Helper()
+	ts := httptest.NewServer(service.New(cfg))
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewRejectsBadURLs(t *testing.T) {
+	for _, bad := range []string{"", "127.0.0.1:8723", "ftp://host", "http://"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+	if _, err := New("http://127.0.0.1:8723/"); err != nil {
+		t.Errorf("trailing slash rejected: %v", err)
+	}
+}
+
+func TestMapRoundTrip(t *testing.T) {
+	c := newServerAndClient(t, service.Config{Workers: 2})
+	ctx := context.Background()
+
+	res, err := c.Map(ctx, &api.MapRequest{QASM: ghzQASM, Arch: "tokyo"})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if res.MappedQASM == "" || res.Device != "ibm-q20-tokyo" {
+		t.Fatalf("result = %+v", res.MapResponse)
+	}
+	if res.Cache != "miss" {
+		t.Fatalf("cold Cache = %q, want miss", res.Cache)
+	}
+	if res.RequestID == "" {
+		t.Fatal("no request ID on success")
+	}
+	res, err = c.Map(ctx, &api.MapRequest{QASM: ghzQASM, Arch: "tokyo"})
+	if err != nil {
+		t.Fatalf("second Map: %v", err)
+	}
+	if res.Cache != "hit" {
+		t.Fatalf("warm Cache = %q, want hit", res.Cache)
+	}
+}
+
+func TestErrorsAreSentinels(t *testing.T) {
+	c := newServerAndClient(t, service.Config{Workers: 2})
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		req  api.MapRequest
+		want error
+	}{
+		{"bad qasm", api.MapRequest{QASM: "not qasm", Arch: "tokyo"}, ErrBadQASM},
+		{"unknown device", api.MapRequest{QASM: ghzQASM, Arch: "nope"}, ErrUnknownDevice},
+		{"bad algo", api.MapRequest{QASM: ghzQASM, Arch: "tokyo", Algo: "magic"}, ErrBadRequest},
+	}
+	for _, tc := range cases {
+		_, err := c.Map(ctx, &tc.req)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) {
+			t.Errorf("%s: not an *APIError: %v", tc.name, err)
+			continue
+		}
+		if ae.RequestID == "" {
+			t.Errorf("%s: envelope missing request_id", tc.name)
+		}
+		// No cross-matching: a bad_qasm error must not satisfy other codes.
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrInternal) {
+			t.Errorf("%s: error matches unrelated sentinels", tc.name)
+		}
+	}
+}
+
+func TestQuotaErrorCarriesRetryAfter(t *testing.T) {
+	c := newServerAndClient(t,
+		service.Config{Workers: 2, QuotaRPS: 0.001, QuotaBurst: 1},
+		WithClientID("limited"))
+	ctx := context.Background()
+	if _, err := c.Map(ctx, &api.MapRequest{QASM: ghzQASM, Arch: "tokyo"}); err != nil {
+		t.Fatalf("first Map: %v", err)
+	}
+	_, err := c.Map(ctx, &api.MapRequest{QASM: ghzQASM, Arch: "tokyo", Seed: 7})
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
+	}
+	if RetryAfter(err) < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", RetryAfter(err))
+	}
+}
+
+func TestMapBatchAndDecodeItem(t *testing.T) {
+	c := newServerAndClient(t, service.Config{Workers: 2})
+	resp, err := c.MapBatch(context.Background(), []api.MapRequest{
+		{QASM: ghzQASM, Arch: "tokyo"},
+		{QASM: ghzQASM, Arch: "nope"},
+	})
+	if err != nil {
+		t.Fatalf("MapBatch: %v", err)
+	}
+	if len(resp.Items) != 2 {
+		t.Fatalf("items = %d, want 2", len(resp.Items))
+	}
+	mr, err := DecodeItem(&resp.Items[0])
+	if err != nil || mr.MappedQASM == "" {
+		t.Fatalf("item 0: %v, %+v", err, mr)
+	}
+	if _, err := DecodeItem(&resp.Items[1]); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("item 1 err = %v, want ErrUnknownDevice", err)
+	}
+}
+
+func TestDevicesStatsHealthMetrics(t *testing.T) {
+	c := newServerAndClient(t, service.Config{Workers: 2})
+	ctx := context.Background()
+
+	devs, err := c.Devices(ctx)
+	if err != nil || len(devs.Devices) == 0 {
+		t.Fatalf("Devices: %v, %+v", err, devs)
+	}
+	info, err := c.UploadDevice(ctx, &api.DeviceSpec{
+		Name: "pair", Qubits: 2, Edges: [][2]int{{0, 1}},
+	})
+	if err != nil || info.Name != "pair" {
+		t.Fatalf("UploadDevice: %v, %+v", err, info)
+	}
+	if _, err := c.Map(ctx, &api.MapRequest{QASM: ghzQASM, Arch: "tokyo"}); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil || st.Requests == 0 || st.CacheShards == 0 {
+		t.Fatalf("Stats: %v, %+v", err, st)
+	}
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("Health: %v, %+v", err, h)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{"codard_requests_total", "codard_cache_shards", "codard_collapsed_total"} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics output missing %s", want)
+		}
+	}
+}
+
+func TestCalibrationNotFound(t *testing.T) {
+	c := newServerAndClient(t, service.Config{Workers: 2})
+	if _, err := c.Calibration(context.Background(), "tokyo"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestWaitHealthy(t *testing.T) {
+	c := newServerAndClient(t, service.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.WaitHealthy(ctx); err != nil {
+		t.Fatalf("WaitHealthy: %v", err)
+	}
+	// A dead server times out instead of spinning forever.
+	dead, _ := New("http://127.0.0.1:1")
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel2()
+	if err := dead.WaitHealthy(ctx2); err == nil {
+		t.Fatal("WaitHealthy succeeded against a dead server")
+	}
+}
+
+func TestClientIDHeaderIsSent(t *testing.T) {
+	var got string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get(api.HeaderClient)
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, WithClientID("ci-smoke"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got != "ci-smoke" {
+		t.Fatalf("X-Codard-Client = %q, want ci-smoke", got)
+	}
+}

@@ -1,0 +1,94 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"codar/api"
+)
+
+// Sentinel errors, one per api.Code* value. Every non-2xx response from the
+// server decodes to an *APIError whose errors.Is relation matches exactly
+// one of these, so callers branch without string comparison:
+//
+//	res, err := c.Map(ctx, req)
+//	switch {
+//	case errors.Is(err, client.ErrQuotaExceeded):
+//	        backoff(client.RetryAfter(err))
+//	case errors.Is(err, client.ErrBadQASM):
+//	        reject(input)
+//	}
+var (
+	ErrBadRequest       = errors.New("codard: bad request")
+	ErrBadQASM          = errors.New("codard: bad qasm")
+	ErrUnknownDevice    = errors.New("codard: unknown device")
+	ErrNotFound         = errors.New("codard: not found")
+	ErrMethodNotAllowed = errors.New("codard: method not allowed")
+	ErrConflict         = errors.New("codard: conflict")
+	ErrPayloadTooLarge  = errors.New("codard: payload too large")
+	ErrQueueFull        = errors.New("codard: queue full")
+	ErrQuotaExceeded    = errors.New("codard: quota exceeded")
+	ErrCanceled         = errors.New("codard: request canceled")
+	ErrDeadline         = errors.New("codard: mapping deadline exceeded")
+	ErrInternal         = errors.New("codard: internal server error")
+)
+
+// sentinelFor maps envelope codes to sentinels. Unknown codes (a newer
+// server) fall back to nil: the *APIError still carries the raw code.
+var sentinelFor = map[string]error{
+	api.CodeBadRequest:       ErrBadRequest,
+	api.CodeBadQASM:          ErrBadQASM,
+	api.CodeUnknownDevice:    ErrUnknownDevice,
+	api.CodeNotFound:         ErrNotFound,
+	api.CodeMethodNotAllowed: ErrMethodNotAllowed,
+	api.CodeConflict:         ErrConflict,
+	api.CodePayloadTooLarge:  ErrPayloadTooLarge,
+	api.CodeQueueFull:        ErrQueueFull,
+	api.CodeQuotaExceeded:    ErrQuotaExceeded,
+	api.CodeCanceled:         ErrCanceled,
+	api.CodeDeadline:         ErrDeadline,
+	api.CodeInternal:         ErrInternal,
+}
+
+// APIError is a non-2xx response decoded from the versioned error envelope.
+// It satisfies errors.Is for the sentinel matching its Code.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the machine-readable envelope code (api.Code*).
+	Code string
+	// Message is the human-readable envelope message.
+	Message string
+	// RequestID joins this error with the server log.
+	RequestID string
+	// RetryAfter is the parsed Retry-After header on 429 responses
+	// (zero otherwise).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("codard: %s (%d %s, request %s)", e.Message, e.Status, e.Code, e.RequestID)
+	}
+	return fmt.Sprintf("codard: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// Is makes errors.Is(err, ErrQueueFull) etc. work on wrapped APIErrors.
+func (e *APIError) Is(target error) bool {
+	if s, ok := sentinelFor[e.Code]; ok {
+		return target == s
+	}
+	return false
+}
+
+// RetryAfter extracts the server-suggested backoff from an error chain:
+// non-zero only for 429 responses (queue_full, quota_exceeded) that carried
+// a Retry-After header.
+func RetryAfter(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}

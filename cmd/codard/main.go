@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	codard [-addr :8723] [-workers 0] [-cache 512] [-max-batch 64]
-//	       [-queue 64] [-queue-wait 30s] [-timeout 2m] [-max-timeout 10m]
-//	       [-grace 10s] [-chaos-slow 0] [-chaos-panic-every 0]
+//	codard [-addr :8723] [-workers 0] [-cache 512] [-cache-shards 0]
+//	       [-max-batch 64] [-queue 64] [-queue-wait 30s] [-timeout 2m]
+//	       [-max-timeout 10m] [-grace 10s] [-persist ""] [-quota-rps 0]
+//	       [-quota-burst 0] [-chaos-slow 0] [-chaos-panic-every 0]
 //
 // -addr 127.0.0.1:0 binds an ephemeral port; the chosen address is printed
 // on stdout as "codard: listening on http://HOST:PORT" (the CI smoke job
@@ -22,9 +23,15 @@
 // flags inject faults (slow mappers, periodic panics) for the CI
 // chaos-smoke job; never set them in production.
 //
+// Result-store knobs (DESIGN.md §12): -cache-shards overrides the shard
+// count of the sharded LRU store (0 = auto), -persist names an append-only
+// log that warm-starts the cache across restarts, and -quota-rps /
+// -quota-burst enable per-client admission quotas keyed by the
+// X-Codard-Client header (0 = disabled).
+//
 // Endpoints: POST /v1/map, POST /v1/map/batch, GET|POST /v1/devices,
-// GET|POST /v1/devices/{name}/calibration, GET /v1/stats, GET /healthz.
-// Example:
+// GET|POST|PUT /v1/devices/{name}/calibration, GET /v1/stats, GET
+// /healthz, GET /metrics (Prometheus text). See docs/API.md. Example:
 //
 //	curl -s localhost:8723/v1/map -d '{"qasm":"...","arch":"tokyo"}'
 package main
@@ -43,6 +50,7 @@ import (
 	"time"
 
 	"codar/internal/chaos"
+	"codar/internal/persist"
 	"codar/internal/service"
 )
 
@@ -67,11 +75,18 @@ func main() {
 
 // config is the parsed codard command line.
 type config struct {
-	addr     string
-	workers  int
-	cache    int
-	maxBatch int
-	queue    int
+	addr        string
+	workers     int
+	cache       int
+	cacheShards int
+	maxBatch    int
+	queue       int
+	// persist names the append-only warm-start log (empty disables).
+	persist string
+	// quotaRPS/quotaBurst configure per-client token-bucket admission
+	// (X-Codard-Client header); quotaRPS 0 disables quotas.
+	quotaRPS   float64
+	quotaBurst int
 	// grace bounds the shutdown drain: in-flight mappings get this long to
 	// finish before they are hard-canceled (and codard exits non-zero).
 	grace      time.Duration
@@ -93,6 +108,10 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.StringVar(&cfg.addr, "addr", ":8723", "listen address (host:0 selects an ephemeral port)")
 	fs.IntVar(&cfg.workers, "workers", 0, "max concurrent mapping jobs (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.cache, "cache", service.DefaultCacheSize, "result-cache capacity in entries (negative disables)")
+	fs.IntVar(&cfg.cacheShards, "cache-shards", 0, "result-cache shard count, rounded up to a power of two (0 = auto)")
+	fs.StringVar(&cfg.persist, "persist", "", "append-only cache log for warm starts (empty disables)")
+	fs.Float64Var(&cfg.quotaRPS, "quota-rps", 0, "per-client request rate limit keyed by X-Codard-Client (0 disables)")
+	fs.IntVar(&cfg.quotaBurst, "quota-burst", 0, "per-client burst allowance on top of -quota-rps (0 = rate rounded up)")
 	fs.IntVar(&cfg.maxBatch, "max-batch", service.DefaultMaxBatch, "max circuits per /v1/map/batch request")
 	fs.IntVar(&cfg.queue, "queue", service.DefaultMaxQueue, "max mapping jobs queued beyond the executing ones; more are rejected with 429 (negative = no queue)")
 	fs.DurationVar(&cfg.queueWait, "queue-wait", service.DefaultQueueWait, "max time a job waits for a worker slot before 429 (negative = unbounded)")
@@ -129,6 +148,18 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	if cfg.chaosPanicEvery < 0 {
 		return nil, fmt.Errorf("-chaos-panic-every must be >= 0, got %d", cfg.chaosPanicEvery)
 	}
+	if cfg.cacheShards < 0 {
+		return nil, fmt.Errorf("-cache-shards must be >= 0, got %d", cfg.cacheShards)
+	}
+	if cfg.quotaRPS < 0 {
+		return nil, fmt.Errorf("-quota-rps must be >= 0, got %v", cfg.quotaRPS)
+	}
+	if cfg.quotaBurst < 0 {
+		return nil, fmt.Errorf("-quota-burst must be >= 0, got %d", cfg.quotaBurst)
+	}
+	if cfg.quotaBurst > 0 && cfg.quotaRPS == 0 {
+		return nil, fmt.Errorf("-quota-burst requires -quota-rps")
+	}
 	return cfg, nil
 }
 
@@ -136,11 +167,25 @@ func run(cfg *config) error {
 	svcCfg := service.Config{
 		Workers:        cfg.workers,
 		CacheSize:      cfg.cache,
+		Shards:         cfg.cacheShards,
 		MaxBatch:       cfg.maxBatch,
 		MaxQueue:       cfg.queue,
 		QueueWait:      cfg.queueWait,
 		RequestTimeout: cfg.timeout,
 		MaxTimeout:     cfg.maxTimeout,
+		QuotaRPS:       cfg.quotaRPS,
+		QuotaBurst:     float64(cfg.quotaBurst),
+	}
+	if cfg.persist != "" {
+		plog, err := persist.Open(cfg.persist, persist.Options{})
+		if err != nil {
+			return fmt.Errorf("open persist log: %w", err)
+		}
+		// Closed after Drain below so every entry appended by in-flight
+		// requests reaches the file before exit.
+		defer plog.Close()
+		svcCfg.Persist = plog
+		fmt.Fprintf(os.Stderr, "codard: warm-start log %s: %d entries replayed\n", cfg.persist, plog.Loaded())
 	}
 	if cfg.chaosSlow > 0 || cfg.chaosPanicEvery > 0 {
 		svcCfg.Chaos = &chaos.Injector{SlowMapper: cfg.chaosSlow, PanicEvery: cfg.chaosPanicEvery}

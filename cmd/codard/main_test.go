@@ -21,6 +21,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.chaosSlow != 0 || cfg.chaosPanicEvery != 0 {
 		t.Errorf("chaos injection on by default: %+v", cfg)
 	}
+	if cfg.persist != "" || cfg.quotaRPS != 0 || cfg.quotaBurst != 0 || cfg.cacheShards != 0 {
+		t.Errorf("persistence/quota/sharding on by default: %+v", cfg)
+	}
 	if stderr.Len() != 0 {
 		t.Errorf("defaults wrote to stderr: %q", stderr.String())
 	}
@@ -47,6 +50,10 @@ func TestParseFlagsErrorPaths(t *testing.T) {
 		{"zero grace", []string{"-grace", "0s"}, "-grace must be positive"},
 		{"negative chaos-slow", []string{"-chaos-slow", "-1ms"}, "-chaos-slow must be >= 0"},
 		{"negative chaos-panic-every", []string{"-chaos-panic-every", "-1"}, "-chaos-panic-every must be >= 0"},
+		{"negative cache-shards", []string{"-cache-shards", "-1"}, "-cache-shards must be >= 0"},
+		{"negative quota-rps", []string{"-quota-rps", "-5"}, "-quota-rps must be >= 0"},
+		{"negative quota-burst", []string{"-quota-burst", "-5"}, "-quota-burst must be >= 0"},
+		{"burst without rate", []string{"-quota-burst", "10"}, "-quota-burst requires -quota-rps"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,8 +1,9 @@
 // Command codarload is a load generator for the codard mapping service: it
 // replays internal/workloads benchmark circuits against a running server
-// over HTTP and reports throughput, latency percentiles and cache
-// behaviour, giving CI and perf work a serving-path benchmark that
-// complements the in-process ones in bench_test.go.
+// through the official Go client (package client) and reports throughput,
+// latency percentiles and cache behaviour, giving CI and perf work a
+// serving-path benchmark that complements the in-process ones in
+// bench_test.go.
 //
 // Usage:
 //
@@ -10,7 +11,10 @@
 //	codarload -server http://127.0.0.1:8723 -arch tokyo -repeat 3 -concurrency 8
 //
 // -repeat > 1 replays the same circuits, so the steady-state hit rate of
-// the server's result cache shows up directly in the report.
+// the server's result cache shows up directly in the report; concurrent
+// identical requests that the server collapsed into one computation are
+// reported as "collapsed". -client names the load run for the server's
+// per-client quota accounting (X-Codard-Client).
 //
 // Chaos mode (DESIGN.md §11): -timeout sets the per-request mapping
 // deadline via the X-Codard-Timeout header, and -cancel-fraction abandons
@@ -24,9 +28,7 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,9 +38,11 @@ import (
 	"sort"
 	"time"
 
+	"codar/api"
+	"codar/client"
 	"codar/internal/experiments"
+	"codar/internal/metrics"
 	"codar/internal/qasm"
-	"codar/internal/service"
 	"codar/internal/workloads"
 )
 
@@ -72,6 +76,9 @@ type loadConfig struct {
 	limit       int
 	repeat      int
 	concurrency int
+	// clientID names this run in the X-Codard-Client header, so a server
+	// running with -quota-rps accounts the load against one bucket.
+	clientID string
 	// timeout is the per-request mapping deadline: sent to the server as
 	// the X-Codard-Timeout header (so expiry shows up as a 504 and the
 	// deadline-exceeded counter, not a client-side abort) and enforced
@@ -101,6 +108,7 @@ func parseFlags(args []string, stderr io.Writer) (*loadConfig, error) {
 	fs.IntVar(&cfg.limit, "limit", 0, "cap the number of distinct circuits (0 = all eligible)")
 	fs.IntVar(&cfg.repeat, "repeat", 1, "times to replay the circuit set (>1 exercises the result cache)")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "concurrent in-flight requests")
+	fs.StringVar(&cfg.clientID, "client", "codarload", "X-Codard-Client identity for quota accounting (empty = anonymous)")
 	fs.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "per-request mapping deadline, sent as X-Codard-Timeout (0 disables)")
 	fs.Float64Var(&cfg.cancelFraction, "cancel-fraction", 0, "fraction of requests abandoned client-side mid-flight (0..1)")
 	if err := fs.Parse(args); err != nil {
@@ -135,7 +143,7 @@ func parseFlags(args []string, stderr io.Writer) (*loadConfig, error) {
 }
 
 func run(cfg *loadConfig) error {
-	var circuits []service.MapRequest
+	var circuits []api.MapRequest
 	for _, b := range workloads.Suite() {
 		if b.Qubits > cfg.maxQubits {
 			continue
@@ -143,7 +151,7 @@ func run(cfg *loadConfig) error {
 		if cfg.family != "" && b.Family != cfg.family {
 			continue
 		}
-		circuits = append(circuits, service.MapRequest{
+		circuits = append(circuits, api.MapRequest{
 			QASM:      qasm.Write(b.Circuit()),
 			Arch:      cfg.archName,
 			Algo:      cfg.algo,
@@ -157,7 +165,7 @@ func run(cfg *loadConfig) error {
 	if len(circuits) == 0 {
 		return fmt.Errorf("no eligible benchmarks (family=%q, max-qubits=%d)", cfg.family, cfg.maxQubits)
 	}
-	reqs := make([]service.MapRequest, 0, len(circuits)*cfg.repeat)
+	reqs := make([]api.MapRequest, 0, len(circuits)*cfg.repeat)
 	for r := 0; r < cfg.repeat; r++ {
 		reqs = append(reqs, circuits...)
 	}
@@ -168,15 +176,28 @@ func run(cfg *loadConfig) error {
 	if cfg.timeout > 0 {
 		clientTimeout = cfg.timeout + 5*time.Second
 	}
-	client := &http.Client{Timeout: clientTimeout}
-	if err := waitHealthy(client, cfg.server); err != nil {
+	opts := []client.Option{
+		client.WithHTTPClient(&http.Client{Timeout: clientTimeout}),
+		client.WithTimeout(cfg.timeout),
+	}
+	if cfg.clientID != "" {
+		opts = append(opts, client.WithClientID(cfg.clientID))
+	}
+	c, err := client.New(cfg.server, opts...)
+	if err != nil {
+		return err
+	}
+	// Bounded health poll, so the loader can launch right after codard.
+	healthCtx, cancelHealth := context.WithTimeout(context.Background(), 10*time.Second)
+	err = c.WaitHealthy(healthCtx)
+	cancelHealth()
+	if err != nil {
 		return err
 	}
 
 	type outcome struct {
 		latency  time.Duration
-		hit      bool
-		status   int
+		cache    string
 		abandond bool // deliberately canceled client-side
 		err      error
 	}
@@ -200,8 +221,15 @@ func run(cfg *loadConfig) error {
 			defer cancel()
 		}
 		t0 := time.Now()
-		hit, status, err := postMap(ctx, client, cfg.server, reqs[i], cfg.timeout)
-		outcomes[i] = outcome{latency: time.Since(t0), hit: hit, status: status, abandond: abandon, err: err}
+		res, err := c.Map(ctx, &reqs[i])
+		o := outcome{latency: time.Since(t0), abandond: abandon, err: err}
+		if err == nil {
+			if res.MappedQASM == "" {
+				o.err = fmt.Errorf("empty mapped_qasm")
+			}
+			o.cache = res.Cache
+		}
+		outcomes[i] = o
 		return nil
 	})
 	wall := time.Since(start)
@@ -209,6 +237,7 @@ func run(cfg *loadConfig) error {
 	var (
 		lats      []float64
 		hits      int
+		collapsed int
 		failures  int
 		canceled  int
 		rejected  int
@@ -219,10 +248,10 @@ func run(cfg *loadConfig) error {
 		case o.abandond && o.err != nil && errors.Is(o.err, context.Canceled):
 			canceled++
 			continue
-		case o.status == http.StatusTooManyRequests:
+		case errors.Is(o.err, client.ErrQueueFull) || errors.Is(o.err, client.ErrQuotaExceeded):
 			rejected++
 			continue
-		case o.status == http.StatusGatewayTimeout:
+		case errors.Is(o.err, client.ErrDeadline):
 			deadlines++
 			continue
 		case o.err != nil:
@@ -232,28 +261,31 @@ func run(cfg *loadConfig) error {
 			}
 			continue
 		}
-		if o.hit {
+		switch o.cache {
+		case "hit":
 			hits++
+		case "collapsed":
+			collapsed++
 		}
 		lats = append(lats, float64(o.latency)/float64(time.Millisecond))
 	}
 	sort.Float64s(lats)
 	ok := len(lats)
 	fmt.Printf("codarload: %d requests (%d circuits × %d) against %s\n", len(reqs), len(circuits), cfg.repeat, cfg.server)
-	fmt.Printf("  arch=%s algo=%s durations=%q seed=%d concurrency=%d timeout=%v cancel-fraction=%v\n",
-		cfg.archName, cfg.algo, cfg.durations, cfg.seed, cfg.concurrency, cfg.timeout, cfg.cancelFraction)
-	fmt.Printf("  ok=%d failed=%d canceled=%d rejected=%d deadline=%d cache-hits=%d wall=%.2fs throughput=%.1f req/s\n",
-		ok, failures, canceled, rejected, deadlines, hits, wall.Seconds(), float64(ok)/wall.Seconds())
+	fmt.Printf("  arch=%s algo=%s durations=%q seed=%d concurrency=%d client=%q timeout=%v cancel-fraction=%v\n",
+		cfg.archName, cfg.algo, cfg.durations, cfg.seed, cfg.concurrency, cfg.clientID, cfg.timeout, cfg.cancelFraction)
+	fmt.Printf("  ok=%d failed=%d canceled=%d rejected=%d deadline=%d cache-hits=%d collapsed=%d wall=%.2fs throughput=%.1f req/s\n",
+		ok, failures, canceled, rejected, deadlines, hits, collapsed, wall.Seconds(), float64(ok)/wall.Seconds())
 	if ok > 0 {
 		fmt.Printf("  latency ms: p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
-			service.Percentile(lats, 0.50), service.Percentile(lats, 0.90),
-			service.Percentile(lats, 0.99), lats[ok-1])
+			metrics.Percentile(lats, 0.50), metrics.Percentile(lats, 0.90),
+			metrics.Percentile(lats, 0.99), lats[ok-1])
 	}
 	// A stats failure is a real error (the server is answering /v1/map but
 	// not /v1/stats); it is always surfaced exactly once — inline when the
 	// request failures take the exit reason, via the returned error (which
 	// main prints) otherwise.
-	statsErr := printServerStats(client, cfg.server)
+	statsErr := printServerStats(c)
 	if failures > 0 {
 		if statsErr != nil {
 			fmt.Fprintf(os.Stderr, "codarload: stats: %v\n", statsErr)
@@ -266,87 +298,26 @@ func run(cfg *loadConfig) error {
 	return nil
 }
 
-// waitHealthy polls /healthz until the server answers (bounded retries), so
-// the loader can be launched immediately after codard.
-func waitHealthy(client *http.Client, base string) error {
-	var lastErr error
-	for attempt := 0; attempt < 50; attempt++ {
-		resp, err := client.Get(base + "/healthz")
-		if err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
-			lastErr = fmt.Errorf("healthz: status %d", resp.StatusCode)
-		} else {
-			lastErr = err
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
-	return fmt.Errorf("server never became healthy: %w", lastErr)
-}
-
 // clientCancelAfter is how long an abandoned request stays in flight before
 // its context is canceled. Long enough for the request to reach the server
 // and (usually) start mapping, short enough that the disconnect lands
 // mid-mapping on anything but trivial circuits.
 const clientCancelAfter = 10 * time.Millisecond
 
-// postMap sends one mapping request and reports whether it was served from
-// the result cache, plus the HTTP status for outcome classification (0 when
-// the request never completed).
-func postMap(ctx context.Context, client *http.Client, base string, req service.MapRequest, timeout time.Duration) (hit bool, status int, err error) {
-	enc, err := json.Marshal(req)
-	if err != nil {
-		return false, 0, err
-	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/map", bytes.NewReader(enc))
-	if err != nil {
-		return false, 0, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	if timeout > 0 {
-		hreq.Header.Set("X-Codard-Timeout", timeout.String())
-	}
-	resp, err := client.Do(hreq)
-	if err != nil {
-		return false, 0, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return false, resp.StatusCode, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return false, resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
-	}
-	var mr service.MapResponse
-	if err := json.Unmarshal(body, &mr); err != nil {
-		return false, resp.StatusCode, fmt.Errorf("bad response body: %w", err)
-	}
-	if mr.MappedQASM == "" {
-		return false, resp.StatusCode, fmt.Errorf("empty mapped_qasm")
-	}
-	return resp.Header.Get("X-Codard-Cache") == "hit", resp.StatusCode, nil
-}
-
 // printServerStats fetches and prints the server-side /v1/stats view.
-func printServerStats(client *http.Client, base string) error {
-	resp, err := client.Get(base + "/v1/stats")
+func printServerStats(c *client.Client) error {
+	stats, err := c.Stats(context.Background())
 	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	var stats service.StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		return err
 	}
 	fmt.Printf("  server: requests=%d hit-rate=%.2f in-flight=%d workers=%d latency p50=%.1fms p99=%.1fms\n",
 		stats.Requests, stats.CacheHitRate, stats.InFlight, stats.Workers,
 		stats.Latency.P50, stats.Latency.P99)
-	fmt.Printf("  server: canceled=%d deadline-exceeded=%d rejected=%d panics=%d queue=%d/%d\n",
-		stats.Canceled, stats.DeadlineExceeded, stats.Rejected, stats.Panics,
+	fmt.Printf("  server: canceled=%d deadline-exceeded=%d rejected=%d quota-rejected=%d panics=%d queue=%d/%d\n",
+		stats.Canceled, stats.DeadlineExceeded, stats.Rejected, stats.QuotaRejected, stats.Panics,
 		stats.QueueDepth, stats.QueueCapacity)
+	fmt.Printf("  server: mappings=%d collapsed=%d handoffs=%d cache=%d/%d shards=%d pinned=%d evictions=%d\n",
+		stats.Mappings, stats.Collapsed, stats.Handoffs, stats.CacheSize, stats.CacheCapacity,
+		stats.CacheShards, stats.CachePinned, stats.CacheEvictions)
 	return nil
 }

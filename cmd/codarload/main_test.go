@@ -22,6 +22,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.cancelFraction != 0 {
 		t.Errorf("default cancel-fraction %v, want 0", cfg.cancelFraction)
 	}
+	if cfg.clientID != "codarload" {
+		t.Errorf("default client ID %q, want codarload", cfg.clientID)
+	}
 }
 
 // TestParseFlagsChaosMode: the fault-injection knobs parse and validate.

@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) rendering for the /metrics
+// endpoint. Hand-rolled on purpose: the format is four line shapes (HELP,
+// TYPE, sample, sample-with-labels) and pulling in a client library for
+// that would violate the repo's stdlib-only rule.
+
+// PromWriter accumulates metric families and renders them in the
+// Prometheus text format. Families render in the order first declared;
+// samples within a family render in insertion order. Not safe for
+// concurrent use — build one per scrape.
+type PromWriter struct {
+	order    []string
+	families map[string]*promFamily
+}
+
+type promFamily struct {
+	help    string
+	typ     string
+	samples []promSample
+}
+
+type promSample struct {
+	labels string // pre-rendered {k="v",...} or ""
+	value  float64
+}
+
+// NewPromWriter creates an empty scrape.
+func NewPromWriter() *PromWriter {
+	return &PromWriter{families: make(map[string]*promFamily)}
+}
+
+// Declare registers a metric family's HELP and TYPE ("counter" or
+// "gauge"). Declaring twice keeps the first help/type.
+func (p *PromWriter) Declare(name, typ, help string) {
+	if _, ok := p.families[name]; ok {
+		return
+	}
+	p.families[name] = &promFamily{help: help, typ: typ}
+	p.order = append(p.order, name)
+}
+
+// Counter declares (if needed) and appends an unlabelled counter sample.
+func (p *PromWriter) Counter(name, help string, value uint64) {
+	p.Declare(name, "counter", help)
+	p.sample(name, nil, float64(value))
+}
+
+// Gauge declares (if needed) and appends an unlabelled gauge sample.
+func (p *PromWriter) Gauge(name, help string, value float64) {
+	p.Declare(name, "gauge", help)
+	p.sample(name, nil, value)
+}
+
+// Labeled appends a sample with labels to an already-declared family.
+// Labels render sorted by key so scrapes are byte-stable.
+func (p *PromWriter) Labeled(name string, labels map[string]string, value float64) {
+	p.sample(name, labels, value)
+}
+
+func (p *PromWriter) sample(name string, labels map[string]string, value float64) {
+	fam, ok := p.families[name]
+	if !ok {
+		p.Declare(name, "gauge", "")
+		fam = p.families[name]
+	}
+	fam.samples = append(fam.samples, promSample{labels: renderLabels(labels), value: value})
+}
+
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the text-format label escapes: backslash, quote,
+// newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WriteTo renders the scrape.
+func (p *PromWriter) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, name := range p.order {
+		fam := p.families[name]
+		if fam.help != "" {
+			c, err := fmt.Fprintf(w, "# HELP %s %s\n", name, fam.help)
+			n += int64(c)
+			if err != nil {
+				return n, err
+			}
+		}
+		c, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, fam.typ)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+		for _, s := range fam.samples {
+			c, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatValue(s.value))
+			n += int64(c)
+			if err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// formatValue renders integers without an exponent or trailing zeros so
+// counters read naturally, and everything else in shortest-float form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Percentile reads the nearest-rank percentile from an ascending-sorted
+// slice. Shared by the service's /v1/stats summary and codarload's
+// client-side report so both quote the same rank convention.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromWriterRendersFamilies(t *testing.T) {
+	p := NewPromWriter()
+	p.Counter("codard_requests_total", "Completed map requests.", 42)
+	p.Gauge("codard_in_flight", "Jobs holding a worker slot.", 3)
+	p.Declare("codard_cache_hits_total", "counter", "Cache hits per shard.")
+	p.Labeled("codard_cache_hits_total", map[string]string{"shard": "0"}, 10)
+	p.Labeled("codard_cache_hits_total", map[string]string{"shard": "1"}, 7)
+
+	var b strings.Builder
+	if _, err := p.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP codard_requests_total Completed map requests.\n",
+		"# TYPE codard_requests_total counter\n",
+		"codard_requests_total 42\n",
+		"# TYPE codard_in_flight gauge\n",
+		"codard_in_flight 3\n",
+		`codard_cache_hits_total{shard="0"} 10` + "\n",
+		`codard_cache_hits_total{shard="1"} 7` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families render in declaration order.
+	if strings.Index(out, "codard_requests_total") > strings.Index(out, "codard_in_flight") {
+		t.Error("families out of declaration order")
+	}
+}
+
+func TestPromWriterEscapesLabels(t *testing.T) {
+	p := NewPromWriter()
+	p.Declare("m", "gauge", "")
+	p.Labeled("m", map[string]string{"k": "a\"b\\c\nd"}, 1)
+	var b strings.Builder
+	p.WriteTo(&b)
+	want := `m{k="a\"b\\c\nd"} 1` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("got %q, want substring %q", b.String(), want)
+	}
+}
+
+func TestPromWriterValueFormatting(t *testing.T) {
+	p := NewPromWriter()
+	p.Gauge("int_like", "", 12345)
+	p.Gauge("fractional", "", 2.5)
+	var b strings.Builder
+	p.WriteTo(&b)
+	if !strings.Contains(b.String(), "int_like 12345\n") {
+		t.Errorf("integer value rendered with noise: %q", b.String())
+	}
+	if !strings.Contains(b.String(), "fractional 2.5\n") {
+		t.Errorf("fractional value mangled: %q", b.String())
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0.50, 5},
+		{0.90, 9},
+		{0.99, 10},
+		{0.01, 1},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); got != c.want {
+			t.Errorf("Percentile(%.2f) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(empty) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,353 @@
+// Package persist implements the result-cache warm-start log: an
+// append-only file of (cache key, response bytes) records that the codard
+// service replays at boot, so a restart serves its hot circuits from cache
+// instead of recomputing every mapping cold.
+//
+// The format is deliberately dumb — length-prefixed records with a per-record
+// CRC behind a magic header — because the log is a cache, not a database:
+//
+//   - Appends are asynchronous and lossy under pressure (a full write queue
+//     drops the entry and counts it; correctness never depends on the log).
+//   - Loading tolerates a torn tail: the first record that fails its length
+//     or CRC check ends the replay, which is exactly the crash-mid-append
+//     case. Everything before it is intact by CRC.
+//   - Re-appended keys are deduplicated at load (last record wins), and a
+//     log carrying more dead records than live ones is compacted in place
+//     (rewrite + rename) before appending resumes.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// magic identifies (and versions) the log format.
+const magic = "CODARP1\n"
+
+// DefaultMaxBytes bounds log growth: appends that would push the file past
+// it are dropped (and counted). 256 MB holds ~100k typical mapped-circuit
+// responses — far beyond the in-memory cache they warm.
+const DefaultMaxBytes = 256 << 20
+
+// maxRecordBytes rejects absurd length prefixes at load time, so a corrupt
+// length cannot make the loader allocate gigabytes.
+const maxRecordBytes = 64 << 20
+
+// writeQueueDepth is the async append channel capacity. Beyond it, appends
+// drop: the serving path must never block on disk.
+const writeQueueDepth = 256
+
+// Log is an open warm-start log. Open loads the existing entries; Append
+// writes new ones asynchronously; Close flushes and syncs. All methods are
+// safe for concurrent use.
+type Log struct {
+	path     string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string][]byte // loaded at Open, in insertion order via order
+	order   []string
+
+	f    *os.File
+	w    *bufio.Writer
+	size int64
+
+	ch   chan record
+	done chan struct{}
+
+	closeMu   sync.RWMutex // guards closed vs. in-flight Append sends
+	closed    bool
+	closeOnce sync.Once
+
+	statsMu   sync.Mutex
+	appended  uint64
+	dropped   uint64
+	compacted bool
+}
+
+type record struct {
+	key string
+	val []byte
+}
+
+// Options tunes Open.
+type Options struct {
+	// MaxBytes bounds the file size; appends beyond it drop. 0 selects
+	// DefaultMaxBytes.
+	MaxBytes int64
+}
+
+// Open opens (creating if needed) the log at path, loads every intact
+// record, compacts the file when dead records outnumber live ones, and
+// starts the background append writer.
+func Open(path string, opts Options) (*Log, error) {
+	maxBytes := opts.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	l := &Log{
+		path:     path,
+		maxBytes: maxBytes,
+		entries:  make(map[string][]byte),
+		ch:       make(chan record, writeQueueDepth),
+		done:     make(chan struct{}),
+	}
+	dead, err := l.load()
+	if err != nil {
+		return nil, err
+	}
+	if dead > len(l.entries) {
+		if err := l.compact(); err != nil {
+			return nil, err
+		}
+		l.compacted = true
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.f = f
+	l.size = st.Size()
+	l.w = bufio.NewWriter(f)
+	if l.size == 0 {
+		if _, err := l.w.WriteString(magic); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.size = int64(len(magic))
+	}
+	go l.writer()
+	return l, nil
+}
+
+// load reads every intact record from the file into l.entries, returning
+// the count of dead (overwritten) records. A missing file is an empty log.
+func (l *Log) load() (dead int, err error) {
+	f, err := os.Open(l.path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		if err == io.EOF {
+			return 0, nil // empty file: treat as fresh
+		}
+		return 0, fmt.Errorf("persist: %s: reading header: %w", l.path, err)
+	}
+	if string(head) != magic {
+		return 0, fmt.Errorf("persist: %s: not a codard persistence log (bad magic)", l.path)
+	}
+	for {
+		key, val, err := readRecord(r)
+		if err != nil {
+			// A torn or corrupt tail ends the replay; everything already
+			// loaded is CRC-intact. io.EOF is the clean end.
+			return dead, nil
+		}
+		if _, exists := l.entries[key]; exists {
+			dead++
+		} else {
+			l.order = append(l.order, key)
+		}
+		l.entries[key] = val
+	}
+}
+
+// readRecord reads one length-prefixed, CRC-checked record.
+func readRecord(r *bufio.Reader) (key string, val []byte, err error) {
+	var lens [8]byte
+	if _, err := io.ReadFull(r, lens[:]); err != nil {
+		return "", nil, err
+	}
+	keyLen := binary.LittleEndian.Uint32(lens[0:4])
+	valLen := binary.LittleEndian.Uint32(lens[4:8])
+	if keyLen == 0 || keyLen > maxRecordBytes || valLen > maxRecordBytes {
+		return "", nil, fmt.Errorf("persist: implausible record lengths %d/%d", keyLen, valLen)
+	}
+	buf := make([]byte, int(keyLen)+int(valLen))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", nil, err
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return "", nil, err
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(buf) {
+		return "", nil, fmt.Errorf("persist: record CRC mismatch")
+	}
+	return string(buf[:keyLen]), buf[keyLen:], nil
+}
+
+// appendRecord writes one record through w and returns its encoded size.
+func appendRecord(w io.Writer, key string, val []byte) (int64, error) {
+	var lens [8]byte
+	binary.LittleEndian.PutUint32(lens[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(lens[4:8], uint32(len(val)))
+	if _, err := w.Write(lens[:]); err != nil {
+		return 0, err
+	}
+	crc := crc32.NewIEEE()
+	crc.Write([]byte(key))
+	crc.Write(val)
+	if _, err := io.WriteString(w, key); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(val); err != nil {
+		return 0, err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return 0, err
+	}
+	return int64(8 + len(key) + len(val) + 4), nil
+}
+
+// compact rewrites the file with only the live entries (tmp + rename, so a
+// crash mid-compaction leaves either the old or the new file, never a torn
+// one).
+func (l *Log) compact() error {
+	tmp := l.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(magic); err != nil {
+		f.Close()
+		return err
+	}
+	for _, key := range l.order {
+		if _, err := appendRecord(w, key, l.entries[key]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, l.path)
+}
+
+// Replay calls fn for every loaded entry in original insertion order. The
+// value slices are owned by the log's load buffer; treat them as read-only.
+func (l *Log) Replay(fn func(key string, val []byte)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, key := range l.order {
+		fn(key, l.entries[key])
+	}
+}
+
+// Loaded returns the number of entries replayable from the opened file.
+func (l *Log) Loaded() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Append enqueues one record for background write. It never blocks: when
+// the write queue is full (or the log was closed), the record is dropped
+// and counted — the log warms restarts, it is not a durability contract.
+func (l *Log) Append(key string, val []byte) {
+	l.closeMu.RLock()
+	defer l.closeMu.RUnlock()
+	if !l.closed {
+		select {
+		case l.ch <- record{key: key, val: val}:
+			return
+		default:
+		}
+	}
+	l.statsMu.Lock()
+	l.dropped++
+	l.statsMu.Unlock()
+}
+
+// writer drains the append queue onto disk.
+func (l *Log) writer() {
+	defer close(l.done)
+	for rec := range l.ch {
+		n := int64(8 + len(rec.key) + len(rec.val) + 4)
+		if l.size+n > l.maxBytes {
+			l.statsMu.Lock()
+			l.dropped++
+			l.statsMu.Unlock()
+			continue
+		}
+		if _, err := appendRecord(l.w, rec.key, rec.val); err != nil {
+			l.statsMu.Lock()
+			l.dropped++
+			l.statsMu.Unlock()
+			continue
+		}
+		l.size += n
+		l.statsMu.Lock()
+		l.appended++
+		l.statsMu.Unlock()
+	}
+	l.w.Flush()
+	l.f.Sync()
+	l.f.Close()
+}
+
+// Close flushes the pending appends, syncs and closes the file. Appends
+// after Close drop (counted). Close is idempotent.
+func (l *Log) Close() error {
+	l.closeOnce.Do(func() {
+		l.closeMu.Lock()
+		l.closed = true
+		close(l.ch)
+		l.closeMu.Unlock()
+	})
+	<-l.done
+	return nil
+}
+
+// Stats is a point-in-time view of the log's counters.
+type Stats struct {
+	Path      string
+	Loaded    int
+	Appended  uint64
+	Dropped   uint64
+	Compacted bool
+}
+
+// Stats returns the log's counters.
+func (l *Log) Stats() Stats {
+	l.statsMu.Lock()
+	defer l.statsMu.Unlock()
+	return Stats{
+		Path:      l.path,
+		Loaded:    l.Loaded(),
+		Appended:  l.appended,
+		Dropped:   l.dropped,
+		Compacted: l.compacted,
+	}
+}

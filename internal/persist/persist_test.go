@@ -1,0 +1,263 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// drain closes the log and waits for the writer goroutine to flush.
+func drain(t *testing.T, l *Log) {
+	t.Helper()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// waitAppended polls until the log reports n appended records or times out.
+func waitAppended(t *testing.T, l *Log, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.Stats().Appended >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d appends (have %d)", n, l.Stats().Appended)
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		v := fmt.Sprintf(`{"depth":%d}`+"\n", i)
+		want[k] = v
+		l.Append(k, []byte(v))
+	}
+	waitAppended(t, l, 50)
+	drain(t, l)
+
+	re, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer drain(t, re)
+	if re.Loaded() != len(want) {
+		t.Fatalf("Loaded = %d, want %d", re.Loaded(), len(want))
+	}
+	got := map[string]string{}
+	re.Replay(func(k string, v []byte) { got[k] = string(v) })
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %q: got %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestLaterRecordWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	l.Append("k", []byte("old"))
+	l.Append("k", []byte("new"))
+	waitAppended(t, l, 2)
+	drain(t, l)
+
+	re, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer drain(t, re)
+	if re.Loaded() != 1 {
+		t.Fatalf("Loaded = %d, want 1", re.Loaded())
+	}
+	re.Replay(func(k string, v []byte) {
+		if k != "k" || string(v) != "new" {
+			t.Errorf("got %q=%q, want k=new", k, v)
+		}
+	})
+}
+
+func TestTruncatedTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	l.Append("a", []byte("alpha"))
+	l.Append("b", []byte("beta"))
+	waitAppended(t, l, 2)
+	drain(t, l)
+
+	// Chop bytes off the tail, simulating a crash mid-append.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	re, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen after truncation: %v", err)
+	}
+	defer drain(t, re)
+	if re.Loaded() != 1 {
+		t.Fatalf("Loaded = %d after torn tail, want 1", re.Loaded())
+	}
+	re.Replay(func(k string, v []byte) {
+		if k != "a" || string(v) != "alpha" {
+			t.Errorf("surviving record %q=%q, want a=alpha", k, v)
+		}
+	})
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	l.Append("a", []byte("alpha"))
+	l.Append("b", []byte("beta"))
+	waitAppended(t, l, 2)
+	drain(t, l)
+
+	// Flip a byte inside the second record's value.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	raw[len(raw)-6] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+
+	re, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen after corruption: %v", err)
+	}
+	defer drain(t, re)
+	if re.Loaded() != 1 {
+		t.Fatalf("Loaded = %d after CRC corruption, want 1", re.Loaded())
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	if err := os.WriteFile(path, []byte("NOTALOG\ngarbage"), 0o644); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("Open accepted a file with a foreign magic header")
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// 2 live keys, rewritten 10x each: 18 dead records > 2 live.
+	for i := 0; i < 10; i++ {
+		l.Append("x", []byte(fmt.Sprintf("x%d", i)))
+		l.Append("y", []byte(fmt.Sprintf("y%d", i)))
+	}
+	waitAppended(t, l, 20)
+	drain(t, l)
+	before, _ := os.Stat(path)
+
+	re, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer drain(t, re)
+	if !re.Stats().Compacted {
+		t.Fatal("expected compaction with 18 dead vs 2 live records")
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink file: %d -> %d", before.Size(), after.Size())
+	}
+	if re.Loaded() != 2 {
+		t.Fatalf("Loaded = %d after compaction, want 2", re.Loaded())
+	}
+	re.Replay(func(k string, v []byte) {
+		if (k == "x" && string(v) != "x9") || (k == "y" && string(v) != "y9") {
+			t.Errorf("compacted %q=%q, want final generation", k, v)
+		}
+	})
+}
+
+func TestMaxBytesDrops(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	l, err := Open(path, Options{MaxBytes: int64(len(magic)) + 64})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	l.Append("fits", []byte("ok"))
+	waitAppended(t, l, 1)
+	l.Append("too-big", make([]byte, 256))
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && l.Stats().Dropped == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	st := l.Stats()
+	drain(t, l)
+	if st.Appended != 1 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 1 appended / 1 dropped", st)
+	}
+}
+
+func TestImplausibleLengthRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	// magic + a record claiming a multi-GB value.
+	buf := []byte(magic)
+	var lens [8]byte
+	binary.LittleEndian.PutUint32(lens[0:4], 1)
+	binary.LittleEndian.PutUint32(lens[4:8], 3<<30)
+	buf = append(buf, lens[:]...)
+	buf = append(buf, 'k')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer drain(t, l)
+	if l.Loaded() != 0 {
+		t.Fatalf("Loaded = %d from implausible record, want 0", l.Loaded())
+	}
+}
+
+func TestAppendAfterCloseDrops(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	drain(t, l)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Append after Close panicked: %v", r)
+		}
+	}()
+	// The channel is closed; select's default arm must absorb the send.
+	for i := 0; i < 10; i++ {
+		l.Append("late", []byte("x"))
+	}
+}

@@ -1,0 +1,24 @@
+package service
+
+import "codar/api"
+
+// The v1 wire types moved to package api (the versioned contract shared
+// with package client and external consumers). These aliases keep the
+// server-side names every existing embedder, test and benchmark uses —
+// they are the same types, not copies.
+type (
+	MapRequest      = api.MapRequest
+	PortfolioSpec   = api.PortfolioSpec
+	MapResponse     = api.MapResponse
+	PortfolioStats  = api.PortfolioStats
+	CandidateReport = api.CandidateReport
+	BatchRequest    = api.BatchRequest
+	BatchItem       = api.BatchItem
+	BatchResponse   = api.BatchResponse
+	DeviceSpec      = api.DeviceSpec
+	DurationsSpec   = api.DurationsSpec
+	DeviceInfo      = api.DeviceInfo
+	CalibrationInfo = api.CalibrationInfo
+	ErrorBody       = api.ErrorBody
+	ErrorEnvelope   = api.ErrorEnvelope
+)

@@ -1,0 +1,87 @@
+package service
+
+// Singleflight collapse for the result store: when N identical cold
+// requests arrive concurrently, GetOrJoin elects exactly one leader to run
+// the Codar mapping while the other N-1 park on the flight and share the
+// leader's bytes. This composes with the admission queue — followers never
+// take a worker slot — and with per-request deadlines: a leader that dies
+// for reasons of its *own* (its client hung up, its deadline expired)
+// finishes the flight in handoff mode, and each waiting follower loops back
+// into GetOrJoin where one of them becomes the next leader. Deterministic
+// failures (bad QASM, unknown device) are shared with followers instead, so
+// a poison request does not trigger a retry stampede.
+
+// flight is one in-progress computation of a cache key.
+type flight struct {
+	sh  *shard
+	key string
+
+	done    chan struct{}
+	val     []byte
+	err     *svcError
+	handoff bool
+
+	settled bool // guarded by sh.mu; makes finish/abort idempotent
+}
+
+// GetOrJoin is the cold-path entry to the store, one shard-locked
+// operation covering both lookup and flight election:
+//
+//   - cache hit:        returns (bytes, nil, false)
+//   - no flight underway: registers one, returns (nil, flight, true) —
+//     the caller is the leader and MUST settle the flight via finish,
+//     fail, or abort (deferred), or followers hang until their own
+//     deadlines fire.
+//   - flight underway:  returns (nil, flight, false) — the caller is a
+//     follower and waits on flight.wait.
+func (st *Store) GetOrJoin(key string) ([]byte, *flight, bool) {
+	sh := st.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if v, ok := sh.get(key); ok {
+		return v, nil, false
+	}
+	if f, ok := sh.flights[key]; ok {
+		return nil, f, false
+	}
+	f := &flight{sh: sh, key: key, done: make(chan struct{})}
+	sh.flights[key] = f
+	return nil, f, true
+}
+
+// settle removes the flight from its shard and wakes the followers. The
+// first call wins; later calls (e.g. the leader's deferred abort after a
+// normal finish) are no-ops.
+func (f *flight) settle(val []byte, err *svcError, handoff bool) {
+	f.sh.mu.Lock()
+	if f.settled {
+		f.sh.mu.Unlock()
+		return
+	}
+	f.settled = true
+	delete(f.sh.flights, f.key)
+	f.val, f.err, f.handoff = val, err, handoff
+	f.sh.mu.Unlock()
+	close(f.done)
+}
+
+// finish publishes the leader's successful bytes to the followers.
+func (f *flight) finish(val []byte) { f.settle(val, nil, false) }
+
+// fail publishes the leader's error. With handoff true (the leader's
+// failure was about the leader, not the request — 499 client-gone, 504
+// deadline), followers re-enter GetOrJoin and elect a new leader; with
+// handoff false the error is deterministic and every follower shares it.
+func (f *flight) fail(err *svcError, handoff bool) { f.settle(nil, err, handoff) }
+
+// abort is the leader's deferred safety net: if the flight is still open
+// when the leader unwinds (panic in the mapper, early return path that
+// forgot to settle), followers are released in handoff mode so one of them
+// retries instead of inheriting a blank 500 — the panic is the leader's
+// fault, not the request's. No-op after finish/fail.
+func (f *flight) abort() { f.settle(nil, nil, true) }
+
+// outcome reads the settled flight. Only valid after f.done is closed.
+func (f *flight) outcome() (val []byte, err *svcError, handoff bool) {
+	return f.val, f.err, f.handoff
+}

@@ -1,0 +1,222 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"codar/internal/chaos"
+)
+
+// TestSingleflightCollapse is the headline store assertion: N concurrent
+// identical cold requests perform exactly one mapping. The slow-mapper
+// injector holds the leader in the worker slot long enough for every
+// follower to join the flight; the responses must be byte-identical and
+// the disposition split must be 1 miss + N-1 collapsed. Run under -race in
+// CI (tier-1 includes the race pass).
+func TestSingleflightCollapse(t *testing.T) {
+	const n = 8
+	s := newTestServer(t, Config{
+		Workers: 4,
+		Chaos:   &chaos.Injector{SlowMapper: 200 * time.Millisecond},
+	})
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		bodies [][]byte
+		disps  = map[string]int{}
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := do(t, s, http.MethodPost, "/v1/map", MapRequest{QASM: ghzQASM, Arch: "tokyo"})
+			mu.Lock()
+			defer mu.Unlock()
+			if w.Code != http.StatusOK {
+				t.Errorf("status = %d: %s", w.Code, w.Body.String())
+				return
+			}
+			bodies = append(bodies, w.Body.Bytes())
+			disps[w.Header().Get(cacheHeader)]++
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for _, b := range bodies[1:] {
+		if !bytes.Equal(b, bodies[0]) {
+			t.Fatal("concurrent identical requests returned different bytes")
+		}
+	}
+	st := s.statsSnapshot()
+	if st.Mappings != 1 {
+		t.Fatalf("mappings = %d, want exactly 1 for %d identical concurrent requests", st.Mappings, n)
+	}
+	if st.Collapsed != uint64(n-1) {
+		t.Fatalf("collapsed = %d, want %d", st.Collapsed, n-1)
+	}
+	// Disposition split: the leader reports miss, everyone else collapsed.
+	if disps[dispMiss] != 1 || disps[dispCollapsed] != n-1 {
+		t.Fatalf("dispositions = %v, want 1 miss / %d collapsed", disps, n-1)
+	}
+	// And the work is actually cached: one more request is a plain hit.
+	w := do(t, s, http.MethodPost, "/v1/map", MapRequest{QASM: ghzQASM, Arch: "tokyo"})
+	if got := w.Header().Get(cacheHeader); got != dispHit {
+		t.Fatalf("follow-up disposition = %q, want hit", got)
+	}
+}
+
+// TestSingleflightLeaderCancelHandoff proves a canceled leader does not
+// poison its followers: the leader's request context is canceled mid-map,
+// a follower takes over the flight, recomputes, and succeeds.
+func TestSingleflightLeaderCancelHandoff(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers: 4,
+		Chaos:   &chaos.Injector{SlowMapper: 300 * time.Millisecond},
+	})
+	body, _ := json.Marshal(MapRequest{QASM: ghzQASM, Arch: "tokyo"})
+
+	// Leader: its own context dies shortly after it takes the flight.
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan int, 1)
+	go func() {
+		req := httptest.NewRequest(http.MethodPost, "/v1/map", bytes.NewReader(body)).WithContext(leaderCtx)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		leaderDone <- w.Code
+	}()
+	// Let the leader win the flight election before the follower arrives.
+	time.Sleep(50 * time.Millisecond)
+
+	followerDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		req := httptest.NewRequest(http.MethodPost, "/v1/map", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		followerDone <- w
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancelLeader()
+
+	if code := <-leaderDone; code != statusClientClosedRequest {
+		t.Fatalf("leader status = %d, want %d (client closed)", code, statusClientClosedRequest)
+	}
+	fw := <-followerDone
+	if fw.Code != http.StatusOK {
+		t.Fatalf("follower status = %d after handoff, want 200: %s", fw.Code, fw.Body.String())
+	}
+	st := s.statsSnapshot()
+	if st.Handoffs == 0 {
+		t.Fatal("handoffs counter did not move: follower never retook the flight")
+	}
+	if st.Mappings != 1 {
+		t.Fatalf("mappings = %d, want 1 (the follower's retake)", st.Mappings)
+	}
+	if st.Canceled == 0 {
+		t.Fatal("canceled counter did not move for the dead leader")
+	}
+}
+
+// TestSingleflightSharesDeterministicErrors proves the other half of the
+// handoff rule: a failure caused by the request itself (bad QASM) is
+// shared with followers instead of retried — no stampede on poison keys.
+func TestSingleflightSharesDeterministicErrors(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers: 2,
+		Chaos:   &chaos.Injector{SlowMapper: 200 * time.Millisecond},
+	})
+	const n = 4
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		statuses = map[int]int{}
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := do(t, s, http.MethodPost, "/v1/map", MapRequest{QASM: "OPENQASM 2.0; junk", Arch: "tokyo"})
+			mu.Lock()
+			statuses[w.Code]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if statuses[http.StatusBadRequest] != n {
+		t.Fatalf("statuses = %v, want all %d as 400", statuses, n)
+	}
+	st := s.statsSnapshot()
+	// At most one goroutine led each flight generation; with the slow
+	// mapper holding the leader, the common case is exactly one attempt.
+	// The invariant that must hold strictly: no successful mapping, no
+	// handoffs (the failure is deterministic, not leader-owned).
+	if st.Mappings != 0 {
+		t.Fatalf("mappings = %d for a request that cannot map", st.Mappings)
+	}
+	if st.Handoffs != 0 {
+		t.Fatalf("handoffs = %d, want 0 for a deterministic failure", st.Handoffs)
+	}
+}
+
+// TestFlightAbortReleasesFollowers exercises the leader-panic safety net
+// directly: an aborted flight wakes followers in handoff mode.
+func TestFlightAbortReleasesFollowers(t *testing.T) {
+	st := NewStore(StoreConfig{Capacity: 8, Shards: 1})
+	_, f, leader := st.GetOrJoin("k")
+	if !leader {
+		t.Fatal("first joiner should lead")
+	}
+	_, f2, leader2 := st.GetOrJoin("k")
+	if leader2 || f2 != f {
+		t.Fatal("second joiner should follow the same flight")
+	}
+	go f.abort()
+	select {
+	case <-f2.done:
+	case <-time.After(time.Second):
+		t.Fatal("abort did not release the follower")
+	}
+	if val, err, handoff := f2.outcome(); val != nil || err != nil || !handoff {
+		t.Fatalf("outcome = (%v, %v, %v), want handoff", val, err, handoff)
+	}
+	// The key is free again: the next joiner leads a fresh flight.
+	if _, _, lead := st.GetOrJoin("k"); !lead {
+		t.Fatal("aborted flight still registered in the shard")
+	}
+}
+
+// TestBatchItemsReportCacheDisposition checks the new per-item Cache field
+// uses the header vocabulary.
+func TestBatchItemsReportCacheDisposition(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	// Prime the cache.
+	if w := do(t, s, http.MethodPost, "/v1/map", MapRequest{QASM: ghzQASM, Arch: "tokyo"}); w.Code != http.StatusOK {
+		t.Fatalf("prime: %d", w.Code)
+	}
+	batch := BatchRequest{Requests: []MapRequest{
+		{QASM: ghzQASM, Arch: "tokyo"},                // hit
+		{QASM: ghzQASM, Arch: "tokyo", Algo: "sabre"}, // miss
+		{QASM: ghzQASM, Arch: "nonexistent"},          // error: no disposition
+	}}
+	w := do(t, s, http.MethodPost, "/v1/map/batch", batch)
+	var resp BatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Items[0].Cache != dispHit || !resp.Items[0].Cached {
+		t.Fatalf("item 0 = %+v, want cache hit", resp.Items[0])
+	}
+	if resp.Items[1].Cache != dispMiss || resp.Items[1].Cached {
+		t.Fatalf("item 1 = %+v, want cache miss", resp.Items[1])
+	}
+	if resp.Items[2].Cache != "" || resp.Items[2].Error == nil {
+		t.Fatalf("item 2 = %+v, want error row without disposition", resp.Items[2])
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"codar/api"
 	"codar/internal/arch"
 	"codar/internal/calib"
 	"codar/internal/circuit"
@@ -24,70 +25,26 @@ import (
 	"codar/internal/schedule"
 )
 
-// cacheHeader reports cache disposition per response: "hit", "miss", or
-// "bypass" (endpoints that never touch the cache). The disposition lives in
-// a header — not the body — so hits can return the stored bytes verbatim.
-const cacheHeader = "X-Codard-Cache"
+// cacheHeader reports cache disposition per response. The disposition
+// lives in a header — not the body — so hits can return the stored bytes
+// verbatim.
+const cacheHeader = api.HeaderCache
 
-// MapRequest is the POST /v1/map body.
-type MapRequest struct {
-	// QASM is the OpenQASM 2.0 source of the circuit to map.
-	QASM string `json:"qasm"`
-	// Arch names the target device: a builtin (tokyo, melbourne, enfield,
-	// sycamore, q5, qx4, grid3x4, linear9, ring12, ...) or an uploaded one.
-	Arch string `json:"arch"`
-	// Algo selects the mapper: "codar" (default) or "sabre".
-	Algo string `json:"algo,omitempty"`
-	// Durations names a duration preset (superconducting, iontrap,
-	// neutralatom, uniform); empty keeps the device's own durations.
-	Durations string `json:"durations,omitempty"`
-	// Seed drives the SABRE reverse-traversal initial layout; 0 selects the
-	// experiments default (1).
-	Seed int64 `json:"seed,omitempty"`
-	// Baseline requests a SABRE baseline mapping for the speedup metric.
-	// Defaults to true when Algo is codar (nil = default).
-	Baseline *bool `json:"baseline,omitempty"`
-	// Calibrated requests fidelity-weighted mapping under the device's
-	// uploaded calibration snapshot (POST /v1/devices/{name}/calibration).
-	// 400 when the device has none. Default false: uncalibrated requests
-	// are untouched by calibration uploads, bytes included.
-	Calibrated bool `json:"calibrated,omitempty"`
-	// Portfolio, when present, replaces the single-shot pipeline with the
-	// multi-start portfolio search (internal/portfolio): seeds × placements
-	// × algorithms race, the objective picks the winner, and the response
-	// gains per-candidate stats. Algo, Seed and Baseline do not affect a
-	// portfolio mapping — they are canonicalized out of the cache key —
-	// but invalid enum values (e.g. an unknown algo) are still rejected.
-	// The spec (normalized) is folded into the result-cache key.
-	Portfolio *PortfolioSpec `json:"portfolio,omitempty"`
-	// pspec is the normalized portfolio spec (set by normalize when
-	// Portfolio is present).
-	pspec *portfolio.Spec
-}
-
-// PortfolioSpec is the portfolio block of a MapRequest.
-type PortfolioSpec struct {
-	// Seeds drive the seeded placement methods; empty selects the package
-	// default ({1, 2}).
-	Seeds []int64 `json:"seeds,omitempty"`
-	// Placements names the initial-layout strategies (trivial, random,
-	// dense, sabre-reverse); empty selects all four.
-	Placements []string `json:"placements,omitempty"`
-	// Algorithms names the mappers (codar, sabre); empty selects both.
-	Algorithms []string `json:"algorithms,omitempty"`
-	// Objective is min-depth (default), min-swaps, or max-esp (requires
-	// calibrated: true).
-	Objective string `json:"objective,omitempty"`
-}
+// Cache dispositions carried by cacheHeader and BatchItem.Cache.
+const (
+	dispHit       = "hit"       // served from the result store
+	dispMiss      = "miss"      // computed by this request (the flight leader)
+	dispCollapsed = "collapsed" // computed once by a concurrent identical request and shared
+)
 
 // maxPortfolioCandidates bounds the candidate grid of one request: the
 // portfolio runs serially inside one worker-pool slot, so the grid size is
 // the request's cost multiplier.
 const maxPortfolioCandidates = 64
 
-// spec resolves the request block into a normalized portfolio.Spec
-// (defaults applied; calibration attached by the caller).
-func (p *PortfolioSpec) spec() (portfolio.Spec, *svcError) {
+// specOf resolves a request's portfolio block into a normalized
+// portfolio.Spec (defaults applied; calibration attached by the caller).
+func specOf(p *PortfolioSpec) (portfolio.Spec, *svcError) {
 	s := portfolio.Spec{Seeds: p.Seeds}
 	if p.Objective != "" {
 		obj, err := portfolio.ParseObjective(p.Objective)
@@ -125,7 +82,7 @@ func (p *PortfolioSpec) spec() (portfolio.Spec, *svcError) {
 	return s, nil
 }
 
-// key renders the normalized spec canonically for the result-cache key.
+// specKey renders the normalized spec canonically for the result-cache key.
 func specKey(s portfolio.Spec) string {
 	var b strings.Builder
 	b.WriteString("seeds=")
@@ -153,73 +110,27 @@ func specKey(s portfolio.Spec) string {
 	return b.String()
 }
 
-// MapResponse is the POST /v1/map body on success.
-type MapResponse struct {
-	MappedQASM string `json:"mapped_qasm"`
-	Device     string `json:"device"`
-	Algo       string `json:"algo"`
-	Durations  string `json:"durations,omitempty"`
-	Seed       int64  `json:"seed"`
-
-	InputQubits   int `json:"input_qubits"`
-	InputGates    int `json:"input_gates"`
-	OutputGates   int `json:"output_gates"`
-	Swaps         int `json:"swaps"`
-	Depth         int `json:"depth"`
-	WeightedDepth int `json:"weighted_depth"`
-
-	// Baseline block (present when a SABRE baseline was computed):
-	// Speedup is baseline weighted depth / this mapper's weighted depth,
-	// the paper's Fig 8 y-axis.
-	BaselineWeightedDepth int     `json:"baseline_weighted_depth,omitempty"`
-	BaselineSwaps         int     `json:"baseline_swaps,omitempty"`
-	Speedup               float64 `json:"speedup,omitempty"`
-
-	// Calibration block (present on calibrated requests): the snapshot
-	// hash the mapping was computed under, and the estimated success
-	// probabilities of this mapper's output (and the baseline's, when one
-	// was computed). The ESP fields are pointers so that a legitimate
-	// estimate of exactly 0 (deep circuits underflow the survival product)
-	// is still serialised rather than dropped by omitempty — presence
-	// tracks "was calibrated", not "is non-zero".
-	Calibration        string   `json:"calibration,omitempty"`
-	EstSuccess         *float64 `json:"est_success,omitempty"`
-	BaselineEstSuccess *float64 `json:"baseline_est_success,omitempty"`
-
-	// Portfolio block (present on portfolio requests): the objective, the
-	// winning candidate, and one stats row per grid point.
-	Portfolio *PortfolioStats `json:"portfolio,omitempty"`
-}
-
-// PortfolioStats is the portfolio block of a MapResponse. The winner's own
-// stats row is candidates[winner_index] — it is not duplicated.
-type PortfolioStats struct {
-	Objective   string             `json:"objective"`
-	WinnerIndex int                `json:"winner_index"`
-	Completed   int                `json:"completed"`
-	Candidates  []portfolio.Report `json:"candidates"`
-}
-
-// WinnerReport returns the winning candidate's stats row.
-func (p *PortfolioStats) WinnerReport() portfolio.Report { return p.Candidates[p.WinnerIndex] }
-
-// normalize applies request defaults and validates enum fields.
-func (req *MapRequest) normalize() *svcError {
+// normalizeRequest applies request defaults, validates enum fields, and —
+// for portfolio requests — returns the normalized portfolio spec (nil
+// otherwise). The spec travels beside the request rather than inside it:
+// MapRequest is the pure wire type from package api now, so server-side
+// derived state cannot hide in it.
+func normalizeRequest(req *MapRequest) (*portfolio.Spec, *svcError) {
 	if req.QASM == "" {
-		return errBadRequest("missing qasm")
+		return nil, errBadRequest("missing qasm")
 	}
 	if req.Arch == "" {
-		return errBadRequest("missing arch")
+		return nil, errBadRequest("missing arch")
 	}
 	if req.Algo == "" {
 		req.Algo = "codar"
 	}
 	if req.Algo != "codar" && req.Algo != "sabre" {
-		return errBadRequest("unknown algo %q (want codar or sabre)", req.Algo)
+		return nil, errBadRequest("unknown algo %q (want codar or sabre)", req.Algo)
 	}
 	if req.Durations != "" {
 		if _, ok := durationsByName(req.Durations); !ok {
-			return errBadRequest("unknown durations preset %q (want superconducting, iontrap, neutralatom or uniform)", req.Durations)
+			return nil, errBadRequest("unknown durations preset %q (want superconducting, iontrap, neutralatom or uniform)", req.Durations)
 		}
 	}
 	if req.Seed == 0 {
@@ -233,6 +144,7 @@ func (req *MapRequest) normalize() *svcError {
 	if req.Baseline != nil && !*req.Baseline {
 		b = false
 	}
+	var pspec *portfolio.Spec
 	if req.Portfolio != nil {
 		// Portfolio mode races both algorithms itself; the single-shot
 		// baseline is forced off (not just defaulted) and the ignored
@@ -241,21 +153,21 @@ func (req *MapRequest) normalize() *svcError {
 		b = false
 		req.Algo = "codar"
 		req.Seed = experiments.Seed
-		spec, serr := req.Portfolio.spec()
+		spec, serr := specOf(req.Portfolio)
 		if serr != nil {
-			return serr
+			return nil, serr
 		}
 		if spec.Objective == portfolio.ObjectiveMaxESP && !req.Calibrated {
-			return errBadRequest("portfolio objective max-esp needs calibrated: true")
+			return nil, errBadRequest("portfolio objective max-esp needs calibrated: true")
 		}
-		req.pspec = &spec
+		pspec = &spec
 	}
 	req.Baseline = &b
-	return nil
+	return pspec, nil
 }
 
-// cacheKey derives the result-cache key. Every field that can change the
-// mapped output participates: the circuit text (hashed), the resolved
+// cacheKeyFor derives the result-cache key. Every field that can change
+// the mapped output participates: the circuit text (hashed), the resolved
 // device name, the algorithm, the durations preset, the seed, the baseline
 // flag and — on calibrated requests — the calibration snapshot hash. Seed
 // and durations are load-bearing — the initial layout is a function of the
@@ -264,14 +176,15 @@ func (req *MapRequest) normalize() *svcError {
 // placement and routing, and re-uploading a snapshot must invalidate every
 // result computed under the old one (DESIGN.md §8). calHash is empty for
 // uncalibrated requests, which therefore keep their pre-calibration keys.
-func (req *MapRequest) cacheKey(deviceName, calHash string) string {
+// The leading bytes of the key double as the store's shard selector.
+func cacheKeyFor(req *MapRequest, pspec *portfolio.Spec, deviceName, calHash string) string {
 	h := sha256.New()
 	h.Write([]byte(req.QASM))
 	fmt.Fprintf(h, "\x00%s\x00%s\x00%s\x00%d\x00%t\x00%s", deviceName, req.Algo, req.Durations, req.Seed, *req.Baseline, calHash)
 	// Portfolio requests key on the *normalized* spec, so an explicit
 	// spelling of the defaults shares its entry with the empty block.
-	if req.pspec != nil {
-		fmt.Fprintf(h, "\x00portfolio:%s", specKey(*req.pspec))
+	if pspec != nil {
+		fmt.Fprintf(h, "\x00portfolio:%s", specKey(*pspec))
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -281,7 +194,7 @@ func (req *MapRequest) cacheKey(deviceName, calHash string) string {
 func (s *Server) resolveDevice(req *MapRequest) (*arch.Device, *svcError) {
 	dev, err := s.registry.Resolve(req.Arch)
 	if err != nil {
-		return nil, errNotFound("%v", err)
+		return nil, errUnknownDevice("%v", err)
 	}
 	if req.Durations != "" {
 		d, ok := durationsByName(req.Durations)
@@ -298,17 +211,17 @@ func (s *Server) resolveDevice(req *MapRequest) (*arch.Device, *svcError) {
 // non-nil. The context cancels the mapping mid-run (client disconnect,
 // deadline, drain). It is pure with respect to server state (no cache, no
 // counters), so the single and batch paths share it.
-func (s *Server) mapOne(ctx context.Context, req *MapRequest, dev *arch.Device, cal *Calibration) (*MapResponse, *svcError) {
+func (s *Server) mapOne(ctx context.Context, req *MapRequest, pspec *portfolio.Spec, dev *arch.Device, cal *Calibration) (*MapResponse, *svcError) {
 	if err := s.cfg.Chaos.BeforeMap(ctx); err != nil {
 		return nil, mapSvcError("chaos", err)
 	}
 	parsed, err := qasm.Parse(req.QASM)
 	if err != nil {
-		return nil, errBadRequest("bad qasm: %v", err)
+		return nil, errBadQASM("bad qasm: %v", err)
 	}
 	c := circuit.Decompose(parsed)
 	if c.NumQubits > dev.NumQubits {
-		return nil, errBadRequest("circuit needs %d qubits but %s has %d", c.NumQubits, dev.Name, dev.NumQubits)
+		return nil, errBadQASM("circuit needs %d qubits but %s has %d", c.NumQubits, dev.Name, dev.NumQubits)
 	}
 	resp := &MapResponse{
 		Device:      dev.Name,
@@ -320,8 +233,8 @@ func (s *Server) mapOne(ctx context.Context, req *MapRequest, dev *arch.Device, 
 	}
 	// The portfolio generates its own placements per candidate, so it
 	// branches off before the single-shot initial layout is computed.
-	if req.pspec != nil {
-		return s.mapPortfolio(ctx, req, dev, cal, c, resp)
+	if pspec != nil {
+		return s.mapPortfolio(ctx, pspec, dev, cal, c, resp)
 	}
 	coreOpts := core.Options{Ctx: ctx}
 	sabreOpts := sabre.Options{Ctx: ctx}
@@ -385,8 +298,8 @@ func (s *Server) mapOne(ctx context.Context, req *MapRequest, dev *arch.Device, 
 // abandon off — concurrent cold computations of one cache key must produce
 // byte-identical responses, and which losers get abandoned is the one
 // timing-dependent part of a portfolio report (DESIGN.md §9).
-func (s *Server) mapPortfolio(ctx context.Context, req *MapRequest, dev *arch.Device, cal *Calibration, c *circuit.Circuit, resp *MapResponse) (*MapResponse, *svcError) {
-	spec := *req.pspec
+func (s *Server) mapPortfolio(ctx context.Context, pspec *portfolio.Spec, dev *arch.Device, cal *Calibration, c *circuit.Circuit, resp *MapResponse) (*MapResponse, *svcError) {
+	spec := *pspec
 	spec.Ctx = ctx
 	spec.Workers = 1
 	spec.EarlyAbandon = false
@@ -417,9 +330,31 @@ func (s *Server) mapPortfolio(ctx context.Context, req *MapRequest, dev *arch.De
 		Objective:   string(pres.Objective),
 		WinnerIndex: pres.WinnerIndex,
 		Completed:   pres.Completed,
-		Candidates:  pres.Candidates,
+		Candidates:  candidateReports(pres.Candidates),
 	}
 	return resp, nil
+}
+
+// candidateReports converts the portfolio engine's reports into the wire
+// shape. The JSON rendering is field-for-field identical; the copy exists
+// because package api must not depend on internal/portfolio.
+func candidateReports(rs []portfolio.Report) []api.CandidateReport {
+	out := make([]api.CandidateReport, len(rs))
+	for i, r := range rs {
+		out[i] = api.CandidateReport{
+			Index:     r.Index,
+			Seed:      r.Seed,
+			Placement: string(r.Placement),
+			Algorithm: string(r.Algorithm),
+			Depth:     r.Depth,
+			Swaps:     r.Swaps,
+			ESP:       r.ESP,
+			Score:     r.Score,
+			Abandoned: r.Abandoned,
+			Err:       r.Err,
+		}
+	}
+	return out
 }
 
 // depthAndESP computes a mapped circuit's weighted depth and — when a
@@ -435,70 +370,160 @@ func depthAndESP(c *circuit.Circuit, dev *arch.Device, cal *Calibration) (int, *
 	sched := schedule.ASAP(c, dev.Durations)
 	esp, err := cal.Snap.Success(sched, dev)
 	if err != nil {
-		return 0, nil, &svcError{status: http.StatusInternalServerError, msg: fmt.Sprintf("success estimate: %v", err)}
+		return 0, nil, errInternal("success estimate: %v", err)
 	}
 	return sched.Makespan, &esp, nil
 }
 
-// mapBytes answers one map request with the rendered response body,
-// serving from the cache when possible. On a miss, the mapping job is
-// admitted (acquire: bounded queue, 429 beyond it) and runs inside a
-// worker-pool slot under ctx; the marshalled bytes are cached so a hit is
-// byte-identical to the original response. A canceled or failed job never
-// reaches the cache — Put is only on the success path — so cancellation
-// cannot plant partial entries.
-func (s *Server) mapBytes(ctx context.Context, req *MapRequest) (body []byte, hit bool, serr *svcError) {
-	if serr := req.normalize(); serr != nil {
-		return nil, false, serr
+// mapBytes answers one map request with the rendered response body and its
+// cache disposition (dispHit / dispMiss / dispCollapsed). The store's
+// singleflight collapses concurrent identical cold requests: the first
+// becomes the flight leader — admitted through acquire (bounded queue, 429
+// beyond it), mapped inside a worker-pool slot under its own ctx — and the
+// rest park on the flight without consuming worker slots, then share the
+// leader's bytes. A leader that dies for reasons of its own (client gone:
+// 499, deadline: 504) hands the flight off — each parked follower loops
+// back and one becomes the next leader — while deterministic failures (bad
+// QASM, unknown device, queue-full) are shared, so a poison request cannot
+// trigger a retry stampede. A canceled or failed job never reaches the
+// cache — Put is only on the success path — so cancellation cannot plant
+// partial entries.
+func (s *Server) mapBytes(ctx context.Context, req *MapRequest) (body []byte, disposition string, serr *svcError) {
+	pspec, serr := normalizeRequest(req)
+	if serr != nil {
+		return nil, "", serr
 	}
 	// Resolve before hashing so aliases (tokyo, q20, ibm-q20-tokyo) share
 	// one cache entry, and unknown devices 404 without burning a miss.
 	dev, serr := s.resolveDevice(req)
 	if serr != nil {
-		return nil, false, serr
+		return nil, "", serr
 	}
 	var cal *Calibration
 	if req.Calibrated {
 		var ok bool
 		if cal, ok = s.registry.Calibration(dev.Name); !ok {
-			return nil, false, errBadRequest("device %q has no calibration; upload one via POST /v1/devices/%s/calibration", dev.Name, req.Arch)
+			return nil, "", errBadRequest("device %q has no calibration; upload one via POST /v1/devices/%s/calibration", dev.Name, req.Arch)
 		}
 	}
 	calHash := ""
 	if cal != nil {
 		calHash = cal.Hash
 	}
-	key := req.cacheKey(dev.Name, calHash)
-	if cached, ok := s.cache.Get(key); ok {
-		return cached, true, nil
+	key := cacheKeyFor(req, pspec, dev.Name, calHash)
+	for {
+		cached, f, leader := s.cache.GetOrJoin(key)
+		if f == nil {
+			return cached, dispHit, nil
+		}
+		if leader {
+			return s.leadFlight(ctx, f, req, pspec, dev, cal, key)
+		}
+		// Follower: wait for the leader without holding a worker slot.
+		select {
+		case <-f.done:
+			val, ferr, handoff := f.outcome()
+			switch {
+			case ferr == nil && val != nil:
+				s.stats.collapsed.Inc()
+				return val, dispCollapsed, nil
+			case handoff:
+				// The leader's failure was its own (canceled, deadline,
+				// panic); retry — GetOrJoin elects the next leader, unless
+				// this follower's context has fired too.
+				s.stats.handoffs.Inc()
+				if ctx.Err() != nil {
+					return nil, "", ctxSvcError(ctx)
+				}
+				continue
+			case ferr != nil:
+				return nil, "", ferr
+			default:
+				return nil, "", errInternal("flight settled without result")
+			}
+		case <-ctx.Done():
+			return nil, "", ctxSvcError(ctx)
+		}
 	}
+}
+
+// leadFlight runs one mapping as the singleflight leader and settles the
+// flight with the outcome. The deferred abort is the panic path: if the
+// mapper panics, parked followers are released in handoff mode (the panic
+// propagates to the caller's recover boundary and answers this request
+// alone), and one of them retries.
+func (s *Server) leadFlight(ctx context.Context, f *flight, req *MapRequest, pspec *portfolio.Spec, dev *arch.Device, cal *Calibration, key string) (body []byte, disposition string, serr *svcError) {
+	settled := false
+	defer func() {
+		if !settled {
+			f.abort()
+		}
+	}()
 	release, serr := s.acquire(ctx)
 	if serr != nil {
-		return nil, false, serr
+		// Rejections about this leader (its context fired while queueing)
+		// hand off; queue-full applies to any would-be leader right now and
+		// is shared, so N followers produce one 429 wave, not N retries.
+		handoff := serr.status == statusClientClosedRequest || serr.status == http.StatusGatewayTimeout
+		f.fail(serr, handoff)
+		settled = true
+		return nil, "", serr
 	}
 	defer release()
-	resp, serr := s.mapOne(ctx, req, dev, cal)
+	resp, serr := s.mapOne(ctx, req, pspec, dev, cal)
 	if serr != nil {
-		return nil, false, serr
+		handoff := serr.status == statusClientClosedRequest || serr.status == http.StatusGatewayTimeout
+		f.fail(serr, handoff)
+		settled = true
+		return nil, "", serr
 	}
-	body, err := json.Marshal(resp)
+	raw, err := json.Marshal(resp)
 	if err != nil {
-		return nil, false, &svcError{status: http.StatusInternalServerError, msg: "encoding failure"}
+		e := errInternal("encoding failure")
+		f.fail(e, false)
+		settled = true
+		return nil, "", e
 	}
-	body = append(body, '\n')
-	s.cache.Put(key, body)
-	return body, false, nil
+	raw = append(raw, '\n')
+	s.stats.mappings.Inc()
+	s.cache.Put(key, raw)
+	f.finish(raw)
+	settled = true
+	return raw, dispMiss, nil
+}
+
+// checkQuota charges n requests against the caller's per-client bucket
+// (identified by the X-Codard-Client header; absent shares the anonymous
+// bucket). Nil when admitted or when quotas are disabled.
+func (s *Server) checkQuota(r *http.Request, n int) *svcError {
+	if s.quotas == nil {
+		return nil
+	}
+	client := r.Header.Get(api.HeaderClient)
+	ok, retryAfter := s.quotas.allow(client, n)
+	if ok {
+		return nil
+	}
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return errQuota(client, secs)
 }
 
 // handleMap implements POST /v1/map.
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, &svcError{status: http.StatusMethodNotAllowed, msg: "map is POST-only"})
+		s.writeError(w, errMethodNotAllowed(http.MethodPost, "/v1/map"))
 		return
 	}
 	start := time.Now()
 	var req MapRequest
 	if serr := decodeJSON(r, &req); serr != nil {
+		s.writeError(w, serr)
+		return
+	}
+	if serr := s.checkQuota(r, 1); serr != nil {
 		s.writeError(w, serr)
 		return
 	}
@@ -508,7 +533,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	body, fromCache, serr := s.mapBytes(ctx, &req)
+	body, disposition, serr := s.mapBytes(ctx, &req)
 	s.stats.requests.Add(1)
 	s.stats.observe(time.Since(start))
 	if serr != nil {
@@ -516,31 +541,8 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if fromCache {
-		w.Header().Set(cacheHeader, "hit")
-	} else {
-		w.Header().Set(cacheHeader, "miss")
-	}
+	w.Header().Set(cacheHeader, disposition)
 	w.Write(body)
-}
-
-// BatchRequest is the POST /v1/map/batch body.
-type BatchRequest struct {
-	Requests []MapRequest `json:"requests"`
-}
-
-// BatchItem is one element of the batch response: either a result or an
-// error, mirroring the single-request status codes.
-type BatchItem struct {
-	Result json.RawMessage `json:"result,omitempty"`
-	Error  string          `json:"error,omitempty"`
-	Status int             `json:"status"`
-	Cached bool            `json:"cached"`
-}
-
-// BatchResponse is the POST /v1/map/batch body: items in request order.
-type BatchResponse struct {
-	Items []BatchItem `json:"items"`
 }
 
 // handleMapBatch implements POST /v1/map/batch: the circuits fan out
@@ -553,7 +555,7 @@ type BatchResponse struct {
 // silently burning workers on a dead request.
 func (s *Server) handleMapBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, &svcError{status: http.StatusMethodNotAllowed, msg: "map/batch is POST-only"})
+		s.writeError(w, errMethodNotAllowed(http.MethodPost, "/v1/map/batch"))
 		return
 	}
 	var req BatchRequest
@@ -570,12 +572,19 @@ func (s *Server) handleMapBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errBadRequest("batch of %d exceeds limit %d", n, max))
 		return
 	}
+	// A batch charges its full size against the client's quota up front:
+	// splitting a request into a batch must not dodge the limiter.
+	if serr := s.checkQuota(r, n); serr != nil {
+		s.writeError(w, serr)
+		return
+	}
 	ctx, cancel, serr := s.requestCtx(r)
 	if serr != nil {
 		s.writeError(w, serr)
 		return
 	}
 	defer cancel()
+	reqID := w.Header().Get(api.HeaderRequestID)
 	items := make([]BatchItem, n)
 	// Each item acquires its own worker-pool slot inside mapBytes, so the
 	// RunCtx fan-out here only bounds goroutine count; total mapping
@@ -584,15 +593,20 @@ func (s *Server) handleMapBatch(w http.ResponseWriter, r *http.Request) {
 	// becomes that item's 500 row, not the batch's.
 	_ = pool.RunCtx(ctx, n, s.workers, func(i int) {
 		start := time.Now()
-		body, hit, serr := s.batchItem(ctx, &req.Requests[i])
+		body, disposition, serr := s.batchItem(ctx, &req.Requests[i])
 		s.stats.requests.Add(1)
 		s.stats.observe(time.Since(start))
 		if serr != nil {
-			s.stats.countError(serr.status)
-			items[i] = BatchItem{Error: serr.msg, Status: serr.status}
+			s.stats.countError(serr.status, serr.code)
+			items[i] = batchErrorItem(serr, reqID)
 			return
 		}
-		items[i] = BatchItem{Result: json.RawMessage(body), Status: http.StatusOK, Cached: hit}
+		items[i] = BatchItem{
+			Result: json.RawMessage(body),
+			Status: http.StatusOK,
+			Cached: disposition == dispHit,
+			Cache:  disposition,
+		}
 	})
 	// Items never dispatched (context fired first) report why instead of a
 	// zero row. The response itself is still written: on a deadline the
@@ -601,56 +615,48 @@ func (s *Server) handleMapBatch(w http.ResponseWriter, r *http.Request) {
 		skipped := ctxSvcError(ctx)
 		for i := range items {
 			if items[i].Status == 0 {
-				s.stats.countError(skipped.status)
-				items[i] = BatchItem{Error: skipped.msg, Status: skipped.status}
+				s.stats.countError(skipped.status, skipped.code)
+				items[i] = batchErrorItem(skipped, reqID)
 			}
 		}
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
 }
 
+// batchErrorItem renders one failed batch element with the same envelope
+// body a standalone request would carry.
+func batchErrorItem(e *svcError, reqID string) BatchItem {
+	return BatchItem{
+		Error: &api.ErrorBody{
+			Code:      e.envelopeCode(),
+			Message:   e.msg,
+			RequestID: reqID,
+		},
+		Status: e.status,
+	}
+}
+
 // batchItem maps one batch element, converting a panic into that item's
 // 500 row (the experiments.RunBatch contract, kept across the move to
 // pool.RunCtx) so one poisoned circuit cannot kill its siblings mid-pool.
-func (s *Server) batchItem(ctx context.Context, req *MapRequest) (body []byte, hit bool, serr *svcError) {
+func (s *Server) batchItem(ctx context.Context, req *MapRequest) (body []byte, disposition string, serr *svcError) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.stats.panics.Inc()
 			s.logger.Printf("codard: panic mapping batch item: %v\n%s", rec, debug.Stack())
-			body, hit, serr = nil, false, &svcError{status: http.StatusInternalServerError, msg: "internal error"}
+			body, disposition, serr = nil, "", errInternal("internal error")
 		}
 	}()
 	return s.mapBytes(ctx, req)
-}
-
-// DeviceSpec is the POST /v1/devices body: an undirected coupling graph
-// with optional explicit durations or a named preset.
-type DeviceSpec struct {
-	Name   string   `json:"name"`
-	Qubits int      `json:"qubits"`
-	Edges  [][2]int `json:"edges"`
-	// Preset names a duration preset applied to the device; empty selects
-	// superconducting (the arch.NewDevice default).
-	Preset string `json:"preset,omitempty"`
-	// Durations, when present, overrides Preset with explicit cycle counts.
-	Durations *DurationsSpec `json:"durations,omitempty"`
-}
-
-// DurationsSpec mirrors arch.Durations for JSON upload.
-type DurationsSpec struct {
-	Single  int `json:"single"`
-	Two     int `json:"two"`
-	Swap    int `json:"swap"`
-	Measure int `json:"measure"`
 }
 
 // handleDevices implements GET (list) and POST (upload) /v1/devices.
 func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		writeJSON(w, http.StatusOK, map[string]interface{}{
-			"devices":             s.registry.List(),
-			"parametric_families": ParametricFamilies,
+		writeJSON(w, http.StatusOK, api.DeviceList{
+			Devices:            s.registry.List(),
+			ParametricFamilies: ParametricFamilies,
 		})
 	case http.MethodPost:
 		var spec DeviceSpec
@@ -669,16 +675,8 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusCreated, infoOf(dev, false))
 	default:
-		s.writeError(w, &svcError{status: http.StatusMethodNotAllowed, msg: "devices is GET/POST-only"})
+		s.writeError(w, errMethodNotAllowed("GET, POST", "/v1/devices"))
 	}
-}
-
-// CalibrationInfo summarises a stored calibration in responses.
-type CalibrationInfo struct {
-	Device   string `json:"device"`
-	Hash     string `json:"hash"`
-	Qubits   int    `json:"qubits"`
-	Couplers int    `json:"couplers"`
 }
 
 func calibInfo(cal *Calibration) CalibrationInfo {
@@ -708,7 +706,7 @@ func (s *Server) handleDeviceCalibration(w http.ResponseWriter, r *http.Request)
 	case http.MethodGet:
 		dev, err := s.registry.Resolve(name)
 		if err != nil {
-			s.writeError(w, errNotFound("%v", err))
+			s.writeError(w, errUnknownDevice("%v", err))
 			return
 		}
 		cal, ok := s.registry.Calibration(dev.Name)
@@ -733,7 +731,7 @@ func (s *Server) handleDeviceCalibration(w http.ResponseWriter, r *http.Request)
 		}
 		writeJSON(w, http.StatusCreated, calibInfo(cal))
 	default:
-		s.writeError(w, &svcError{status: http.StatusMethodNotAllowed, msg: "calibration is GET/POST/PUT-only"})
+		s.writeError(w, errMethodNotAllowed("GET, POST, PUT", "/v1/devices/{name}/calibration"))
 	}
 }
 

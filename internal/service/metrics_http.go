@@ -1,0 +1,68 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+
+	"codar/internal/metrics"
+)
+
+// handleMetrics implements GET /metrics: the Prometheus text exposition of
+// the same counters /v1/stats reports as JSON, plus the per-shard cache
+// breakdown as a labelled family. Hand-rolled via metrics.PromWriter —
+// the repo is stdlib-only by policy.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, errMethodNotAllowed(http.MethodGet, "/metrics"))
+		return
+	}
+	st := s.statsSnapshot()
+	p := metrics.NewPromWriter()
+	p.Counter("codard_requests_total", "Completed map requests (batch items included).", st.Requests)
+	p.Counter("codard_errors_total", "Requests answered with an error envelope.", st.Errors)
+	p.Counter("codard_mappings_total", "Completed mapping computations (cache hits and singleflight followers excluded).", st.Mappings)
+	p.Counter("codard_canceled_total", "Requests whose client went away mid-mapping (499).", st.Canceled)
+	p.Counter("codard_deadline_total", "Mappings canceled by their per-request deadline (504).", st.DeadlineExceeded)
+	p.Counter("codard_rejected_total", "Backpressure rejections (429 queue_full).", st.Rejected)
+	p.Counter("codard_quota_rejected_total", "Per-client quota rejections (429 quota_exceeded).", st.QuotaRejected)
+	p.Counter("codard_panics_total", "Handler panics recovered to 500.", st.Panics)
+	p.Gauge("codard_in_flight", "Mapping jobs holding a worker slot.", float64(st.InFlight))
+	p.Gauge("codard_queue_depth", "Admitted mapping jobs waiting for a worker slot.", float64(st.QueueDepth))
+	p.Gauge("codard_workers", "Worker-pool size.", float64(st.Workers))
+
+	p.Counter("codard_cache_hits_total", "Result-store hits.", st.CacheHits)
+	p.Counter("codard_cache_misses_total", "Result-store misses.", st.CacheMisses)
+	p.Counter("codard_cache_evictions_total", "LRU evictions across shards.", st.CacheEvictions)
+	p.Counter("codard_collapsed_total", "Requests served by a concurrent identical request's computation (singleflight followers).", st.Collapsed)
+	p.Counter("codard_handoffs_total", "Singleflight follower retakes after a canceled leader.", st.Handoffs)
+	p.Gauge("codard_cache_entries", "Entries resident in the result store.", float64(st.CacheSize))
+	p.Gauge("codard_cache_pinned", "Hot entries pinned past LRU eviction.", float64(st.CachePinned))
+	p.Gauge("codard_cache_shards", "Result-store shard count.", float64(st.CacheShards))
+
+	p.Declare("codard_shard_hits_total", "counter", "Result-store hits per shard.")
+	p.Declare("codard_shard_misses_total", "counter", "Result-store misses per shard.")
+	p.Declare("codard_shard_evictions_total", "counter", "LRU evictions per shard.")
+	p.Declare("codard_shard_entries", "gauge", "Resident entries per shard.")
+	p.Declare("codard_shard_pinned", "gauge", "Pinned entries per shard.")
+	for i, sh := range st.Shards {
+		labels := map[string]string{"shard": strconv.Itoa(i)}
+		p.Labeled("codard_shard_hits_total", labels, float64(sh.Hits))
+		p.Labeled("codard_shard_misses_total", labels, float64(sh.Misses))
+		p.Labeled("codard_shard_evictions_total", labels, float64(sh.Evictions))
+		p.Labeled("codard_shard_entries", labels, float64(sh.Entries))
+		p.Labeled("codard_shard_pinned", labels, float64(sh.Pinned))
+	}
+
+	if st.Persist != nil {
+		p.Counter("codard_persist_appended_total", "Entries appended to the warm-start log.", st.Persist.Appended)
+		p.Counter("codard_persist_dropped_total", "Entries dropped from the warm-start log (queue or size overflow).", st.Persist.Dropped)
+		p.Gauge("codard_persist_loaded", "Entries replayed from the warm-start log at boot.", float64(st.Persist.Loaded))
+	}
+
+	p.Gauge("codard_uptime_seconds", "Seconds since the server started.", st.UptimeSeconds)
+	p.Gauge("codard_latency_p50_ms", "p50 request latency over the recent window (ms).", st.Latency.P50)
+	p.Gauge("codard_latency_p99_ms", "p99 request latency over the recent window (ms).", st.Latency.P99)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p.WriteTo(w)
+}

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"codar/internal/persist"
+)
+
+// TestWarmStartFromPersistLog is the end-to-end restart story: a server
+// with a persist log maps a circuit, shuts down, and a fresh server opened
+// on the same log answers the same request from cache without mapping.
+func TestWarmStartFromPersistLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	req := MapRequest{QASM: ghzQASM, Arch: "tokyo"}
+
+	log1, err := persist.Open(path, persist.Options{})
+	if err != nil {
+		t.Fatalf("open log: %v", err)
+	}
+	s1 := newTestServer(t, Config{Workers: 2, Persist: log1})
+	w := do(t, s1, http.MethodPost, "/v1/map", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("cold map: %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get(cacheHeader); got != dispMiss {
+		t.Fatalf("cold disposition = %q, want miss", got)
+	}
+	firstBody := w.Body.String()
+	if err := log1.Close(); err != nil {
+		t.Fatalf("close log: %v", err)
+	}
+
+	// "Restart": a brand-new server warm-started from the same log.
+	log2, err := persist.Open(path, persist.Options{})
+	if err != nil {
+		t.Fatalf("reopen log: %v", err)
+	}
+	defer log2.Close()
+	if log2.Loaded() == 0 {
+		t.Fatal("reopened log replayed nothing")
+	}
+	s2 := newTestServer(t, Config{Workers: 2, Persist: log2})
+	w = do(t, s2, http.MethodPost, "/v1/map", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("warm map: %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get(cacheHeader); got != dispHit {
+		t.Fatalf("warm disposition = %q, want hit straight after restart", got)
+	}
+	if w.Body.String() != firstBody {
+		t.Fatal("warm-start response differs from the original computation")
+	}
+	st := s2.statsSnapshot()
+	if st.Mappings != 0 {
+		t.Fatalf("warm server performed %d mappings, want 0", st.Mappings)
+	}
+	if st.Persist == nil || st.Persist.Loaded == 0 {
+		t.Fatalf("stats persist block = %+v, want loaded > 0", st.Persist)
+	}
+}
+
+// TestWarmHitsAreNotReAppended guards against the log growing on every
+// restart: serving a warm hit must not echo the record back into the log.
+func TestWarmHitsAreNotReAppended(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	req := MapRequest{QASM: ghzQASM, Arch: "tokyo"}
+
+	log1, err := persist.Open(path, persist.Options{})
+	if err != nil {
+		t.Fatalf("open log: %v", err)
+	}
+	s1 := newTestServer(t, Config{Workers: 2, Persist: log1})
+	if w := do(t, s1, http.MethodPost, "/v1/map", req); w.Code != http.StatusOK {
+		t.Fatalf("cold map: %d", w.Code)
+	}
+	log1.Close()
+
+	log2, err := persist.Open(path, persist.Options{})
+	if err != nil {
+		t.Fatalf("reopen log: %v", err)
+	}
+	defer log2.Close()
+	s2 := newTestServer(t, Config{Workers: 2, Persist: log2})
+	for i := 0; i < 3; i++ {
+		if w := do(t, s2, http.MethodPost, "/v1/map", req); w.Code != http.StatusOK {
+			t.Fatalf("warm map %d: %d", i, w.Code)
+		}
+	}
+	if app := log2.Stats().Appended; app != 0 {
+		t.Fatalf("warm hits appended %d records to the log, want 0", app)
+	}
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// quotas is the per-client token-bucket rate limiter in front of the
+// mapping endpoints. Clients identify themselves with the X-Codard-Client
+// header; requests without one share a single anonymous bucket, so an
+// unlabelled stampede cannot dodge the limiter by omitting the header.
+// Exhaustion is the same 429 + Retry-After rejection shape as the
+// admission queue, but with code "quota_exceeded" so clients can tell
+// "server full" from "you specifically are over budget".
+//
+// Buckets refill continuously at rps tokens/second up to burst. The table
+// is capped: once maxQuotaClients distinct names exist, unseen names fall
+// back to the anonymous bucket rather than growing memory without bound.
+const (
+	anonClient      = ""
+	maxQuotaClients = 1024
+)
+
+type quotas struct {
+	rps   float64
+	burst float64
+	now   func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newQuotas builds the limiter; rps <= 0 disables it (allow returns ok).
+func newQuotas(rps, burst float64) *quotas {
+	if rps <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{
+		rps:     rps,
+		burst:   burst,
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow takes n tokens from client's bucket. On refusal it returns the
+// wait (rounded up to whole seconds, minimum 1) until the bucket will hold
+// n tokens again, for the Retry-After header. A nil receiver always allows.
+func (q *quotas) allow(client string, n int) (ok bool, retryAfter time.Duration) {
+	if q == nil || n <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[client]
+	if b == nil {
+		if len(q.buckets) >= maxQuotaClients && client != anonClient {
+			b = q.buckets[anonClient]
+		}
+		if b == nil {
+			key := client
+			if len(q.buckets) >= maxQuotaClients {
+				key = anonClient
+			}
+			b = &bucket{tokens: q.burst, last: q.now()}
+			q.buckets[key] = b
+		}
+	}
+	now := q.now()
+	b.tokens = math.Min(q.burst, b.tokens+now.Sub(b.last).Seconds()*q.rps)
+	b.last = now
+	need := float64(n)
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	// A batch larger than the whole burst can never pass; report the full
+	// refill time rather than a nonsensical negative.
+	deficit := need - b.tokens
+	if need > q.burst {
+		deficit = q.burst
+	}
+	secs := math.Ceil(deficit / q.rps)
+	if secs < 1 {
+		secs = 1
+	}
+	return false, time.Duration(secs) * time.Second
+}

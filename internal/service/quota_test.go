@@ -1,0 +1,109 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestQuotaBucketRefills(t *testing.T) {
+	q := newQuotas(10, 2) // 10 rps, burst 2
+	now := time.Unix(0, 0)
+	q.now = func() time.Time { return now }
+
+	if ok, _ := q.allow("alice", 1); !ok {
+		t.Fatal("first request should pass")
+	}
+	if ok, _ := q.allow("alice", 1); !ok {
+		t.Fatal("second request (burst) should pass")
+	}
+	ok, retry := q.allow("alice", 1)
+	if ok {
+		t.Fatal("third request should exhaust the burst")
+	}
+	if retry < time.Second {
+		t.Fatalf("retry = %v, want >= 1s", retry)
+	}
+	// 100ms refills one token at 10 rps.
+	now = now.Add(100 * time.Millisecond)
+	if ok, _ := q.allow("alice", 1); !ok {
+		t.Fatal("refilled token should pass")
+	}
+	// Distinct clients have distinct buckets.
+	if ok, _ := q.allow("bob", 1); !ok {
+		t.Fatal("bob's fresh bucket should pass")
+	}
+}
+
+func TestQuotaBatchCharge(t *testing.T) {
+	q := newQuotas(1, 5)
+	now := time.Unix(0, 0)
+	q.now = func() time.Time { return now }
+	if ok, _ := q.allow("c", 5); !ok {
+		t.Fatal("batch of 5 fits the burst")
+	}
+	ok, retry := q.allow("c", 3)
+	if ok {
+		t.Fatal("empty bucket should reject")
+	}
+	if retry < 3*time.Second {
+		t.Fatalf("retry = %v, want >= 3s for a 3-token deficit at 1 rps", retry)
+	}
+}
+
+func TestQuotaDisabled(t *testing.T) {
+	if q := newQuotas(0, 10); q != nil {
+		t.Fatal("rps 0 should disable quotas")
+	}
+	var q *quotas
+	if ok, _ := q.allow("anyone", 100); !ok {
+		t.Fatal("nil quotas must always allow")
+	}
+}
+
+func TestQuota429EndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QuotaRPS: 0.001, QuotaBurst: 2})
+	req := MapRequest{QASM: ghzQASM, Arch: "tokyo"}
+
+	hdr := map[string]string{"X-Codard-Client": "test-client"}
+	for i := 0; i < 2; i++ {
+		if w := doWithHeaders(t, s, http.MethodPost, "/v1/map", req, hdr); w.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+	}
+	w := doWithHeaders(t, s, http.MethodPost, "/v1/map", req, hdr)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil || env.Error.Code != "quota_exceeded" {
+		t.Fatalf("envelope = %s, want code quota_exceeded", w.Body.String())
+	}
+	// Another client is unaffected: buckets are per X-Codard-Client.
+	other := map[string]string{"X-Codard-Client": "other-client"}
+	if w := doWithHeaders(t, s, http.MethodPost, "/v1/map", req, other); w.Code != http.StatusOK {
+		t.Fatalf("other client: status %d, want 200", w.Code)
+	}
+	// The rejection is counted separately from queue-full backpressure.
+	st := s.statsSnapshot()
+	if st.QuotaRejected != 1 || st.Rejected != 0 {
+		t.Fatalf("quota_rejected/rejected = %d/%d, want 1/0", st.QuotaRejected, st.Rejected)
+	}
+}
+
+func TestQuotaBatchChargedUpFront(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QuotaRPS: 0.001, QuotaBurst: 2})
+	batch := BatchRequest{Requests: []MapRequest{
+		{QASM: ghzQASM, Arch: "tokyo"},
+		{QASM: ghzQASM, Arch: "tokyo", Algo: "sabre"},
+		{QASM: ghzQASM, Arch: "melbourne"},
+	}}
+	w := doWithHeaders(t, s, http.MethodPost, "/v1/map/batch", batch, map[string]string{"X-Codard-Client": "batcher"})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("batch of 3 against burst 2: status = %d, want 429", w.Code)
+	}
+}

@@ -122,15 +122,8 @@ func (r *Registry) Add(dev *arch.Device) *svcError {
 	return nil
 }
 
-// DeviceInfo is one row of the GET /v1/devices listing.
-type DeviceInfo struct {
-	Name     string `json:"name"`
-	Qubits   int    `json:"qubits"`
-	Couplers int    `json:"couplers"`
-	Diameter int    `json:"diameter"`
-	Builtin  bool   `json:"builtin"`
-}
-
+// infoOf renders one row of the GET /v1/devices listing (DeviceInfo is
+// the api wire type, aliased in aliases.go).
 func infoOf(dev *arch.Device, builtin bool) DeviceInfo {
 	return DeviceInfo{
 		Name:     dev.Name,
@@ -180,7 +173,7 @@ func (r *Registry) CustomCount() int {
 func (r *Registry) SetCalibration(deviceName string, snap *calib.Snapshot) (*Calibration, *svcError) {
 	dev, err := r.Resolve(deviceName)
 	if err != nil {
-		return nil, errNotFound("%v", err)
+		return nil, errUnknownDevice("%v", err)
 	}
 	if err := snap.Validate(dev); err != nil {
 		return nil, errBadRequest("%v", err)

@@ -1,13 +1,19 @@
 // Package service implements codard, the qubit-mapping HTTP service: a
 // long-running JSON API over the qasm → circuit → core/sabre → schedule →
-// writer pipeline. The service adds three pieces the batch CLIs lack:
+// writer pipeline. The wire contract (request/response bodies, error
+// envelope, header names) lives in package api; this package is the
+// serving machinery behind it:
 //
 //   - a device registry (builtin models plus uploaded coupling graphs),
-//   - an LRU result cache keyed by (circuit hash, device, algorithm,
-//     durations, seed) so repeated circuits skip remapping entirely, and
-//   - a bounded admission queue in front of the worker pool, so a traffic
-//     burst degrades to bounded queueing and explicit 429s instead of
-//     unbounded goroutine fan-out or invisible head-of-line blocking.
+//   - a sharded LRU result store keyed by (circuit hash, device,
+//     algorithm, durations, seed) with singleflight collapse of concurrent
+//     identical cold requests, hot-key pinning past eviction, and optional
+//     warm-start persistence (internal/persist) so a restart serves its
+//     hot circuits immediately,
+//   - a bounded admission queue in front of the worker pool plus
+//     per-client token-bucket quotas, so a traffic burst degrades to
+//     bounded queueing and explicit 429s instead of unbounded goroutine
+//     fan-out or invisible head-of-line blocking.
 //
 // Robustness contract (DESIGN.md §11): every mapping request runs under a
 // context — the client disconnecting, the per-request deadline (server
@@ -16,7 +22,10 @@
 // plumbing. Backpressure is explicit: at most Workers mappings execute,
 // at most MaxQueue more wait (bounded by QueueWait), and everything beyond
 // that is rejected with 429 + Retry-After. A panicking mapping job answers
-// 500 with the process, the cache and the counters intact.
+// 500 with the process, the cache and the counters intact. Every error
+// response is the versioned envelope {"error": {"code", "message",
+// "request_id"}} (api.ErrorEnvelope); the request ID is assigned here and
+// echoed in the X-Codard-Request-Id header.
 //
 // Endpoints:
 //
@@ -24,14 +33,18 @@
 //	POST /v1/map/batch  map several circuits through the worker pool
 //	GET  /v1/devices    list builtin + uploaded devices
 //	POST /v1/devices    upload a custom coupling graph
-//	GET  /v1/stats      cache hit rate, queue/cancellation counters, latency
+//	GET  /v1/stats      cache/store, queue and cancellation counters, latency
 //	GET  /healthz       liveness probe
+//	GET  /metrics       Prometheus text exposition of the same counters
 //
-// See DESIGN.md §7 for the architecture and the cache-key rationale.
+// See DESIGN.md §7 for the architecture and the cache-key rationale, and
+// docs/API.md for the written contract.
 package service
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,9 +54,11 @@ import (
 	"strconv"
 	"time"
 
+	"codar/api"
 	"codar/internal/chaos"
 	"codar/internal/experiments"
 	"codar/internal/interrupt"
+	"codar/internal/persist"
 )
 
 // Config tunes a Server. The zero value selects the defaults.
@@ -80,6 +95,25 @@ type Config struct {
 	// requests are silently clamped, so a client cannot hold a worker past
 	// the operator's bound. 0 selects DefaultMaxTimeout.
 	MaxTimeout time.Duration
+	// Shards is the result-store shard count, rounded to a power of two
+	// and capped so tiny caches don't shatter (see StoreConfig.Shards).
+	// 0 selects 16.
+	Shards int
+	// PinThreshold is the hit count that pins a hot cache entry past LRU
+	// eviction. 0 selects 8.
+	PinThreshold int
+	// QuotaRPS enables per-client token-bucket admission: each
+	// X-Codard-Client refills at QuotaRPS requests/second up to QuotaBurst.
+	// <= 0 (the default) disables quotas.
+	QuotaRPS float64
+	// QuotaBurst is the per-client bucket depth; < 1 selects 1. Ignored
+	// when QuotaRPS <= 0.
+	QuotaBurst float64
+	// Persist, when non-nil, is the opened warm-start log: its entries are
+	// replayed into the result store at construction and every cached
+	// mapping streams back into it. The caller owns the log's lifecycle
+	// (codard opens it before New and closes it after Drain).
+	Persist *persist.Log
 	// Chaos, when non-nil, injects faults into mapping jobs (slow mappers,
 	// panics) — the fault-injection harness behind codard -chaos-slow /
 	// -chaos-panic-every and the CI chaos-smoke job. nil in production.
@@ -107,7 +141,7 @@ const statusClientClosedRequest = 499
 
 // timeoutHeader carries a client-requested per-request deadline as a Go
 // duration string ("500ms", "30s"); it is clamped to Config.MaxTimeout.
-const timeoutHeader = "X-Codard-Timeout"
+const timeoutHeader = api.HeaderTimeout
 
 func (c Config) cacheSize() int {
 	switch {
@@ -183,7 +217,8 @@ type Server struct {
 	cfg      Config
 	workers  int
 	registry *Registry
-	cache    *Cache
+	cache    *Store
+	quotas   *quotas // nil when QuotaRPS <= 0
 	stats    *stats
 	sem      chan struct{} // worker-pool slots; nil only before New
 	mux      *http.ServeMux
@@ -203,14 +238,27 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		workers:  workers,
 		registry: NewRegistry(),
-		cache:    NewCache(cfg.cacheSize()),
-		stats:    newStats(),
-		sem:      make(chan struct{}, workers),
-		mux:      http.NewServeMux(),
-		logger:   cfg.errorLog(),
+		cache: NewStore(StoreConfig{
+			Capacity:     cfg.cacheSize(),
+			Shards:       cfg.Shards,
+			PinThreshold: cfg.PinThreshold,
+		}),
+		quotas: newQuotas(cfg.QuotaRPS, cfg.QuotaBurst),
+		stats:  newStats(),
+		sem:    make(chan struct{}, workers),
+		mux:    http.NewServeMux(),
+		logger: cfg.errorLog(),
+	}
+	if cfg.Persist != nil {
+		// Replay warm-start entries before attaching the log, so the seed
+		// pass neither moves the hit/miss counters nor echoes every loaded
+		// record straight back into the file.
+		cfg.Persist.Replay(s.cache.Seed)
+		s.cache.SetPersist(cfg.Persist)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/map", s.handleMap)
 	s.mux.HandleFunc("/v1/map/batch", s.handleMapBatch)
 	s.mux.HandleFunc("/v1/devices", s.handleDevices)
@@ -223,20 +271,36 @@ func New(cfg Config) *Server {
 // pre-register devices before serving).
 func (s *Server) Registry() *Registry { return s.registry }
 
-// ServeHTTP implements http.Handler. It is also the panic boundary: a
-// panicking handler (chaos-injected or real) answers 500 with the stack
-// logged and the panics counter bumped, instead of tearing down the
-// connection and leaving the client to diagnose an EOF.
+// ServeHTTP implements http.Handler. It is the request-ID middleware —
+// every request gets a fresh ID, echoed in the X-Codard-Request-Id
+// response header and in error envelopes, so client-side reports join the
+// server log — and the panic boundary: a panicking handler (chaos-injected
+// or real) answers 500 with the stack logged and the panics counter
+// bumped, instead of tearing down the connection and leaving the client to
+// diagnose an EOF.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	reqID := newRequestID()
+	w.Header().Set(api.HeaderRequestID, reqID)
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.stats.panics.Inc()
-			s.logger.Printf("codard: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-			s.writeError(w, &svcError{status: http.StatusInternalServerError, msg: "internal error"})
+			s.logger.Printf("codard: panic serving %s %s (request %s): %v\n%s", r.Method, r.URL.Path, reqID, rec, debug.Stack())
+			s.writeError(w, errInternal("internal error"))
 		}
 	}()
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
 	s.mux.ServeHTTP(w, r)
+}
+
+// newRequestID returns a 16-hex-char random request ID. On the (never
+// observed) chance the system entropy pool fails, a constant marker is
+// still a valid ID — requests must not fail over log correlation.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // requestCtx derives the mapping context for one request: the client's
@@ -343,32 +407,94 @@ func (s *Server) Drain(ctx context.Context) (hardCanceled bool) {
 	return false
 }
 
-// svcError is an error with an HTTP status, so the pipeline can signal
-// 400 vs 404 vs 429 without the handlers re-classifying message strings.
-// retryAfter > 0 adds a Retry-After header (429 rejections).
+// svcError is an error with an HTTP status and a machine-readable envelope
+// code, so the pipeline can signal 400 vs 404 vs 429 — and bad_qasm vs
+// queue_full vs quota_exceeded — without the handlers re-classifying
+// message strings. retryAfter > 0 adds a Retry-After header (429
+// rejections); allow, when set, adds the Allow header (405s).
 type svcError struct {
 	status     int
+	code       string
 	msg        string
-	retryAfter int // seconds
+	retryAfter int    // seconds
+	allow      string // Allow header value for 405s
 }
 
 func (e *svcError) Error() string { return e.msg }
 
+// envelopeCode returns the machine code, defaulting by status for errors
+// built without one (belt and braces; every builder sets a code).
+func (e *svcError) envelopeCode() string {
+	if e.code != "" {
+		return e.code
+	}
+	switch e.status {
+	case http.StatusNotFound:
+		return api.CodeNotFound
+	case http.StatusInternalServerError:
+		return api.CodeInternal
+	}
+	return api.CodeBadRequest
+}
+
 func errBadRequest(format string, args ...interface{}) *svcError {
-	return &svcError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	return &svcError{status: http.StatusBadRequest, code: api.CodeBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errBadQASM marks a circuit that fails to parse or does not fit its
+// target device — the caller's circuit, not the caller's JSON.
+func errBadQASM(format string, args ...interface{}) *svcError {
+	return &svcError{status: http.StatusBadRequest, code: api.CodeBadQASM, msg: fmt.Sprintf(format, args...)}
 }
 
 func errNotFound(format string, args ...interface{}) *svcError {
-	return &svcError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+	return &svcError{status: http.StatusNotFound, code: api.CodeNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// errUnknownDevice is the 404 for an Arch name nothing answers to —
+// distinct from generic not_found so clients can prompt for a device list.
+func errUnknownDevice(format string, args ...interface{}) *svcError {
+	return &svcError{status: http.StatusNotFound, code: api.CodeUnknownDevice, msg: fmt.Sprintf(format, args...)}
 }
 
 func errConflict(format string, args ...interface{}) *svcError {
-	return &svcError{status: http.StatusConflict, msg: fmt.Sprintf(format, args...)}
+	return &svcError{status: http.StatusConflict, code: api.CodeConflict, msg: fmt.Sprintf(format, args...)}
+}
+
+func errInternal(format string, args ...interface{}) *svcError {
+	return &svcError{status: http.StatusInternalServerError, code: api.CodeInternal, msg: fmt.Sprintf(format, args...)}
+}
+
+// errMethodNotAllowed is the uniform wrong-method rejection: 405 with the
+// Allow header listing what the route accepts.
+func errMethodNotAllowed(allow, route string) *svcError {
+	return &svcError{
+		status: http.StatusMethodNotAllowed,
+		code:   api.CodeMethodNotAllowed,
+		msg:    fmt.Sprintf("%s only accepts %s", route, allow),
+		allow:  allow,
+	}
 }
 
 // errBusy is the backpressure rejection: 429 with a Retry-After hint.
 func errBusy(format string, args ...interface{}) *svcError {
-	return &svcError{status: http.StatusTooManyRequests, msg: fmt.Sprintf(format, args...), retryAfter: 1}
+	return &svcError{status: http.StatusTooManyRequests, code: api.CodeQueueFull, msg: fmt.Sprintf(format, args...), retryAfter: 1}
+}
+
+// errQuota is the per-client rate-limit rejection: same 429 + Retry-After
+// shape as errBusy but with its own code, so "the server is full" and "you
+// specifically are over budget" are distinguishable by machine.
+func errQuota(client string, retryAfter int) *svcError {
+	who := "anonymous clients"
+	if client != "" {
+		who = fmt.Sprintf("client %q", client)
+	}
+	return &svcError{
+		status:     http.StatusTooManyRequests,
+		code:       api.CodeQuotaExceeded,
+		msg:        fmt.Sprintf("request quota for %s exhausted", who),
+		retryAfter: retryAfter,
+	}
 }
 
 // ctxSvcError classifies a fired request context: an exceeded deadline is
@@ -376,9 +502,9 @@ func errBusy(format string, args ...interface{}) *svcError {
 // went away (499, log/counter only).
 func ctxSvcError(ctx context.Context) *svcError {
 	if errors.Is(interrupt.Classify(ctx), interrupt.ErrDeadline) {
-		return &svcError{status: http.StatusGatewayTimeout, msg: "mapping deadline exceeded"}
+		return &svcError{status: http.StatusGatewayTimeout, code: api.CodeDeadline, msg: "mapping deadline exceeded"}
 	}
-	return &svcError{status: statusClientClosedRequest, msg: "client closed request"}
+	return &svcError{status: statusClientClosedRequest, code: api.CodeCanceled, msg: "client closed request"}
 }
 
 // mapSvcError classifies a mapping-stage failure: cancellation surfacing
@@ -387,9 +513,9 @@ func ctxSvcError(ctx context.Context) *svcError {
 func mapSvcError(stage string, err error) *svcError {
 	switch {
 	case errors.Is(err, interrupt.ErrDeadline):
-		return &svcError{status: http.StatusGatewayTimeout, msg: fmt.Sprintf("%s: mapping deadline exceeded", stage)}
+		return &svcError{status: http.StatusGatewayTimeout, code: api.CodeDeadline, msg: fmt.Sprintf("%s: mapping deadline exceeded", stage)}
 	case errors.Is(err, interrupt.ErrCanceled):
-		return &svcError{status: statusClientClosedRequest, msg: fmt.Sprintf("%s: mapping canceled", stage)}
+		return &svcError{status: statusClientClosedRequest, code: api.CodeCanceled, msg: fmt.Sprintf("%s: mapping canceled", stage)}
 	}
 	return errBadRequest("%s: %v", stage, err)
 }
@@ -403,6 +529,7 @@ func decodeJSON(r *http.Request, v interface{}) *svcError {
 		if errors.As(err, &tooLarge) {
 			return &svcError{
 				status: http.StatusRequestEntityTooLarge,
+				code:   api.CodePayloadTooLarge,
 				msg:    fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
 			}
 		}
@@ -416,7 +543,7 @@ func decodeJSON(r *http.Request, v interface{}) *svcError {
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		http.Error(w, `{"error":{"code":"internal","message":"encoding failure"}}`, http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -424,62 +551,69 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Write(append(body, '\n'))
 }
 
-// writeError emits the uniform error body and bumps the outcome counters
-// (every error status, plus the canceled/deadline/rejected breakdowns).
+// writeError emits the versioned error envelope — carrying the machine
+// code and the request ID assigned in ServeHTTP — sets the error's headers
+// (Retry-After on rejections, Allow on 405s) and bumps the outcome
+// counters. 5xx errors are logged with the request ID so the envelope a
+// client quotes finds its server-side context.
 func (s *Server) writeError(w http.ResponseWriter, e *svcError) {
-	s.stats.countError(e.status)
+	s.stats.countError(e.status, e.code)
 	if e.retryAfter > 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+		w.Header().Set(api.HeaderRetryAfter, strconv.Itoa(e.retryAfter))
 	}
-	writeJSON(w, e.status, map[string]string{"error": e.msg})
+	if e.allow != "" {
+		w.Header().Set("Allow", e.allow)
+	}
+	reqID := w.Header().Get(api.HeaderRequestID)
+	if e.status >= http.StatusInternalServerError && e.status != http.StatusGatewayTimeout {
+		s.logger.Printf("codard: request %s failed: %d %s: %s", reqID, e.status, e.envelopeCode(), e.msg)
+	}
+	writeJSON(w, e.status, api.ErrorEnvelope{Error: api.ErrorBody{
+		Code:      e.envelopeCode(),
+		Message:   e.msg,
+		RequestID: reqID,
+	}})
 }
 
 // handleHealthz implements the liveness probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, &svcError{status: http.StatusMethodNotAllowed, msg: "healthz is GET-only"})
+		s.writeError(w, errMethodNotAllowed(http.MethodGet, "/healthz"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.stats.start).Seconds(),
+	writeJSON(w, http.StatusOK, api.HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.stats.start).Seconds(),
 	})
 }
 
-// StatsResponse is the GET /v1/stats body.
-type StatsResponse struct {
-	Requests          uint64         `json:"requests"`
-	Errors            uint64         `json:"errors"`
-	InFlight          int64          `json:"in_flight"`
-	QueueDepth        int64          `json:"queue_depth"`
-	QueueCapacity     int            `json:"queue_capacity"`
-	Workers           int            `json:"workers"`
-	Canceled          uint64         `json:"canceled"`
-	DeadlineExceeded  uint64         `json:"deadline_exceeded"`
-	Rejected          uint64         `json:"rejected"`
-	Panics            uint64         `json:"panics"`
-	CacheHits         uint64         `json:"cache_hits"`
-	CacheMisses       uint64         `json:"cache_misses"`
-	CacheHitRate      float64        `json:"cache_hit_rate"`
-	CacheSize         int            `json:"cache_size"`
-	CacheCapacity     int            `json:"cache_capacity"`
-	CustomDevices     int            `json:"custom_devices"`
-	CalibratedDevices int            `json:"calibrated_devices"`
-	UptimeSeconds     float64        `json:"uptime_seconds"`
-	Latency           LatencySummary `json:"latency"`
-}
+// StatsResponse is the GET /v1/stats body (the wire shape lives in
+// package api).
+type StatsResponse = api.StatsResponse
 
-// handleStats reports serving counters.
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.writeError(w, &svcError{status: http.StatusMethodNotAllowed, msg: "stats is GET-only"})
-		return
-	}
+// statsSnapshot assembles the full counter view shared by /v1/stats and
+// /metrics.
+func (s *Server) statsSnapshot() StatsResponse {
 	hits, misses := s.cache.Counters()
 	inFlight := s.stats.inFlight.Load()
 	queued := s.stats.admitted.Load() - inFlight
 	if queued < 0 {
 		queued = 0
+	}
+	shards := s.cache.ShardStats()
+	apiShards := make([]api.ShardStats, len(shards))
+	var evictions uint64
+	pinned := 0
+	for i, sh := range shards {
+		apiShards[i] = api.ShardStats{
+			Entries:   sh.Entries,
+			Pinned:    sh.Pinned,
+			Hits:      sh.Hits,
+			Misses:    sh.Misses,
+			Evictions: sh.Evictions,
+		}
+		evictions += sh.Evictions
+		pinned += sh.Pinned
 	}
 	resp := StatsResponse{
 		Requests:          s.stats.requests.Load(),
@@ -491,11 +625,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Canceled:          s.stats.canceled.Load(),
 		DeadlineExceeded:  s.stats.deadlines.Load(),
 		Rejected:          s.stats.rejected.Load(),
+		QuotaRejected:     s.stats.quotaRejected.Load(),
 		Panics:            s.stats.panics.Load(),
+		Mappings:          s.stats.mappings.Load(),
 		CacheHits:         hits,
 		CacheMisses:       misses,
 		CacheSize:         s.cache.Len(),
 		CacheCapacity:     s.cache.Capacity(),
+		CacheEvictions:    evictions,
+		CachePinned:       pinned,
+		CacheShards:       s.cache.Shards(),
+		Collapsed:         s.stats.collapsed.Load(),
+		Handoffs:          s.stats.handoffs.Load(),
+		Shards:            apiShards,
 		CustomDevices:     s.registry.CustomCount(),
 		CalibratedDevices: s.registry.CalibrationCount(),
 		UptimeSeconds:     time.Since(s.stats.start).Seconds(),
@@ -504,5 +646,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if total := hits + misses; total > 0 {
 		resp.CacheHitRate = float64(hits) / float64(total)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if log := s.cache.Persist(); log != nil {
+		pst := log.Stats()
+		resp.Persist = &api.PersistStats{
+			Path:     pst.Path,
+			Loaded:   pst.Loaded,
+			Appended: pst.Appended,
+			Dropped:  pst.Dropped,
+		}
+	}
+	return resp
+}
+
+// handleStats reports serving counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, errMethodNotAllowed(http.MethodGet, "/v1/stats"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
 }

@@ -55,6 +55,26 @@ func do(t *testing.T, s *Server, method, path string, body interface{}) *httptes
 	return w
 }
 
+// doWithHeaders is do with extra request headers (e.g. X-Codard-Client).
+func doWithHeaders(t *testing.T, s *Server, method, path string, body interface{}, headers map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		enc, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal request: %v", err)
+		}
+		rd = bytes.NewReader(enc)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
 func TestMapHandlerTable(t *testing.T) {
 	s := newTestServer(t, Config{})
 	tests := []struct {
@@ -83,9 +103,9 @@ func TestMapHandlerTable(t *testing.T) {
 				t.Fatalf("status = %d, want %d; body: %s", w.Code, tc.wantStatus, w.Body.String())
 			}
 			if tc.wantStatus != http.StatusOK {
-				var e map[string]string
-				if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e["error"] == "" {
-					t.Fatalf("error body not in {\"error\": ...} shape: %s", w.Body.String())
+				var env ErrorEnvelope
+				if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil || env.Error.Code == "" || env.Error.Message == "" {
+					t.Fatalf("error body not in envelope shape: %s", w.Body.String())
 				}
 				return
 			}
@@ -273,8 +293,8 @@ func TestBatchEndpoint(t *testing.T) {
 	if resp.Items[0].Status != http.StatusOK || len(resp.Items[0].Result) == 0 {
 		t.Fatalf("item 0 should succeed: %+v", resp.Items[0])
 	}
-	if resp.Items[1].Status != http.StatusNotFound || resp.Items[1].Error == "" {
-		t.Fatalf("item 1 should 404: %+v", resp.Items[1])
+	if resp.Items[1].Status != http.StatusNotFound || resp.Items[1].Error == nil || resp.Items[1].Error.Code != "unknown_device" {
+		t.Fatalf("item 1 should 404 with code unknown_device: %+v", resp.Items[1])
 	}
 	if resp.Items[2].Status != http.StatusOK {
 		t.Fatalf("item 2 should succeed: %+v", resp.Items[2])

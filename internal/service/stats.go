@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"codar/api"
 	"codar/internal/metrics"
 )
 
@@ -25,10 +26,21 @@ type stats struct {
 	admitted atomic.Int64  // mapping jobs admitted (queued + executing)
 
 	// Robustness breakdowns of the error counter (DESIGN.md §11).
-	canceled  metrics.Counter // client gone before the mapping finished (499)
-	deadlines metrics.Counter // per-request deadline expired (504)
-	rejected  metrics.Counter // backpressure rejections (429)
-	panics    metrics.Counter // handler panics recovered to 500
+	canceled      metrics.Counter // client gone before the mapping finished (499)
+	deadlines     metrics.Counter // per-request deadline expired (504)
+	rejected      metrics.Counter // backpressure rejections (429 queue_full)
+	quotaRejected metrics.Counter // per-client quota rejections (429 quota_exceeded)
+	panics        metrics.Counter // handler panics recovered to 500
+
+	// Result-store outcomes (PR 8): mappings counts completed mapping
+	// computations — cache hits and singleflight followers do not move it,
+	// which is the "N identical concurrent requests map exactly once"
+	// assertion. collapsed counts follower requests served from a
+	// concurrent leader's bytes; handoffs counts follower retakes after a
+	// canceled leader.
+	mappings  metrics.Counter
+	collapsed metrics.Counter
+	handoffs  metrics.Counter
 
 	mu    sync.Mutex
 	ring  [latencyWindow]float64 // milliseconds
@@ -40,8 +52,9 @@ type stats struct {
 func newStats() *stats { return &stats{start: time.Now()} }
 
 // countError tallies one error outcome: the total plus the robustness
-// breakdown its status encodes.
-func (s *stats) countError(status int) {
+// breakdown its status (and, for the two 429 flavours, its envelope code)
+// encodes.
+func (s *stats) countError(status int, code string) {
 	s.errors.Add(1)
 	switch status {
 	case statusClientClosedRequest:
@@ -49,7 +62,11 @@ func (s *stats) countError(status int) {
 	case http.StatusGatewayTimeout:
 		s.deadlines.Inc()
 	case http.StatusTooManyRequests:
-		s.rejected.Inc()
+		if code == api.CodeQuotaExceeded {
+			s.quotaRejected.Inc()
+		} else {
+			s.rejected.Inc()
+		}
 	}
 }
 
@@ -67,14 +84,9 @@ func (s *stats) observe(d time.Duration) {
 }
 
 // LatencySummary is the /v1/stats latency block, in milliseconds, computed
-// over the most recent latencyWindow observations (max is all-time).
-type LatencySummary struct {
-	Count uint64  `json:"count"`
-	P50   float64 `json:"p50_ms"`
-	P90   float64 `json:"p90_ms"`
-	P99   float64 `json:"p99_ms"`
-	Max   float64 `json:"max_ms"`
-}
+// over the most recent latencyWindow observations (max is all-time). The
+// wire shape lives in package api.
+type LatencySummary = api.LatencySummary
 
 // latencies snapshots the ring and summarises it.
 func (s *stats) latencies() LatencySummary {
@@ -91,25 +103,13 @@ func (s *stats) latencies() LatencySummary {
 		return sum
 	}
 	sort.Float64s(window)
-	sum.P50 = Percentile(window, 0.50)
-	sum.P90 = Percentile(window, 0.90)
-	sum.P99 = Percentile(window, 0.99)
+	sum.P50 = metrics.Percentile(window, 0.50)
+	sum.P90 = metrics.Percentile(window, 0.90)
+	sum.P99 = metrics.Percentile(window, 0.99)
 	return sum
 }
 
 // Percentile reads the nearest-rank percentile from an ascending-sorted
-// slice. Exported so cmd/codarload reports client-side latencies with the
-// same rank convention the server uses in /v1/stats.
-func Percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(p*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
-}
+// slice. Kept as a forwarder to metrics.Percentile (the shared
+// implementation) for existing importers.
+func Percentile(sorted []float64, p float64) float64 { return metrics.Percentile(sorted, p) }
