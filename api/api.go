@@ -162,6 +162,83 @@ type CandidateReport struct {
 	Err string `json:"error,omitempty"`
 }
 
+// Job states reported by the /v1/jobs routes. A job moves queued → running
+// → one of done/failed/canceled; any retained terminal job becomes expired
+// once the server's jobs TTL reclaims its result.
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+	JobExpired  = "expired"
+)
+
+// JobStatus is the body of POST /v1/jobs (202, echoed with the Location
+// header), GET /v1/jobs/{id}, DELETE /v1/jobs/{id}, and each SSE event on
+// GET /v1/jobs/{id}/events.
+type JobStatus struct {
+	// ID addresses the job under /v1/jobs/{id}.
+	ID string `json:"id"`
+	// State is one of the Job* constants.
+	State string `json:"state"`
+	// QueuePos is the number of jobs ahead of this one in the dispatch
+	// queue; meaningful only while State is queued.
+	QueuePos int `json:"queue_pos"`
+	// Cache is the result's cache disposition (hit/miss/collapsed), present
+	// once the job is done — the async twin of the X-Codard-Cache header.
+	Cache string `json:"cache,omitempty"`
+	// Error carries the failure a failed (or pre-start-canceled) job would
+	// replay from GET /v1/jobs/{id}/result.
+	Error *ErrorBody `json:"error,omitempty"`
+	// ResultURL is the result route, present once the job is done.
+	ResultURL string `json:"result_url,omitempty"`
+	// Created/Started/Finished are RFC 3339 timestamps; Started and
+	// Finished are empty until the job reaches the corresponding state.
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+}
+
+// JobsStats is the jobs block of /v1/stats (present when the job store is
+// enabled).
+type JobsStats struct {
+	Submitted uint64 `json:"submitted"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Expired   uint64 `json:"expired"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	// Resident counts jobs currently held in any state; Capacity is the
+	// store's bound (submits beyond it answer 429 queue_full).
+	Resident int `json:"resident"`
+	Capacity int `json:"capacity"`
+}
+
+// BackendStats is one backend's row in the router's /v1/stats.
+type BackendStats struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Requests/Errors count proxied requests and transport-level failures
+	// against this backend; Ejections counts health-check removals.
+	Requests  uint64 `json:"requests"`
+	Errors    uint64 `json:"errors"`
+	Ejections uint64 `json:"ejections"`
+}
+
+// RouterStatsResponse is the GET /v1/stats body of a codard -router
+// front tier (distinct from the backend StatsResponse shape).
+type RouterStatsResponse struct {
+	Router        bool           `json:"router"`
+	Requests      uint64         `json:"requests"`
+	Errors        uint64         `json:"errors"`
+	Retries       uint64         `json:"retries"`
+	Unrouteable   uint64         `json:"unrouteable"`
+	Backends      []BackendStats `json:"backends"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+}
+
 // BatchRequest is the POST /v1/map/batch body.
 type BatchRequest struct {
 	Requests []MapRequest `json:"requests"`
@@ -301,6 +378,7 @@ type StatsResponse struct {
 	Handoffs  uint64 `json:"handoffs"`
 
 	Persist *PersistStats `json:"persist,omitempty"`
+	Jobs    *JobsStats    `json:"jobs,omitempty"`
 	// Shards breaks the cache counters down per shard (same order as the
 	// shard index used in /metrics labels).
 	Shards []ShardStats `json:"shards,omitempty"`

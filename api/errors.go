@@ -42,6 +42,20 @@ const (
 	CodeDeadline = "deadline"
 	// CodeInternal covers recovered panics and encoding failures (500).
 	CodeInternal = "internal"
+	// CodeJobNotFound marks a /v1/jobs/{id} ID no resident job answers to —
+	// never created, or already reaped past its retention window (404).
+	CodeJobNotFound = "job_not_found"
+	// CodeJobExpired marks a job whose result was reclaimed by the TTL
+	// reaper: the job existed and finished, but its bytes are gone and the
+	// spec must be resubmitted (410).
+	CodeJobExpired = "job_expired"
+	// CodeJobNotDone marks a result fetch on a job that has not reached a
+	// result-bearing state yet — still queued, running, or canceled before
+	// completion (409).
+	CodeJobNotDone = "job_not_done"
+	// CodeBackendUnavailable is the router's rejection when no healthy
+	// backend remains for a request (503 with Retry-After).
+	CodeBackendUnavailable = "backend_unavailable"
 )
 
 // ErrorBody is the inner object of the v1 error envelope.

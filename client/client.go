@@ -269,7 +269,8 @@ func (c *Client) setHeaders(req *http.Request) {
 	if c.clientID != "" {
 		req.Header.Set(api.HeaderClient, c.clientID)
 	}
-	if c.timeout > 0 && req.Method == http.MethodPost && strings.HasPrefix(req.URL.Path, "/v1/map") {
+	if c.timeout > 0 && req.Method == http.MethodPost &&
+		(strings.HasPrefix(req.URL.Path, "/v1/map") || req.URL.Path == "/v1/jobs") {
 		req.Header.Set(api.HeaderTimeout, c.timeout.String())
 	}
 }

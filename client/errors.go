@@ -32,6 +32,12 @@ var (
 	ErrCanceled         = errors.New("codard: request canceled")
 	ErrDeadline         = errors.New("codard: mapping deadline exceeded")
 	ErrInternal         = errors.New("codard: internal server error")
+
+	// Async job API (POST /v1/jobs and friends; docs/API.md §Jobs).
+	ErrJobNotFound        = errors.New("codard: job not found")
+	ErrJobExpired         = errors.New("codard: job result expired")
+	ErrJobNotDone         = errors.New("codard: job not done yet")
+	ErrBackendUnavailable = errors.New("codard: no backend available")
 )
 
 // sentinelFor maps envelope codes to sentinels. Unknown codes (a newer
@@ -49,6 +55,11 @@ var sentinelFor = map[string]error{
 	api.CodeCanceled:         ErrCanceled,
 	api.CodeDeadline:         ErrDeadline,
 	api.CodeInternal:         ErrInternal,
+
+	api.CodeJobNotFound:        ErrJobNotFound,
+	api.CodeJobExpired:         ErrJobExpired,
+	api.CodeJobNotDone:         ErrJobNotDone,
+	api.CodeBackendUnavailable: ErrBackendUnavailable,
 }
 
 // APIError is a non-2xx response decoded from the versioned error envelope.

@@ -1,0 +1,138 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"codar/api"
+)
+
+// SubmitJob enqueues a mapping asynchronously (POST /v1/jobs). The returned
+// status carries the job ID for polling; the request body is validated
+// eagerly, so bad QASM, unknown devices and full stores fail here, not at
+// result time. Closing ctx after SubmitJob returns does NOT cancel the job —
+// use CancelJob.
+func (c *Client) SubmitJob(ctx context.Context, req *api.MapRequest) (*api.JobStatus, error) {
+	var out api.JobStatus
+	if _, err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobStatus fetches a job's current state and queue position
+// (GET /v1/jobs/{id}). ErrJobNotFound after the store forgot it.
+func (c *Client) JobStatus(ctx context.Context, id string) (*api.JobStatus, error) {
+	var out api.JobStatus
+	if _, err := c.do(ctx, http.MethodGet, c.jobPath(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobResult fetches a finished job's result (GET /v1/jobs/{id}/result) —
+// byte-identical to what the sync /v1/map call would have returned,
+// transport metadata included. Sentinel relations: ErrJobNotDone (still
+// queued/running; RetryAfter applies), ErrJobExpired (TTL passed), and for
+// failed jobs the replayed original error (ErrBadQASM, ErrDeadline, ...).
+func (c *Client) JobResult(ctx context.Context, id string) (*MapResult, error) {
+	res := &MapResult{}
+	hdr, err := c.do(ctx, http.MethodGet, c.jobPath(id)+"/result", nil, &res.MapResponse)
+	if err != nil {
+		return nil, err
+	}
+	res.Cache = hdr.Get(api.HeaderCache)
+	res.RequestID = hdr.Get(api.HeaderRequestID)
+	return res, nil
+}
+
+// CancelJob cancels a queued or running job (DELETE /v1/jobs/{id}).
+// Canceling a terminal job is a no-op returning its final status.
+func (c *Client) CancelJob(ctx context.Context, id string) (*api.JobStatus, error) {
+	var out api.JobStatus
+	if _, err := c.do(ctx, http.MethodDelete, c.jobPath(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls JobStatus every poll interval (0 = 100ms) until the job is
+// terminal, then returns JobResult — the async equivalent of Map. A failed
+// job surfaces as the replayed original error; ctx expiry stops the polling
+// but leaves the job running server-side.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*MapResult, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.JobStatus(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case api.JobDone, api.JobFailed, api.JobCanceled, api.JobExpired:
+			return c.JobResult(ctx, id)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("codard: waiting for job %s: %w", id, ctx.Err())
+		case <-time.After(poll):
+		}
+	}
+}
+
+// JobEvents subscribes to a job's status stream (GET /v1/jobs/{id}/events,
+// server-sent events) and calls fn for every update, the current state
+// first. Return false from fn to stop early. JobEvents returns nil when the
+// server closes the stream (the job reached a terminal state), ctx.Err()
+// when ctx ends first.
+func (c *Client) JobEvents(ctx context.Context, id string, fn func(api.JobStatus) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+c.jobPath(id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	c.setHeaders(req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return decodeError(resp, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var st api.JobStatus
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+			return fmt.Errorf("codard: bad event payload: %w", err)
+		}
+		if !fn(st) {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return nil
+}
+
+func (c *Client) jobPath(id string) string {
+	return "/v1/jobs/" + url.PathEscape(id)
+}

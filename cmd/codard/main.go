@@ -9,6 +9,9 @@
 //	       [-max-batch 64] [-queue 64] [-queue-wait 30s] [-timeout 2m]
 //	       [-max-timeout 10m] [-grace 10s] [-persist ""] [-quota-rps 0]
 //	       [-quota-burst 0] [-chaos-slow 0] [-chaos-panic-every 0]
+//	       [-jobs-capacity 0] [-jobs-ttl 0] [-stateless]
+//	       [-router -backends URL,URL,...] [-health-interval 2s]
+//	       [-eject-after 3] [-readmit-after 2]
 //
 // -addr 127.0.0.1:0 binds an ephemeral port; the chosen address is printed
 // on stdout as "codard: listening on http://HOST:PORT" (the CI smoke job
@@ -29,7 +32,16 @@
 // -quota-burst enable per-client admission quotas keyed by the
 // X-Codard-Client header (0 = disabled).
 //
-// Endpoints: POST /v1/map, POST /v1/map/batch, GET|POST /v1/devices,
+// Scale-out (DESIGN.md §13): -jobs-capacity/-jobs-ttl bound the async
+// /v1/jobs store, -router turns this process into a stateless front tier
+// that rendezvous-hashes circuits across the -backends fleet (probing
+// /healthz every -health-interval, ejecting after -eject-after consecutive
+// failures and readmitting after -readmit-after successes), and -stateless
+// makes -persist a shared directory of per-process member logs so N
+// backends can warm-start from each other's results.
+//
+// Endpoints: POST /v1/map, POST /v1/map/batch, POST /v1/jobs, GET|DELETE
+// /v1/jobs/{id} (+ /result, /events), GET|POST /v1/devices,
 // GET|POST|PUT /v1/devices/{name}/calibration, GET /v1/stats, GET
 // /healthz, GET /metrics (Prometheus text). See docs/API.md. Example:
 //
@@ -46,11 +58,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"codar/internal/chaos"
 	"codar/internal/persist"
+	"codar/internal/router"
 	"codar/internal/service"
 )
 
@@ -96,6 +110,19 @@ type config struct {
 	// Chaos fault injection (tests and the CI chaos-smoke job only).
 	chaosSlow       time.Duration
 	chaosPanicEvery int
+	// Async job store bounds (/v1/jobs).
+	jobsCapacity int
+	jobsTTL      time.Duration
+	// stateless treats -persist as a shared directory: this process appends
+	// to its own member file and warms from every member's at boot.
+	stateless bool
+	// Router mode: when router is true this process is the stateless front
+	// tier over -backends instead of a mapping backend.
+	router         bool
+	backends       string
+	healthInterval time.Duration
+	ejectAfter     int
+	readmitAfter   int
 }
 
 // parseFlags parses and validates the command line. Errors (including
@@ -120,6 +147,14 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.DurationVar(&cfg.grace, "grace", 10*time.Second, "shutdown grace: in-flight mappings get this long before hard cancel")
 	fs.DurationVar(&cfg.chaosSlow, "chaos-slow", 0, "fault injection: delay every mapping job by this much (0 disables)")
 	fs.IntVar(&cfg.chaosPanicEvery, "chaos-panic-every", 0, "fault injection: panic every Nth mapping job (0 disables)")
+	fs.IntVar(&cfg.jobsCapacity, "jobs-capacity", 0, "max resident async jobs in the /v1/jobs store (0 = default)")
+	fs.DurationVar(&cfg.jobsTTL, "jobs-ttl", 0, "async job retention: results expire (410) this long after finishing (0 = default)")
+	fs.BoolVar(&cfg.stateless, "stateless", false, "treat -persist as a shared directory of per-process member logs (scale-out backends)")
+	fs.BoolVar(&cfg.router, "router", false, "run as the consistent-hash front tier over -backends instead of mapping locally")
+	fs.StringVar(&cfg.backends, "backends", "", "comma-separated backend URLs for -router mode")
+	fs.DurationVar(&cfg.healthInterval, "health-interval", router.DefaultHealthInterval, "router: backend /healthz probe cadence")
+	fs.IntVar(&cfg.ejectAfter, "eject-after", router.DefaultEjectAfter, "router: consecutive failures before a backend is ejected")
+	fs.IntVar(&cfg.readmitAfter, "readmit-after", router.DefaultReadmitAfter, "router: consecutive probe successes before an ejected backend returns")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -160,10 +195,73 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	if cfg.quotaBurst > 0 && cfg.quotaRPS == 0 {
 		return nil, fmt.Errorf("-quota-burst requires -quota-rps")
 	}
+	if cfg.jobsCapacity < 0 {
+		return nil, fmt.Errorf("-jobs-capacity must be >= 0, got %d", cfg.jobsCapacity)
+	}
+	if cfg.jobsTTL < 0 {
+		return nil, fmt.Errorf("-jobs-ttl must be >= 0, got %v", cfg.jobsTTL)
+	}
+	if cfg.stateless && cfg.persist == "" {
+		return nil, fmt.Errorf("-stateless requires -persist to name the shared log directory")
+	}
+	if cfg.router && cfg.backends == "" {
+		return nil, fmt.Errorf("-router requires -backends")
+	}
+	if !cfg.router && cfg.backends != "" {
+		return nil, fmt.Errorf("-backends only applies with -router")
+	}
+	if cfg.ejectAfter <= 0 {
+		return nil, fmt.Errorf("-eject-after must be >= 1, got %d", cfg.ejectAfter)
+	}
+	if cfg.readmitAfter <= 0 {
+		return nil, fmt.Errorf("-readmit-after must be >= 1, got %d", cfg.readmitAfter)
+	}
+	if cfg.healthInterval <= 0 {
+		return nil, fmt.Errorf("-health-interval must be positive, got %v", cfg.healthInterval)
+	}
 	return cfg, nil
 }
 
+// runRouter serves the front tier: no mapping pipeline, no cache — just
+// rendezvous routing over the configured backends until shutdown.
+func runRouter(cfg *config) error {
+	rt, err := router.New(router.Config{
+		Backends:       strings.Split(cfg.backends, ","),
+		HealthInterval: cfg.healthInterval,
+		EjectAfter:     cfg.ejectAfter,
+		ReadmitAfter:   cfg.readmitAfter,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("codard: listening on http://%s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "codard: router mode over %s\n", cfg.backends)
+
+	hs := &http.Server{Handler: rt, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "codard: %v, shutting down router (grace %v)\n", s, cfg.grace)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.grace)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}
+
 func run(cfg *config) error {
+	if cfg.router {
+		return runRouter(cfg)
+	}
 	svcCfg := service.Config{
 		Workers:        cfg.workers,
 		CacheSize:      cfg.cache,
@@ -175,9 +273,15 @@ func run(cfg *config) error {
 		MaxTimeout:     cfg.maxTimeout,
 		QuotaRPS:       cfg.quotaRPS,
 		QuotaBurst:     float64(cfg.quotaBurst),
+		JobsCapacity:   cfg.jobsCapacity,
+		JobsTTL:        cfg.jobsTTL,
 	}
 	if cfg.persist != "" {
-		plog, err := persist.Open(cfg.persist, persist.Options{})
+		open := persist.Open
+		if cfg.stateless {
+			open = persist.OpenShared
+		}
+		plog, err := open(cfg.persist, persist.Options{})
 		if err != nil {
 			return fmt.Errorf("open persist log: %w", err)
 		}

@@ -54,6 +54,14 @@ func TestParseFlagsErrorPaths(t *testing.T) {
 		{"negative quota-rps", []string{"-quota-rps", "-5"}, "-quota-rps must be >= 0"},
 		{"negative quota-burst", []string{"-quota-burst", "-5"}, "-quota-burst must be >= 0"},
 		{"burst without rate", []string{"-quota-burst", "10"}, "-quota-burst requires -quota-rps"},
+		{"negative jobs-capacity", []string{"-jobs-capacity", "-1"}, "-jobs-capacity must be >= 0"},
+		{"negative jobs-ttl", []string{"-jobs-ttl", "-1s"}, "-jobs-ttl must be >= 0"},
+		{"stateless without persist", []string{"-stateless"}, "-stateless requires -persist"},
+		{"router without backends", []string{"-router"}, "-router requires -backends"},
+		{"backends without router", []string{"-backends", "http://a"}, "-backends only applies with -router"},
+		{"zero eject-after", []string{"-router", "-backends", "http://a", "-eject-after", "0"}, "-eject-after must be >= 1"},
+		{"zero readmit-after", []string{"-router", "-backends", "http://a", "-readmit-after", "0"}, "-readmit-after must be >= 1"},
+		{"zero health-interval", []string{"-router", "-backends", "http://a", "-health-interval", "0s"}, "-health-interval must be positive"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

@@ -25,6 +25,14 @@
 // job drives this against a codard started with -chaos-* flags:
 //
 //	codarload -cancel-fraction 0.3 -timeout 50ms
+//
+// Alternate request shapes: -jobs sends every request through the async
+// job API (submit, poll, fetch — the result bytes are contract-identical
+// to the sync path), -batch N packs requests into /v1/map/batch calls of N
+// items whose outcomes are decoded individually (an item carrying an error
+// envelope is counted by its code, never as a success), and -portfolio
+// turns every request into a multi-start portfolio search — the heavy
+// workload for router scale-out runs (BENCH_5.json).
 package main
 
 import (
@@ -89,6 +97,16 @@ type loadConfig struct {
 	// harness, driving the server's disconnect-cancellation path (499s and
 	// the canceled counter) under real HTTP. 0 disables.
 	cancelFraction float64
+	// jobs routes every request through the async job API: submit, poll to
+	// completion, fetch the result. Latency covers the full round trip.
+	jobs bool
+	// batch groups requests into /v1/map/batch calls of this many items
+	// (0 = single-request mode). Items are decoded individually and counted
+	// by their envelope code.
+	batch int
+	// portfolio replaces each single-shot mapping with the server-default
+	// multi-start portfolio search.
+	portfolio bool
 }
 
 // parseFlags parses and validates the command line. Leftover positional
@@ -111,6 +129,9 @@ func parseFlags(args []string, stderr io.Writer) (*loadConfig, error) {
 	fs.StringVar(&cfg.clientID, "client", "codarload", "X-Codard-Client identity for quota accounting (empty = anonymous)")
 	fs.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "per-request mapping deadline, sent as X-Codard-Timeout (0 disables)")
 	fs.Float64Var(&cfg.cancelFraction, "cancel-fraction", 0, "fraction of requests abandoned client-side mid-flight (0..1)")
+	fs.BoolVar(&cfg.jobs, "jobs", false, "use the async job API (POST /v1/jobs + poll) instead of sync /v1/map")
+	fs.IntVar(&cfg.batch, "batch", 0, "group requests into /v1/map/batch calls of this many items (0 = single requests)")
+	fs.BoolVar(&cfg.portfolio, "portfolio", false, "request the multi-start portfolio search for every circuit")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -139,6 +160,15 @@ func parseFlags(args []string, stderr io.Writer) (*loadConfig, error) {
 	if cfg.cancelFraction < 0 || cfg.cancelFraction > 1 {
 		return nil, fmt.Errorf("-cancel-fraction must be in [0, 1], got %v", cfg.cancelFraction)
 	}
+	if cfg.batch < 0 {
+		return nil, fmt.Errorf("-batch must be >= 0, got %d", cfg.batch)
+	}
+	if cfg.jobs && cfg.batch > 0 {
+		return nil, fmt.Errorf("-jobs and -batch are mutually exclusive")
+	}
+	if cfg.batch > 0 && cfg.cancelFraction > 0 {
+		return nil, fmt.Errorf("-cancel-fraction has no per-item meaning with -batch")
+	}
 	return cfg, nil
 }
 
@@ -151,13 +181,17 @@ func run(cfg *loadConfig) error {
 		if cfg.family != "" && b.Family != cfg.family {
 			continue
 		}
-		circuits = append(circuits, api.MapRequest{
+		req := api.MapRequest{
 			QASM:      qasm.Write(b.Circuit()),
 			Arch:      cfg.archName,
 			Algo:      cfg.algo,
 			Durations: cfg.durations,
 			Seed:      cfg.seed,
-		})
+		}
+		if cfg.portfolio {
+			req.Portfolio = &api.PortfolioSpec{}
+		}
+		circuits = append(circuits, req)
 		if cfg.limit > 0 && len(circuits) >= cfg.limit {
 			break
 		}
@@ -210,28 +244,71 @@ func run(cfg *loadConfig) error {
 	}
 	outcomes := make([]outcome, len(reqs))
 	start := time.Now()
-	_ = experiments.RunBatch(len(reqs), cfg.concurrency, func(i int) error {
-		ctx := context.Background()
-		abandon := cancelEvery > 0 && i%cancelEvery == 0
-		if abandon {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithCancel(ctx)
-			timer := time.AfterFunc(clientCancelAfter, cancel)
-			defer timer.Stop()
-			defer cancel()
-		}
-		t0 := time.Now()
-		res, err := c.Map(ctx, &reqs[i])
-		o := outcome{latency: time.Since(t0), abandond: abandon, err: err}
-		if err == nil {
-			if res.MappedQASM == "" {
-				o.err = fmt.Errorf("empty mapped_qasm")
+	if cfg.batch > 0 {
+		// Batch mode: pack requests into groups and decode every item on
+		// its own — an item whose envelope carries an error code is that
+		// error's outcome, never a success, even though the batch call
+		// itself returned 200.
+		groups := (len(reqs) + cfg.batch - 1) / cfg.batch
+		_ = experiments.RunBatch(groups, cfg.concurrency, func(g int) error {
+			lo := g * cfg.batch
+			hi := min(lo+cfg.batch, len(reqs))
+			t0 := time.Now()
+			resp, err := c.MapBatch(context.Background(), reqs[lo:hi])
+			lat := time.Since(t0)
+			if err == nil && len(resp.Items) != hi-lo {
+				err = fmt.Errorf("batch returned %d items for %d requests", len(resp.Items), hi-lo)
 			}
-			o.cache = res.Cache
-		}
-		outcomes[i] = o
-		return nil
-	})
+			for i := lo; i < hi; i++ {
+				o := outcome{latency: lat, err: err}
+				if err == nil {
+					item := &resp.Items[i-lo]
+					mr, derr := client.DecodeItem(item)
+					o.err = derr
+					if derr == nil {
+						if mr.MappedQASM == "" {
+							o.err = fmt.Errorf("empty mapped_qasm")
+						}
+						o.cache = item.Cache
+					}
+				}
+				outcomes[i] = o
+			}
+			return nil
+		})
+	} else {
+		_ = experiments.RunBatch(len(reqs), cfg.concurrency, func(i int) error {
+			ctx := context.Background()
+			abandon := cancelEvery > 0 && i%cancelEvery == 0
+			if abandon {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithCancel(ctx)
+				timer := time.AfterFunc(clientCancelAfter, cancel)
+				defer timer.Stop()
+				defer cancel()
+			}
+			t0 := time.Now()
+			var res *client.MapResult
+			var err error
+			if cfg.jobs {
+				var st *api.JobStatus
+				if st, err = c.SubmitJob(ctx, &reqs[i]); err == nil {
+					res, err = c.WaitJob(ctx, st.ID, jobPollInterval)
+				}
+			} else {
+				res, err = c.Map(ctx, &reqs[i])
+			}
+			o := outcome{latency: time.Since(t0), abandond: abandon, err: err}
+			if err == nil {
+				if res.MappedQASM == "" {
+					o.err = fmt.Errorf("empty mapped_qasm")
+				}
+				o.cache = res.Cache
+			}
+			outcomes[i] = o
+			return nil
+		})
+	}
 	wall := time.Since(start)
 
 	var (
@@ -271,9 +348,16 @@ func run(cfg *loadConfig) error {
 	}
 	sort.Float64s(lats)
 	ok := len(lats)
+	mode := "sync"
+	switch {
+	case cfg.jobs:
+		mode = "jobs"
+	case cfg.batch > 0:
+		mode = fmt.Sprintf("batch(%d)", cfg.batch)
+	}
 	fmt.Printf("codarload: %d requests (%d circuits × %d) against %s\n", len(reqs), len(circuits), cfg.repeat, cfg.server)
-	fmt.Printf("  arch=%s algo=%s durations=%q seed=%d concurrency=%d client=%q timeout=%v cancel-fraction=%v\n",
-		cfg.archName, cfg.algo, cfg.durations, cfg.seed, cfg.concurrency, cfg.clientID, cfg.timeout, cfg.cancelFraction)
+	fmt.Printf("  mode=%s portfolio=%v arch=%s algo=%s durations=%q seed=%d concurrency=%d client=%q timeout=%v cancel-fraction=%v\n",
+		mode, cfg.portfolio, cfg.archName, cfg.algo, cfg.durations, cfg.seed, cfg.concurrency, cfg.clientID, cfg.timeout, cfg.cancelFraction)
 	fmt.Printf("  ok=%d failed=%d canceled=%d rejected=%d deadline=%d cache-hits=%d collapsed=%d wall=%.2fs throughput=%.1f req/s\n",
 		ok, failures, canceled, rejected, deadlines, hits, collapsed, wall.Seconds(), float64(ok)/wall.Seconds())
 	if ok > 0 {
@@ -303,6 +387,10 @@ func run(cfg *loadConfig) error {
 // and (usually) start mapping, short enough that the disconnect lands
 // mid-mapping on anything but trivial circuits.
 const clientCancelAfter = 10 * time.Millisecond
+
+// jobPollInterval is the -jobs mode status-poll cadence. Short, because the
+// loader measures job round-trip latency and the poll quantum is its floor.
+const jobPollInterval = 5 * time.Millisecond
 
 // printServerStats fetches and prints the server-side /v1/stats view.
 func printServerStats(c *client.Client) error {

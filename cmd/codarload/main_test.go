@@ -25,6 +25,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.clientID != "codarload" {
 		t.Errorf("default client ID %q, want codarload", cfg.clientID)
 	}
+	if cfg.jobs || cfg.batch != 0 || cfg.portfolio {
+		t.Errorf("async/batch/portfolio on by default: %+v", cfg)
+	}
 }
 
 // TestParseFlagsChaosMode: the fault-injection knobs parse and validate.
@@ -64,6 +67,9 @@ func TestParseFlagsErrorPaths(t *testing.T) {
 		{"negative timeout", []string{"-timeout", "-1s"}, "-timeout must be >= 0"},
 		{"cancel-fraction above one", []string{"-cancel-fraction", "1.5"}, "-cancel-fraction must be in [0, 1]"},
 		{"negative cancel-fraction", []string{"-cancel-fraction", "-0.1"}, "-cancel-fraction must be in [0, 1]"},
+		{"negative batch", []string{"-batch", "-1"}, "-batch must be >= 0"},
+		{"jobs with batch", []string{"-jobs", "-batch", "4"}, "mutually exclusive"},
+		{"batch with cancel", []string{"-batch", "4", "-cancel-fraction", "0.5"}, "no per-item meaning"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,554 @@
+// Package jobs is the bounded asynchronous job store behind the codard
+// /v1/jobs API: long-running mapping work (portfolio grids, Sycamore-scale
+// circuits) is enqueued, executed through the service's shared worker pool,
+// and polled or streamed instead of holding an HTTP connection open for the
+// whole mapping.
+//
+// The store is deliberately small and strict:
+//
+//   - Bounded residency: at most Capacity jobs exist at once, in any state.
+//     Submit beyond that is an explicit rejection (ErrFull) the service maps
+//     to 429 — an async queue must not become an unbounded buffer.
+//   - One-way lifecycle: queued → running → done | failed | canceled, and
+//     any retained terminal job (or a never-started queued one) → expired
+//     once it outlives the TTL. Transitions are monotonic; there is no
+//     retry state, resubmission is a new job.
+//   - Lazy TTL reaping: expiry is enforced on every store operation (and
+//     when jobs finish) instead of by a background goroutine, so an idle
+//     store owns no goroutines and embedders (tests, short-lived servers)
+//     never leak a reaper. The clock is injectable for deterministic tests.
+//   - FIFO dispatch under a concurrency bound: Submit appends to a queue;
+//     at most Workers job goroutines run at once, each executing the
+//     caller-supplied Runner. The Runner is expected to do its own
+//     worker-slot accounting (the service routes jobs through the same
+//     semaphore as synchronous requests), so the bound here only caps
+//     job-goroutine fan-out, not mapping concurrency.
+//
+// Results are opaque bytes: the service stores the same marshalled response
+// body the synchronous path would have written, so a job's result is
+// byte-identical to its synchronous twin by construction.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. Terminal states are Done, Failed, Canceled and Expired.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+	StateExpired  State = "expired"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCanceled, StateExpired:
+		return true
+	}
+	return false
+}
+
+// Store-level sentinel errors, mapped by the service to envelope codes.
+var (
+	// ErrFull rejects a Submit beyond the store's capacity (429 queue_full).
+	ErrFull = errors.New("jobs: store full")
+	// ErrNotFound marks an unknown (or already deleted) job ID (404
+	// job_not_found).
+	ErrNotFound = errors.New("jobs: job not found")
+	// ErrExpired marks a job whose result was reaped by the TTL (410
+	// job_expired).
+	ErrExpired = errors.New("jobs: job expired")
+	// ErrNotDone marks a result fetch on a job that has not finished (409
+	// job_not_done).
+	ErrNotDone = errors.New("jobs: job not done")
+	// ErrClosed rejects Submit on a closed store.
+	ErrClosed = errors.New("jobs: store closed")
+)
+
+// Failure is the stored outcome of a failed job: the HTTP status and
+// envelope code its synchronous twin would have answered with, replayed by
+// GET /v1/jobs/{id}/result.
+type Failure struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (f *Failure) Error() string { return f.Message }
+
+// Runner executes one job under ctx. It returns the rendered result bytes
+// and the cache disposition on success, or a Failure. A ctx fired by
+// Cancel (or the server draining) should surface as a Failure carrying the
+// cancellation code.
+type Runner func(ctx context.Context) (body []byte, cache string, failure *Failure)
+
+// Config sizes a Store. Zero values select the defaults.
+type Config struct {
+	// Capacity bounds resident jobs in any state; Submit beyond it returns
+	// ErrFull. 0 selects DefaultCapacity.
+	Capacity int
+	// TTL bounds retention: terminal jobs older than it lose their result
+	// bytes and become StateExpired; expired tombstones (and queued jobs
+	// that never started) older than another TTL are deleted. 0 selects
+	// DefaultTTL.
+	TTL time.Duration
+	// Workers bounds concurrently executing job goroutines. 0 selects 1.
+	Workers int
+	// BaseCtx parents every job's context; canceling it (server drain)
+	// aborts running jobs. nil selects context.Background().
+	BaseCtx context.Context
+	// Clock is the store's time source; nil selects time.Now. Injectable
+	// so TTL tests are deterministic.
+	Clock func() time.Time
+}
+
+// Defaults for Config.
+const (
+	DefaultCapacity = 1024
+	DefaultTTL      = 15 * time.Minute
+)
+
+// Snapshot is a point-in-time copy of one job's public state.
+type Snapshot struct {
+	ID       string
+	State    State
+	Pos      int // 0-based queue position; meaningful only when queued
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	Cache    string // disposition of a done job (hit/miss/collapsed)
+	Failure  *Failure
+}
+
+// job is the store-internal record.
+type job struct {
+	id       string
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	expires  time.Time // tombstone deadline once terminal/expired
+
+	run    Runner
+	cancel context.CancelFunc // non-nil while running
+
+	body  []byte
+	cache string
+	fail  *Failure
+
+	subs []chan Snapshot
+}
+
+// Stats is the store's counter view for /v1/stats and /metrics.
+type Stats struct {
+	Submitted uint64
+	Done      uint64
+	Failed    uint64
+	Canceled  uint64
+	Expired   uint64
+	Queued    int
+	Running   int
+	Resident  int
+	Capacity  int
+}
+
+// Store is the bounded job store. All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	jobs    map[string]*job
+	queue   []*job // FIFO of queued jobs
+	running int
+	closed  bool
+
+	capacity int
+	ttl      time.Duration
+	workers  int
+	baseCtx  context.Context
+	now      func() time.Time
+
+	submitted uint64
+	done      uint64
+	failed    uint64
+	canceled  uint64
+	expired   uint64
+
+	// idle is closed whenever no job goroutine is running; Close waits on
+	// it so embedders can assert zero goroutine leakage.
+	wg sync.WaitGroup
+}
+
+// NewStore builds a Store from cfg.
+func NewStore(cfg Config) *Store {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	ttl := cfg.TTL
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	base := cfg.BaseCtx
+	if base == nil {
+		base = context.Background()
+	}
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	return &Store{
+		jobs:     make(map[string]*job),
+		capacity: capacity,
+		ttl:      ttl,
+		workers:  workers,
+		baseCtx:  base,
+		now:      now,
+	}
+}
+
+// newJobID returns a 16-hex-char random job ID (same shape as request IDs).
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000001"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit enqueues one job and returns its initial snapshot. ErrFull when
+// the store is at capacity (after reaping), ErrClosed after Close.
+func (s *Store) Submit(run Runner) (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Snapshot{}, ErrClosed
+	}
+	s.reapLocked()
+	if len(s.jobs) >= s.capacity {
+		return Snapshot{}, ErrFull
+	}
+	j := &job{
+		id:      newJobID(),
+		state:   StateQueued,
+		created: s.now(),
+		run:     run,
+	}
+	for s.jobs[j.id] != nil { // collision paranoia on 64-bit IDs
+		j.id = newJobID()
+	}
+	s.jobs[j.id] = j
+	s.queue = append(s.queue, j)
+	s.submitted++
+	s.dispatchLocked()
+	return s.snapshotLocked(j), nil
+}
+
+// Get returns the job's snapshot; ErrNotFound for unknown IDs.
+func (s *Store) Get(id string) (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return s.snapshotLocked(j), nil
+}
+
+// Result returns a done job's stored bytes and snapshot. A failed job
+// returns its Failure; ErrNotDone while queued/running/canceled without a
+// result, ErrExpired once the TTL reaped the result, ErrNotFound for
+// unknown IDs.
+func (s *Store) Result(id string) ([]byte, Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, Snapshot{}, ErrNotFound
+	}
+	snap := s.snapshotLocked(j)
+	switch j.state {
+	case StateDone:
+		return j.body, snap, nil
+	case StateExpired:
+		return nil, snap, ErrExpired
+	case StateFailed:
+		return nil, snap, j.fail
+	default:
+		return nil, snap, ErrNotDone
+	}
+}
+
+// Cancel moves a queued or running job to canceled: a queued job is
+// removed from the dispatch queue without ever starting, a running one has
+// its context fired (its Runner settles the final state). Cancel of a job
+// already terminal is a no-op reporting the current state.
+func (s *Store) Cancel(id string) (Snapshot, error) {
+	s.mu.Lock()
+	s.reapLocked()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Snapshot{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.finishLocked(j, StateCanceled, nil, "", &Failure{Code: "canceled", Message: "job canceled before it started"})
+		snap := s.snapshotLocked(j)
+		s.mu.Unlock()
+		return snap, nil
+	case StateRunning:
+		cancel := j.cancel
+		snap := s.snapshotLocked(j)
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return snap, nil
+	default:
+		snap := s.snapshotLocked(j)
+		s.mu.Unlock()
+		return snap, nil
+	}
+}
+
+// Subscribe registers for the job's state changes. The channel delivers
+// the job's current snapshot immediately, then one snapshot per transition
+// (buffered deep enough for the full lifecycle), and is closed after the
+// terminal state is delivered. The returned cancel func unregisters;
+// always call it.
+func (s *Store) Subscribe(id string) (<-chan Snapshot, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	// A job has at most queued→running→terminal→expired transitions; 8
+	// slots (plus the immediate snapshot) can never overflow, so publishes
+	// never block or drop.
+	ch := make(chan Snapshot, 8)
+	ch <- s.snapshotLocked(j)
+	if j.state.Terminal() {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	j.subs = append(j.subs, ch)
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, c := range j.subs {
+			if c == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				return
+			}
+		}
+	}
+	return ch, cancel, nil
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reapLocked()
+	queued := len(s.queue)
+	return Stats{
+		Submitted: s.submitted,
+		Done:      s.done,
+		Failed:    s.failed,
+		Canceled:  s.canceled,
+		Expired:   s.expired,
+		Queued:    queued,
+		Running:   s.running,
+		Resident:  len(s.jobs),
+		Capacity:  s.capacity,
+	}
+}
+
+// Close stops accepting submissions, cancels every queued and running job,
+// and waits for job goroutines to return. Safe to call twice.
+func (s *Store) Close() {
+	s.mu.Lock()
+	s.closed = true
+	var cancels []context.CancelFunc
+	for _, j := range s.queue {
+		s.finishLocked(j, StateCanceled, nil, "", &Failure{Code: "canceled", Message: "job store shutting down"})
+	}
+	s.queue = nil
+	for _, j := range s.jobs {
+		if j.state == StateRunning && j.cancel != nil {
+			cancels = append(cancels, j.cancel)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	s.wg.Wait()
+}
+
+// dispatchLocked starts queued jobs while worker slots are free. Callers
+// hold s.mu.
+func (s *Store) dispatchLocked() {
+	for s.running < s.workers && len(s.queue) > 0 {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		j.state = StateRunning
+		j.started = s.now()
+		j.cancel = cancel
+		s.running++
+		s.publishLocked(j)
+		s.wg.Add(1)
+		go s.execute(j, ctx, cancel)
+	}
+}
+
+// execute runs one dispatched job to its terminal state.
+func (s *Store) execute(j *job, ctx context.Context, cancel context.CancelFunc) {
+	defer s.wg.Done()
+	defer cancel()
+	body, cache, fail := j.run(ctx)
+	s.mu.Lock()
+	s.running--
+	switch {
+	case fail == nil:
+		s.finishLocked(j, StateDone, body, cache, nil)
+	case ctx.Err() != nil && s.baseCtx.Err() == nil && !s.closed:
+		// The job's own context fired but the server isn't draining: this
+		// was a Cancel call, not a drain — record it as canceled whatever
+		// code the runner classified.
+		s.finishLocked(j, StateCanceled, nil, "", fail)
+	default:
+		s.finishLocked(j, StateFailed, nil, "", fail)
+	}
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// finishLocked settles a job in a terminal state, stamps its tombstone
+// deadline, publishes the transition and closes subscriber channels.
+// Callers hold s.mu.
+func (s *Store) finishLocked(j *job, st State, body []byte, cache string, fail *Failure) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = st
+	j.finished = s.now()
+	j.expires = j.finished.Add(s.ttl)
+	j.body, j.cache, j.fail = body, cache, fail
+	j.cancel = nil
+	switch st {
+	case StateDone:
+		s.done++
+	case StateFailed:
+		s.failed++
+	case StateCanceled:
+		s.canceled++
+	}
+	s.publishLocked(j)
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+}
+
+// publishLocked sends the job's current snapshot to every subscriber.
+// Channels are sized for the full lifecycle, so sends never block.
+func (s *Store) publishLocked(j *job) {
+	if len(j.subs) == 0 {
+		return
+	}
+	snap := s.snapshotLocked(j)
+	for _, ch := range j.subs {
+		select {
+		case ch <- snap:
+		default: // unreachable by construction; never block the store
+		}
+	}
+}
+
+// reapLocked enforces the TTL: terminal jobs past their tombstone deadline
+// become expired (result bytes dropped, counted once), expired tombstones
+// past another TTL are deleted, and queued jobs older than the TTL are
+// expired without ever starting. Callers hold s.mu.
+func (s *Store) reapLocked() {
+	now := s.now()
+	anyExpired := false
+	for _, j := range s.queue {
+		if now.Sub(j.created) >= s.ttl {
+			s.finishLocked(j, StateExpired, nil, "", &Failure{Code: "job_expired", Message: "job expired before it started"})
+			s.expired++
+			anyExpired = true
+		}
+	}
+	if anyExpired {
+		live := s.queue[:0]
+		for _, j := range s.queue {
+			if j.state == StateQueued {
+				live = append(live, j)
+			}
+		}
+		s.queue = live
+	}
+	for id, j := range s.jobs {
+		switch {
+		case j.state == StateExpired:
+			if now.After(j.expires) {
+				delete(s.jobs, id)
+			}
+		case j.state.Terminal() && now.After(j.expires):
+			j.state = StateExpired
+			j.body = nil
+			j.expires = now.Add(s.ttl)
+			s.expired++
+		}
+	}
+}
+
+// snapshotLocked copies a job's public state; queue position is its index
+// in the FIFO. Callers hold s.mu.
+func (s *Store) snapshotLocked(j *job) Snapshot {
+	snap := Snapshot{
+		ID:       j.id,
+		State:    j.state,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Cache:    j.cache,
+		Failure:  j.fail,
+	}
+	if j.state == StateQueued {
+		for i, q := range s.queue {
+			if q == j {
+				snap.Pos = i
+				break
+			}
+		}
+	}
+	return snap
+}

@@ -1,0 +1,371 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"codar/internal/testutil"
+)
+
+// okRunner returns a runner that succeeds immediately with body.
+func okRunner(body string) Runner {
+	return func(ctx context.Context) ([]byte, string, *Failure) {
+		return []byte(body), "miss", nil
+	}
+}
+
+// gateRunner blocks until release is closed (or ctx fires), then succeeds.
+func gateRunner(release <-chan struct{}, body string) Runner {
+	return func(ctx context.Context) ([]byte, string, *Failure) {
+		select {
+		case <-release:
+			return []byte(body), "miss", nil
+		case <-ctx.Done():
+			return nil, "", &Failure{Status: 499, Code: "canceled", Message: "canceled"}
+		}
+	}
+}
+
+func waitState(t *testing.T, s *Store, id string, want State) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if snap.State == want {
+			return snap
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap, _ := s.Get(id)
+	t.Fatalf("job %s stuck in %s, want %s", id, snap.State, want)
+	return Snapshot{}
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	s := NewStore(Config{Workers: 2})
+	defer s.Close()
+
+	snap, err := s.Submit(okRunner("hello"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if snap.ID == "" || len(snap.ID) != 16 {
+		t.Fatalf("job ID %q, want 16 hex chars", snap.ID)
+	}
+	done := waitState(t, s, snap.ID, StateDone)
+	if done.Cache != "miss" {
+		t.Fatalf("cache disposition %q, want miss", done.Cache)
+	}
+	body, _, err := s.Result(snap.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if string(body) != "hello" {
+		t.Fatalf("body %q, want hello", body)
+	}
+}
+
+func TestFIFOOrderAndQueuePosition(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	release := make(chan struct{})
+	s := NewStore(Config{Workers: 1})
+	defer s.Close()
+
+	var order []string
+	var mu sync.Mutex
+	mk := func(name string) Runner {
+		return func(ctx context.Context) ([]byte, string, *Failure) {
+			<-release
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return []byte(name), "miss", nil
+		}
+	}
+	first, _ := s.Submit(mk("a"))
+	second, err := s.Submit(mk("b"))
+	if err != nil {
+		t.Fatalf("Submit b: %v", err)
+	}
+	third, err := s.Submit(mk("c"))
+	if err != nil {
+		t.Fatalf("Submit c: %v", err)
+	}
+	waitState(t, s, first.ID, StateRunning)
+
+	snap2, _ := s.Get(second.ID)
+	snap3, _ := s.Get(third.ID)
+	if snap2.State != StateQueued || snap2.Pos != 0 {
+		t.Fatalf("second: state=%s pos=%d, want queued pos 0", snap2.State, snap2.Pos)
+	}
+	if snap3.State != StateQueued || snap3.Pos != 1 {
+		t.Fatalf("third: state=%s pos=%d, want queued pos 1", snap3.State, snap3.Pos)
+	}
+	close(release)
+	waitState(t, s, third.ID, StateDone)
+	mu.Lock()
+	got := fmt.Sprint(order)
+	mu.Unlock()
+	if got != "[a b c]" {
+		t.Fatalf("execution order %s, want [a b c]", got)
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	release := make(chan struct{})
+	defer close(release)
+	s := NewStore(Config{Workers: 1, Capacity: 2})
+	defer s.Close()
+
+	if _, err := s.Submit(gateRunner(release, "x")); err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	if _, err := s.Submit(gateRunner(release, "y")); err != nil {
+		t.Fatalf("Submit 2: %v", err)
+	}
+	if _, err := s.Submit(gateRunner(release, "z")); !errors.Is(err, ErrFull) {
+		t.Fatalf("Submit 3: err=%v, want ErrFull", err)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	release := make(chan struct{})
+	defer close(release)
+	s := NewStore(Config{Workers: 1})
+	defer s.Close()
+
+	running, _ := s.Submit(gateRunner(release, "r"))
+	queued, _ := s.Submit(gateRunner(release, "q"))
+	waitState(t, s, running.ID, StateRunning)
+
+	// Cancel the queued job: settles synchronously, never runs.
+	snap, err := s.Cancel(queued.ID)
+	if err != nil {
+		t.Fatalf("Cancel queued: %v", err)
+	}
+	if snap.State != StateCanceled {
+		t.Fatalf("queued cancel state %s, want canceled", snap.State)
+	}
+	if _, _, err := s.Result(queued.ID); !errors.Is(err, ErrNotDone) {
+		t.Fatalf("Result of canceled job: err=%v, want ErrNotDone", err)
+	}
+
+	// Cancel the running job: its context fires, runner observes it.
+	if _, err := s.Cancel(running.ID); err != nil {
+		t.Fatalf("Cancel running: %v", err)
+	}
+	got := waitState(t, s, running.ID, StateCanceled)
+	if got.Failure == nil || got.Failure.Code != "canceled" {
+		t.Fatalf("running cancel failure %+v, want code canceled", got.Failure)
+	}
+	// Cancel of a terminal job is a no-op.
+	again, err := s.Cancel(running.ID)
+	if err != nil || again.State != StateCanceled {
+		t.Fatalf("re-cancel: snap=%+v err=%v", again, err)
+	}
+}
+
+func TestFailedJobReplaysFailure(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	s := NewStore(Config{Workers: 1})
+	defer s.Close()
+	snap, _ := s.Submit(func(ctx context.Context) ([]byte, string, *Failure) {
+		return nil, "", &Failure{Status: 422, Code: "bad_qasm", Message: "boom"}
+	})
+	waitState(t, s, snap.ID, StateFailed)
+	_, _, err := s.Result(snap.ID)
+	var fail *Failure
+	if !errors.As(err, &fail) {
+		t.Fatalf("Result err %T %v, want *Failure", err, err)
+	}
+	if fail.Status != 422 || fail.Code != "bad_qasm" {
+		t.Fatalf("failure %+v, want 422 bad_qasm", fail)
+	}
+}
+
+func TestTTLExpiryAndTombstoneDeletion(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	var clock atomic.Int64 // nanos offset
+	base := time.Unix(1700000000, 0)
+	now := func() time.Time { return base.Add(time.Duration(clock.Load())) }
+	s := NewStore(Config{Workers: 1, TTL: time.Minute, Clock: now})
+	defer s.Close()
+
+	snap, _ := s.Submit(okRunner("v"))
+	waitState(t, s, snap.ID, StateDone)
+
+	// Within TTL: result still served.
+	if _, _, err := s.Result(snap.ID); err != nil {
+		t.Fatalf("Result within TTL: %v", err)
+	}
+	// Past TTL: expired, result gone, 410-shaped error.
+	clock.Store(int64(2 * time.Minute))
+	if _, _, err := s.Result(snap.ID); !errors.Is(err, ErrExpired) {
+		t.Fatalf("Result past TTL: err=%v, want ErrExpired", err)
+	}
+	st := s.Stats()
+	if st.Expired != 1 {
+		t.Fatalf("expired counter %d, want 1", st.Expired)
+	}
+	// Past 2×TTL: tombstone deleted entirely.
+	clock.Store(int64(4 * time.Minute))
+	if _, err := s.Get(snap.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get past tombstone TTL: err=%v, want ErrNotFound", err)
+	}
+	// Expired slots free capacity again.
+	if _, err := s.Submit(okRunner("w")); err != nil {
+		t.Fatalf("Submit after reap: %v", err)
+	}
+}
+
+func TestQueuedJobExpires(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	var clock atomic.Int64
+	base := time.Unix(1700000000, 0)
+	now := func() time.Time { return base.Add(time.Duration(clock.Load())) }
+	release := make(chan struct{})
+	defer close(release)
+	s := NewStore(Config{Workers: 1, TTL: time.Minute, Clock: now})
+	defer s.Close()
+
+	running, _ := s.Submit(gateRunner(release, "r"))
+	queued, _ := s.Submit(gateRunner(release, "q"))
+	waitState(t, s, running.ID, StateRunning)
+	clock.Store(int64(2 * time.Minute))
+	snap, err := s.Get(queued.ID)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if snap.State != StateExpired {
+		t.Fatalf("queued job state %s after TTL, want expired", snap.State)
+	}
+}
+
+func TestSubscribeStreamsTransitions(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	release := make(chan struct{})
+	s := NewStore(Config{Workers: 1})
+	defer s.Close()
+
+	snap, _ := s.Submit(gateRunner(release, "v"))
+	ch, unsub, err := s.Subscribe(snap.ID)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer unsub()
+	close(release)
+
+	var states []State
+	for got := range ch {
+		states = append(states, got.State)
+	}
+	// Depending on dispatch timing we see [running done] or just [done];
+	// the terminal state must always arrive last and the channel close.
+	if len(states) == 0 || states[len(states)-1] != StateDone {
+		t.Fatalf("streamed states %v, want trailing done", states)
+	}
+
+	// Subscribing to an already-terminal job yields one snapshot then close.
+	ch2, unsub2, err := s.Subscribe(snap.ID)
+	if err != nil {
+		t.Fatalf("Subscribe terminal: %v", err)
+	}
+	defer unsub2()
+	got, ok := <-ch2
+	if !ok || got.State != StateDone {
+		t.Fatalf("terminal subscribe got %+v ok=%v, want done snapshot", got, ok)
+	}
+	if _, ok := <-ch2; ok {
+		t.Fatal("terminal subscribe channel not closed after snapshot")
+	}
+}
+
+func TestCloseCancelsEverything(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	release := make(chan struct{})
+	defer close(release)
+	s := NewStore(Config{Workers: 1})
+
+	running, _ := s.Submit(gateRunner(release, "r"))
+	queued, _ := s.Submit(gateRunner(release, "q"))
+	waitState(t, s, running.ID, StateRunning)
+	s.Close()
+
+	if snap, _ := s.Get(queued.ID); snap.State != StateCanceled {
+		t.Fatalf("queued job after Close: %s, want canceled", snap.State)
+	}
+	if _, err := s.Submit(okRunner("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: err=%v, want ErrClosed", err)
+	}
+}
+
+func TestBaseCtxDrainFailsJobs(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	release := make(chan struct{})
+	defer close(release)
+	s := NewStore(Config{Workers: 1, BaseCtx: baseCtx})
+	defer s.Close()
+
+	snap, _ := s.Submit(gateRunner(release, "r"))
+	waitState(t, s, snap.ID, StateRunning)
+	baseCancel()
+	// Drain is a failure, not a user cancel: the runner's classification
+	// (code canceled here) is preserved but the state is failed.
+	got := waitState(t, s, snap.ID, StateFailed)
+	if got.Failure == nil {
+		t.Fatal("drained job carries no failure")
+	}
+}
+
+func TestConcurrentSubmitStress(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	s := NewStore(Config{Workers: 4, Capacity: 4096})
+	defer s.Close()
+
+	const n = 200
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snap, err := s.Submit(okRunner(fmt.Sprintf("r%d", i)))
+			if err != nil {
+				t.Errorf("Submit %d: %v", i, err)
+				return
+			}
+			ids[i] = snap.ID
+		}(i)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		if id == "" {
+			continue
+		}
+		waitState(t, s, id, StateDone)
+		body, _, err := s.Result(id)
+		if err != nil {
+			t.Fatalf("Result %d: %v", i, err)
+		}
+		if string(body) != fmt.Sprintf("r%d", i) {
+			t.Fatalf("job %d body %q", i, body)
+		}
+	}
+	st := s.Stats()
+	if st.Done != n {
+		t.Fatalf("done counter %d, want %d", st.Done, n)
+	}
+}

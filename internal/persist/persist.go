@@ -18,12 +18,17 @@ package persist
 
 import (
 	"bufio"
+	"crypto/rand"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 )
 
 // magic identifies (and versions) the log format.
@@ -130,10 +135,78 @@ func Open(path string, opts Options) (*Log, error) {
 	return l, nil
 }
 
-// load reads every intact record from the file into l.entries, returning
-// the count of dead (overwritten) records. A missing file is an empty log.
+// SharedExt is the member-file extension of a shared persist directory.
+const SharedExt = ".plog"
+
+// OpenShared opens a stateless-fleet member log inside dir: every existing
+// member file ("*.plog", lexical order, later files win per key) is loaded
+// for replay — so a freshly booted backend warms from the whole fleet's
+// history — while appends go to this member's own uniquely named file.
+// One file per process means no cross-process write coordination: members
+// never append to each other's files, and a torn tail in one member's file
+// costs only that file's tail. Shared logs skip compaction (a member must
+// not rewrite history other members may still be loading).
+func OpenShared(dir string, opts Options) (*Log, error) {
+	maxBytes := opts.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: shared dir: %w", err)
+	}
+	var suffix [6]byte
+	if _, err := rand.Read(suffix[:]); err != nil {
+		return nil, fmt.Errorf("persist: member name: %w", err)
+	}
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "member"
+	}
+	// The creation-time prefix is zero-padded so lexical member order is
+	// chronological: "later files win per key" really means later-created.
+	path := filepath.Join(dir, fmt.Sprintf("%020d-%s-%d-%s%s", time.Now().UnixNano(), host, os.Getpid(), hex.EncodeToString(suffix[:]), SharedExt))
+	l := &Log{
+		path:     path,
+		maxBytes: maxBytes,
+		entries:  make(map[string][]byte),
+		ch:       make(chan record, writeQueueDepth),
+		done:     make(chan struct{}),
+	}
+	members, err := filepath.Glob(filepath.Join(dir, "*"+SharedExt))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(members)
+	for _, m := range members {
+		if _, err := l.loadFrom(m); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	if _, err := l.w.WriteString(magic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.size = int64(len(magic))
+	go l.writer()
+	return l, nil
+}
+
+// load reads every intact record from the log's own file into l.entries,
+// returning the count of dead (overwritten) records.
 func (l *Log) load() (dead int, err error) {
-	f, err := os.Open(l.path)
+	return l.loadFrom(l.path)
+}
+
+// loadFrom reads every intact record from one file into l.entries (later
+// records win per key). A missing file is an empty log.
+func (l *Log) loadFrom(path string) (dead int, err error) {
+	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return 0, nil
 	}
@@ -147,10 +220,10 @@ func (l *Log) load() (dead int, err error) {
 		if err == io.EOF {
 			return 0, nil // empty file: treat as fresh
 		}
-		return 0, fmt.Errorf("persist: %s: reading header: %w", l.path, err)
+		return 0, fmt.Errorf("persist: %s: reading header: %w", path, err)
 	}
 	if string(head) != magic {
-		return 0, fmt.Errorf("persist: %s: not a codard persistence log (bad magic)", l.path)
+		return 0, fmt.Errorf("persist: %s: not a codard persistence log (bad magic)", path)
 	}
 	for {
 		key, val, err := readRecord(r)

@@ -261,3 +261,83 @@ func TestAppendAfterCloseDrops(t *testing.T) {
 		l.Append("late", []byte("x"))
 	}
 }
+
+func TestOpenSharedMergesMembers(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fleet")
+
+	// First member writes two keys.
+	a, err := OpenShared(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenShared a: %v", err)
+	}
+	a.Append("k1", []byte("v1"))
+	a.Append("k2", []byte("v2"))
+	waitAppended(t, a, 2)
+	drain(t, a)
+
+	// Second member sees the first member's entries at boot and writes its
+	// own, including an overwrite of k1 that must win for later members.
+	b, err := OpenShared(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenShared b: %v", err)
+	}
+	if b.Loaded() != 2 {
+		t.Fatalf("member b loaded %d entries, want 2", b.Loaded())
+	}
+	b.Append("k1", []byte("v1-new"))
+	b.Append("k3", []byte("v3"))
+	waitAppended(t, b, 2)
+	drain(t, b)
+
+	// Members must not share append files.
+	if a.Path() == b.Path() {
+		t.Fatalf("members share append file %s", a.Path())
+	}
+
+	// A third member warms from the union, later files winning per key.
+	c, err := OpenShared(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenShared c: %v", err)
+	}
+	defer drain(t, c)
+	got := map[string]string{}
+	c.Replay(func(key string, val []byte) { got[key] = string(val) })
+	want := map[string]string{"k1": "v1-new", "k2": "v2", "k3": "v3"}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %s = %q, want %q (got all: %v)", k, got[k], v, got)
+		}
+	}
+}
+
+func TestOpenSharedToleratesTornMember(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fleet")
+	a, err := OpenShared(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenShared: %v", err)
+	}
+	a.Append("good", []byte("entry"))
+	waitAppended(t, a, 1)
+	drain(t, a)
+
+	// Tear the member file's tail: the next member still loads the intact
+	// prefix.
+	raw, err := os.ReadFile(a.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(a.Path(), append(raw, 0x07, 0x00, 0x00), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenShared(dir, Options{})
+	if err != nil {
+		t.Fatalf("OpenShared after tear: %v", err)
+	}
+	defer drain(t, b)
+	if b.Loaded() != 1 {
+		t.Fatalf("loaded %d entries from torn member, want 1", b.Loaded())
+	}
+}

@@ -1,0 +1,74 @@
+package qasm
+
+import (
+	"math"
+	"testing"
+
+	"codar/internal/circuit"
+)
+
+// FuzzParseQASM feeds arbitrary byte strings to the parser. Two invariants:
+// the parser must never panic (malformed input is an error, full stop), and
+// any program it accepts must survive the same pipeline the service runs —
+// Validate, Decompose, DAG construction, Depth — and round-trip through
+// Write/Parse into an equal circuit.
+//
+// CI runs this with -fuzztime 30s (see .github/workflows); locally:
+//
+//	go test -run FuzzParseQASM -fuzz FuzzParseQASM -fuzztime 30s ./internal/qasm/
+func FuzzParseQASM(f *testing.F) {
+	f.Add("OPENQASM 2.0;\nqreg q[4];\ncreg c[4];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n")
+	f.Add("qreg q[2];\nu3(pi/2,0,pi) q[0];\nrz(-1.5e-3) q[1];\ncx q[0],q[1];\n")
+	f.Add("qreg q[3];\ngate foo(a) x, y { rz(a) x; cx x, y; }\nfoo(pi/4) q[0], q[2];\n")
+	f.Add("qreg q[2];\nbarrier q;\nreset q[0];\nswap q[0],q[1];\n")
+	f.Add("include \"qelib1.inc\";\nqreg r[1];\nopaque noise q;\nt r[0];\n")
+	f.Add("qreg q[99999999999];\nh q[0];\n")
+	f.Add("gate rec a { rec a; }\nqreg q[1];\nrec q[0];\n")
+	f.Add("OPENQASM 2.0 qreg q[")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src) // must not panic; errors are fine
+		if err != nil {
+			return
+		}
+		// Accepted programs obey the parser's own bounds.
+		if c.NumQubits <= 0 || c.NumQubits > maxQubits {
+			t.Fatalf("accepted circuit with %d qubits (cap %d)", c.NumQubits, maxQubits)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted circuit fails Validate: %v", err)
+		}
+		// Bound the deep checks: huge register declarations with few gates
+		// are legal, but running the full pipeline over them per fuzz
+		// iteration is wasted time.
+		if c.NumQubits > 4096 || len(c.Gates) > 4096 {
+			return
+		}
+		low := circuit.Decompose(c)
+		if !circuit.IsLowered(low) {
+			t.Fatalf("Decompose left compound gates: %v", low.CountOps())
+		}
+		if d := c.Depth(); d < 0 || d > len(c.Gates) {
+			t.Fatalf("depth %d out of range for %d gates", d, len(c.Gates))
+		}
+		_ = circuit.NewDAG(c)
+		// Round-trip, except for non-finite parameters: expression
+		// evaluation can overflow to ±Inf, which the text form has no
+		// literal for.
+		for _, g := range c.Gates {
+			for _, p := range g.Params {
+				if math.IsNaN(p) || math.IsInf(p, 0) {
+					return
+				}
+			}
+		}
+		out := Write(c)
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Write output rejected: %v\n%s", err, out)
+		}
+		back.Name = c.Name
+		if !c.Equal(back) {
+			t.Fatalf("round trip diverged:\n%s", out)
+		}
+	})
+}

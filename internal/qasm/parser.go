@@ -11,6 +11,13 @@ import (
 // definitions.
 const maxInlineDepth = 100
 
+// maxQubits caps the total declared quantum (and classical) bits. The
+// parser runs on untrusted service input, and whole-register operations
+// allocate per element — without a cap, "qreg q[2000000000];" followed by
+// "barrier q;" would try to materialise billions of indices. 65536 is far
+// beyond any device in the registry.
+const maxQubits = 1 << 16
+
 // reg is a declared quantum or classical register with its flat offset.
 type reg struct {
 	name   string
@@ -136,7 +143,12 @@ func (p *parser) parseProgram() error {
 		}
 	}
 	if p.circ == nil {
-		return fmt.Errorf("qasm: no quantum register declared")
+		if len(p.qregs) == 0 {
+			return fmt.Errorf("qasm: no quantum register declared")
+		}
+		// Registers but no operations: a legal (empty) program. Materialise
+		// the circuit so it round-trips through Write.
+		return p.ensureCircuit()
 	}
 	return nil
 }
@@ -237,11 +249,17 @@ func (p *parser) parseRegDecl(quantum bool) error {
 		for _, r := range p.qregs {
 			offset += r.size
 		}
+		if size > maxQubits-offset {
+			return fmt.Errorf("qasm: line %d: register %q pushes the program past %d qubits", name.line, name.text, maxQubits)
+		}
 		p.qregs = append(p.qregs, reg{name: name.text, offset: offset, size: size})
 	} else {
 		offset := 0
 		for _, r := range p.cregs {
 			offset += r.size
+		}
+		if size > maxQubits-offset {
+			return fmt.Errorf("qasm: line %d: register %q pushes the program past %d classical bits", name.line, name.text, maxQubits)
 		}
 		p.cregs = append(p.cregs, reg{name: name.text, offset: offset, size: size})
 	}

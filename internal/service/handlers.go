@@ -389,6 +389,16 @@ func depthAndESP(c *circuit.Circuit, dev *arch.Device, cal *Calibration) (int, *
 // cache — Put is only on the success path — so cancellation cannot plant
 // partial entries.
 func (s *Server) mapBytes(ctx context.Context, req *MapRequest) (body []byte, disposition string, serr *svcError) {
+	return s.mapBytesAdmit(ctx, req, s.acquire)
+}
+
+// admitFunc is the admission policy a mapping runs under: the synchronous
+// path uses Server.acquire (bounded queue, 429 beyond it), the async jobs
+// path uses Server.acquireJob (unbounded wait — the job store is the bound).
+type admitFunc func(ctx context.Context) (func(), *svcError)
+
+// mapBytesAdmit is mapBytes under an explicit admission policy.
+func (s *Server) mapBytesAdmit(ctx context.Context, req *MapRequest, admit admitFunc) (body []byte, disposition string, serr *svcError) {
 	pspec, serr := normalizeRequest(req)
 	if serr != nil {
 		return nil, "", serr
@@ -417,7 +427,7 @@ func (s *Server) mapBytes(ctx context.Context, req *MapRequest) (body []byte, di
 			return cached, dispHit, nil
 		}
 		if leader {
-			return s.leadFlight(ctx, f, req, pspec, dev, cal, key)
+			return s.leadFlight(ctx, f, req, pspec, dev, cal, key, admit)
 		}
 		// Follower: wait for the leader without holding a worker slot.
 		select {
@@ -452,14 +462,14 @@ func (s *Server) mapBytes(ctx context.Context, req *MapRequest) (body []byte, di
 // mapper panics, parked followers are released in handoff mode (the panic
 // propagates to the caller's recover boundary and answers this request
 // alone), and one of them retries.
-func (s *Server) leadFlight(ctx context.Context, f *flight, req *MapRequest, pspec *portfolio.Spec, dev *arch.Device, cal *Calibration, key string) (body []byte, disposition string, serr *svcError) {
+func (s *Server) leadFlight(ctx context.Context, f *flight, req *MapRequest, pspec *portfolio.Spec, dev *arch.Device, cal *Calibration, key string, admit admitFunc) (body []byte, disposition string, serr *svcError) {
 	settled := false
 	defer func() {
 		if !settled {
 			f.abort()
 		}
 	}()
-	release, serr := s.acquire(ctx)
+	release, serr := admit(ctx)
 	if serr != nil {
 		// Rejections about this leader (its context fired while queueing)
 		// hand off; queue-full applies to any would-be leader right now and

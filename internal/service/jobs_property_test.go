@@ -1,0 +1,75 @@
+package service
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"codar/api"
+	"codar/internal/testutil"
+)
+
+// TestPropertyJobsMatchSyncBytes is the async-path equivalence property:
+// for random job mixes under random worker counts, every job result must be
+// byte-identical to what a fresh server's sync path returns for the same
+// request, and must share the sync path's cache key (proved by the sync
+// repeat on the job server being a "hit" with the same bytes). Runs under
+// -race in CI; the seed is fixed so failures reproduce.
+func TestPropertyJobsMatchSyncBytes(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	rng := rand.New(rand.NewSource(20260808))
+	variants := []api.MapRequest{
+		{QASM: ghzQASM, Arch: "tokyo"},
+		{QASM: ghzQASM, Arch: "tokyo", Algo: "sabre"},
+		{QASM: ghzQASM, Arch: "tokyo", Seed: 7},
+		{QASM: ghzQASM, Arch: "melbourne"},
+		{QASM: ghzQASM, Arch: "q5", Algo: "sabre", Seed: 3},
+		{QASM: ghzQASM, Arch: "tokyo", Portfolio: &api.PortfolioSpec{}},
+	}
+	trials := 4
+	if testing.Short() {
+		trials = 1
+	}
+	for trial := 0; trial < trials; trial++ {
+		workers := 1 + rng.Intn(4)
+		jobsSrv := newTestServer(t, Config{Workers: workers})
+		syncSrv := newTestServer(t, Config{Workers: workers})
+		n := 4 + rng.Intn(5)
+		mix := make([]api.MapRequest, n)
+		for i := range mix {
+			mix[i] = variants[rng.Intn(len(variants))] // duplicates welcome
+		}
+		// Submit everything before polling anything, so small worker counts
+		// actually queue jobs behind each other.
+		ids := make([]string, n)
+		for i := range mix {
+			ids[i] = submitJob(t, jobsSrv, mix[i]).ID
+		}
+		for i, id := range ids {
+			pollJob(t, jobsSrv, id, api.JobDone)
+			w := do(t, jobsSrv, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+			if w.Code != http.StatusOK {
+				t.Fatalf("trial %d workers %d: result %s: %d %s", trial, workers, id, w.Code, w.Body.String())
+			}
+			jobBody := w.Body.Bytes()
+			sync := do(t, syncSrv, http.MethodPost, "/v1/map", mix[i])
+			if sync.Code != http.StatusOK {
+				t.Fatalf("trial %d: sync map: %d %s", trial, sync.Code, sync.Body.String())
+			}
+			if !bytes.Equal(jobBody, sync.Body.Bytes()) {
+				t.Fatalf("trial %d workers %d req %d: job bytes differ from sync server\njob:  %s\nsync: %s",
+					trial, workers, i, jobBody, sync.Body.Bytes())
+			}
+			// Same cache key: the sync path on the job server must serve the
+			// job's stored result.
+			repeat := do(t, jobsSrv, http.MethodPost, "/v1/map", mix[i])
+			if got := repeat.Header().Get(api.HeaderCache); got != "hit" {
+				t.Fatalf("trial %d req %d: sync repeat disposition %q, want hit", trial, i, got)
+			}
+			if !bytes.Equal(jobBody, repeat.Body.Bytes()) {
+				t.Fatalf("trial %d req %d: cached sync bytes differ from job result", trial, i)
+			}
+		}
+	}
+}

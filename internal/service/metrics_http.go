@@ -53,6 +53,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Labeled("codard_shard_pinned", labels, float64(sh.Pinned))
 	}
 
+	if st.Jobs != nil {
+		p.Counter("codard_jobs_submitted_total", "Async jobs accepted by POST /v1/jobs.", st.Jobs.Submitted)
+		p.Counter("codard_jobs_done_total", "Async jobs finished with a result.", st.Jobs.Done)
+		p.Counter("codard_jobs_failed_total", "Async jobs finished with a stored failure.", st.Jobs.Failed)
+		p.Counter("codard_jobs_canceled_total", "Async jobs canceled before completion.", st.Jobs.Canceled)
+		p.Counter("codard_jobs_expired_total", "Async jobs reclaimed by the TTL reaper.", st.Jobs.Expired)
+		p.Gauge("codard_jobs_queued", "Async jobs waiting for dispatch.", float64(st.Jobs.Queued))
+		p.Gauge("codard_jobs_running", "Async jobs executing.", float64(st.Jobs.Running))
+		p.Gauge("codard_jobs_resident", "Async jobs held in any state.", float64(st.Jobs.Resident))
+		p.Gauge("codard_jobs_capacity", "Job-store residency bound.", float64(st.Jobs.Capacity))
+	}
+
 	if st.Persist != nil {
 		p.Counter("codard_persist_appended_total", "Entries appended to the warm-start log.", st.Persist.Appended)
 		p.Counter("codard_persist_dropped_total", "Entries dropped from the warm-start log (queue or size overflow).", st.Persist.Dropped)

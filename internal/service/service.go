@@ -58,6 +58,7 @@ import (
 	"codar/internal/chaos"
 	"codar/internal/experiments"
 	"codar/internal/interrupt"
+	"codar/internal/jobs"
 	"codar/internal/persist"
 )
 
@@ -109,6 +110,14 @@ type Config struct {
 	// QuotaBurst is the per-client bucket depth; < 1 selects 1. Ignored
 	// when QuotaRPS <= 0.
 	QuotaBurst float64
+	// JobsCapacity bounds resident async jobs (any state) in the /v1/jobs
+	// store; submits beyond it answer 429 queue_full. 0 selects
+	// jobs.DefaultCapacity.
+	JobsCapacity int
+	// JobsTTL bounds async job retention: terminal jobs older than it lose
+	// their result (410 job_expired), and expired tombstones are deleted
+	// after another TTL. 0 selects jobs.DefaultTTL.
+	JobsTTL time.Duration
 	// Persist, when non-nil, is the opened warm-start log: its entries are
 	// replayed into the result store at construction and every cached
 	// mapping streams back into it. The caller owns the log's lifecycle
@@ -220,6 +229,7 @@ type Server struct {
 	cache    *Store
 	quotas   *quotas // nil when QuotaRPS <= 0
 	stats    *stats
+	jobs     *jobs.Store
 	sem      chan struct{} // worker-pool slots; nil only before New
 	mux      *http.ServeMux
 	logger   *log.Logger
@@ -257,10 +267,24 @@ func New(cfg Config) *Server {
 		s.cache.SetPersist(cfg.Persist)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	// The job store shares the worker pool with the synchronous path: every
+	// job goroutine parks on the same semaphore inside acquireJob, so
+	// bounding job goroutines at `workers` keeps the admitted gauge honest
+	// without double-booking slots. BaseCtx is the drain hammer — Drain's
+	// hard cancel aborts running jobs through the same context plumbing as
+	// in-flight synchronous mappings.
+	s.jobs = jobs.NewStore(jobs.Config{
+		Capacity: cfg.JobsCapacity,
+		TTL:      cfg.JobsTTL,
+		Workers:  workers,
+		BaseCtx:  s.baseCtx,
+	})
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/map", s.handleMap)
 	s.mux.HandleFunc("/v1/map/batch", s.handleMapBatch)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	s.mux.HandleFunc("/v1/devices", s.handleDevices)
 	s.mux.HandleFunc("/v1/devices/", s.handleDeviceCalibration)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
@@ -373,6 +397,34 @@ func (s *Server) acquire(ctx context.Context) (func(), *svcError) {
 	}, nil
 }
 
+// acquireJob is the async path's admission: like acquire it blocks for a
+// worker-pool slot and brackets the in-flight gauge, but it skips the
+// MaxQueue bound and the QueueWait budget — an async job already holds a
+// seat in the bounded job store (429 happened at Submit when the store was
+// full), and its wait in line IS the product, reported as queue position.
+// Only the job's context (cancel, TTL-independent deadline, drain) aborts
+// the wait. Job-goroutine fan-out is capped at `workers` by the store, so
+// the admitted gauge grows by at most workers on top of the sync bound.
+func (s *Server) acquireJob(ctx context.Context) (func(), *svcError) {
+	s.stats.admitted.Add(1)
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-done:
+		s.stats.admitted.Add(-1)
+		return nil, ctxSvcError(ctx)
+	}
+	s.stats.inFlight.Add(1)
+	return func() {
+		s.stats.inFlight.Add(-1)
+		<-s.sem
+		s.stats.admitted.Add(-1)
+	}, nil
+}
+
 // Drain waits for every admitted mapping job to finish. When ctx expires
 // first, it fires the server's base context — hard-canceling the in-flight
 // mappings through the pipeline's cancellation plumbing — waits (bounded)
@@ -380,6 +432,10 @@ func (s *Server) acquire(ctx context.Context) (func(), *svcError) {
 // are treated like any others; the caller is expected to have stopped the
 // listener (http.Server.Shutdown) first.
 func (s *Server) Drain(ctx context.Context) (hardCanceled bool) {
+	// Whatever way the drain ends, close the job store: queued jobs that
+	// never started settle as canceled and running job goroutines are waited
+	// for, so the process never exits underneath one.
+	defer s.jobs.Close()
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
@@ -645,6 +701,18 @@ func (s *Server) statsSnapshot() StatsResponse {
 	}
 	if total := hits + misses; total > 0 {
 		resp.CacheHitRate = float64(hits) / float64(total)
+	}
+	jst := s.jobs.Stats()
+	resp.Jobs = &api.JobsStats{
+		Submitted: jst.Submitted,
+		Done:      jst.Done,
+		Failed:    jst.Failed,
+		Canceled:  jst.Canceled,
+		Expired:   jst.Expired,
+		Queued:    jst.Queued,
+		Running:   jst.Running,
+		Resident:  jst.Resident,
+		Capacity:  jst.Capacity,
 	}
 	if log := s.cache.Persist(); log != nil {
 		pst := log.Stats()
