@@ -124,6 +124,69 @@ type MapResponse struct {
 	Portfolio *PortfolioStats `json:"portfolio,omitempty"`
 }
 
+// Streaming (NDJSON) mode. POST /v1/map?stream=1 answers with
+// StreamContentType: one StreamRecord JSON object per line — a header
+// record, then chunk records as the mapper flushes finalized schedule
+// chunks, then a result (or in-band error) record. GET
+// /v1/jobs/{id}/result?stream=1 replays a done job's result in the same
+// framing. See docs/API.md "Streaming".
+const (
+	// StreamContentType is the media type of NDJSON mapping streams.
+	StreamContentType = "application/x-ndjson"
+	// CacheBypass is the HeaderCache disposition of streamed /v1/map
+	// responses: a stream never reads the result store and never writes it
+	// (a partial stream must not plant partial entries).
+	CacheBypass = "bypass"
+)
+
+// StreamRecord type tags.
+const (
+	StreamTypeHeader = "header"
+	StreamTypeChunk  = "chunk"
+	StreamTypeResult = "result"
+	StreamTypeError  = "error"
+)
+
+// StreamRecord is one line of an NDJSON mapping stream. Type selects which
+// payload field is set; unknown types must be skipped by clients (the
+// framing is forward-compatible).
+type StreamRecord struct {
+	Type   string        `json:"type"`
+	Header *StreamHeader `json:"header,omitempty"`
+	Chunk  *StreamChunk  `json:"chunk,omitempty"`
+	// Result carries the final summary; its mapped_qasm field is empty —
+	// the circuit already went out in the chunks.
+	Result *MapResponse `json:"result,omitempty"`
+	// Error terminates a stream that failed after the HTTP status was
+	// committed (the mapping was canceled, timed out, or died mid-run).
+	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// StreamHeader is the first record of a mapping stream.
+type StreamHeader struct {
+	Device      string `json:"device"`
+	Algo        string `json:"algo"`
+	Durations   string `json:"durations,omitempty"`
+	Seed        int64  `json:"seed"`
+	InputQubits int    `json:"input_qubits"`
+	InputGates  int    `json:"input_gates"`
+	// QASMHeader is the OpenQASM preamble of the mapped circuit.
+	// Concatenating it with every chunk's qasm in order reproduces the
+	// batch response's mapped_qasm byte for byte.
+	QASMHeader string `json:"qasm_header"`
+}
+
+// StreamChunk is one flushed chunk of the mapped circuit.
+type StreamChunk struct {
+	// Seq numbers chunks from 0 in emission order.
+	Seq int `json:"seq"`
+	// Gates is the number of gate statements in QASM.
+	Gates int `json:"gates"`
+	// QASM holds the chunk's gate statements (newline-terminated lines,
+	// no preamble).
+	QASM string `json:"qasm"`
+}
+
 // PortfolioStats is the portfolio block of a MapResponse. The winner's own
 // stats row is candidates[winner_index] — it is not duplicated.
 type PortfolioStats struct {

@@ -1,0 +1,43 @@
+package benchmarks
+
+import (
+	"os"
+	"testing"
+)
+
+// streamHeapCeilingBytes is the absolute resident ceiling for streaming the
+// 1M-gate workload: ~8x the measured ~4MB peak, and well under the ~70MB
+// the batch path's input alone occupies. A footprint that scales with gate
+// count — any O(gates) buffer sneaking into the streaming pipeline — blows
+// through it immediately.
+const streamHeapCeilingBytes = 32 << 20
+
+// TestStreamMillionGateMemoryGuard is the CI memory guard (set
+// CODAR_MEMGUARD=1; the perf-guard job runs it with -memprofile so a
+// failure ships its heap profile). It streams the 1M-gate benchgen
+// workload and asserts the memory claim of the streaming mapper: peak live
+// heap stays O(window) — under an absolute ceiling and at least 10x below
+// the batch path's resident input footprint.
+func TestStreamMillionGateMemoryGuard(t *testing.T) {
+	if os.Getenv("CODAR_MEMGUARD") == "" {
+		t.Skip("million-gate memory guard: set CODAR_MEMGUARD=1 (runs ~10s)")
+	}
+	r, err := StreamLargeWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mapped %d gates (%d swaps) in %d chunks; stream peak %.2f MB, batch resident %.2f MB",
+		r.Gates, r.Swaps, r.Chunks,
+		float64(r.StreamPeakBytes)/(1<<20), float64(r.BatchResidentBytes)/(1<<20))
+	if r.Gates < LargeGates || r.Chunks < 2 {
+		t.Fatalf("streaming run degenerated: %d gates in %d chunks", r.Gates, r.Chunks)
+	}
+	if r.StreamPeakBytes > streamHeapCeilingBytes {
+		t.Errorf("stream peak heap %.2f MB exceeds the %d MB ceiling — resident footprint is scaling with gate count",
+			float64(r.StreamPeakBytes)/(1<<20), streamHeapCeilingBytes>>20)
+	}
+	if r.BatchResidentBytes < 10*r.StreamPeakBytes {
+		t.Errorf("stream peak %.2f MB is not >= 10x below the batch resident footprint %.2f MB",
+			float64(r.StreamPeakBytes)/(1<<20), float64(r.BatchResidentBytes)/(1<<20))
+	}
+}

@@ -1,0 +1,136 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"codar/api"
+)
+
+// StreamResult is the outcome of a completed mapping stream.
+type StreamResult struct {
+	// Header is the stream's opening record (device, seed, qasm_header).
+	Header *api.StreamHeader
+	// Result is the final summary; its mapped_qasm field is empty — the
+	// circuit arrived through the chunk callback.
+	Result *api.MapResponse
+	// Chunks counts the chunk records delivered.
+	Chunks int
+	// Cache is the response's cache disposition ("bypass" on live streams,
+	// the job's stored disposition on replays).
+	Cache string
+	// RequestID is the server-assigned request ID.
+	RequestID string
+}
+
+// MapStream maps one circuit through POST /v1/map?stream=1, invoking
+// onChunk for every flushed chunk as it arrives (onChunk may be nil to
+// drain the stream for its summary). Concatenating Header.QASMHeader with
+// every chunk's QASM reproduces the mapped_qasm a plain Map call returns.
+//
+// A rejection before the stream starts surfaces as a normal *APIError with
+// its HTTP status; a failure mid-stream (cancel, deadline) arrives as an
+// in-band error record and surfaces as an *APIError with Status 0 and the
+// record's code, so the errors.Is sentinels (ErrCanceled, ErrDeadline)
+// still apply. An error returned by onChunk aborts the stream and is
+// returned as-is.
+func (c *Client) MapStream(ctx context.Context, req *api.MapRequest, onChunk func(*api.StreamChunk) error) (*StreamResult, error) {
+	enc, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("codard: marshal request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/map?stream=1", bytes.NewReader(enc))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	c.setHeaders(httpReq)
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, decodeError(resp, raw)
+	}
+	return decodeStream(resp, onChunk)
+}
+
+// JobResultStream replays a done job's result through GET
+// /v1/jobs/{id}/result?stream=1 — the same record framing as MapStream,
+// re-chunked from the stored result. Pending, failed and expired jobs
+// answer the same *APIErrors as JobResult.
+func (c *Client) JobResultStream(ctx context.Context, id string, onChunk func(*api.StreamChunk) error) (*StreamResult, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+c.jobPath(id)+"/result?stream=1", nil)
+	if err != nil {
+		return nil, err
+	}
+	c.setHeaders(httpReq)
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, decodeError(resp, raw)
+	}
+	return decodeStream(resp, onChunk)
+}
+
+// decodeStream consumes NDJSON records until the terminal result or error
+// record. Unknown record types are skipped (forward compatibility).
+func decodeStream(resp *http.Response, onChunk func(*api.StreamChunk) error) (*StreamResult, error) {
+	out := &StreamResult{
+		Cache:     resp.Header.Get(api.HeaderCache),
+		RequestID: resp.Header.Get(api.HeaderRequestID),
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var rec api.StreamRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("codard: stream ended without a result record")
+			}
+			return nil, fmt.Errorf("codard: bad stream record: %w", err)
+		}
+		switch rec.Type {
+		case api.StreamTypeHeader:
+			out.Header = rec.Header
+		case api.StreamTypeChunk:
+			if rec.Chunk == nil {
+				return nil, fmt.Errorf("codard: chunk record without payload")
+			}
+			out.Chunks++
+			if onChunk != nil {
+				if err := onChunk(rec.Chunk); err != nil {
+					return nil, err
+				}
+			}
+		case api.StreamTypeResult:
+			out.Result = rec.Result
+			return out, nil
+		case api.StreamTypeError:
+			ae := &APIError{RequestID: out.RequestID}
+			if rec.Error != nil {
+				ae.Code = rec.Error.Code
+				ae.Message = rec.Error.Message
+				if rec.Error.RequestID != "" {
+					ae.RequestID = rec.Error.RequestID
+				}
+			}
+			return nil, ae
+		}
+	}
+}

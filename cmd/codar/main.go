@@ -23,9 +23,19 @@
 // -algo and -seed are rejected in portfolio mode (the portfolio races both
 // algorithms over -seeds), just as -seeds/-objective/-workers are rejected
 // without -portfolio.
+//
+// -stream maps the circuit without ever materializing it: the QASM is
+// parsed incrementally, gates flow through a bounded window into the
+// streaming remapper (core.RemapStream / sabre.RemapStream — provably
+// byte-identical to the batch pipeline under the trivial initial layout),
+// and the mapped circuit is written out chunk by chunk. Resident memory is
+// O(window), so million-gate circuits map in a few dozen megabytes. Flags
+// that need the whole circuit in memory (-portfolio, -seed, -verify,
+// -gantt, -optimize, -orient) are rejected in stream mode.
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
@@ -80,6 +90,7 @@ type config struct {
 	gantt     bool
 	calibPath string
 	lambda    float64
+	stream    bool
 
 	portfolioMode bool
 	seeds         []int64
@@ -110,6 +121,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.BoolVar(&cfg.gantt, "gantt", false, "print a per-qubit ASCII timeline of the mapped circuit")
 	fs.StringVar(&cfg.calibPath, "calib", "", "calibration snapshot JSON; enables fidelity-weighted placement and routing")
 	fs.Float64Var(&cfg.lambda, "lambda", 0, "error-term gain of the calibrated metric (0 = default, negative = hop-only)")
+	fs.BoolVar(&cfg.stream, "stream", false, "map the circuit as a stream with bounded memory (trivial initial layout; rejects whole-circuit flags)")
 	fs.BoolVar(&cfg.portfolioMode, "portfolio", false, "run the multi-start portfolio search instead of a single-shot mapping")
 	fs.StringVar(&seedsCSV, "seeds", "1,2", "portfolio seed list, comma-separated (e.g. 1,2,3)")
 	fs.StringVar(&objective, "objective", "min-depth", "portfolio objective: min-depth|min-swaps|max-esp")
@@ -137,6 +149,16 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		for _, name := range []string{"algo", "seed"} {
 			if explicit[name] {
 				return nil, fmt.Errorf("-%s is single-shot only; the portfolio races both algorithms over -seeds", name)
+			}
+		}
+	}
+	if cfg.stream {
+		if cfg.portfolioMode {
+			return nil, fmt.Errorf("-stream cannot be combined with -portfolio; the portfolio needs the whole circuit in memory")
+		}
+		for _, name := range []string{"seed", "verify", "gantt", "optimize", "orient"} {
+			if explicit[name] {
+				return nil, fmt.Errorf("-%s needs the whole circuit in memory and cannot be combined with -stream", name)
 			}
 		}
 	}
@@ -212,6 +234,10 @@ func run(cfg *config) error {
 		if cost, err = snap.CostModel(dev, cfg.lambda); err != nil {
 			return err
 		}
+	}
+
+	if cfg.stream {
+		return runStream(cfg, dev, snap, cost)
 	}
 
 	src, err := readInput(cfg.inPath)
@@ -322,6 +348,100 @@ func run(cfg *config) error {
 		}
 	} else if !cfg.stats {
 		fmt.Print(qasm.Write(mapped))
+	}
+	return nil
+}
+
+// runStream runs the bounded-memory pipeline: incremental QASM parse →
+// streaming decomposition → RemapStream → incremental QASM write. The
+// initial layout is trivial (SABRE reverse traversal is O(gates) and would
+// defeat streaming); the mapped circuit goes to -out, or to stdout when
+// -stats is off, gate by gate as chunks flush.
+func runStream(cfg *config, dev *arch.Device, snap *calib.Snapshot, cost *arch.CostModel) error {
+	var rd io.Reader = os.Stdin
+	if cfg.inPath != "" {
+		f, err := os.Open(cfg.inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rd = f
+	}
+	st, err := qasm.NewStream(rd)
+	if err != nil {
+		return err
+	}
+	if st.NumQubits() > dev.NumQubits {
+		return fmt.Errorf("circuit needs %d qubits but %s has %d", st.NumQubits(), dev.Name, dev.NumQubits)
+	}
+	src := circuit.NewDecomposeSource(st)
+
+	var out io.Writer = io.Discard
+	var finish func() error
+	switch {
+	case cfg.outPath != "":
+		f, err := os.Create(cfg.outPath)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		out = bw
+		finish = func() error {
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	case !cfg.stats:
+		bw := bufio.NewWriterSize(os.Stdout, 1<<16)
+		out = bw
+		finish = bw.Flush
+	}
+	sw, err := qasm.NewStreamWriter(out, dev.NumQubits, st.NumClbits())
+	if err != nil {
+		return err
+	}
+	sink := schedule.FuncSink(func(chunk []schedule.ScheduledGate) error {
+		for i := range chunk {
+			if err := sw.WriteGate(chunk[i].Gate); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	var gates, swaps, makespan, chunks int
+	switch cfg.algo {
+	case "codar":
+		res, err := core.RemapStream(src, dev, nil, core.Options{Window: cfg.window, Lookahead: cfg.lookahead, Cost: cost}, sink)
+		if err != nil {
+			return err
+		}
+		gates, swaps, makespan, chunks = res.Gates, res.SwapCount, res.Makespan, res.Chunks
+	case "sabre":
+		res, err := sabre.RemapStream(src, dev, nil, sabre.Options{Cost: cost}, sink)
+		if err != nil {
+			return err
+		}
+		gates, swaps, makespan, chunks = res.Gates, res.SwapCount, res.Makespan, res.Chunks
+	}
+	if finish != nil {
+		if err := finish(); err != nil {
+			return err
+		}
+	}
+
+	if cfg.stats {
+		fmt.Fprintf(os.Stderr, "device:          %s\n", dev)
+		fmt.Fprintf(os.Stderr, "algorithm:       %s (streaming, trivial layout)\n", cfg.algo)
+		fmt.Fprintf(os.Stderr, "input gates:     %d (%d qubits)\n", st.Gates(), st.NumQubits())
+		fmt.Fprintf(os.Stderr, "output gates:    %d (%d chunks)\n", gates, chunks)
+		fmt.Fprintf(os.Stderr, "swaps inserted:  %d\n", swaps)
+		fmt.Fprintf(os.Stderr, "weighted depth:  %d cycles\n", makespan)
+		if snap != nil {
+			fmt.Fprintf(os.Stderr, "calibration:     %s (metric only; ESP reporting needs batch mode)\n", snap.Hash()[:12])
+		}
 	}
 	return nil
 }

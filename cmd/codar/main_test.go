@@ -2,8 +2,18 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"codar/internal/arch"
+	"codar/internal/circuit"
+	"codar/internal/core"
+	"codar/internal/qasm"
+	"codar/internal/sabre"
+	"codar/internal/workloads"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -43,6 +53,75 @@ func TestParseFlagsPortfolio(t *testing.T) {
 	}
 }
 
+// TestRunStreamMatchesBatch drives the full -stream pipeline (file →
+// incremental parse → streaming remap → incremental write) and pins the
+// output file against the batch engine under the same trivial layout, for
+// both algorithms.
+func TestRunStreamMatchesBatch(t *testing.T) {
+	dir := t.TempDir()
+	src := workloads.Random(16, 3000, 45, 5)
+	in := filepath.Join(dir, "in.qasm")
+	if err := os.WriteFile(in, []byte(qasm.Write(src)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := arch.ByName("tokyo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Durations = arch.SuperconductingDurations()
+	parsed, err := qasm.Parse(qasm.Write(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowered := circuit.Decompose(parsed)
+
+	for _, algo := range []string{"codar", "sabre"} {
+		var want []circuit.Gate
+		switch algo {
+		case "codar":
+			res, err := core.Remap(lowered, dev, nil, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = res.Circuit.Gates
+		case "sabre":
+			res, err := sabre.Remap(lowered, dev, nil, sabre.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = res.Circuit.Gates
+		}
+
+		out := filepath.Join(dir, algo+".qasm")
+		cfg, err := parseFlags([]string{"-arch", "tokyo", "-algo", algo, "-stream", "-in", in, "-out", out, "-stats=false"}, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(cfg); err != nil {
+			t.Fatalf("%s stream run: %v", algo, err)
+		}
+		raw, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := qasm.Parse(string(raw))
+		if err != nil {
+			t.Fatalf("%s: streamed output does not parse back: %v", algo, err)
+		}
+		if mapped.NumQubits != dev.NumQubits {
+			t.Errorf("%s: output qubits %d, want device %d", algo, mapped.NumQubits, dev.NumQubits)
+		}
+		if len(mapped.Gates) != len(want) {
+			t.Fatalf("%s: streamed %d gates, batch %d", algo, len(mapped.Gates), len(want))
+		}
+		for i := range mapped.Gates {
+			if !mapped.Gates[i].Equal(want[i]) {
+				t.Fatalf("%s: gate %d: stream %v, batch %v", algo, i, mapped.Gates[i], want[i])
+			}
+		}
+	}
+}
+
 // TestParseFlagsErrorPaths: every malformed command line must produce an
 // error (so main exits non-zero) and say something on stderr (PR 4
 // flag-hardening contract, extended to the portfolio flags).
@@ -67,6 +146,12 @@ func TestParseFlagsErrorPaths(t *testing.T) {
 		{"workers without portfolio", []string{"-workers", "2"}, "-workers requires -portfolio"},
 		{"algo with portfolio", []string{"-portfolio", "-algo", "sabre"}, "-algo is single-shot only"},
 		{"seed with portfolio", []string{"-portfolio", "-seed", "7"}, "-seed is single-shot only"},
+		{"stream with portfolio", []string{"-stream", "-portfolio"}, "-stream cannot be combined with -portfolio"},
+		{"stream with seed", []string{"-stream", "-seed", "7"}, "cannot be combined with -stream"},
+		{"stream with verify", []string{"-stream", "-verify"}, "cannot be combined with -stream"},
+		{"stream with gantt", []string{"-stream", "-gantt"}, "cannot be combined with -stream"},
+		{"stream with optimize", []string{"-stream", "-optimize"}, "cannot be combined with -stream"},
+		{"stream with orient", []string{"-stream", "-orient"}, "cannot be combined with -stream"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

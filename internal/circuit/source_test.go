@@ -1,0 +1,183 @@
+package circuit
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// errSource yields its gates then a terminal error (never EOF).
+type errSource struct {
+	nq    int
+	gates []Gate
+	err   error
+	pos   int
+}
+
+func (s *errSource) NumQubits() int { return s.nq }
+func (s *errSource) NumClbits() int { return 0 }
+func (s *errSource) Next() (Gate, error) {
+	if s.pos < len(s.gates) {
+		g := s.gates[s.pos]
+		s.pos++
+		return g, nil
+	}
+	return Gate{}, s.err
+}
+
+func TestSliceSourceYieldsInOrder(t *testing.T) {
+	c := New(3)
+	c.H(0).CX(0, 1).CX(1, 2)
+	src := NewSliceSource(c)
+	for i := range c.Gates {
+		g, err := src.Next()
+		if err != nil {
+			t.Fatalf("gate %d: %v", i, err)
+		}
+		if !g.Equal(c.Gates[i]) {
+			t.Fatalf("gate %d: got %v, want %v", i, g, c.Gates[i])
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("past the end: %v, want io.EOF", err)
+	}
+}
+
+func TestWindowFillBatches(t *testing.T) {
+	c := New(4)
+	for i := 0; i < 10; i++ {
+		c.RZ(float64(i), i%4)
+	}
+	w := NewWindow(NewSliceSource(c), 4)
+	for _, want := range []int{4, 8, 10} {
+		if err := w.Fill(); err != nil {
+			t.Fatal(err)
+		}
+		if len(w.Gates()) != want {
+			t.Fatalf("buffered %d gates, want %d", len(w.Gates()), want)
+		}
+	}
+	if w.Open() {
+		t.Fatal("window still open after the source drained")
+	}
+	if err := w.Fill(); err != nil || len(w.Gates()) != 10 {
+		t.Fatalf("fill after EOF: err %v, %d gates", err, len(w.Gates()))
+	}
+}
+
+// TestWindowErrorSticky pins the corrupt-stream contract: the first source
+// or validation error closes the window and every later Fill re-returns
+// it — a driver that polls Fill again must not mistake a corrupt stream
+// for a cleanly drained one.
+func TestWindowErrorSticky(t *testing.T) {
+	broken := errors.New("stream corrupt")
+	src := &errSource{nq: 4, gates: []Gate{New1Q(OpH, 0), New2Q(OpCX, 0, 1)}, err: broken}
+	w := NewWindow(src, 8)
+	if err := w.Fill(); err != broken {
+		t.Fatalf("Fill = %v, want the source error", err)
+	}
+	if w.Open() {
+		t.Fatal("window open after a terminal error")
+	}
+	if err := w.Fill(); err != broken {
+		t.Fatalf("second Fill = %v, error not sticky", err)
+	}
+	if len(w.Gates()) != 2 {
+		t.Fatalf("buffered %d gates before the error, want 2", len(w.Gates()))
+	}
+}
+
+func TestWindowValidatesAgainstHeader(t *testing.T) {
+	src := &errSource{nq: 3, gates: []Gate{New1Q(OpH, 5)}, err: io.EOF}
+	w := NewWindow(src, 8)
+	err := w.Fill()
+	if err == nil {
+		t.Fatal("want validation error for qubit 5 on a 3-qubit stream")
+	}
+	if err2 := w.Fill(); err2 != err {
+		t.Fatalf("validation error not sticky: %v then %v", err, err2)
+	}
+}
+
+func TestWindowRejectsCompoundGates(t *testing.T) {
+	c := New(3)
+	c.H(0).CCX(0, 1, 2)
+	w := NewWindow(NewSliceSource(c), 8)
+	err := w.Fill()
+	if err == nil {
+		t.Fatal("want rejection of an unlowered ccx")
+	}
+	if want := "NewDecomposeSource"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not point at %s", err, want)
+	}
+	if err2 := w.Fill(); err2 != err {
+		t.Fatalf("compound-gate error not sticky: %v then %v", err, err2)
+	}
+}
+
+// TestWindowCompactKeepsAndZeroes: Compact retains exactly the keep
+// indices in order, and the evicted tail of the backing array is zeroed so
+// dropped gates stop pinning their qubit/parameter slices.
+func TestWindowCompactKeepsAndZeroes(t *testing.T) {
+	c := New(4)
+	for i := 0; i < 8; i++ {
+		c.RZ(float64(i), i%4)
+	}
+	w := NewWindow(NewSliceSource(c), 8)
+	if err := w.Fill(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Gate{c.Gates[2], c.Gates[5], c.Gates[7]}
+	w.Compact([]int{2, 5, 7})
+	got := w.Gates()
+	if len(got) != len(want) {
+		t.Fatalf("kept %d gates, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("kept gate %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	tail := w.gates[len(got):cap(w.gates[:8])]
+	for i, g := range tail[:8-len(got)] {
+		if g.Op != 0 || g.Qubits != nil || g.Params != nil {
+			t.Fatalf("evicted slot %d not zeroed: %v", i, g)
+		}
+	}
+}
+
+// TestDecomposeSourceMatchesBatch: draining a DecomposeSource yields the
+// same lowered sequence as the batch Decompose pass.
+func TestDecomposeSourceMatchesBatch(t *testing.T) {
+	c := New(4)
+	c.H(0).CCX(0, 1, 2).CX(2, 3).RZ(0.5, 3).CCX(3, 2, 1).Measure(0, 0)
+	want := Decompose(c)
+
+	ds := NewDecomposeSource(NewSliceSource(c))
+	if ds.NumQubits() != c.NumQubits {
+		t.Fatalf("NumQubits = %d, want %d", ds.NumQubits(), c.NumQubits)
+	}
+	var got []Gate
+	for {
+		g, err := ds.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, g)
+	}
+	if len(got) != len(want.Gates) {
+		t.Fatalf("streamed %d lowered gates, batch %d", len(got), len(want.Gates))
+	}
+	for i := range got {
+		if !got[i].Equal(want.Gates[i]) {
+			t.Fatalf("lowered gate %d: stream %v, batch %v", i, got[i], want.Gates[i])
+		}
+	}
+	if ds.NumClbits() != want.NumClbits {
+		t.Fatalf("NumClbits = %d, want %d", ds.NumClbits(), want.NumClbits)
+	}
+}

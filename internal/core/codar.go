@@ -296,6 +296,14 @@ type remapper struct {
 
 	initial *arch.Layout
 
+	// Streaming state (stream.go). sourceOpen marks that the buffered gates
+	// are a prefix of a longer stream: the front computations starve —
+	// abort and set starved — instead of acting on an underfull window or
+	// look-ahead set, so every decision is made over exactly the context the
+	// batch path would have. Both stay false on the batch path.
+	sourceOpen bool
+	starved    bool
+
 	// f is the incremental commutative-front engine; nil selects the naive
 	// reference scan (Options.naiveFront).
 	f *frontier

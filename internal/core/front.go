@@ -16,11 +16,12 @@ import "codar/internal/circuit"
 // With DisableCommutativity the front degrades to the plain dependency
 // front (first unexecuted gate per qubit chain), which is what SABRE uses.
 func (r *remapper) computeFront() []int {
+	r.starved = false
 	if r.f == nil {
 		return r.computeFrontNaive()
 	}
 	front := r.f.computeFront()
-	if r.frontCheck != nil {
+	if r.frontCheck != nil && !r.starved {
 		r.frontCheck(front)
 	}
 	return front
@@ -75,12 +76,22 @@ func (r *remapper) computeFrontNaive() []int {
 		}
 		count++
 	}
+	if count < window && r.sourceOpen {
+		// Streaming: ran out of buffered gates with the scan window
+		// underfull — same starvation rule as the incremental engine.
+		r.starved = true
+		return nil
+	}
 	// Top up the look-ahead set past the window: everything beyond is
 	// non-front by construction.
 	for ; i >= 0 && len(r.lookSet) < look; i = r.next[i] {
 		if r.gates[i].Op.TwoQubit() {
 			r.lookSet = append(r.lookSet, i)
 		}
+	}
+	if len(r.lookSet) < look && r.sourceOpen {
+		r.starved = true
+		return nil
 	}
 	return r.front
 }

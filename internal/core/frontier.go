@@ -257,6 +257,16 @@ func (f *frontier) computeFront() []int {
 			next = f.r.next[f.winTail]
 		}
 		if next < 0 {
+			if f.r.sourceOpen {
+				// Streaming: the scan window is underfull and the source may
+				// still yield gates that belong in it. Admitting fewer would
+				// diverge from batch, so starve — the stream driver refills
+				// the buffer and retries. Admissions so far stand (they are
+				// a prefix of what the full window will hold).
+				f.r.starved = true
+				f.frontValid = false
+				return nil
+			}
 			break
 		}
 		f.admit(next)
@@ -288,6 +298,12 @@ func (f *frontier) computeFront() []int {
 		if f.is2q[i] {
 			r.lookSet = append(r.lookSet, i)
 		}
+	}
+	if len(r.lookSet) < look && r.sourceOpen {
+		// Streaming: look-ahead unsaturated with gates still upstream.
+		r.starved = true
+		f.frontValid = false
+		return nil
 	}
 	f.frontValid = true
 	return r.front

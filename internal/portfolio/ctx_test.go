@@ -82,9 +82,11 @@ func TestCtxBackgroundIsByteIdentical(t *testing.T) {
 	if fingerprint(t, plain) != fingerprint(t, withCtx) {
 		t.Fatal("background ctx changed the portfolio winner")
 	}
-	if plain.WinnerIndex != withCtx.WinnerIndex || plain.Completed != withCtx.Completed {
-		t.Fatalf("outcome tallies diverged: winner %d/%d completed %d/%d",
-			plain.WinnerIndex, withCtx.WinnerIndex, plain.Completed, withCtx.Completed)
+	// Completed is deliberately not compared: with EarlyAbandon under
+	// multiple workers, which losing candidates get cut before finishing
+	// depends on dispatch timing. Only the winner is invariant.
+	if plain.WinnerIndex != withCtx.WinnerIndex {
+		t.Fatalf("winner diverged: %d vs %d", plain.WinnerIndex, withCtx.WinnerIndex)
 	}
 }
 

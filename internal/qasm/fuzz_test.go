@@ -72,3 +72,31 @@ func FuzzParseQASM(f *testing.F) {
 		}
 	})
 }
+
+// FuzzStreamQASM differentially fuzzes the streaming front end against the
+// batch parser: for every input, Stream and Parse must reach the same
+// accept/reject verdict, and on accept the stream must yield the identical
+// gate sequence and register totals (checkStreamMatchesParse). Neither side
+// may panic. Seeds cover the shapes where the two lexers could plausibly
+// diverge — statements split across lines, CRLF endings, missing trailing
+// newline, errors surfacing after gates have already been emitted — plus
+// past parser crashers.
+//
+// CI runs this with -fuzztime 30s (see .github/workflows); locally:
+//
+//	go test -run FuzzStreamQASM -fuzz FuzzStreamQASM -fuzztime 30s ./internal/qasm/
+func FuzzStreamQASM(f *testing.F) {
+	f.Add("OPENQASM 2.0;\nqreg q[4];\ncreg c[4];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n")
+	f.Add("qreg q[3];\ncx\n  q[0],\n  q[2];\n")
+	f.Add("OPENQASM 2.0;\r\nqreg q[2];\r\nh q[0];\r\ncx q[0],q[1];")
+	f.Add("qreg q[2];\ngate foo(t) a, b { rz(t) a; cx a, b; }\nfoo(pi/4) q[0], q[1];\n")
+	f.Add("qreg q[2];\nh q[0];\ncx q[0];\n")                // arity error after a gate
+	f.Add("qreg q[2];\nh q[0];\n\"unterminated\nh q[1];\n") // lex error after a gate
+	f.Add("qreg q[2];\ncreg c[1];\nmeasure q[0] -> c[0];\nif (c == 1) x q[1];\n")
+	f.Add("include \"qelib1.inc\";\nqreg r[1];\nopaque noise q;\nt r[0];\n")
+	f.Add("gate rec A{}qreg q[1];rec q;") // past FuzzParseQASM crasher
+	f.Add("OPENQASM 2.0 qreg q[")
+	f.Fuzz(func(t *testing.T, src string) {
+		checkStreamMatchesParse(t, src)
+	})
+}

@@ -42,10 +42,38 @@ type bodyStmt struct {
 	barrier bool
 }
 
-// parser consumes a token stream and builds a circuit.
-type parser struct {
+// tokenSource yields tokens one at a time. The batch path pre-lexes the
+// whole source (sliceTokens); the streaming path lexes line by line
+// (streamLexer, stream.go). Errors are sticky: once next fails it keeps
+// failing with the same error.
+type tokenSource interface {
+	next() (token, error)
+}
+
+// sliceTokens replays a pre-lexed token slice. tokenize always terminates
+// the slice with tokEOF, which is re-returned forever.
+type sliceTokens struct {
 	toks []token
 	pos  int
+}
+
+func (s *sliceTokens) next() (token, error) {
+	t := s.toks[s.pos]
+	if t.kind != tokEOF {
+		s.pos++
+	}
+	return t, nil
+}
+
+// parser consumes a token stream and builds a circuit.
+type parser struct {
+	src    tokenSource
+	tok    token // one-token lookahead
+	primed bool
+	// lexErr records a token-source failure. The failing position is masked
+	// as EOF so the recursive-descent code needs no per-take error plumbing;
+	// every entry point checks lexErr before trusting an accept.
+	lexErr error
 
 	qregs []reg
 	cregs []reg
@@ -62,7 +90,7 @@ func Parse(src string) (*circuit.Circuit, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks, defs: make(map[string]*gateDef)}
+	p := &parser{src: &sliceTokens{toks: toks}, defs: make(map[string]*gateDef)}
 	if err := p.parseProgram(); err != nil {
 		return nil, err
 	}
@@ -79,8 +107,22 @@ func ParseNamed(name, src string) (*circuit.Circuit, error) {
 	return c, nil
 }
 
-func (p *parser) peek() token { return p.toks[p.pos] }
-func (p *parser) take() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) peek() token {
+	if !p.primed {
+		t, err := p.src.next()
+		if err != nil {
+			if p.lexErr == nil {
+				p.lexErr = err
+			}
+			t = token{kind: tokEOF}
+		}
+		p.tok = t
+		p.primed = true
+	}
+	return p.tok
+}
+
+func (p *parser) take() token { t := p.peek(); p.primed = false; return t }
 func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
 
 func (p *parser) peekSymbol(s string) bool {
@@ -123,7 +165,24 @@ func (p *parser) expectInt() (int, error) {
 
 // parseProgram parses the full translation unit.
 func (p *parser) parseProgram() error {
-	// Optional "OPENQASM 2.0;" header.
+	if err := p.parseHeader(); err != nil {
+		return err
+	}
+	for !p.atEOF() {
+		if err := p.parseStatement(); err != nil {
+			return err
+		}
+	}
+	if p.lexErr != nil {
+		// A token-source failure surfaces as a masked EOF; report the
+		// original lexer error, not the truncated-program symptom.
+		return p.lexErr
+	}
+	return p.finishProgram()
+}
+
+// parseHeader consumes the optional "OPENQASM 2.0;" prologue.
+func (p *parser) parseHeader() error {
 	if p.peekIdent("OPENQASM") {
 		p.take()
 		t := p.take()
@@ -134,14 +193,11 @@ func (p *parser) parseProgram() error {
 			return err
 		}
 	}
-	// First pass over declarations and statements.
-	var pending []func() error // gate applications deferred until sizes known
-	_ = pending
-	for !p.atEOF() {
-		if err := p.parseStatement(); err != nil {
-			return err
-		}
-	}
+	return nil
+}
+
+// finishProgram applies the end-of-input rules once all statements parsed.
+func (p *parser) finishProgram() error {
 	if p.circ == nil {
 		if len(p.qregs) == 0 {
 			return fmt.Errorf("qasm: no quantum register declared")

@@ -1,0 +1,170 @@
+package qasm
+
+import (
+	"bufio"
+	"io"
+
+	"codar/internal/circuit"
+)
+
+// streamLexer lexes OpenQASM incrementally from a reader. No token in the
+// grammar spans a newline (strings and // comments are line-bounded and
+// every multi-character token is scanned within the current line), so the
+// reader is consumed line by line — each line, including its terminating
+// '\n', runs through the same string lexer the batch path uses, making the
+// token stream identical to tokenize of the whole source by construction.
+// Resident memory is O(longest line).
+type streamLexer struct {
+	r    *bufio.Reader
+	lx   lexer
+	done bool  // reader exhausted
+	err  error // sticky lexer/reader error
+}
+
+func newStreamLexer(r io.Reader) *streamLexer {
+	return &streamLexer{r: bufio.NewReader(r), lx: lexer{line: 1}}
+}
+
+func (s *streamLexer) next() (token, error) {
+	if s.err != nil {
+		return token{}, s.err
+	}
+	for {
+		t, err := s.lx.next()
+		if err != nil {
+			s.err = err
+			return token{}, err
+		}
+		if t.kind != tokEOF || s.done {
+			return t, nil
+		}
+		line, err := s.r.ReadString('\n')
+		if err == io.EOF {
+			s.done = true
+		} else if err != nil {
+			s.err = err
+			return token{}, err
+		}
+		// Start a fresh string lexer over the next line, carrying the line
+		// counter (the previous line's '\n' was consumed by its own lexer,
+		// advancing the count exactly as the batch lexer would).
+		s.lx = lexer{src: line, line: s.lx.line}
+	}
+}
+
+// Stream is the pull-based streaming front end: it parses OpenQASM 2.0
+// incrementally and emits gates one at a time without materialising the
+// whole program. It accepts exactly the language Parse accepts (the same
+// parser runs underneath, including user-defined gate inlining and the
+// 65536-qubit cap) and, for accepted programs, yields the identical gate
+// sequence — the FuzzStreamQASM differential fuzzer pins this.
+//
+// Register declarations are frozen at the first operation (an OpenQASM
+// rule), so NumQubits and NumClbits are known as soon as NewStream
+// returns. Errors after the first emitted gate surface from Next: a
+// consumer may have acted on a prefix of a program that later turns out to
+// be malformed, which is inherent to streaming.
+type Stream struct {
+	p     *parser
+	queue []circuit.Gate
+	qpos  int
+	done  bool
+	err   error // sticky terminal parse error
+
+	headerDone bool
+	gates      int
+}
+
+// NewStream starts parsing r. It consumes statements until the first gate,
+// end of input, or an error; programs that fail before their first gate
+// are rejected here rather than from Next.
+func NewStream(r io.Reader) (*Stream, error) {
+	p := &parser{src: newStreamLexer(r), defs: make(map[string]*gateDef)}
+	s := &Stream{p: p}
+	s.pump()
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s, nil
+}
+
+// NumQubits returns the total declared qubit count (all quantum registers
+// concatenated in declaration order, as in Parse).
+func (s *Stream) NumQubits() int { return s.p.circ.NumQubits }
+
+// NumClbits returns the total declared classical-bit count.
+func (s *Stream) NumClbits() int { return s.p.circ.NumClbits }
+
+// Gates returns the number of gates emitted so far.
+func (s *Stream) Gates() int { return s.gates }
+
+// Next returns the next gate of the program, io.EOF after the last one, or
+// the parse error that terminated the stream.
+func (s *Stream) Next() (circuit.Gate, error) {
+	for s.qpos >= len(s.queue) {
+		if s.err != nil {
+			return circuit.Gate{}, s.err
+		}
+		if s.done {
+			return circuit.Gate{}, io.EOF
+		}
+		s.pump()
+	}
+	g := s.queue[s.qpos]
+	s.qpos++
+	s.gates++
+	return g, nil
+}
+
+// fail records the stream's terminal error, preferring the underlying
+// lexer error over the truncated-program symptom a masked EOF produces.
+func (s *Stream) fail(err error) {
+	if s.p.lexErr != nil {
+		err = s.p.lexErr
+	}
+	s.err = err
+}
+
+// pump parses statements until at least one gate is queued, end of input,
+// or an error. One statement can emit many gates (register broadcasts,
+// measures over registers, user-defined gate inlining), so the parsed
+// gates land in a drained queue; the parser's accumulation circuit is
+// truncated after each statement, keeping resident memory O(statement).
+func (s *Stream) pump() {
+	p := s.p
+	if !s.headerDone {
+		if err := p.parseHeader(); err != nil {
+			s.fail(err)
+			return
+		}
+		s.headerDone = true
+	}
+	s.queue = s.queue[:0]
+	s.qpos = 0
+	for {
+		if p.atEOF() {
+			if p.lexErr != nil {
+				s.fail(p.lexErr)
+				return
+			}
+			if err := p.finishProgram(); err != nil {
+				s.fail(err)
+				return
+			}
+			s.done = true
+			return
+		}
+		if err := p.parseStatement(); err != nil {
+			s.fail(err)
+			return
+		}
+		if p.circ != nil && len(p.circ.Gates) > 0 {
+			// Gate values own their qubit/parameter slices (the parser
+			// allocates them per application), so copying the values out
+			// and truncating the accumulator is safe.
+			s.queue = append(s.queue, p.circ.Gates...)
+			p.circ.Gates = p.circ.Gates[:0]
+			return
+		}
+	}
+}

@@ -2,6 +2,7 @@ package qasm
 
 import (
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 
@@ -14,19 +15,38 @@ import (
 // pipelines (benchgen -> file -> codar CLI).
 func Write(c *circuit.Circuit) string {
 	var b strings.Builder
-	b.WriteString("OPENQASM 2.0;\n")
-	b.WriteString("include \"qelib1.inc\";\n")
-	if c.Name != "" {
-		fmt.Fprintf(&b, "// circuit: %s\n", c.Name)
-	}
-	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
-	if c.NumClbits > 0 {
-		fmt.Fprintf(&b, "creg c[%d];\n", c.NumClbits)
-	}
+	writeHeader(&b, c.Name, c.NumQubits, c.NumClbits)
 	for _, g := range c.Gates {
 		writeGate(&b, g)
 	}
 	return b.String()
+}
+
+func writeHeader(b *strings.Builder, name string, numQubits, numClbits int) {
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	if name != "" {
+		fmt.Fprintf(b, "// circuit: %s\n", name)
+	}
+	fmt.Fprintf(b, "qreg q[%d];\n", numQubits)
+	if numClbits > 0 {
+		fmt.Fprintf(b, "creg c[%d];\n", numClbits)
+	}
+}
+
+// Header renders the OpenQASM preamble Write would emit for a circuit with
+// the given name and register sizes — the fixed prefix of a streamed
+// rendering (appending every mapped gate line reproduces Write's output
+// byte for byte).
+func Header(name string, numQubits, numClbits int) string {
+	var b strings.Builder
+	writeHeader(&b, name, numQubits, numClbits)
+	return b.String()
+}
+
+// AppendGate renders one gate statement onto b, exactly as Write does.
+func AppendGate(b *strings.Builder, g circuit.Gate) {
+	writeGate(b, g)
 }
 
 func writeGate(b *strings.Builder, g circuit.Gate) {
@@ -72,4 +92,38 @@ func writeQubits(b *strings.Builder, qs []int) {
 // round-trips exactly.
 func formatParam(p float64) string {
 	return strconv.FormatFloat(p, 'g', -1, 64)
+}
+
+// StreamWriter renders OpenQASM 2.0 incrementally: the header at
+// construction, then one gate per WriteGate call — the output side of the
+// streaming pipeline, where the mapped circuit is never materialized.
+// WriteGate(g) for every gate of a circuit produces exactly the bytes of
+// Write over that circuit (for unnamed circuits), so batch and streamed
+// renderings are interchangeable.
+type StreamWriter struct {
+	w io.Writer
+	b strings.Builder
+}
+
+// NewStreamWriter writes the OpenQASM header for numQubits qubits (and
+// numClbits classical bits when positive) and returns the gate writer.
+func NewStreamWriter(w io.Writer, numQubits, numClbits int) (*StreamWriter, error) {
+	sw := &StreamWriter{w: w}
+	writeHeader(&sw.b, "", numQubits, numClbits)
+	if err := sw.flush(); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// WriteGate renders one gate statement.
+func (sw *StreamWriter) WriteGate(g circuit.Gate) error {
+	writeGate(&sw.b, g)
+	return sw.flush()
+}
+
+func (sw *StreamWriter) flush() error {
+	_, err := io.WriteString(sw.w, sw.b.String())
+	sw.b.Reset()
+	return err
 }

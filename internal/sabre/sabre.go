@@ -314,6 +314,30 @@ type mapper struct {
 	// behind (DESIGN.md §11).
 	check  interrupt.Checker
 	ctxErr error
+
+	// Streaming state (stream.go). sourceOpen marks that the buffered gates
+	// are a prefix of a longer stream; lastOn[q] is the last buffered gate
+	// index touching logical qubit q (-1 when untouched), so lastOn[q] == k
+	// means k is a chain tail: unseen gates may depend on it, and any
+	// decision that would see those dependents in a batch run starves — sets
+	// starved and aborts — instead of diverging. executedMark records which
+	// buffered gates were emitted this epoch (the driver evicts them). All
+	// stay zero on the batch path.
+	sourceOpen   bool
+	starved      bool
+	lastOn       []int32
+	executedMark []bool
+}
+
+// chainTail reports whether buffered gate k is the last buffered gate on
+// one of its qubits — the anchor unseen stream gates would attach to.
+func (m *mapper) chainTail(k int) bool {
+	for _, q := range m.soa.Operands(k) {
+		if m.lastOn[q] == int32(k) {
+			return true
+		}
+	}
+	return false
 }
 
 func (m *mapper) resetDecay() {
@@ -450,12 +474,23 @@ func (m *mapper) note(op circuit.Op, qs []int) {
 // queue, result buffer and visited stamps live on the mapper; a node is
 // visited this round when its stamp matches the round's epoch.
 func (m *mapper) extendedSet(front []int) []int {
+	m.starved = false
 	limit := m.opts.extendedSize()
 	m.visitEpoch++
 	ext := m.extBuf[:0]
 	queue := append(m.queue[:0], front...)
 	for pop := 0; pop < len(queue) && len(ext) < limit; pop++ {
 		k := queue[pop]
+		if m.sourceOpen && m.chainTail(k) {
+			// Streaming: the BFS is about to expand a chain tail, whose
+			// successor set may grow with unseen gates — a batch run would
+			// see them here. Starve; the BFS touched only epoch-stamped
+			// scratch, so the post-refill retry is clean.
+			m.starved = true
+			m.extBuf = ext[:0]
+			m.queue = queue[:0]
+			return nil
+		}
 		for _, s := range m.dag.Succs[k] {
 			if m.visitStamp[s] == m.visitEpoch {
 				continue

@@ -1,0 +1,37 @@
+package schedule
+
+// Sink receives finalized schedule chunks from a streaming mapper. Flush
+// hands ownership of the chunk to the sink: the caller never touches the
+// slice again, so the sink may retain it, and the sink must copy anything
+// it needs beyond the call if it reuses buffers. A non-nil error aborts
+// the stream; the mapper returns it unchanged.
+//
+// Chunks arrive in finalization order. For core.RemapStream the
+// concatenation of all chunks is exactly the Gates slice of the batch
+// Remap schedule (ascending Start, same tie order); for sabre.RemapStream
+// it is the batch result circuit's gate sequence annotated with ASAP
+// start times.
+type Sink interface {
+	Flush(chunk []ScheduledGate) error
+}
+
+// Collector is a Sink that concatenates chunks in memory — the bridge for
+// whole-result consumers and the differential tests, which compare the
+// concatenation against the batch path byte for byte.
+type Collector struct {
+	Gates  []ScheduledGate
+	Chunks int
+}
+
+// Flush implements Sink.
+func (c *Collector) Flush(chunk []ScheduledGate) error {
+	c.Gates = append(c.Gates, chunk...)
+	c.Chunks++
+	return nil
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(chunk []ScheduledGate) error
+
+// Flush implements Sink.
+func (f FuncSink) Flush(chunk []ScheduledGate) error { return f(chunk) }

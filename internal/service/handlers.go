@@ -527,6 +527,10 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errMethodNotAllowed(http.MethodPost, "/v1/map"))
 		return
 	}
+	if streamQuery(r) {
+		s.handleMapStream(w, r)
+		return
+	}
 	start := time.Now()
 	var req MapRequest
 	if serr := decodeJSON(r, &req); serr != nil {

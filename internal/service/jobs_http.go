@@ -214,6 +214,10 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request, id stri
 		s.writeError(w, serr)
 		return
 	}
+	if streamQuery(r) {
+		s.writeJobResultStream(w, body, snap)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(cacheHeader, snap.Cache)
 	w.Write(body)
